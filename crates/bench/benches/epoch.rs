@@ -1,0 +1,47 @@
+//! End-to-end benchmark: one full 30-cycle COUNT epoch over NEWSCAST —
+//! the workload behind every robustness figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+
+fn bench_full_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_epoch");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64 * 30));
+        group.bench_with_input(BenchmarkId::new("count_newscast", n), &n, |b, &n| {
+            let config = ExperimentConfig {
+                n,
+                overlay: OverlaySpec::Newscast { c: 30 },
+                cycles: 30,
+                values: ValueInit::Constant(0.0),
+                aggregate: AggregateSetup::CountPeak,
+                ..ExperimentConfig::default()
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                config.run(seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("average_complete", n), &n, |b, &n| {
+            let config = ExperimentConfig {
+                n,
+                overlay: OverlaySpec::Complete,
+                cycles: 30,
+                values: ValueInit::Peak { total: n as f64 },
+                aggregate: AggregateSetup::Average,
+                ..ExperimentConfig::default()
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                config.run(seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_epoch);
+criterion_main!(benches);

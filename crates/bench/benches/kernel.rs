@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the exchange kernel: scalar merges, instance-map
+//! merges, and full simulation cycles at several network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_aggregation::rule::{Rule, UpdateRule};
+use epidemic_aggregation::value::InstanceMap;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_sim::network::{CycleOptions, Network};
+use epidemic_topology::CompleteSampler;
+use std::hint::black_box;
+
+fn bench_scalar_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar_merge");
+    for rule in [Rule::Average, Rule::Min, Rule::Max, Rule::GeometricMean] {
+        group.bench_function(format!("{rule}"), |b| {
+            let mut x = 1.0f64;
+            b.iter(|| {
+                x = rule.merge(black_box(x), black_box(3.25));
+                black_box(x)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_map_merge");
+    for t in [1usize, 10, 20, 50] {
+        let a: InstanceMap = (0..t as u64).map(|l| (l, 0.5)).collect();
+        let b_map: InstanceMap = (0..t as u64).filter(|l| l % 2 == 0).map(|l| (l, 0.25)).collect();
+        group.throughput(Throughput::Elements(t as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bencher, _| {
+            bencher.iter(|| InstanceMap::merge(black_box(&a), black_box(&b_map)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("average_peak", n), &n, |bencher, &n| {
+            let sampler = CompleteSampler::new(n);
+            bencher.iter_batched(
+                || {
+                    let mut net = Network::new(n);
+                    net.add_scalar_field(Rule::Average, |i| if i == 0 { n as f64 } else { 0.0 });
+                    (net, Xoshiro256::seed_from_u64(1))
+                },
+                |(mut net, mut rng)| {
+                    net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+                    net
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_merge, bench_map_merge, bench_cycle);
+criterion_main!(benches);

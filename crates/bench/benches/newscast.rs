@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the NEWSCAST membership substrate: view merges and
+//! whole-overlay cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_common::rng::Xoshiro256;
+use epidemic_newscast::{Descriptor, Overlay, View};
+use std::hint::black_box;
+
+fn bench_view_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_merge");
+    for cap in [10usize, 20, 30, 50] {
+        let mut view = View::new(cap);
+        for i in 0..cap {
+            view.insert(Descriptor::new(i as u32, i as u32));
+        }
+        let received: Vec<Descriptor> = (0..=cap)
+            .map(|i| Descriptor::new((cap + i) as u32, (2 * i) as u32))
+            .collect();
+        group.throughput(Throughput::Elements(cap as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |bencher, _| {
+            bencher.iter_batched(
+                || view.clone(),
+                |mut v| {
+                    v.merge_with(black_box(&received), 9999);
+                    v
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlay_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_cycle");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("c30", n), &n, |bencher, &n| {
+            bencher.iter_batched(
+                || {
+                    let mut rng = Xoshiro256::seed_from_u64(7);
+                    (Overlay::random_init(n, 30, &mut rng), rng)
+                },
+                |(mut overlay, mut rng)| {
+                    overlay.run_cycle(1, &mut rng);
+                    overlay
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_merge, bench_overlay_cycle);
+criterion_main!(benches);

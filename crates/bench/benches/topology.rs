@@ -1,0 +1,35 @@
+//! Micro-benchmarks of topology generation at evaluation sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_common::rng::Xoshiro256;
+use epidemic_topology::generate;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("random_k20", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Xoshiro256::seed_from_u64(1);
+                generate::random_k_out(n, 20, &mut rng).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ws_beta25", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Xoshiro256::seed_from_u64(1);
+                generate::watts_strogatz(n, 20, 0.25, &mut rng).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_m10", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Xoshiro256::seed_from_u64(1);
+                generate::barabasi_albert(n, 10, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

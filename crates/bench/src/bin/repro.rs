@@ -1,0 +1,97 @@
+//! Figure reproduction CLI.
+//!
+//! ```text
+//! repro <figure id>... [--scale F] [--seed N] [--out DIR] [--list]
+//! repro all [--scale F]
+//! ```
+//!
+//! Runs the requested figures of the DSN 2004 evaluation, prints each
+//! table, and writes `<out>/<id>.csv`. `--scale 1.0` (default 0.1)
+//! reproduces the paper's full parameters (N = 10⁵, 50–100 runs); smaller
+//! scales shrink sizes and repetitions proportionally.
+
+use epidemic_bench::{figures, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    ids: Vec<String>,
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        scale: 0.1,
+        seed: 20040628, // DSN 2004 conference date
+        out: PathBuf::from("results"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => {
+                let v = iter.next().ok_or("--out needs a value")?;
+                args.out = PathBuf::from(v);
+            }
+            "--list" => {
+                for id in figures::ALL {
+                    println!("{id}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro <figure id>...|all [--scale F] [--seed N] [--out DIR] [--list]"
+                );
+                std::process::exit(0);
+            }
+            "all" => args.ids.extend(figures::ALL.iter().map(|s| s.to_string())),
+            id if figures::ALL.contains(&id) => args.ids.push(id.to_string()),
+            other => return Err(format!("unknown argument {other:?}; try --list")),
+        }
+    }
+    if args.ids.is_empty() {
+        return Err("no figures requested; try `repro all` or `repro --list`".to_string());
+    }
+    args.ids.dedup();
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = Scale::new(args.scale);
+    println!(
+        "reproducing {} figure(s) at scale {} (seed {})\n",
+        args.ids.len(),
+        args.scale,
+        args.seed
+    );
+    for id in &args.ids {
+        let start = Instant::now();
+        let fig = figures::run(id, scale, args.seed);
+        let elapsed = start.elapsed();
+        println!("{}", fig.to_table());
+        match fig.write_csv(&args.out) {
+            Ok(path) => println!("[{id}] wrote {} in {elapsed:.2?}\n", path.display()),
+            Err(e) => eprintln!("[{id}] CSV write failed: {e}\n"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,96 @@
+//! Section 4.5 cost analysis: exchanges per node per cycle.
+//!
+//! On a sufficiently random overlay, the number of exchanges a node takes
+//! part in during one cycle is `1 + φ` with `φ ~ Poisson(1)`: exactly one
+//! it initiates plus however many times it is contacted. This experiment
+//! tallies participation counts over one cycle of a large network and
+//! compares the histogram against the shifted-Poisson prediction.
+
+use crate::{FigureOutput, Scale};
+use epidemic_aggregation::rule::Rule;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_sim::network::{CycleOptions, Network};
+use epidemic_topology::CompleteSampler;
+
+/// Reproduces the cost analysis. Columns: exchange count k, observed
+/// fraction of nodes, and the `P(1 + Poisson(1) = k)` prediction.
+pub fn costs(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let mut net = Network::new(n);
+    net.add_scalar_field(Rule::Average, |_| 0.0);
+    net.enable_tally();
+    let sampler = CompleteSampler::new(n);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // Average over several cycles for a smoother histogram.
+    let cycles = 5;
+    let mut counts = [0usize; 12];
+    let mut total = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..cycles {
+        net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+        for c in net.take_tally() {
+            let c = c as usize;
+            if c < counts.len() {
+                counts[c] += 1;
+            }
+            total += 1;
+            sum += c as f64;
+            sum_sq += (c * c) as f64;
+        }
+    }
+    let mean = sum / total as f64;
+    let variance = sum_sq / total as f64 - mean * mean;
+    let mut rows = Vec::new();
+    for (k, &count) in counts.iter().enumerate() {
+        let observed = count as f64 / total as f64;
+        // P(1 + Poisson(1) = k) = e^-1 / (k-1)!.
+        let predicted = if k == 0 {
+            0.0
+        } else {
+            (-1.0f64).exp() / factorial(k - 1)
+        };
+        rows.push(vec![k as f64, observed, predicted]);
+    }
+    FigureOutput {
+        id: "costs",
+        title: format!(
+            "exchanges per node per cycle, N={n}, complete overlay, {cycles} cycles; \
+             observed mean {mean:.3} variance {variance:.3} (theory: 2.0, 1.0)"
+        ),
+        columns: ["exchanges", "observed", "poisson_prediction"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+fn factorial(k: usize) -> f64 {
+    (1..=k).map(|i| i as f64).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(5), 120.0);
+    }
+
+    #[test]
+    fn histogram_matches_shifted_poisson() {
+        let fig = costs(Scale::new(0.2), 3);
+        // k=0 never occurs; k=1 (no passive contacts) should be near 1/e.
+        assert_eq!(fig.rows[0][1], 0.0);
+        let observed_k1 = fig.rows[1][1];
+        assert!((observed_k1 - 0.3679).abs() < 0.02, "P(k=1) = {observed_k1}");
+        // Observed tracks prediction across the bulk.
+        for row in &fig.rows[1..6] {
+            assert!((row[1] - row[2]).abs() < 0.02, "row {row:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Figures 3 and 4: convergence across topologies.
+//!
+//! * Fig. 3(a): average convergence factor over 20 cycles vs network size
+//!   (10²..10⁶) for eight topologies.
+//! * Fig. 3(b): normalized variance-reduction curves over 50 cycles at
+//!   N = 10⁵ for the same topologies.
+//! * Fig. 4(a): convergence factor vs Watts–Strogatz β.
+//! * Fig. 4(b): convergence factor vs NEWSCAST view size c.
+
+use super::seeds;
+use crate::{FigureOutput, Scale};
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_topology::TopologyKind;
+
+/// The eight overlay families of Figure 3, in plot order.
+fn topology_suite(n: usize) -> Vec<(String, OverlaySpec)> {
+    let k = 20.min(n - 1);
+    let k = if k % 2 == 1 { k - 1 } else { k };
+    vec![
+        ("ws_b0.00".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.0 })),
+        ("ws_b0.25".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.25 })),
+        ("ws_b0.50".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.5 })),
+        ("ws_b0.75".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.75 })),
+        ("newscast".into(), OverlaySpec::Newscast { c: 30.min(n / 2) }),
+        ("scalefree".into(), OverlaySpec::Static(TopologyKind::ScaleFree { m: (k / 2).max(1) })),
+        ("random".into(), OverlaySpec::Static(TopologyKind::Random { k })),
+        ("complete".into(), OverlaySpec::Complete),
+    ]
+}
+
+fn average_config(n: usize, overlay: OverlaySpec, cycles: u32) -> ExperimentConfig {
+    ExperimentConfig {
+        n,
+        overlay,
+        cycles,
+        values: ValueInit::Peak { total: n as f64 },
+        aggregate: AggregateSetup::Average,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Reproduces Figure 3(a): convergence factor (20 cycles) vs network size.
+pub fn fig3a(scale: Scale, seed: u64) -> FigureOutput {
+    let max_n = scale.n(1_000_000);
+    let ladder: Vec<usize> = [100usize, 1_000, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let suite_names: Vec<String> = topology_suite(1_000).into_iter().map(|(l, _)| l).collect();
+    let mut rows = Vec::new();
+    for &n in &ladder {
+        // The paper uses 50 runs; repetitions taper with size to keep the
+        // full-scale suite tractable (documented in EXPERIMENTS.md).
+        let paper_reps = match n {
+            0..=1_000 => 50,
+            1_001..=10_000 => 20,
+            10_001..=100_000 => 8,
+            _ => 3,
+        };
+        let reps = scale.reps(paper_reps);
+        let mut row = vec![n as f64];
+        for (_, overlay) in topology_suite(n) {
+            let config = average_config(n, overlay, 20);
+            let outcomes = run_many(&config, &seeds(seed, reps));
+            let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
+            row.push(epidemic_common::stats::mean(&factors));
+        }
+        rows.push(row);
+    }
+    let mut columns = vec!["size".to_string()];
+    columns.extend(suite_names);
+    FigureOutput {
+        id: "fig3a",
+        title: format!(
+            "convergence factor over 20 cycles vs network size (up to N={max_n}), \
+             AVERAGE on peak distribution"
+        ),
+        columns,
+        rows,
+    }
+}
+
+/// Reproduces Figure 3(b): normalized variance reduction over 50 cycles at
+/// N = 10⁵ for the topology suite. Values are geometric means over runs
+/// (the paper plots on a log axis).
+pub fn fig3b(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(10);
+    let cycles = 50u32;
+    let suite = topology_suite(n);
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for (_, overlay) in &suite {
+        let config = average_config(n, *overlay, cycles);
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let mut geo = Vec::with_capacity(cycles as usize + 1);
+        for cycle in 0..=cycles as usize {
+            let mean_log: f64 = outcomes
+                .iter()
+                .map(|o| {
+                    let ratio = o.variance[cycle] / o.variance[0];
+                    ratio.max(1e-300).ln()
+                })
+                .sum::<f64>()
+                / outcomes.len() as f64;
+            geo.push(mean_log.exp());
+        }
+        series.push(geo);
+    }
+    let rows = (0..=cycles as usize)
+        .map(|cycle| {
+            let mut row = vec![cycle as f64];
+            row.extend(series.iter().map(|s| s[cycle]));
+            row
+        })
+        .collect();
+    let mut columns = vec!["cycle".to_string()];
+    columns.extend(suite.into_iter().map(|(l, _)| l));
+    FigureOutput {
+        id: "fig3b",
+        title: format!(
+            "variance reduction (normalized to initial variance) over 50 cycles, N={n}, {reps} runs"
+        ),
+        columns,
+        rows,
+    }
+}
+
+/// Reproduces Figure 4(a): convergence factor vs Watts–Strogatz β.
+pub fn fig4a(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(10);
+    let k = 20.min(n - 1) & !1;
+    let betas: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    let mut rows = Vec::new();
+    for &beta in &betas {
+        let config = average_config(
+            n,
+            OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta }),
+            20,
+        );
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
+        rows.push(vec![
+            beta,
+            epidemic_common::stats::mean(&factors),
+            factors.iter().copied().fold(f64::INFINITY, f64::min),
+            factors.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ]);
+    }
+    FigureOutput {
+        id: "fig4a",
+        title: format!("convergence factor vs Watts-Strogatz beta, N={n}, k={k}, {reps} runs"),
+        columns: ["beta", "factor_mean", "factor_min", "factor_max"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Reproduces Figure 4(b): convergence factor vs NEWSCAST view size c.
+pub fn fig4b(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(10);
+    let cs: Vec<usize> = [2usize, 3, 4, 5, 6, 8, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+        .into_iter()
+        .filter(|&c| c < n / 2)
+        .collect();
+    let mut rows = Vec::new();
+    for &c in &cs {
+        let config = average_config(n, OverlaySpec::Newscast { c }, 20);
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
+        rows.push(vec![
+            c as f64,
+            epidemic_common::stats::mean(&factors),
+            factors.iter().copied().fold(f64::INFINITY, f64::min),
+            factors.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ]);
+    }
+    FigureOutput {
+        id: "fig4b",
+        title: format!("convergence factor vs NEWSCAST view size c, N={n}, {reps} runs"),
+        columns: ["c", "factor_mean", "factor_min", "factor_max"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}

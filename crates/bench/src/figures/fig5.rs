@@ -1,0 +1,83 @@
+//! Figure 5: crash-induced error vs Theorem 1.
+//!
+//! Before every cycle a proportion P_f of the remaining nodes crashes. The
+//! paper plots `Var(µ₂₀)/E(σ₀²)` — the variance (across runs) of the mean
+//! estimate after 20 cycles, normalized by the initial estimate variance —
+//! against the closed form of Eq. (2) with ρ = 1/(2√e), for both the fully
+//! connected topology and NEWSCAST.
+//!
+//! Theorem 1 assumes pairwise *uncorrelated* node values, so this
+//! experiment initializes nodes with i.i.d. uniform values. (The peak
+//! distribution concentrates all mass on one node; at high P_f that node
+//! dies early in essentially every run, which collapses the between-run
+//! variance far below the prediction — a violated assumption, not a
+//! protocol effect.)
+
+use super::seeds;
+use crate::{FigureOutput, Scale};
+use epidemic_aggregation::theory;
+use epidemic_common::stats;
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::failure::FailureModel;
+
+/// Reproduces Figure 5. Columns: P_f, measured ratio on the complete
+/// topology, measured ratio on NEWSCAST, and the Theorem 1 prediction.
+pub fn fig5(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(100);
+    let cycles = 20u32;
+    let pfs: Vec<f64> = (0..=10).map(|i| i as f64 * 0.03).collect();
+    let overlays = [
+        OverlaySpec::Complete,
+        OverlaySpec::Newscast { c: 30.min(n / 2) },
+    ];
+    let mut rows = Vec::new();
+    for &p_f in &pfs {
+        let mut row = vec![p_f];
+        for overlay in overlays {
+            let config = ExperimentConfig {
+                n,
+                overlay,
+                cycles,
+                values: ValueInit::Uniform { lo: 0.0, hi: 2.0 },
+                aggregate: AggregateSetup::Average,
+                failure: if p_f > 0.0 {
+                    FailureModel::ProportionalCrash { p_f }
+                } else {
+                    FailureModel::None
+                },
+                ..ExperimentConfig::default()
+            };
+            let outcomes = run_many(&config, &seeds(seed, reps));
+            // Theorem 1 predicts the variance of the crash-induced drift
+            // of the running mean; subtracting each run's own µ₀ removes
+            // the (i.i.d.-sampling) variance of the starting point.
+            let drifts: Vec<f64> = outcomes
+                .iter()
+                .map(|o| o.mean[cycles as usize] - o.mean[0])
+                .collect();
+            let sigma0: Vec<f64> = outcomes.iter().map(|o| o.variance[0]).collect();
+            let ratio = stats::variance(&drifts) / stats::mean(&sigma0);
+            row.push(ratio);
+        }
+        row.push(theory::crash_variance_ratio(
+            p_f,
+            n,
+            theory::RHO_PUSH_PULL,
+            cycles,
+        ));
+        rows.push(row);
+    }
+    FigureOutput {
+        id: "fig5",
+        title: format!(
+            "Var(mu_20)/E(sigma0^2) vs crash proportion P_f, N={n}, {reps} runs, \
+             vs Theorem 1 prediction (rho = 1/(2*sqrt(e)))"
+        ),
+        columns: ["pf", "complete", "newscast", "predicted"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}

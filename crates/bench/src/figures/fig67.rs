@@ -1,0 +1,206 @@
+//! Figures 6 and 7: COUNT under node and communication failures.
+//!
+//! All four experiments run the COUNT protocol (single-leader peak
+//! instance) over a NEWSCAST overlay with c = 30, as in Section 7:
+//!
+//! * Fig. 6(a): 50% of nodes crash suddenly at cycle x of a 30-cycle
+//!   epoch; reported size vs x.
+//! * Fig. 6(b): constant-size churn — k nodes substituted every cycle.
+//! * Fig. 7(a): convergence factor vs link failure probability P_d, with
+//!   the theoretical bound e^(P_d − 1).
+//! * Fig. 7(b): reported size (per-run min/max over nodes) vs message loss.
+
+use super::seeds;
+use crate::{FigureOutput, Scale};
+use epidemic_aggregation::theory;
+use epidemic_common::stats;
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::failure::{CommFailure, FailureModel};
+
+fn count_config(n: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        n,
+        overlay: OverlaySpec::Newscast { c: 30.min(n / 2) },
+        cycles: 30,
+        values: ValueInit::Constant(0.0), // ignored by CountPeak
+        aggregate: AggregateSetup::CountPeak,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Summary of per-run mean size estimates: finite mean/min/max plus the
+/// number of runs whose estimate diverged to infinity (possible when every
+/// holder of instance mass crashed).
+fn estimate_stats(values: &[f64]) -> (f64, f64, f64, usize) {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let infinite = values.len() - finite.len();
+    if finite.is_empty() {
+        return (f64::INFINITY, f64::INFINITY, f64::INFINITY, infinite);
+    }
+    (
+        stats::mean(&finite),
+        finite.iter().copied().fold(f64::INFINITY, f64::min),
+        finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        infinite,
+    )
+}
+
+/// Reproduces Figure 6(a): sudden death of 50% of the network at cycle x.
+pub fn fig6a(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(50);
+    let mut rows = Vec::new();
+    for crash_cycle in 0..=20u32 {
+        let config = ExperimentConfig {
+            failure: FailureModel::SuddenDeath {
+                fraction: 0.5,
+                at_cycle: crash_cycle,
+            },
+            ..count_config(n)
+        };
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let estimates: Vec<f64> = outcomes.iter().map(|o| o.mean_final_estimate()).collect();
+        let (mean, min, max, infinite) = estimate_stats(&estimates);
+        rows.push(vec![crash_cycle as f64, mean, min, max, infinite as f64]);
+    }
+    FigureOutput {
+        id: "fig6a",
+        title: format!(
+            "COUNT size estimate when 50% of nodes crash at cycle x; N={n}, NEWSCAST c=30, \
+             30-cycle epoch, {reps} runs (true value at epoch start: {n})"
+        ),
+        columns: ["crash_cycle", "mean", "min", "max", "infinite_runs"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Reproduces Figure 6(b): continuous churn at constant network size.
+pub fn fig6b(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(50);
+    // The paper sweeps 0..2500 substitutions per cycle at N = 1e5, i.e.
+    // 0..2.5% of the network per cycle.
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 * 0.0025).collect();
+    let mut rows = Vec::new();
+    for &frac in &fractions {
+        let per_cycle = (frac * n as f64).round() as usize;
+        let config = ExperimentConfig {
+            failure: if per_cycle > 0 {
+                FailureModel::Churn { per_cycle }
+            } else {
+                FailureModel::None
+            },
+            ..count_config(n)
+        };
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let estimates: Vec<f64> = outcomes.iter().map(|o| o.mean_final_estimate()).collect();
+        let (mean, min, max, infinite) = estimate_stats(&estimates);
+        rows.push(vec![per_cycle as f64, mean, min, max, infinite as f64]);
+    }
+    FigureOutput {
+        id: "fig6b",
+        title: format!(
+            "COUNT size estimate under churn (k nodes substituted per cycle); N={n}, \
+             NEWSCAST c=30, 30-cycle epoch, {reps} runs"
+        ),
+        columns: ["subs_per_cycle", "mean", "min", "max", "infinite_runs"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Reproduces Figure 7(a): convergence factor vs link failure probability,
+/// against the bound ρ_d = e^(P_d − 1) of Eq. (5).
+pub fn fig7a(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(20);
+    let pds: Vec<f64> = (0..=9)
+        .map(|i| i as f64 * 0.1)
+        .chain(std::iter::once(0.95))
+        .collect();
+    let mut rows = Vec::new();
+    for &p_d in &pds {
+        let config = ExperimentConfig {
+            comm: CommFailure::links(p_d),
+            cycles: 20,
+            ..count_config(n)
+        };
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
+        rows.push(vec![
+            p_d,
+            stats::mean(&factors),
+            factors.iter().copied().fold(f64::INFINITY, f64::min),
+            factors.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            theory::link_failure_rho_bound(p_d),
+        ]);
+    }
+    FigureOutput {
+        id: "fig7a",
+        title: format!(
+            "COUNT convergence factor vs link failure P_d; N={n}, NEWSCAST c=30, {reps} runs; \
+             bound = e^(P_d - 1)"
+        ),
+        columns: ["pd", "factor_mean", "factor_min", "factor_max", "bound"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Reproduces Figure 7(b): reported network size vs message loss. Per run,
+/// the minimum and maximum node estimates are recorded; the table reports
+/// their across-run averages and extremes.
+pub fn fig7b(scale: Scale, seed: u64) -> FigureOutput {
+    let n = scale.n(100_000);
+    let reps = scale.reps(50);
+    let losses: Vec<f64> = (0..=10).map(|i| i as f64 * 0.05).collect();
+    let mut rows = Vec::new();
+    for &loss in &losses {
+        let config = ExperimentConfig {
+            comm: CommFailure::messages(loss),
+            ..count_config(n)
+        };
+        let outcomes = run_many(&config, &seeds(seed, reps));
+        let mut run_mins = Vec::with_capacity(reps);
+        let mut run_maxs = Vec::with_capacity(reps);
+        for o in &outcomes {
+            let finite: Vec<f64> = o
+                .final_estimates
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
+            if finite.is_empty() {
+                continue;
+            }
+            run_mins.push(finite.iter().copied().fold(f64::INFINITY, f64::min));
+            run_maxs.push(finite.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+        rows.push(vec![
+            loss,
+            stats::mean(&run_mins),
+            stats::mean(&run_maxs),
+            run_mins.iter().copied().fold(f64::INFINITY, f64::min),
+            run_maxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ]);
+    }
+    FigureOutput {
+        id: "fig7b",
+        title: format!(
+            "COUNT size estimates vs message loss; N={n}, NEWSCAST c=30, 30-cycle epoch, \
+             {reps} runs; per-run min/max over nodes"
+        ),
+        columns: ["loss", "avg_min", "avg_max", "global_min", "global_max"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}

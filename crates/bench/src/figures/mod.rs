@@ -1,0 +1,88 @@
+//! One function per reproduced figure.
+//!
+//! Conventions shared by all figures:
+//!
+//! * Experiments are deterministic: figure `f` at seed `s` always produces
+//!   the same table. Repetition `i` uses seed `base + i`.
+//! * Network sizes and repetition counts follow the paper at
+//!   [`crate::Scale::FULL`] and shrink proportionally below.
+//! * Output is a [`FigureOutput`][crate::FigureOutput] table whose columns
+//!   mirror the axes/series of the original plot.
+
+mod ablation;
+mod costs;
+mod fig2;
+mod fig34;
+mod fig5;
+mod fig67;
+mod fig8;
+
+pub use ablation::{ablation_pushpull, ablation_sync};
+pub use costs::costs;
+pub use fig2::fig2;
+pub use fig34::{fig3a, fig3b, fig4a, fig4b};
+pub use fig5::fig5;
+pub use fig67::{fig6a, fig6b, fig7a, fig7b};
+pub use fig8::{fig8a, fig8b};
+
+use crate::{FigureOutput, Scale};
+
+pub(crate) fn seeds(base: u64, reps: usize) -> Vec<u64> {
+    (0..reps as u64).map(|i| base.wrapping_add(i)).collect()
+}
+
+/// All figure ids in presentation order.
+pub const ALL: &[&str] = &[
+    "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+    "fig8a", "fig8b", "costs", "ablation-pushpull", "ablation-sync",
+];
+
+/// Runs a figure by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates ids first).
+pub fn run(id: &str, scale: Scale, seed: u64) -> FigureOutput {
+    match id {
+        "fig2" => fig2(scale, seed),
+        "fig3a" => fig3a(scale, seed),
+        "fig3b" => fig3b(scale, seed),
+        "fig4a" => fig4a(scale, seed),
+        "fig4b" => fig4b(scale, seed),
+        "fig5" => fig5(scale, seed),
+        "fig6a" => fig6a(scale, seed),
+        "fig6b" => fig6b(scale, seed),
+        "fig7a" => fig7a(scale, seed),
+        "fig7b" => fig7b(scale, seed),
+        "fig8a" => fig8a(scale, seed),
+        "fig8b" => fig8b(scale, seed),
+        "costs" => costs(scale, seed),
+        "ablation-pushpull" => ablation_pushpull(scale, seed),
+        "ablation-sync" => ablation_sync(scale, seed),
+        other => panic!("unknown figure id {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_dispatch() {
+        // Smoke-run every figure at minimal scale; asserts shape only.
+        let scale = Scale::new(0.002);
+        for id in ALL {
+            let fig = run(id, scale, 7);
+            assert!(!fig.rows.is_empty(), "{id} produced no rows");
+            for row in &fig.rows {
+                assert_eq!(row.len(), fig.columns.len(), "{id} ragged row");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure id")]
+    fn unknown_id_panics() {
+        run("figX", Scale::FULL, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Reproduction harness for the DSN 2004 evaluation.
+//!
+//! Every figure of the paper's evaluation maps to one function in
+//! [`figures`], returning a [`FigureOutput`] table that the `repro` binary
+//! prints and writes as CSV. The [`Scale`] knob shrinks network sizes and
+//! repetition counts proportionally so the whole suite can run quickly;
+//! `Scale::FULL` reproduces the paper's parameters (N = 10⁵, 50 runs).
+//!
+//! | id | paper figure | function |
+//! |----|--------------|----------|
+//! | `fig2` | Fig. 2 | [`figures::fig2`] |
+//! | `fig3a` | Fig. 3(a) | [`figures::fig3a`] |
+//! | `fig3b` | Fig. 3(b) | [`figures::fig3b`] |
+//! | `fig4a` | Fig. 4(a) | [`figures::fig4a`] |
+//! | `fig4b` | Fig. 4(b) | [`figures::fig4b`] |
+//! | `fig5` | Fig. 5 | [`figures::fig5`] |
+//! | `fig6a` | Fig. 6(a) | [`figures::fig6a`] |
+//! | `fig6b` | Fig. 6(b) | [`figures::fig6b`] |
+//! | `fig7a` | Fig. 7(a) | [`figures::fig7a`] |
+//! | `fig7b` | Fig. 7(b) | [`figures::fig7b`] |
+//! | `fig8a` | Fig. 8(a) | [`figures::fig8a`] |
+//! | `fig8b` | Fig. 8(b) | [`figures::fig8b`] |
+//! | `costs` | Sec. 4.5 | [`figures::costs`] |
+//! | `ablation-pushpull` | — | [`figures::ablation_pushpull`] |
+//! | `ablation-sync` | — | [`figures::ablation_sync`] |
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Scales experiment sizes relative to the paper's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(f64);
+
+impl Scale {
+    /// The paper's full parameters (N = 10⁵ etc.).
+    pub const FULL: Scale = Scale(1.0);
+
+    /// Creates a scale factor in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn new(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale must be in (0, 1]");
+        Scale(factor)
+    }
+
+    /// Raw factor.
+    pub fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// Scaled network size (at least 100 nodes).
+    pub fn n(self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.0) as usize).max(100)
+    }
+
+    /// Scaled repetition count (at least 3; shrinks with √scale so small
+    /// scales keep statistical meaning).
+    pub fn reps(self, paper_reps: usize) -> usize {
+        ((paper_reps as f64 * self.0.sqrt()).round() as usize).max(3)
+    }
+}
+
+/// One reproduced table/figure: a column header plus numeric rows.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Stable identifier (`fig2`, `fig7a`, ...).
+    pub id: &'static str,
+    /// Human-readable description, including the parameters actually used.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows, one value per column.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FigureOutput {
+    /// Renders the table with aligned columns.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(12)).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| format_value(*v)).collect())
+            .collect();
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for (i, col) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", col, width = widths[i]);
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut body = String::new();
+        let _ = writeln!(body, "# {}", self.title);
+        let _ = writeln!(body, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v:e}")).collect();
+            let _ = writeln!(body, "{}", line.join(","));
+        }
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf".to_string() } else { "-inf".to_string() }
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.4e}")
+    } else if (v - v.round()).abs() < 1e-9 && v.abs() < 1e9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_bounds() {
+        assert_eq!(Scale::FULL.n(100_000), 100_000);
+        assert_eq!(Scale::new(0.001).n(100_000), 100);
+        assert_eq!(Scale::FULL.reps(50), 50);
+        assert!(Scale::new(0.01).reps(50) >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn scale_rejects_zero() {
+        Scale::new(0.0);
+    }
+
+    #[test]
+    fn figure_output_renders() {
+        let fig = FigureOutput {
+            id: "demo",
+            title: "demo figure".to_string(),
+            columns: vec!["x".to_string(), "y".to_string()],
+            rows: vec![vec![1.0, 0.5], vec![2.0, 1e-9]],
+        };
+        let table = fig.to_table();
+        assert!(table.contains("demo figure"));
+        assert!(table.contains("1.0000e-9"));
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let fig = FigureOutput {
+            id: "csvtest",
+            title: "t".to_string(),
+            columns: vec!["a".to_string()],
+            rows: vec![vec![3.5]],
+        };
+        let dir = std::env::temp_dir().join("epidemic-bench-test");
+        let path = fig.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("3.5e0"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(f64::NAN), "nan");
+        assert_eq!(format_value(f64::INFINITY), "inf");
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.25), "0.2500");
+        assert_eq!(format_value(1.5e-7), "1.5000e-7");
+    }
+}

@@ -1,0 +1,127 @@
+//! Node identifiers.
+//!
+//! Overlay participants are identified by an opaque 64-bit [`NodeId`]. In
+//! simulations, identifiers are typically dense indices (`0..n`); on a real
+//! network they can be derived from an address or assigned by a bootstrap
+//! service. The newtype keeps the two uses from being confused with plain
+//! integers ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a node in the overlay network.
+///
+/// `NodeId` is `Copy`, totally ordered and hashable, so it can be used as a
+/// map key (for example in COUNT instance maps, which are keyed by the
+/// leader's identifier).
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_common::NodeId;
+///
+/// let a = NodeId::new(3);
+/// let b = NodeId::new(7);
+/// assert!(a < b);
+/// assert_eq!(a.as_u64(), 3);
+/// assert_eq!(format!("{a}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node identifier from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw 64-bit value of this identifier.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` index.
+    ///
+    /// Simulations use dense identifiers (`0..n`) so node state can live in
+    /// flat arrays indexed by `NodeId`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not fit in `usize` (only possible on
+    /// 32-bit targets with identifiers above `u32::MAX`).
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("node id exceeds usize")
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(raw: usize) -> Self {
+        NodeId(raw as u64)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        let id = NodeId::new(17);
+        assert_eq!(id.as_u64(), 17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(u64::from(id), 17);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id: NodeId = 5u64.into();
+        assert_eq!(id, NodeId::new(5));
+        let id: NodeId = 9usize.into();
+        assert_eq!(id.index(), 9);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+        assert_eq!(NodeId::new(123).to_string(), "n123");
+    }
+
+    #[test]
+    fn ordering_matches_raw_values() {
+        let mut set = BTreeSet::new();
+        set.insert(NodeId::new(2));
+        set.insert(NodeId::new(0));
+        set.insert(NodeId::new(1));
+        let ordered: Vec<u64> = set.into_iter().map(NodeId::as_u64).collect();
+        assert_eq!(ordered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(NodeId::new(1), "one");
+        assert_eq!(m[&NodeId::new(1)], "one");
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared kernel for the epidemic aggregation workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`NodeId`] — opaque node identifiers for overlay participants.
+//! * [`rng`] — deterministic, splittable random number generation
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256`]) so that every simulation in
+//!   the workspace is bit-for-bit reproducible from a single `u64` seed.
+//! * [`stats`] — streaming and batch statistics (mean, variance, extrema,
+//!   quantiles) used to measure convergence of the aggregation protocols.
+//!
+//! # Examples
+//!
+//! ```
+//! use epidemic_common::rng::Xoshiro256;
+//! use epidemic_common::stats::OnlineStats;
+//!
+//! let mut rng = Xoshiro256::seed_from_u64(42);
+//! let mut stats = OnlineStats::new();
+//! for _ in 0..1000 {
+//!     stats.push(rng.next_f64());
+//! }
+//! assert!((stats.mean() - 0.5).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod id;
+pub mod rng;
+pub mod stats;
+
+pub use id::NodeId;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,445 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Every experiment in this workspace must be reproducible from a single
+//! `u64` seed, across crate versions and platforms. We therefore implement
+//! the generators ourselves instead of relying on the algorithmic details of
+//! an external crate:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer; used for seeding
+//!   and for deriving independent per-node streams.
+//! * [`Xoshiro256`] — Blackman & Vigna's `xoshiro256**`, a fast all-purpose
+//!   generator with 256 bits of state and a jump function for creating
+//!   non-overlapping parallel streams.
+//!
+//! [`Xoshiro256`] also implements [`rand::Rng`] (via the infallible
+//! [`rand_core::TryRng`][rand::rand_core::TryRng]) and [`rand::SeedableRng`]
+//! so it can be plugged into the wider `rand` ecosystem when convenient.
+//!
+//! # Examples
+//!
+//! ```
+//! use epidemic_common::rng::Xoshiro256;
+//!
+//! let mut a = Xoshiro256::seed_from_u64(7);
+//! let mut b = Xoshiro256::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+//!
+//! // Independent per-node streams from one master seed:
+//! let mut node_rngs: Vec<Xoshiro256> = (0..4).map(|i| Xoshiro256::stream(7, i)).collect();
+//! let x = node_rngs[0].next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+use rand::rand_core::TryRng;
+use rand::SeedableRng;
+use std::convert::Infallible;
+
+/// SplitMix64 generator.
+///
+/// Primarily used to expand a single `u64` seed into larger seed material
+/// and to derive independent sub-streams. Passes statistical tests on its
+/// own, but [`Xoshiro256`] is preferred for bulk generation.
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_common::rng::SplitMix64;
+///
+/// let mut sm = SplitMix64::new(1);
+/// let first = sm.next_u64();
+/// assert_ne!(first, sm.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Mixes a value through the SplitMix64 finalizer without advancing any
+    /// state. Useful as a cheap, high-quality integer hash.
+    pub fn mix(value: u64) -> u64 {
+        let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `xoshiro256**` generator: the workhorse RNG for all simulations.
+///
+/// Implements this workspace's convenience sampling API (ranges, floats,
+/// shuffles, distinct sampling) directly so that results do not depend on
+/// the sampling algorithms of any external crate version, and additionally
+/// implements `rand`'s `TryRng` (hence `Rng`) and [`rand::SeedableRng`]
+/// for interop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator from a single `u64` seed via SplitMix64 expansion,
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is a fixed point; the SplitMix expansion of any
+        // seed is astronomically unlikely to produce it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Derives the `index`-th independent stream of a master seed.
+    ///
+    /// Streams for distinct `(seed, index)` pairs are statistically
+    /// independent for all practical purposes: the seed material is produced
+    /// by mixing the index into the master seed before expansion.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        Self::seed_from_u64(seed ^ SplitMix64::mix(index.wrapping_add(0x5bf0_3635)))
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// `p <= 0` never yields `true`; `p >= 1` always does.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire's unbiased
+    /// multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Returns a uniform integer in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64 requires lo < hi");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Returns a reference to a uniformly chosen element, or `None` if the
+    /// slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// Samples `k` *distinct* indices from `[0, n)` using Floyd's algorithm.
+    ///
+    /// The result is in no particular order. Runs in `O(k)` expected time
+    /// and memory, independent of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.index(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+
+    /// Splits off a new generator whose stream is independent of `self`'s
+    /// future output.
+    pub fn split(&mut self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.next_u64())
+    }
+}
+
+impl TryRng for Xoshiro256 {
+    type Error = Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+        Ok((Xoshiro256::next_u64(self) >> 32) as u32)
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+        Ok(Xoshiro256::next_u64(self))
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&Xoshiro256::next_u64(self).to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = Xoshiro256::next_u64(self).to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *slot = u64::from_le_bytes(bytes);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let out: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(out[0], 6457827717110365317);
+        assert_eq!(out[1], 3203168211198807973);
+        assert_eq!(out[2], 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let mut b = Xoshiro256::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut s0 = Xoshiro256::stream(42, 0);
+        let mut s1 = Xoshiro256::stream(42, 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_near_half() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn next_below_is_unbiased_enough() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut counts = [0usize; 7];
+        let trials = 70_000;
+        for _ in 0..trials {
+            counts[rng.next_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = trials / 7;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below bound must be positive")]
+    fn next_below_zero_panics() {
+        Xoshiro256::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn range_u64_within_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>()); // overwhelmingly likely
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*rng.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        for _ in 0..50 {
+            let sample = rng.sample_distinct(100, 30);
+            assert_eq!(sample.len(), 30);
+            let set: std::collections::HashSet<_> = sample.iter().collect();
+            assert_eq!(set.len(), 30, "sample contains duplicates");
+            assert!(sample.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let mut sample = rng.sample_distinct(10, 10);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn split_diverges_from_parent() {
+        let mut parent = Xoshiro256::seed_from_u64(14);
+        let mut child = parent.split();
+        assert_ne!(parent.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    fn rng_trait_fill_bytes_deterministic() {
+        use rand::Rng;
+        let mut a = Xoshiro256::seed_from_u64(15);
+        let mut b = Xoshiro256::seed_from_u64(15);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn seedable_from_seed_round_trip() {
+        let seed = [7u8; 32];
+        let mut a = <Xoshiro256 as SeedableRng>::from_seed(seed);
+        let mut b = <Xoshiro256 as SeedableRng>::from_seed(seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,376 @@
+//! Streaming and batch statistics.
+//!
+//! The evaluation of the aggregation protocols is phrased entirely in terms
+//! of the empirical mean and variance of node estimates (paper Eq. (1)) and
+//! their evolution over cycles. This module provides:
+//!
+//! * [`OnlineStats`] — single-pass Welford accumulator for mean/variance
+//!   with extrema tracking.
+//! * [`Summary`] — an immutable snapshot of an accumulator.
+//! * Batch helpers: [`mean`], [`variance`], [`quantile`], [`geometric_mean`].
+//!
+//! # Examples
+//!
+//! ```
+//! use epidemic_common::stats::OnlineStats;
+//!
+//! let stats: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+//! assert_eq!(stats.mean(), 5.0);
+//! assert!((stats.population_variance() - 4.0).abs() < 1e-12);
+//! ```
+
+/// Single-pass accumulator for count, mean, variance, and extrema.
+///
+/// Uses Welford's algorithm, which is numerically stable even when the
+/// variance is many orders of magnitude smaller than the mean — exactly the
+/// regime gossip averaging converges into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` if empty.
+    pub const fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divides by `n - 1`, the paper's Eq. (1));
+    /// `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` if empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` if empty.
+    pub const fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` if empty.
+    pub const fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns an immutable snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            variance: self.variance(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = OnlineStats::new();
+        for x in iter {
+            stats.push(x);
+        }
+        stats
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Immutable snapshot of an [`OnlineStats`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Arithmetic mean of a slice; `0.0` if empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample variance of a slice (paper Eq. (1)); `0.0` with fewer
+/// than two values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Geometric mean of strictly positive values, computed in log space to
+/// avoid overflow; `0.0` if the slice is empty.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`) of an unsorted slice.
+///
+/// Returns `None` if the slice is empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .copied()
+            .collect();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn matches_batch_variance() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let s: OnlineStats = data.iter().copied().collect();
+        assert!((s.mean() - mean(&data)).abs() < 1e-10);
+        assert!((s.variance() - variance(&data)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64 * 0.7 - 3.0).collect();
+        let (a, b) = data.split_at(20);
+        let mut sa: OnlineStats = a.iter().copied().collect();
+        let sb: OnlineStats = b.iter().copied().collect();
+        sa.merge(&sb);
+        let whole: OnlineStats = data.iter().copied().collect();
+        assert_eq!(sa.count(), whole.count());
+        assert!((sa.mean() - whole.mean()).abs() < 1e-10);
+        assert!((sa.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(sa.min(), whole.min());
+        assert_eq!(sa.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = s.summary();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.summary(), before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&s);
+        assert_eq!(empty.summary(), before);
+    }
+
+    #[test]
+    fn welford_is_stable_for_tiny_variance() {
+        // Mean ~1e9, variance ~1: naive sum-of-squares loses all precision.
+        let base = 1e9;
+        let s: OnlineStats = (0..1000)
+            .map(|i| base + (i % 3) as f64 - 1.0)
+            .collect();
+        assert!((s.variance() - 0.667).abs() < 0.01);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = OnlineStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        s.extend([4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+    }
+
+    #[test]
+    fn batch_mean_variance_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[2.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_no_overflow() {
+        let big = vec![1e300; 10];
+        let gm = geometric_mean(&big);
+        assert!((gm - 1e300).abs() / 1e300 < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn quantile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(quantile(&v, 0.5), Some(5.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the statistics kernel and RNG sampling.
+
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::stats::{self, OnlineStats};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn welford_matches_two_pass(values in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let online: OnlineStats = values.iter().copied().collect();
+        let batch_mean = stats::mean(&values);
+        let batch_var = stats::variance(&values);
+        prop_assert!((online.mean() - batch_mean).abs() < 1e-6 * (1.0 + batch_mean.abs()));
+        prop_assert!((online.variance() - batch_var).abs() < 1e-6 * (1.0 + batch_var));
+    }
+
+    #[test]
+    fn merge_is_associative_enough(
+        a in prop::collection::vec(-1e3f64..1e3, 1..40),
+        b in prop::collection::vec(-1e3f64..1e3, 1..40),
+        c in prop::collection::vec(-1e3f64..1e3, 1..40),
+    ) {
+        // (a + b) + c == a + (b + c) up to floating point noise.
+        let s = |v: &[f64]| -> OnlineStats { v.iter().copied().collect() };
+        let mut left = s(&a);
+        left.merge(&s(&b));
+        left.merge(&s(&c));
+        let mut bc = s(&b);
+        bc.merge(&s(&c));
+        let mut right = s(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(-1e6f64..1e6, 1..60),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = stats::quantile(&values, lo).unwrap();
+        let v_hi = stats::quantile(&values, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v_lo >= min - 1e-9 && v_hi <= max + 1e-9);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range(
+        n in 1usize..500,
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let sample = rng.sample_distinct(n, k);
+        prop_assert_eq!(sample.len(), k);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(sample.iter().all(|&x| x < n));
+    }
+
+    #[test]
+    fn next_below_is_in_range(bound in 1u64..u64::MAX, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(mut values in prop::collection::vec(0u32..100, 0..80), seed in 0u64..10_000) {
+        let mut sorted_before = values.clone();
+        sorted_before.sort_unstable();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        rng.shuffle(&mut values);
+        values.sort_unstable();
+        prop_assert_eq!(values, sorted_before);
+    }
+
+    #[test]
+    fn geometric_mean_between_min_and_max(values in prop::collection::vec(1e-3f64..1e3, 1..40)) {
+        let gm = stats::geometric_mean(&values);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(gm >= min - 1e-9 && gm <= max + 1e-9);
+        // AM-GM inequality.
+        prop_assert!(gm <= stats::mean(&values) + 1e-9);
+    }
+}

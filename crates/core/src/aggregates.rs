@@ -1,0 +1,335 @@
+//! High-level aggregate catalogue (paper Section 5).
+//!
+//! The paper composes every aggregate out of a handful of concurrent
+//! averaging instances. [`AggregateKind`] packages those recipes: it knows
+//! which [`InstanceSpec`]s an aggregate needs and how to read the result
+//! back out of an [`EpochReport`], so applications do not have to wire the
+//! composition by hand.
+//!
+//! | aggregate | instances gossiped | extraction |
+//! |-----------|-------------------|------------|
+//! | `Average` | avg(x) | the scalar itself |
+//! | `Minimum`/`Maximum` | min(x) / max(x) | the scalar itself |
+//! | `Count` | instance map | trimmed mean of per-leader `1/e` |
+//! | `Sum` | avg(x) + map | `avg × count` |
+//! | `Variance` | avg(x) + avg(x²) | `E[x²] − E[x]²` |
+//! | `GeometricMean` | geo(x) | the scalar itself |
+//! | `Product` | geo(x) + map | `geo ^ count` (log space) |
+//!
+//! # Examples
+//!
+//! ```
+//! use epidemic_aggregation::aggregates::AggregateKind;
+//! use epidemic_aggregation::NodeConfig;
+//!
+//! let kind = AggregateKind::Variance;
+//! let mut builder = NodeConfig::builder();
+//! builder.gamma(30).cycle_length(1_000).timeout(200);
+//! for spec in kind.instances(20.0) {
+//!     builder.instance(spec);
+//! }
+//! let config = builder.build()?;
+//! assert_eq!(config.instances().len(), 2);
+//! # Ok::<(), epidemic_aggregation::ConfigError>(())
+//! ```
+
+use crate::estimator;
+use crate::instance::InstanceSpec;
+use crate::report::EpochReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The aggregation functions of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Arithmetic mean of the local values.
+    Average,
+    /// Global minimum.
+    Minimum,
+    /// Global maximum.
+    Maximum,
+    /// Network size.
+    Count,
+    /// Sum of the local values (= average × count).
+    Sum,
+    /// Population variance of the local values.
+    Variance,
+    /// Geometric mean of the (positive) local values.
+    GeometricMean,
+    /// Product of the (positive) local values (= geomean ^ count).
+    Product,
+}
+
+impl AggregateKind {
+    /// All aggregate kinds, in catalogue order.
+    pub const ALL: [AggregateKind; 8] = [
+        AggregateKind::Average,
+        AggregateKind::Minimum,
+        AggregateKind::Maximum,
+        AggregateKind::Count,
+        AggregateKind::Sum,
+        AggregateKind::Variance,
+        AggregateKind::GeometricMean,
+        AggregateKind::Product,
+    ];
+
+    /// The gossip instances this aggregate needs, in the order
+    /// [`AggregateKind::extract`] expects them in the epoch report.
+    /// `count_concurrency` is the `C` of `P_lead = C/N̂` for aggregates
+    /// that need a COUNT instance.
+    pub fn instances(self, count_concurrency: f64) -> Vec<InstanceSpec> {
+        match self {
+            AggregateKind::Average => vec![InstanceSpec::AVERAGE],
+            AggregateKind::Minimum => vec![InstanceSpec::MIN],
+            AggregateKind::Maximum => vec![InstanceSpec::MAX],
+            AggregateKind::Count => vec![InstanceSpec::count(count_concurrency)],
+            AggregateKind::Sum => vec![
+                InstanceSpec::AVERAGE,
+                InstanceSpec::count(count_concurrency),
+            ],
+            AggregateKind::Variance => {
+                vec![InstanceSpec::AVERAGE, InstanceSpec::MEAN_OF_SQUARES]
+            }
+            AggregateKind::GeometricMean => vec![InstanceSpec::GEOMETRIC_MEAN],
+            AggregateKind::Product => vec![
+                InstanceSpec::GEOMETRIC_MEAN,
+                InstanceSpec::count(count_concurrency),
+            ],
+        }
+    }
+
+    /// Extracts the aggregate's value from an epoch report whose instances
+    /// were configured by [`AggregateKind::instances`] (at the given
+    /// offset, so several aggregates can share one report).
+    ///
+    /// Returns `None` if the report lacks the needed instances or no COUNT
+    /// mass reached this node.
+    pub fn extract(self, report: &EpochReport, offset: usize) -> Option<f64> {
+        match self {
+            AggregateKind::Average
+            | AggregateKind::Minimum
+            | AggregateKind::Maximum
+            | AggregateKind::GeometricMean => report.scalar(offset),
+            AggregateKind::Count => report
+                .map(offset)
+                .and_then(estimator::count_estimate),
+            AggregateKind::Sum => {
+                let avg = report.scalar(offset)?;
+                let count = report.map(offset + 1).and_then(estimator::count_estimate)?;
+                Some(estimator::sum_estimate(avg, count))
+            }
+            AggregateKind::Variance => {
+                let avg = report.scalar(offset)?;
+                let avg_sq = report.scalar(offset + 1)?;
+                Some(estimator::variance_estimate(avg, avg_sq))
+            }
+            AggregateKind::Product => {
+                let geo = report.scalar(offset)?;
+                let count = report.map(offset + 1).and_then(estimator::count_estimate)?;
+                if geo < 0.0 {
+                    return None;
+                }
+                Some(estimator::product_estimate(geo, count))
+            }
+        }
+    }
+
+    /// Number of instances this aggregate occupies in a report.
+    pub fn instance_count(self) -> usize {
+        match self {
+            AggregateKind::Average
+            | AggregateKind::Minimum
+            | AggregateKind::Maximum
+            | AggregateKind::Count
+            | AggregateKind::GeometricMean => 1,
+            AggregateKind::Sum | AggregateKind::Variance | AggregateKind::Product => 2,
+        }
+    }
+
+    /// Ground-truth computation over a value set, for verification.
+    ///
+    /// Returns `None` where the aggregate is undefined (empty input, or
+    /// non-positive values for the geometric family).
+    pub fn compute_exact(self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        match self {
+            AggregateKind::Average => Some(values.iter().sum::<f64>() / n),
+            AggregateKind::Minimum => Some(values.iter().copied().fold(f64::INFINITY, f64::min)),
+            AggregateKind::Maximum => {
+                Some(values.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            }
+            AggregateKind::Count => Some(n),
+            AggregateKind::Sum => Some(values.iter().sum()),
+            AggregateKind::Variance => {
+                let mean = values.iter().sum::<f64>() / n;
+                Some(values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n)
+            }
+            AggregateKind::GeometricMean => {
+                if values.iter().any(|&v| v <= 0.0) {
+                    return None;
+                }
+                Some((values.iter().map(|v| v.ln()).sum::<f64>() / n).exp())
+            }
+            AggregateKind::Product => {
+                if values.iter().any(|&v| v <= 0.0) {
+                    return None;
+                }
+                Some(values.iter().map(|v| v.ln()).sum::<f64>().exp())
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AggregateKind::Average => "average",
+            AggregateKind::Minimum => "minimum",
+            AggregateKind::Maximum => "maximum",
+            AggregateKind::Count => "count",
+            AggregateKind::Sum => "sum",
+            AggregateKind::Variance => "variance",
+            AggregateKind::GeometricMean => "geometric-mean",
+            AggregateKind::Product => "product",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceState;
+    use crate::value::InstanceMap;
+
+    fn report_with(states: Vec<InstanceState>) -> EpochReport {
+        EpochReport {
+            epoch: 1,
+            cycles_run: 30,
+            states,
+        }
+    }
+
+    #[test]
+    fn instance_recipes_have_documented_arity() {
+        for kind in AggregateKind::ALL {
+            assert_eq!(
+                kind.instances(10.0).len(),
+                kind.instance_count(),
+                "{kind} arity mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let report = report_with(vec![InstanceState::Scalar(4.5)]);
+        assert_eq!(AggregateKind::Average.extract(&report, 0), Some(4.5));
+        assert_eq!(AggregateKind::Minimum.extract(&report, 0), Some(4.5));
+        assert_eq!(AggregateKind::Average.extract(&report, 3), None);
+    }
+
+    #[test]
+    fn count_extraction() {
+        let report = report_with(vec![InstanceState::Map(InstanceMap::from_entries([
+            (1, 0.01),
+            (2, 0.0125),
+        ]))]);
+        let count = AggregateKind::Count.extract(&report, 0).unwrap();
+        assert!((count - 90.0).abs() < 1e-9); // mean of 100 and 80
+    }
+
+    #[test]
+    fn sum_extraction_composes() {
+        let report = report_with(vec![
+            InstanceState::Scalar(2.5),
+            InstanceState::Map(InstanceMap::from_entries([(1, 0.01)])),
+        ]);
+        assert_eq!(AggregateKind::Sum.extract(&report, 0), Some(250.0));
+    }
+
+    #[test]
+    fn variance_extraction_composes() {
+        let report = report_with(vec![
+            InstanceState::Scalar(3.0),
+            InstanceState::Scalar(13.0),
+        ]);
+        let v = AggregateKind::Variance.extract(&report, 0).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_extraction_composes() {
+        let report = report_with(vec![
+            InstanceState::Scalar(2.0),
+            InstanceState::Map(InstanceMap::from_entries([(1, 0.1)])),
+        ]);
+        let p = AggregateKind::Product.extract(&report, 0).unwrap();
+        assert!((p - 1024.0).abs() < 1e-6); // 2^10
+    }
+
+    #[test]
+    fn extraction_with_offset() {
+        // Average and Variance sharing one report.
+        let report = report_with(vec![
+            InstanceState::Scalar(1.0), // average's instance
+            InstanceState::Scalar(3.0), // variance's avg
+            InstanceState::Scalar(13.0), // variance's avg_sq
+        ]);
+        assert_eq!(AggregateKind::Average.extract(&report, 0), Some(1.0));
+        assert_eq!(AggregateKind::Variance.extract(&report, 1), Some(4.0));
+    }
+
+    #[test]
+    fn missing_count_mass_yields_none() {
+        let report = report_with(vec![
+            InstanceState::Scalar(2.5),
+            InstanceState::Map(InstanceMap::new()),
+        ]);
+        assert_eq!(AggregateKind::Sum.extract(&report, 0), None);
+    }
+
+    #[test]
+    fn compute_exact_ground_truths() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggregateKind::Average.compute_exact(&values), Some(2.5));
+        assert_eq!(AggregateKind::Minimum.compute_exact(&values), Some(1.0));
+        assert_eq!(AggregateKind::Maximum.compute_exact(&values), Some(4.0));
+        assert_eq!(AggregateKind::Count.compute_exact(&values), Some(4.0));
+        assert_eq!(AggregateKind::Sum.compute_exact(&values), Some(10.0));
+        let var = AggregateKind::Variance.compute_exact(&values).unwrap();
+        assert!((var - 1.25).abs() < 1e-12);
+        let gm = AggregateKind::GeometricMean.compute_exact(&values).unwrap();
+        assert!((gm - 24.0f64.powf(0.25)).abs() < 1e-12);
+        let product = AggregateKind::Product.compute_exact(&values).unwrap();
+        assert!((product - 24.0).abs() < 1e-9); // log-space round-trip
+    }
+
+    #[test]
+    fn compute_exact_edge_cases() {
+        assert_eq!(AggregateKind::Average.compute_exact(&[]), None);
+        assert_eq!(AggregateKind::GeometricMean.compute_exact(&[1.0, -2.0]), None);
+        assert_eq!(AggregateKind::Product.compute_exact(&[0.0]), None);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> = AggregateKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "average",
+                "minimum",
+                "maximum",
+                "count",
+                "sum",
+                "variance",
+                "geometric-mean",
+                "product"
+            ]
+        );
+    }
+}

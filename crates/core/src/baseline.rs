@@ -1,0 +1,151 @@
+//! Push-sum baseline (Kempe, Dobra, Gehrke; FOCS 2003).
+//!
+//! The paper's closest related work (Section 8) computes averages with a
+//! *push-only* gossip: each node maintains a `(value, weight)` pair,
+//! initialized to `(x_i, 1)`. Every cycle it halves both components,
+//! keeps one half and pushes the other half to a random peer, which simply
+//! adds what it receives. The estimate is `value / weight`. The pair mass
+//! (Σ value, Σ weight) is conserved, so all estimates converge to the true
+//! average — but one-directional diffusion converges more slowly per cycle
+//! than push-pull, which is the ablation this module supports.
+
+use serde::{Deserialize, Serialize};
+
+/// Push-sum protocol state of one node.
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_aggregation::baseline::PushSumState;
+///
+/// let mut a = PushSumState::new(10.0);
+/// let mut b = PushSumState::new(2.0);
+/// let share = a.emit_half();
+/// b.absorb(share);
+/// // Mass is conserved across the pair.
+/// assert!((a.value + b.value - 12.0).abs() < 1e-12);
+/// assert!((a.weight + b.weight - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PushSumState {
+    /// Value component (starts at the local value).
+    pub value: f64,
+    /// Weight component (starts at 1).
+    pub weight: f64,
+}
+
+/// The `(value, weight)` share pushed to a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PushSumShare {
+    /// Pushed value component.
+    pub value: f64,
+    /// Pushed weight component.
+    pub weight: f64,
+}
+
+impl PushSumState {
+    /// Initializes from the local value with unit weight.
+    pub fn new(local_value: f64) -> Self {
+        PushSumState {
+            value: local_value,
+            weight: 1.0,
+        }
+    }
+
+    /// Halves the local state and returns the half to push to a peer.
+    pub fn emit_half(&mut self) -> PushSumShare {
+        self.value /= 2.0;
+        self.weight /= 2.0;
+        PushSumShare {
+            value: self.value,
+            weight: self.weight,
+        }
+    }
+
+    /// Adds a received share to the local state.
+    pub fn absorb(&mut self, share: PushSumShare) {
+        self.value += share.value;
+        self.weight += share.weight;
+    }
+
+    /// Current estimate of the global average.
+    ///
+    /// Returns `None` while the weight is zero (only possible before any
+    /// mass reached a node that started with weight zero, which the
+    /// standard initialization prevents).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.weight > 0.0 {
+            Some(self.value / self.weight)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_common::rng::Xoshiro256;
+
+    #[test]
+    fn initial_estimate_is_local_value() {
+        let s = PushSumState::new(7.0);
+        assert_eq!(s.estimate(), Some(7.0));
+    }
+
+    #[test]
+    fn emit_absorb_conserves_mass() {
+        let mut a = PushSumState::new(4.0);
+        let mut b = PushSumState::new(8.0);
+        for _ in 0..10 {
+            let share = a.emit_half();
+            b.absorb(share);
+            let share = b.emit_half();
+            a.absorb(share);
+            assert!((a.value + b.value - 12.0).abs() < 1e-12);
+            assert!((a.weight + b.weight - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_weight_estimate_is_none() {
+        let s = PushSumState {
+            value: 0.0,
+            weight: 0.0,
+        };
+        assert_eq!(s.estimate(), None);
+    }
+
+    #[test]
+    fn network_converges_to_average() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let n = 64;
+        let mut nodes: Vec<PushSumState> =
+            (0..n).map(|i| PushSumState::new(i as f64)).collect();
+        let truth = (n as f64 - 1.0) / 2.0;
+        for _ in 0..60 {
+            // Push-only: each node pushes half its mass to a random peer.
+            // Collect shares first so a cycle is one synchronous round.
+            let mut inbox: Vec<Vec<PushSumShare>> = vec![Vec::new(); n];
+            for i in 0..n {
+                let share = nodes[i].emit_half();
+                let j = (i + 1 + rng.index(n - 1)) % n;
+                inbox[j].push(share);
+            }
+            for (node, shares) in nodes.iter_mut().zip(inbox) {
+                for share in shares {
+                    node.absorb(share);
+                }
+            }
+        }
+        for s in &nodes {
+            let est = s.estimate().unwrap();
+            assert!((est - truth).abs() < 1e-6, "estimate {est} vs {truth}");
+        }
+        // Total mass exactly conserved.
+        let value_mass: f64 = nodes.iter().map(|s| s.value).sum();
+        let weight_mass: f64 = nodes.iter().map(|s| s.weight).sum();
+        assert!((value_mass - truth * n as f64).abs() < 1e-9);
+        assert!((weight_mass - n as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Protocol configuration.
+//!
+//! [`NodeConfig`] gathers the practical-protocol parameters of Section 4:
+//! γ (cycles per epoch), δ (cycle length), the exchange timeout, and the
+//! list of instances gossiped each epoch. Construct it through
+//! [`NodeConfigBuilder`], which validates the combination.
+
+use crate::error::ConfigError;
+use crate::instance::InstanceSpec;
+
+/// Validated protocol parameters shared by every node of a deployment.
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_aggregation::{InstanceSpec, NodeConfig};
+///
+/// let config = NodeConfig::builder()
+///     .gamma(30)
+///     .cycle_length(1_000)
+///     .timeout(250)
+///     .instance(InstanceSpec::AVERAGE)
+///     .instance(InstanceSpec::count(20.0))
+///     .build()?;
+/// assert_eq!(config.gamma(), 30);
+/// # Ok::<(), epidemic_aggregation::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    gamma: u32,
+    cycle_length: u64,
+    timeout: u64,
+    instances: Vec<InstanceSpec>,
+    initial_size_guess: f64,
+    epoch_sync: bool,
+}
+
+impl NodeConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> NodeConfigBuilder {
+        NodeConfigBuilder::new()
+    }
+
+    /// Cycles per epoch (γ). The estimate reported at an epoch boundary has
+    /// variance `ρ^γ` times the initial variance.
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// Cycle length δ in ticks (the unit is defined by the embedding: the
+    /// event simulator uses abstract ticks, the UDP runtime milliseconds).
+    pub fn cycle_length(&self) -> u64 {
+        self.cycle_length
+    }
+
+    /// Exchange timeout in ticks: how long an initiator waits for the
+    /// reply before writing the exchange off.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Instances gossiped in every epoch, in report order.
+    pub fn instances(&self) -> &[InstanceSpec] {
+        &self.instances
+    }
+
+    /// Network-size guess used for leader election before the first COUNT
+    /// estimate exists.
+    pub fn initial_size_guess(&self) -> f64 {
+        self.initial_size_guess
+    }
+
+    /// Whether epidemic epoch synchronization (Section 4.3) is enabled.
+    /// Always on in deployments; the off switch exists for the ablation
+    /// that demonstrates why the mechanism is necessary.
+    pub fn epoch_sync(&self) -> bool {
+        self.epoch_sync
+    }
+}
+
+/// Builder for [`NodeConfig`] (non-consuming, per the API guidelines).
+#[derive(Debug, Clone)]
+pub struct NodeConfigBuilder {
+    gamma: u32,
+    cycle_length: u64,
+    timeout: u64,
+    instances: Vec<InstanceSpec>,
+    initial_size_guess: f64,
+    epoch_sync: bool,
+}
+
+impl NodeConfigBuilder {
+    /// Creates a builder with the paper's defaults: γ = 30 cycles, cycle
+    /// length 1000 ticks, timeout 250 ticks, no instances (at least one
+    /// must be added).
+    pub fn new() -> Self {
+        NodeConfigBuilder {
+            gamma: 30,
+            cycle_length: 1_000,
+            timeout: 250,
+            instances: Vec::new(),
+            initial_size_guess: 64.0,
+            epoch_sync: true,
+        }
+    }
+
+    /// Sets γ, the number of cycles per epoch.
+    pub fn gamma(&mut self, gamma: u32) -> &mut Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets δ, the cycle length in ticks.
+    pub fn cycle_length(&mut self, ticks: u64) -> &mut Self {
+        self.cycle_length = ticks;
+        self
+    }
+
+    /// Sets the exchange timeout in ticks.
+    pub fn timeout(&mut self, ticks: u64) -> &mut Self {
+        self.timeout = ticks;
+        self
+    }
+
+    /// Appends an instance to gossip each epoch.
+    pub fn instance(&mut self, spec: InstanceSpec) -> &mut Self {
+        self.instances.push(spec);
+        self
+    }
+
+    /// Sets the initial network-size guess for COUNT leader election.
+    pub fn initial_size_guess(&mut self, guess: f64) -> &mut Self {
+        self.initial_size_guess = guess;
+        self
+    }
+
+    /// Enables or disables epidemic epoch synchronization (default on).
+    pub fn epoch_sync(&mut self, enabled: bool) -> &mut Self {
+        self.epoch_sync = enabled;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if γ or δ is zero, the timeout is zero or
+    /// not shorter than the cycle length, or no instance was added.
+    pub fn build(&self) -> Result<NodeConfig, ConfigError> {
+        if self.gamma == 0 {
+            return Err(ConfigError::ZeroGamma);
+        }
+        if self.cycle_length == 0 {
+            return Err(ConfigError::ZeroCycleLength);
+        }
+        if self.timeout == 0 || self.timeout >= self.cycle_length {
+            return Err(ConfigError::BadTimeout {
+                timeout: self.timeout,
+                cycle: self.cycle_length,
+            });
+        }
+        if self.instances.is_empty() {
+            return Err(ConfigError::NoInstances);
+        }
+        Ok(NodeConfig {
+            gamma: self.gamma,
+            cycle_length: self.cycle_length,
+            timeout: self.timeout,
+            instances: self.instances.clone(),
+            initial_size_guess: self.initial_size_guess,
+            epoch_sync: self.epoch_sync,
+        })
+    }
+}
+
+impl Default for NodeConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_with_one_instance() {
+        let cfg = NodeConfig::builder()
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.gamma(), 30);
+        assert_eq!(cfg.cycle_length(), 1_000);
+        assert_eq!(cfg.timeout(), 250);
+        assert_eq!(cfg.instances().len(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_gamma() {
+        let err = NodeConfig::builder()
+            .gamma(0)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroGamma);
+    }
+
+    #[test]
+    fn rejects_zero_cycle() {
+        let err = NodeConfig::builder()
+            .cycle_length(0)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCycleLength);
+    }
+
+    #[test]
+    fn rejects_bad_timeout() {
+        let err = NodeConfig::builder()
+            .cycle_length(100)
+            .timeout(100)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadTimeout { .. }));
+        let err = NodeConfig::builder()
+            .timeout(0)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadTimeout { .. }));
+    }
+
+    #[test]
+    fn rejects_no_instances() {
+        assert_eq!(
+            NodeConfig::builder().build().unwrap_err(),
+            ConfigError::NoInstances
+        );
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let mut b = NodeConfig::builder();
+        b.instance(InstanceSpec::AVERAGE);
+        let one = b.build().unwrap();
+        b.instance(InstanceSpec::count(10.0));
+        let two = b.build().unwrap();
+        assert_eq!(one.instances().len(), 1);
+        assert_eq!(two.instances().len(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for protocol configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a [`crate::NodeConfig`] is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The epoch length γ must be at least one cycle.
+    ZeroGamma,
+    /// The cycle length δ must be positive.
+    ZeroCycleLength,
+    /// The exchange timeout must be positive and shorter than the cycle.
+    BadTimeout {
+        /// Configured timeout in ticks.
+        timeout: u64,
+        /// Configured cycle length in ticks.
+        cycle: u64,
+    },
+    /// At least one instance must be configured.
+    NoInstances,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroGamma => write!(f, "epoch length (gamma) must be at least 1 cycle"),
+            ConfigError::ZeroCycleLength => write!(f, "cycle length (delta) must be positive"),
+            ConfigError::BadTimeout { timeout, cycle } => write!(
+                f,
+                "exchange timeout {timeout} must be positive and below the cycle length {cycle}"
+            ),
+            ConfigError::NoInstances => write!(f, "at least one instance must be configured"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ConfigError::ZeroGamma.to_string().contains("gamma"));
+        assert!(ConfigError::ZeroCycleLength.to_string().contains("delta"));
+        assert!(ConfigError::BadTimeout { timeout: 0, cycle: 10 }
+            .to_string()
+            .contains("timeout 0"));
+        assert!(ConfigError::NoInstances.to_string().contains("instance"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

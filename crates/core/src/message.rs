@@ -1,0 +1,98 @@
+//! Protocol messages.
+//!
+//! The push-pull exchange needs two messages (request and reply carrying
+//! the sender's pre-merge states); two auxiliary messages implement the
+//! practical protocol of Section 4: `EpochNotice` propagates a newer epoch
+//! identifier to a lagging peer, and `Refuse` is how a node that joined
+//! mid-epoch declines to participate in the running epoch (Section 4.2).
+
+use crate::instance::InstanceState;
+use epidemic_common::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A protocol message between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sender.
+    pub from: NodeId,
+    /// Epoch identifier the message belongs to.
+    pub epoch: u64,
+    /// Payload.
+    pub body: MessageBody,
+}
+
+/// Message payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MessageBody {
+    /// Push half of the exchange: the initiator's pre-merge states.
+    Request(Vec<InstanceState>),
+    /// Pull half: the responder's pre-merge states.
+    Reply(Vec<InstanceState>),
+    /// The receiver's epoch was stale; carries no state. The stale node
+    /// jumps to the newer epoch on receipt (Section 4.3).
+    EpochNotice,
+    /// The responder is not participating in this epoch (joined mid-epoch,
+    /// Section 4.2). The initiator skips the exchange.
+    Refuse,
+}
+
+impl Message {
+    /// Creates a request carrying the initiator's states.
+    pub fn request(from: NodeId, epoch: u64, states: Vec<InstanceState>) -> Self {
+        Message {
+            from,
+            epoch,
+            body: MessageBody::Request(states),
+        }
+    }
+
+    /// Creates a reply carrying the responder's pre-merge states.
+    pub fn reply(from: NodeId, epoch: u64, states: Vec<InstanceState>) -> Self {
+        Message {
+            from,
+            epoch,
+            body: MessageBody::Reply(states),
+        }
+    }
+
+    /// Creates an epoch notice advertising `epoch`.
+    pub fn epoch_notice(from: NodeId, epoch: u64) -> Self {
+        Message {
+            from,
+            epoch,
+            body: MessageBody::EpochNotice,
+        }
+    }
+
+    /// Creates a refusal for `epoch`.
+    pub fn refuse(from: NodeId, epoch: u64) -> Self {
+        Message {
+            from,
+            epoch,
+            body: MessageBody::Refuse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let m = Message::request(NodeId::new(1), 4, vec![InstanceState::Scalar(2.0)]);
+        assert_eq!(m.from, NodeId::new(1));
+        assert_eq!(m.epoch, 4);
+        assert!(matches!(m.body, MessageBody::Request(ref s) if s.len() == 1));
+
+        let m = Message::reply(NodeId::new(2), 5, vec![]);
+        assert!(matches!(m.body, MessageBody::Reply(ref s) if s.is_empty()));
+
+        let m = Message::epoch_notice(NodeId::new(3), 9);
+        assert!(matches!(m.body, MessageBody::EpochNotice));
+        assert_eq!(m.epoch, 9);
+
+        let m = Message::refuse(NodeId::new(4), 2);
+        assert!(matches!(m.body, MessageBody::Refuse));
+    }
+}

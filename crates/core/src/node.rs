@@ -1,0 +1,791 @@
+//! The sans-io gossip node state machine.
+//!
+//! [`GossipNode`] implements the *practical* protocol of Section 4: the
+//! push-pull exchange kernel plus automatic restart in epochs of γ cycles,
+//! epidemic epoch synchronization, deferred participation for joiners, and
+//! exchange timeouts. It performs no I/O and holds no clock: the embedding
+//! (the event-driven simulator in `epidemic-sim`, or the UDP runtime in
+//! `epidemic-net`) calls [`GossipNode::poll`] with the current time and a
+//! peer candidate, delivers incoming messages through
+//! [`GossipNode::handle`], and transmits whatever [`Outbound`] messages
+//! come back.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            poll(now, peer)                 handle(msg, now)
+//!   timer ──────────────────▶ Request ──▶ peer ──▶ Reply ──▶ merge
+//!     │                                     │
+//!     │ γ cycles elapsed                    │ epoch j > i seen
+//!     ▼                                     ▼
+//!  EpochReport + restart            jump to epoch j (re-init)
+//! ```
+
+use crate::config::NodeConfig;
+use crate::instance::{InstanceSpec, InstanceState, LeaderPolicy};
+use crate::message::{Message, MessageBody};
+use crate::report::EpochReport;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::NodeId;
+
+/// A message together with its destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outbound {
+    /// Destination node.
+    pub to: NodeId,
+    /// Message to deliver.
+    pub message: Message,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    peer: NodeId,
+    epoch: u64,
+    expires_at: u64,
+}
+
+/// Sans-io state machine for one aggregation node.
+///
+/// # Examples
+///
+/// Two nodes driven by hand through one exchange:
+///
+/// ```
+/// use epidemic_aggregation::{GossipNode, InstanceSpec, NodeConfig};
+/// use epidemic_common::NodeId;
+///
+/// let config = NodeConfig::builder()
+///     .gamma(10)
+///     .cycle_length(100)
+///     .timeout(30)
+///     .instance(InstanceSpec::AVERAGE)
+///     .build()?;
+/// let mut a = GossipNode::founder(NodeId::new(0), config.clone(), 8.0, 1);
+/// let mut b = GossipNode::founder(NodeId::new(1), config, 2.0, 2);
+///
+/// // Drive a's timer until it initiates towards b.
+/// let mut t = 0;
+/// let request = loop {
+///     if let Some(out) = a.poll(t, Some(NodeId::new(1))) { break out; }
+///     t += 1;
+/// };
+/// let reply = b.handle(&request.message, t).expect("b replies");
+/// a.handle(&reply.message, t);
+/// assert_eq!(a.scalar_estimate(0), Some(5.0));
+/// assert_eq!(b.scalar_estimate(0), Some(5.0));
+/// # Ok::<(), epidemic_aggregation::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GossipNode {
+    id: NodeId,
+    config: NodeConfig,
+    rng: Xoshiro256,
+    local_value: f64,
+    epoch: u64,
+    activation_epoch: u64,
+    /// Tick at which a still-waiting joiner unilaterally enters its
+    /// activation epoch (the "time until next epoch" hint of Section 4.2).
+    activation_at: Option<u64>,
+    active: bool,
+    cycles_run: u32,
+    states: Vec<InstanceState>,
+    size_estimate: f64,
+    next_cycle_at: u64,
+    pending: Option<Pending>,
+    reports: Vec<EpochReport>,
+}
+
+impl GossipNode {
+    /// Creates a founding member: a node present at system start, active in
+    /// epoch 0. The first cycle fires within one cycle length (random
+    /// phase, so nodes do not tick in lockstep).
+    pub fn founder(id: NodeId, config: NodeConfig, local_value: f64, seed: u64) -> Self {
+        let mut rng = Xoshiro256::stream(seed, id.as_u64());
+        let phase = rng.next_below(config.cycle_length());
+        let mut node = GossipNode {
+            id,
+            size_estimate: config.initial_size_guess(),
+            config,
+            rng,
+            local_value,
+            epoch: 0,
+            activation_epoch: 0,
+            activation_at: None,
+            active: true,
+            cycles_run: 0,
+            states: Vec::new(),
+            next_cycle_at: phase,
+            pending: None,
+            reports: Vec::new(),
+        };
+        node.init_epoch_states();
+        node
+    }
+
+    /// Creates a node joining a running system (Section 4.2). The contacted
+    /// member supplied the running epoch identifier `current_epoch` and the
+    /// tick `next_epoch_at` when the next epoch is expected to start; the
+    /// joiner refuses exchanges until then (or until it observes a message
+    /// from a newer epoch, whichever happens first).
+    pub fn joiner(
+        id: NodeId,
+        config: NodeConfig,
+        local_value: f64,
+        seed: u64,
+        current_epoch: u64,
+        next_epoch_at: u64,
+    ) -> Self {
+        let mut rng = Xoshiro256::stream(seed, id.as_u64());
+        let phase = rng.next_below(config.cycle_length());
+        GossipNode {
+            id,
+            size_estimate: config.initial_size_guess(),
+            config,
+            rng,
+            local_value,
+            epoch: current_epoch,
+            activation_epoch: current_epoch + 1,
+            activation_at: Some(next_epoch_at),
+            active: false,
+            cycles_run: 0,
+            states: Vec::new(),
+            next_cycle_at: next_epoch_at + phase,
+            pending: None,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Epoch the node currently participates in (or waits for).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns `true` once the node participates in the running epoch.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Cycles completed in the current epoch.
+    pub fn cycles_run(&self) -> u32 {
+        self.cycles_run
+    }
+
+    /// Current scalar estimate of instance `idx`, if active and scalar.
+    pub fn scalar_estimate(&self, idx: usize) -> Option<f64> {
+        if !self.active {
+            return None;
+        }
+        self.states.get(idx).and_then(InstanceState::as_scalar)
+    }
+
+    /// Latest network-size estimate (from the last completed COUNT epoch,
+    /// or the configured initial guess).
+    pub fn size_estimate(&self) -> f64 {
+        self.size_estimate
+    }
+
+    /// Updates the local value. Takes effect at the next epoch
+    /// initialization — running epochs keep aggregating over the values
+    /// they started from, which is what makes every epoch's output a
+    /// consistent snapshot.
+    pub fn set_local_value(&mut self, value: f64) {
+        self.local_value = value;
+    }
+
+    /// Current local value.
+    pub fn local_value(&self) -> f64 {
+        self.local_value
+    }
+
+    /// Drains the epoch reports accumulated since the last call.
+    pub fn take_reports(&mut self) -> Vec<EpochReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Tick (in this node's local clock) at which the next cycle fires.
+    pub fn next_cycle_at(&self) -> u64 {
+        self.next_cycle_at
+    }
+
+    /// The earliest local tick at which this node needs to be polled again:
+    /// the next cycle, a pending-exchange timeout, or a scheduled joiner
+    /// activation, whichever comes first. Embeddings use this to schedule
+    /// wake-ups instead of polling continuously.
+    pub fn next_deadline(&self) -> u64 {
+        let mut deadline = self.next_cycle_at;
+        if let Some(p) = self.pending {
+            deadline = deadline.min(p.expires_at);
+        }
+        if let (false, Some(at)) = (self.active, self.activation_at) {
+            deadline = deadline.min(at);
+        }
+        deadline
+    }
+
+    /// Advances timers to `now`. If a cycle boundary passed, initiates a
+    /// push-pull exchange with `peer` (the embedding's `GETNEIGHBOR()`
+    /// result) and returns the request to transmit.
+    ///
+    /// Also expires a pending exchange whose timeout passed (the paper's
+    /// crash masking: the exchange is simply skipped) and performs the
+    /// scheduled epoch activation of a joiner.
+    pub fn poll(&mut self, now: u64, peer: Option<NodeId>) -> Option<Outbound> {
+        if let Some(p) = self.pending {
+            if p.expires_at <= now {
+                self.pending = None;
+            }
+        }
+        if let (false, Some(at)) = (self.active, self.activation_at) {
+            if now >= at {
+                self.enter_epoch(self.activation_epoch);
+            }
+        }
+        let mut initiate = false;
+        while now >= self.next_cycle_at {
+            self.next_cycle_at += self.config.cycle_length();
+            if self.active {
+                self.complete_cycle();
+                initiate = true;
+            }
+        }
+        if !initiate || !self.active {
+            return None;
+        }
+        let peer = peer?;
+        if peer == self.id {
+            return None;
+        }
+        // One in-flight exchange at a time; the previous one must complete
+        // or time out first.
+        if self.pending.is_some() {
+            return None;
+        }
+        self.pending = Some(Pending {
+            peer,
+            epoch: self.epoch,
+            expires_at: now + self.config.timeout(),
+        });
+        Some(Outbound {
+            to: peer,
+            message: Message::request(self.id, self.epoch, self.states.clone()),
+        })
+    }
+
+    /// Processes an incoming message, possibly producing a response.
+    pub fn handle(&mut self, msg: &Message, _now: u64) -> Option<Outbound> {
+        match &msg.body {
+            MessageBody::Request(remote_states) => self.handle_request(msg, remote_states),
+            MessageBody::Reply(remote_states) => {
+                self.handle_reply(msg, remote_states);
+                None
+            }
+            MessageBody::EpochNotice => {
+                self.clear_pending_for(msg.from);
+                self.maybe_jump(msg.epoch);
+                None
+            }
+            MessageBody::Refuse => {
+                self.clear_pending_for(msg.from);
+                None
+            }
+        }
+    }
+
+    fn handle_request(&mut self, msg: &Message, remote: &[InstanceState]) -> Option<Outbound> {
+        if msg.epoch > self.epoch {
+            self.maybe_jump(msg.epoch);
+        }
+        if msg.epoch < self.epoch {
+            // The sender lags; pull it forward epidemically (Section 4.3).
+            return Some(Outbound {
+                to: msg.from,
+                message: Message::epoch_notice(self.id, self.epoch),
+            });
+        }
+        if !self.active || msg.epoch != self.epoch {
+            // Either we are a joiner refusing the running epoch, or the
+            // jump above was blocked by our activation epoch.
+            return Some(Outbound {
+                to: msg.from,
+                message: Message::refuse(self.id, self.epoch),
+            });
+        }
+        if !self.states_compatible(remote) {
+            // Differently-configured (or buggy) peer: decline rather than
+            // corrupt our state. A refusal also clears the peer's pending
+            // exchange promptly.
+            return Some(Outbound {
+                to: msg.from,
+                message: Message::refuse(self.id, self.epoch),
+            });
+        }
+        let reply = Message::reply(self.id, self.epoch, self.states.clone());
+        self.merge_states(remote);
+        Some(Outbound {
+            to: msg.from,
+            message: reply,
+        })
+    }
+
+    fn handle_reply(&mut self, msg: &Message, remote: &[InstanceState]) {
+        let Some(p) = self.pending else {
+            return; // timed out earlier; drop the late reply (Section 4.2)
+        };
+        if p.peer != msg.from {
+            return;
+        }
+        self.pending = None;
+        if msg.epoch > self.epoch {
+            self.maybe_jump(msg.epoch);
+            return; // states belong to different epochs: no merge
+        }
+        if msg.epoch == self.epoch
+            && p.epoch == self.epoch
+            && self.active
+            && self.states_compatible(remote)
+        {
+            self.merge_states(remote);
+        }
+    }
+
+    /// Shape-checks a remote state vector against our configuration.
+    fn states_compatible(&self, remote: &[InstanceState]) -> bool {
+        remote.len() == self.states.len()
+            && self
+                .config
+                .instances()
+                .iter()
+                .zip(remote)
+                .all(|(spec, state)| {
+                    matches!(
+                        (spec, state),
+                        (InstanceSpec::Scalar { .. }, InstanceState::Scalar(_))
+                            | (InstanceSpec::CountMap { .. }, InstanceState::Map(_))
+                    )
+                })
+    }
+
+    fn clear_pending_for(&mut self, peer: NodeId) {
+        if let Some(p) = self.pending {
+            if p.peer == peer {
+                self.pending = None;
+            }
+        }
+    }
+
+    /// Jumps to epoch `epoch` if it is newer, activating if permitted.
+    /// State of the abandoned epoch is discarded (the node was too slow;
+    /// its unfinished estimate would be misleading). No-op when epoch
+    /// synchronization is disabled (ablation only).
+    fn maybe_jump(&mut self, epoch: u64) {
+        if self.config.epoch_sync() && epoch > self.epoch {
+            self.enter_epoch(epoch);
+        }
+    }
+
+    fn enter_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.cycles_run = 0;
+        self.pending = None;
+        if self.epoch >= self.activation_epoch {
+            self.active = true;
+            self.activation_at = None;
+            self.init_epoch_states();
+        }
+    }
+
+    /// Counts one completed cycle; at γ the epoch's states are reported and
+    /// the next epoch starts from fresh local values (Section 4.1).
+    fn complete_cycle(&mut self) {
+        self.cycles_run += 1;
+        if self.cycles_run >= self.config.gamma() {
+            let report = EpochReport {
+                epoch: self.epoch,
+                cycles_run: self.cycles_run,
+                states: self.states.clone(),
+            };
+            if let Some(estimate) = report.count_estimate() {
+                self.size_estimate = estimate;
+            }
+            self.reports.push(report);
+            self.epoch += 1;
+            self.cycles_run = 0;
+            self.pending = None;
+            self.init_epoch_states();
+        }
+    }
+
+    fn init_epoch_states(&mut self) {
+        let size_estimate = self.size_estimate;
+        // Collect leader decisions first: instance specs are immutable
+        // config, but the election consumes randomness.
+        let decisions: Vec<bool> = self
+            .config
+            .instances()
+            .iter()
+            .map(|spec| match spec {
+                InstanceSpec::CountMap { leader } => {
+                    let p = leader.probability(size_estimate);
+                    self.rng.next_bool(p)
+                }
+                InstanceSpec::Scalar { .. } => false,
+            })
+            .collect();
+        self.states = self
+            .config
+            .instances()
+            .iter()
+            .zip(decisions)
+            .map(|(spec, is_leader)| spec.init_state(self.local_value, self.id.as_u64(), is_leader))
+            .collect();
+    }
+
+    fn merge_states(&mut self, remote: &[InstanceState]) {
+        debug_assert_eq!(remote.len(), self.states.len(), "instance count mismatch");
+        for ((spec, local), remote) in self
+            .config
+            .instances()
+            .iter()
+            .zip(self.states.iter_mut())
+            .zip(remote.iter())
+        {
+            *local = spec.merge(local, remote);
+        }
+    }
+}
+
+/// Returns `true` if the [`LeaderPolicy`] would make this node lead with
+/// certainty — exposed for embeddings that pin leaders externally.
+pub fn always_leads(policy: LeaderPolicy) -> bool {
+    matches!(policy, LeaderPolicy::Always)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+
+    fn config(gamma: u32) -> NodeConfig {
+        NodeConfig::builder()
+            .gamma(gamma)
+            .cycle_length(100)
+            .timeout(30)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap()
+    }
+
+    fn drive_exchange(a: &mut GossipNode, b: &mut GossipNode, t: &mut u64) {
+        loop {
+            *t += 1;
+            if let Some(out) = a.poll(*t, Some(b.id())) {
+                if let Some(reply) = b.handle(&out.message, *t) {
+                    a.handle(&reply.message, *t);
+                }
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn founder_initializes_from_local_value() {
+        let node = GossipNode::founder(NodeId::new(0), config(10), 7.5, 1);
+        assert!(node.is_active());
+        assert_eq!(node.epoch(), 0);
+        assert_eq!(node.scalar_estimate(0), Some(7.5));
+    }
+
+    #[test]
+    fn exchange_averages_both_sides() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 8.0, 1);
+        let mut b = GossipNode::founder(NodeId::new(1), config(10), 2.0, 2);
+        let mut t = 0;
+        drive_exchange(&mut a, &mut b, &mut t);
+        assert_eq!(a.scalar_estimate(0), Some(5.0));
+        assert_eq!(b.scalar_estimate(0), Some(5.0));
+    }
+
+    #[test]
+    fn poll_without_peer_does_not_initiate() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        for t in 0..500 {
+            assert!(a.poll(t, None).is_none());
+        }
+        // Cycles still advance (epochs must not stall when isolated).
+        assert!(a.cycles_run() > 0 || a.epoch() > 0);
+    }
+
+    #[test]
+    fn poll_never_initiates_to_self() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        for t in 0..500 {
+            assert!(a.poll(t, Some(NodeId::new(0))).is_none());
+        }
+    }
+
+    #[test]
+    fn epoch_completes_after_gamma_cycles() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(3), 4.0, 1);
+        let mut t = 0;
+        while a.take_reports().is_empty() {
+            t += 1;
+            a.poll(t, None);
+            assert!(t < 10_000, "epoch never completed");
+        }
+        assert_eq!(a.epoch(), 1);
+    }
+
+    #[test]
+    fn report_carries_final_state() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(2), 4.0, 1);
+        let mut b = GossipNode::founder(NodeId::new(1), config(2), 8.0, 2);
+        let mut t = 0;
+        for _ in 0..8 {
+            drive_exchange(&mut a, &mut b, &mut t);
+        }
+        let reports = a.take_reports();
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert_eq!(r.cycles_run, 2);
+            let v = r.scalar(0).unwrap();
+            assert!((v - 6.0).abs() < 1e-9, "epoch output {v}");
+        }
+    }
+
+    #[test]
+    fn new_epoch_reinitializes_from_local_value() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(2), 4.0, 1);
+        a.set_local_value(100.0);
+        let mut t = 0;
+        while a.epoch() == 0 {
+            t += 1;
+            a.poll(t, None);
+        }
+        assert_eq!(a.scalar_estimate(0), Some(100.0));
+    }
+
+    #[test]
+    fn stale_request_gets_epoch_notice() {
+        let cfg = config(10);
+        let mut ahead = GossipNode::founder(NodeId::new(0), cfg.clone(), 1.0, 1);
+        let behind = GossipNode::founder(NodeId::new(1), cfg, 2.0, 2);
+        // Push `ahead` into epoch 3 artificially via a notice.
+        ahead.handle(&Message::epoch_notice(NodeId::new(9), 3), 0);
+        assert_eq!(ahead.epoch(), 3);
+        let req = Message::request(behind.id(), 0, vec![InstanceState::Scalar(2.0)]);
+        let resp = ahead.handle(&req, 5).unwrap();
+        assert!(matches!(resp.message.body, MessageBody::EpochNotice));
+        assert_eq!(resp.message.epoch, 3);
+        // The merged state must be untouched.
+        assert_eq!(ahead.scalar_estimate(0), Some(1.0));
+    }
+
+    #[test]
+    fn receiving_newer_epoch_jumps_and_reinitializes() {
+        let mut node = GossipNode::founder(NodeId::new(0), config(10), 5.0, 1);
+        // Drift the estimate away from the local value.
+        node.handle(
+            &Message::request(NodeId::new(1), 0, vec![InstanceState::Scalar(15.0)]),
+            0,
+        );
+        assert_eq!(node.scalar_estimate(0), Some(10.0));
+        // Newer epoch arrives: jump and re-init from the local value.
+        let req = Message::request(NodeId::new(2), 4, vec![InstanceState::Scalar(3.0)]);
+        let resp = node.handle(&req, 1).unwrap();
+        assert_eq!(node.epoch(), 4);
+        // The response is a reply for epoch 4 and the merge used the fresh
+        // initial value 5.0: (5+3)/2 = 4.
+        assert!(matches!(resp.message.body, MessageBody::Reply(_)));
+        assert_eq!(node.scalar_estimate(0), Some(4.0));
+    }
+
+    #[test]
+    fn joiner_refuses_current_epoch() {
+        let cfg = config(10);
+        let mut joiner =
+            GossipNode::joiner(NodeId::new(5), cfg, 1.0, 3, /*epoch*/ 2, /*next at*/ 10_000);
+        assert!(!joiner.is_active());
+        let req = Message::request(NodeId::new(0), 2, vec![InstanceState::Scalar(9.0)]);
+        let resp = joiner.handle(&req, 100).unwrap();
+        assert!(matches!(resp.message.body, MessageBody::Refuse));
+    }
+
+    #[test]
+    fn joiner_activates_on_newer_epoch_message() {
+        let cfg = config(10);
+        let mut joiner = GossipNode::joiner(NodeId::new(5), cfg, 1.0, 3, 2, 10_000);
+        let req = Message::request(NodeId::new(0), 3, vec![InstanceState::Scalar(9.0)]);
+        let resp = joiner.handle(&req, 100).unwrap();
+        assert!(joiner.is_active());
+        assert_eq!(joiner.epoch(), 3);
+        assert!(matches!(resp.message.body, MessageBody::Reply(_)));
+        // Participates: merged (1+9)/2.
+        assert_eq!(joiner.scalar_estimate(0), Some(5.0));
+    }
+
+    #[test]
+    fn joiner_activates_on_schedule() {
+        let cfg = config(10);
+        let mut joiner = GossipNode::joiner(NodeId::new(5), cfg, 1.0, 3, 2, 500);
+        assert!(joiner.poll(499, None).is_none());
+        assert!(!joiner.is_active());
+        joiner.poll(500, None);
+        assert!(joiner.is_active());
+        assert_eq!(joiner.epoch(), 3);
+    }
+
+    #[test]
+    fn timeout_clears_pending_exchange() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut t = 0;
+        let out = loop {
+            t += 1;
+            if let Some(out) = a.poll(t, Some(NodeId::new(1))) {
+                break out;
+            }
+        };
+        // No reply arrives; after the timeout a new exchange can start.
+        let t_next = t + 200;
+        let again = a.poll(t_next, Some(NodeId::new(2)));
+        assert!(again.is_some(), "pending exchange not expired");
+        assert_ne!(out.to, again.unwrap().to);
+    }
+
+    #[test]
+    fn late_reply_after_timeout_is_dropped() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut t = 0;
+        loop {
+            t += 1;
+            if a.poll(t, Some(NodeId::new(1))).is_some() {
+                break;
+            }
+        }
+        // Expire the exchange.
+        a.poll(t + 100, None);
+        let before = a.scalar_estimate(0);
+        a.handle(&Message::reply(NodeId::new(1), 0, vec![InstanceState::Scalar(99.0)]), t + 101);
+        assert_eq!(a.scalar_estimate(0), before, "late reply merged");
+    }
+
+    #[test]
+    fn reply_from_wrong_peer_is_ignored() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut t = 0;
+        loop {
+            t += 1;
+            if a.poll(t, Some(NodeId::new(1))).is_some() {
+                break;
+            }
+        }
+        let before = a.scalar_estimate(0);
+        a.handle(&Message::reply(NodeId::new(7), 0, vec![InstanceState::Scalar(99.0)]), t);
+        assert_eq!(a.scalar_estimate(0), before);
+    }
+
+    #[test]
+    fn refuse_clears_pending() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut t = 0;
+        loop {
+            t += 1;
+            if a.poll(t, Some(NodeId::new(1))).is_some() {
+                break;
+            }
+        }
+        a.handle(&Message::refuse(NodeId::new(1), 0), t + 1);
+        // Next cycle can initiate immediately (pending cleared).
+        let mut initiated = false;
+        for dt in 1..300 {
+            if a.poll(t + dt, Some(NodeId::new(2))).is_some() {
+                initiated = true;
+                break;
+            }
+        }
+        assert!(initiated);
+    }
+
+    #[test]
+    fn count_instance_elects_and_reports() {
+        let cfg = NodeConfig::builder()
+            .gamma(2)
+            .cycle_length(100)
+            .timeout(30)
+            .instance(InstanceSpec::CountMap {
+                leader: LeaderPolicy::Always,
+            })
+            .build()
+            .unwrap();
+        let mut a = GossipNode::founder(NodeId::new(0), cfg.clone(), 0.0, 1);
+        let mut b = GossipNode::founder(NodeId::new(1), cfg, 0.0, 2);
+        let mut t = 0;
+        for _ in 0..6 {
+            drive_exchange(&mut a, &mut b, &mut t);
+        }
+        let reports = a.take_reports();
+        assert!(!reports.is_empty());
+        let est = reports.last().unwrap().count_estimate().unwrap();
+        // Two nodes, both leading: each instance converges to 1/2.
+        assert!((est - 2.0).abs() < 0.6, "count estimate {est}");
+        // The node's own rolling size estimate was updated.
+        assert!((a.size_estimate() - est).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_request_is_refused_not_merged() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let before = a.scalar_estimate(0);
+        // Wrong arity.
+        let msg = Message::request(
+            NodeId::new(1),
+            0,
+            vec![InstanceState::Scalar(9.0), InstanceState::Scalar(9.0)],
+        );
+        let resp = a.handle(&msg, 0).unwrap();
+        assert!(matches!(resp.message.body, MessageBody::Refuse));
+        assert_eq!(a.scalar_estimate(0), before);
+        // Wrong shape.
+        let msg = Message::request(
+            NodeId::new(1),
+            0,
+            vec![InstanceState::Map(crate::value::InstanceMap::new())],
+        );
+        let resp = a.handle(&msg, 0).unwrap();
+        assert!(matches!(resp.message.body, MessageBody::Refuse));
+        assert_eq!(a.scalar_estimate(0), before);
+    }
+
+    #[test]
+    fn malformed_reply_is_dropped() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut t = 0;
+        loop {
+            t += 1;
+            if a.poll(t, Some(NodeId::new(1))).is_some() {
+                break;
+            }
+        }
+        let before = a.scalar_estimate(0);
+        a.handle(
+            &Message::reply(
+                NodeId::new(1),
+                0,
+                vec![InstanceState::Map(crate::value::InstanceMap::new())],
+            ),
+            t,
+        );
+        assert_eq!(a.scalar_estimate(0), before);
+    }
+
+    #[test]
+    fn always_leads_helper() {
+        assert!(always_leads(LeaderPolicy::Always));
+        assert!(!always_leads(LeaderPolicy::Never));
+        assert!(!always_leads(LeaderPolicy::Probability { concurrency: 4.0 }));
+    }
+}

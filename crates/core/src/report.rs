@@ -1,0 +1,75 @@
+//! Per-epoch protocol outputs.
+
+use crate::instance::InstanceState;
+
+/// The converged output of one epoch at one node: a snapshot of every
+/// instance state at the moment the epoch completed its γ cycles.
+///
+/// Reports are produced by [`crate::GossipNode`] and consumed through the
+/// estimator functions of [`crate::estimator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Epoch identifier that completed.
+    pub epoch: u64,
+    /// Number of cycles this node actually executed in the epoch (may be
+    /// fewer than γ when the node joined late or jumped epochs).
+    pub cycles_run: u32,
+    /// Final state of every configured instance, in configuration order.
+    pub states: Vec<InstanceState>,
+}
+
+impl EpochReport {
+    /// Scalar output of instance `idx`, if that instance is scalar.
+    pub fn scalar(&self, idx: usize) -> Option<f64> {
+        self.states.get(idx).and_then(InstanceState::as_scalar)
+    }
+
+    /// COUNT map output of instance `idx`, if that instance is a map.
+    pub fn map(&self, idx: usize) -> Option<&crate::value::InstanceMap> {
+        self.states.get(idx).and_then(InstanceState::as_map)
+    }
+
+    /// Robust network size estimate from the first COUNT map instance, if
+    /// any usable instance mass reached this node.
+    pub fn count_estimate(&self) -> Option<f64> {
+        self.states
+            .iter()
+            .find_map(InstanceState::as_map)
+            .and_then(crate::estimator::count_estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::InstanceMap;
+
+    #[test]
+    fn accessors() {
+        let report = EpochReport {
+            epoch: 3,
+            cycles_run: 30,
+            states: vec![
+                InstanceState::Scalar(1.5),
+                InstanceState::Map(InstanceMap::from_entries([(9, 0.01)])),
+            ],
+        };
+        assert_eq!(report.scalar(0), Some(1.5));
+        assert_eq!(report.scalar(1), None);
+        assert_eq!(report.map(1).unwrap().len(), 1);
+        assert_eq!(report.map(0), None);
+        assert_eq!(report.scalar(7), None);
+        let count = report.count_estimate().unwrap();
+        assert!((count - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_estimate_none_without_map() {
+        let report = EpochReport {
+            epoch: 0,
+            cycles_run: 30,
+            states: vec![InstanceState::Scalar(1.0)],
+        };
+        assert_eq!(report.count_estimate(), None);
+    }
+}

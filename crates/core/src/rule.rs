@@ -1,0 +1,233 @@
+//! Scalar update rules — the paper's `UPDATE(a, b)` (Section 3 and 5).
+//!
+//! A push-pull exchange is symmetric: both peers compute the same merged
+//! value from the pair of estimates. The choice of merge function selects
+//! the aggregate:
+//!
+//! | Rule            | `UPDATE(a, b)`  | Converges to      | Conserves        |
+//! |-----------------|-----------------|-------------------|------------------|
+//! | [`Average`]     | `(a + b) / 2`   | arithmetic mean   | sum              |
+//! | [`Min`]         | `min(a, b)`     | global minimum    | minimum          |
+//! | [`Max`]         | `max(a, b)`     | global maximum    | maximum          |
+//! | [`GeometricMean`]| `√(a·b)`       | geometric mean    | product          |
+//!
+//! All rules are exposed both as zero-sized types implementing
+//! [`UpdateRule`] (for static dispatch in hot simulation loops) and via the
+//! [`Rule`] enum (for configuration and wire encoding).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symmetric merge function applied by both peers of an exchange.
+///
+/// Implementations must be **symmetric** (`merge(a, b) == merge(b, a)`) so
+/// that both endpoints of a push-pull exchange reach the same state, and
+/// **idempotent on agreement** (`merge(a, a) == a`) so that a converged
+/// network is a fixed point.
+pub trait UpdateRule {
+    /// Computes the merged estimate from the two exchanged estimates.
+    fn merge(&self, local: f64, remote: f64) -> f64;
+}
+
+/// Arithmetic averaging: `UPDATE(a, b) = (a + b) / 2`.
+///
+/// The elementary variance-reduction step of the paper. Conserves the sum
+/// of the two estimates, hence the global average.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Average;
+
+impl UpdateRule for Average {
+    #[inline]
+    fn merge(&self, local: f64, remote: f64) -> f64 {
+        (local + remote) / 2.0
+    }
+}
+
+/// Minimum: `UPDATE(a, b) = min(a, b)`. The global minimum spreads like an
+/// epidemic broadcast (paper Section 5, MIN).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+
+impl UpdateRule for Min {
+    #[inline]
+    fn merge(&self, local: f64, remote: f64) -> f64 {
+        local.min(remote)
+    }
+}
+
+/// Maximum: `UPDATE(a, b) = max(a, b)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl UpdateRule for Max {
+    #[inline]
+    fn merge(&self, local: f64, remote: f64) -> f64 {
+        local.max(remote)
+    }
+}
+
+/// Geometric averaging: `UPDATE(a, b) = √(a·b)`.
+///
+/// Conserves the product of the two estimates, so the network converges to
+/// the global geometric mean (paper Section 5, GEOMETRICMEAN / PRODUCT).
+/// Only meaningful for non-negative estimates; merging a negative pair
+/// yields `NaN`, which debug builds catch with an assertion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeometricMean;
+
+impl UpdateRule for GeometricMean {
+    #[inline]
+    fn merge(&self, local: f64, remote: f64) -> f64 {
+        debug_assert!(
+            local >= 0.0 && remote >= 0.0,
+            "geometric mean requires non-negative estimates"
+        );
+        (local * remote).sqrt()
+    }
+}
+
+/// Runtime-selectable update rule, used in configuration and messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// [`Average`].
+    Average,
+    /// [`Min`].
+    Min,
+    /// [`Max`].
+    Max,
+    /// [`GeometricMean`].
+    GeometricMean,
+}
+
+impl UpdateRule for Rule {
+    #[inline]
+    fn merge(&self, local: f64, remote: f64) -> f64 {
+        match self {
+            Rule::Average => Average.merge(local, remote),
+            Rule::Min => Min.merge(local, remote),
+            Rule::Max => Max.merge(local, remote),
+            Rule::GeometricMean => GeometricMean.merge(local, remote),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::Average => "average",
+            Rule::Min => "min",
+            Rule::Max => "max",
+            Rule::GeometricMean => "geometric-mean",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_common::rng::Xoshiro256;
+
+    #[test]
+    fn average_basics() {
+        assert_eq!(Average.merge(10.0, 2.0), 6.0);
+        assert_eq!(Average.merge(-4.0, 4.0), 0.0);
+        assert_eq!(Average.merge(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn average_conserves_sum() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = rng.next_f64() * 100.0 - 50.0;
+            let b = rng.next_f64() * 100.0 - 50.0;
+            let m = Average.merge(a, b);
+            assert!((2.0 * m - (a + b)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_max_basics() {
+        assert_eq!(Min.merge(3.0, 7.0), 3.0);
+        assert_eq!(Max.merge(3.0, 7.0), 7.0);
+        assert_eq!(Min.merge(-1.0, -5.0), -5.0);
+        assert_eq!(Max.merge(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((GeometricMean.merge(2.0, 8.0) - 4.0).abs() < 1e-12);
+        assert_eq!(GeometricMean.merge(5.0, 5.0), 5.0);
+        assert_eq!(GeometricMean.merge(0.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_conserves_product() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..1000 {
+            let a = rng.next_f64() * 10.0 + 0.1;
+            let b = rng.next_f64() * 10.0 + 0.1;
+            let m = GeometricMean.merge(a, b);
+            assert!((m * m - a * b).abs() / (a * b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_rules_are_symmetric() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let rules = [Rule::Average, Rule::Min, Rule::Max, Rule::GeometricMean];
+        for _ in 0..500 {
+            let a = rng.next_f64() * 100.0;
+            let b = rng.next_f64() * 100.0;
+            for rule in rules {
+                assert_eq!(rule.merge(a, b), rule.merge(b, a), "{rule} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn all_rules_are_idempotent_on_agreement() {
+        let rules = [Rule::Average, Rule::Min, Rule::Max, Rule::GeometricMean];
+        for rule in rules {
+            for v in [0.0, 1.0, 42.5, 1e9] {
+                assert_eq!(rule.merge(v, v), v, "{rule} moved a fixed point");
+            }
+        }
+    }
+
+    #[test]
+    fn enum_matches_structs() {
+        assert_eq!(Rule::Average.merge(1.0, 3.0), Average.merge(1.0, 3.0));
+        assert_eq!(Rule::Min.merge(1.0, 3.0), Min.merge(1.0, 3.0));
+        assert_eq!(Rule::Max.merge(1.0, 3.0), Max.merge(1.0, 3.0));
+        assert_eq!(
+            Rule::GeometricMean.merge(1.0, 3.0),
+            GeometricMean.merge(1.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Rule::Average.to_string(), "average");
+        assert_eq!(Rule::GeometricMean.to_string(), "geometric-mean");
+    }
+
+    #[test]
+    fn repeated_averaging_converges_to_mean() {
+        // Tiny in-crate sanity check of the whole idea: a ring of values
+        // repeatedly pairwise-averaged converges to the global mean.
+        let mut values = [8.0, 0.0, 4.0, 0.0];
+        let mean = 3.0;
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..200 {
+            let i = rng.index(4);
+            let j = (i + 1 + rng.index(3)) % 4;
+            let m = Average.merge(values[i], values[j]);
+            values[i] = m;
+            values[j] = m;
+        }
+        for v in values {
+            assert!((v - mean).abs() < 1e-6);
+        }
+    }
+}

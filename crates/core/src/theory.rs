@@ -1,0 +1,223 @@
+//! Closed-form results from the paper (Sections 3, 4.5 and 6).
+//!
+//! * [`RHO_PUSH_PULL`] — per-cycle variance reduction ρ ≈ 1/(2√e) of the
+//!   push-pull protocol on sufficiently random overlays (Section 3).
+//! * [`RHO_RANDOM_PAIRWISE`] — ρ = 1/e of the fully random pairwise model
+//!   used to bound link-failure behaviour (Section 6.2).
+//! * [`link_failure_rho_bound`] — Eq. (5): ρ_d = e^(P_d − 1).
+//! * [`crash_variance_ratio`] — Theorem 1 / Eq. (2): the variance of the
+//!   running mean µ_i induced by crashing a proportion P_f of the nodes
+//!   before every cycle.
+//! * [`cycles_for_accuracy`] — γ ≥ log_ρ ε (Section 4.5).
+
+/// Per-cycle variance reduction of the push-pull averaging protocol on a
+/// sufficiently random overlay: `1 / (2√e) ≈ 0.3033`.
+pub const RHO_PUSH_PULL: f64 = 0.303_265_329_856_316_7;
+
+/// Per-cycle variance reduction of the idealized model where each variance
+/// reduction step picks a uniform random pair: `1/e ≈ 0.3679`. This is the
+/// pessimistic constant used in the link-failure bound.
+pub const RHO_RANDOM_PAIRWISE: f64 = 0.367_879_441_171_442_33;
+
+/// Recomputes [`RHO_PUSH_PULL`] from first principles (`1/(2√e)`); used by
+/// tests and available for documentation purposes.
+pub fn rho_push_pull() -> f64 {
+    1.0 / (2.0 * std::f64::consts::E.sqrt())
+}
+
+/// Upper bound on the average convergence factor under symmetric link
+/// failures with probability `p_d` (paper Eq. (5)): `ρ_d = e^(p_d − 1)`.
+///
+/// At `p_d = 0` this is `1/e` (the pessimistic random-pair model); as
+/// `p_d → 1` convergence stalls (`ρ_d → 1`). Link failure therefore only
+/// slows the protocol down proportionally — it does not bias the result.
+///
+/// # Panics
+///
+/// Panics if `p_d` is outside `[0, 1]`.
+pub fn link_failure_rho_bound(p_d: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_d), "P_d must be in [0,1], got {p_d}");
+    (p_d - 1.0).exp()
+}
+
+/// Theorem 1 (Eq. (2)): variance of the empirical mean µ_i after `cycles`
+/// cycles, normalized by the initial variance E(σ₀²), when a proportion
+/// `p_f` of the remaining nodes crashes before every cycle.
+///
+/// ```text
+/// Var(µ_i)/E(σ₀²) = P_f / (N(1−P_f)) · (1 − (ρ/(1−P_f))^i) / (1 − ρ/(1−P_f))
+/// ```
+///
+/// `n` is the initial network size and `rho` the per-cycle variance
+/// reduction factor. Returns `0` for `p_f = 0`. If `ρ ≥ 1 − P_f` the series
+/// diverges with `i` (the variance is unbounded in the limit); the formula
+/// still evaluates the finite-`i` sum, handling the `ρ = 1 − P_f` boundary
+/// by its limit `i · P_f / (N(1−P_f))`.
+///
+/// # Panics
+///
+/// Panics if `p_f` is outside `[0, 1)` or `n == 0`.
+pub fn crash_variance_ratio(p_f: f64, n: usize, rho: f64, cycles: u32) -> f64 {
+    assert!((0.0..1.0).contains(&p_f), "P_f must be in [0,1), got {p_f}");
+    assert!(n > 0, "network size must be positive");
+    if p_f == 0.0 || cycles == 0 {
+        return 0.0;
+    }
+    let q = rho / (1.0 - p_f);
+    let prefactor = p_f / (n as f64 * (1.0 - p_f));
+    let series = if (q - 1.0).abs() < 1e-12 {
+        cycles as f64
+    } else {
+        (1.0 - q.powi(cycles as i32)) / (1.0 - q)
+    };
+    prefactor * series
+}
+
+/// Expected variance after `cycles` cycles: `E(σ_i²) = ρ^i · E(σ₀²)`
+/// (Section 4.5).
+pub fn variance_after(cycles: u32, rho: f64, initial_variance: f64) -> f64 {
+    rho.powi(cycles as i32) * initial_variance
+}
+
+/// Minimum epoch length γ needed to shrink the variance to a fraction
+/// `epsilon` of its initial value: γ ≥ log_ρ ε (Section 4.5). Since ρ does
+/// not depend on the network size, this is `O(1)` in N.
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon < 1` and `0 < rho < 1`.
+pub fn cycles_for_accuracy(epsilon: f64, rho: f64) -> u32 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+    (epsilon.ln() / rho.ln()).ceil() as u32
+}
+
+/// Wall-clock slowdown factor under link failure probability `p_d`: the
+/// system behaves like a failure-free system running `1/(1−p_d)` times
+/// slower (Section 6.2).
+///
+/// # Panics
+///
+/// Panics if `p_d` is outside `[0, 1)`.
+pub fn link_failure_slowdown(p_d: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p_d), "P_d must be in [0,1), got {p_d}");
+    1.0 / (1.0 - p_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_constant_matches_formula() {
+        assert!((RHO_PUSH_PULL - rho_push_pull()).abs() < 1e-15);
+        assert!((RHO_PUSH_PULL - 0.30327).abs() < 1e-5);
+        assert!((RHO_RANDOM_PAIRWISE - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn link_bound_endpoints() {
+        assert!((link_failure_rho_bound(0.0) - RHO_RANDOM_PAIRWISE).abs() < 1e-12);
+        assert!((link_failure_rho_bound(1.0) - 1.0).abs() < 1e-12);
+        // Monotone increasing in p_d.
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let v = link_failure_rho_bound(i as f64 / 10.0);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "P_d must be in [0,1]")]
+    fn link_bound_rejects_bad_probability() {
+        link_failure_rho_bound(1.5);
+    }
+
+    #[test]
+    fn crash_variance_zero_cases() {
+        assert_eq!(crash_variance_ratio(0.0, 1000, RHO_PUSH_PULL, 20), 0.0);
+        assert_eq!(crash_variance_ratio(0.1, 1000, RHO_PUSH_PULL, 0), 0.0);
+    }
+
+    #[test]
+    fn crash_variance_matches_manual_series() {
+        // Sum Var(d_j) j=0..i-1 with Var(d_j) = Pf/(1-Pf) * rho^j / (N (1-Pf)^j).
+        let (p_f, n, rho, cycles) = (0.05, 10_000usize, RHO_PUSH_PULL, 20u32);
+        let mut manual = 0.0;
+        for j in 0..cycles {
+            manual += p_f / (1.0 - p_f) * rho.powi(j as i32)
+                / (n as f64 * (1.0 - p_f).powi(j as i32));
+        }
+        let formula = crash_variance_ratio(p_f, n, rho, cycles);
+        assert!((manual - formula).abs() / manual < 1e-10);
+    }
+
+    #[test]
+    fn crash_variance_increases_with_pf() {
+        let mut last = 0.0;
+        for i in 1..=6 {
+            let p_f = i as f64 * 0.05;
+            let v = crash_variance_ratio(p_f, 100_000, RHO_PUSH_PULL, 20);
+            assert!(v > last, "not increasing at P_f={p_f}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn crash_variance_shrinks_with_network_size() {
+        let small = crash_variance_ratio(0.1, 1_000, RHO_PUSH_PULL, 20);
+        let large = crash_variance_ratio(0.1, 1_000_000, RHO_PUSH_PULL, 20);
+        assert!((small / large - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crash_variance_boundary_q_equals_one() {
+        // rho = 1 - p_f makes the geometric ratio exactly 1.
+        let p_f = 1.0 - RHO_PUSH_PULL;
+        let v = crash_variance_ratio(p_f, 1000, RHO_PUSH_PULL, 7);
+        let expected = 7.0 * p_f / (1000.0 * (1.0 - p_f));
+        assert!((v - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn crash_variance_paper_magnitude() {
+        // Figure 5: at N = 1e5 and P_f = 0.3, Var(µ20)/E(σ0²) ≈ 1.8e-5.
+        let v = crash_variance_ratio(0.3, 100_000, RHO_PUSH_PULL, 20);
+        assert!(v > 5e-6 && v < 5e-5, "magnitude off: {v}");
+    }
+
+    #[test]
+    fn variance_after_decays_exponentially() {
+        let v0 = 123.0;
+        let v10 = variance_after(10, RHO_PUSH_PULL, v0);
+        assert!((v10 / v0 - RHO_PUSH_PULL.powi(10)).abs() < 1e-12);
+        assert_eq!(variance_after(0, RHO_PUSH_PULL, v0), v0);
+    }
+
+    #[test]
+    fn cycles_for_accuracy_examples() {
+        // 1e-10 precision needs ~20 cycles at rho = 1/(2 sqrt e).
+        let gamma = cycles_for_accuracy(1e-10, RHO_PUSH_PULL);
+        assert_eq!(gamma, 20);
+        // Coarser accuracy needs fewer cycles.
+        assert!(cycles_for_accuracy(1e-2, RHO_PUSH_PULL) < gamma);
+        // Size-independence: identical for any epsilon regardless of N —
+        // there is no N parameter at all, which is the point.
+    }
+
+    #[test]
+    fn variance_shrinks_to_epsilon_within_gamma() {
+        let eps = 1e-6;
+        let gamma = cycles_for_accuracy(eps, RHO_PUSH_PULL);
+        assert!(variance_after(gamma, RHO_PUSH_PULL, 1.0) <= eps);
+        assert!(variance_after(gamma - 1, RHO_PUSH_PULL, 1.0) > eps);
+    }
+
+    #[test]
+    fn slowdown_factors() {
+        assert_eq!(link_failure_slowdown(0.0), 1.0);
+        assert!((link_failure_slowdown(0.5) - 2.0).abs() < 1e-12);
+        assert!((link_failure_slowdown(0.9) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the sans-io protocol node: arbitrary message
+//! sequences never panic, never violate epoch monotonicity, and never
+//! push scalar estimates outside the envelope of everything observed.
+
+use epidemic_aggregation::node::GossipNode;
+use epidemic_aggregation::value::InstanceMap;
+use epidemic_aggregation::{InstanceSpec, InstanceState, Message, NodeConfig};
+use epidemic_common::NodeId;
+use proptest::prelude::*;
+
+fn config() -> NodeConfig {
+    NodeConfig::builder()
+        .gamma(5)
+        .cycle_length(100)
+        .timeout(30)
+        .instance(InstanceSpec::AVERAGE)
+        .instance(InstanceSpec::count(4.0))
+        .build()
+        .unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Poll { dt: u64, peer: u64 },
+    Request { from: u64, epoch: u64, scalar: f64, leader: Option<u64> },
+    Reply { from: u64, epoch: u64, scalar: f64 },
+    Notice { from: u64, epoch: u64 },
+    Refuse { from: u64, epoch: u64 },
+    Garbage { from: u64, epoch: u64 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u64..200, 0u64..8).prop_map(|(dt, peer)| Action::Poll { dt, peer }),
+        (0u64..8, 0u64..6, -100.0f64..100.0, prop::option::of(0u64..8)).prop_map(
+            |(from, epoch, scalar, leader)| Action::Request { from, epoch, scalar, leader }
+        ),
+        (0u64..8, 0u64..6, -100.0f64..100.0)
+            .prop_map(|(from, epoch, scalar)| Action::Reply { from, epoch, scalar }),
+        (0u64..8, 0u64..6).prop_map(|(from, epoch)| Action::Notice { from, epoch }),
+        (0u64..8, 0u64..6).prop_map(|(from, epoch)| Action::Refuse { from, epoch }),
+        (0u64..8, 0u64..6).prop_map(|(from, epoch)| Action::Garbage { from, epoch }),
+    ]
+}
+
+fn states(scalar: f64, leader: Option<u64>) -> Vec<InstanceState> {
+    let map = match leader {
+        Some(l) => InstanceMap::leader(l),
+        None => InstanceMap::new(),
+    };
+    vec![InstanceState::Scalar(scalar), InstanceState::Map(map)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn node_survives_arbitrary_message_sequences(
+        actions in prop::collection::vec(action_strategy(), 1..60),
+        local_value in -50.0f64..50.0,
+    ) {
+        let mut node = GossipNode::founder(NodeId::new(0), config(), local_value, 1);
+        let mut now = 0u64;
+        let mut last_epoch = node.epoch();
+        for action in actions {
+            match action {
+                Action::Poll { dt, peer } => {
+                    now += dt;
+                    node.poll(now, Some(NodeId::new(peer)));
+                }
+                Action::Request { from, epoch, scalar, leader } => {
+                    node.handle(
+                        &Message::request(NodeId::new(from), epoch, states(scalar, leader)),
+                        now,
+                    );
+                }
+                Action::Reply { from, epoch, scalar } => {
+                    node.handle(
+                        &Message::reply(NodeId::new(from), epoch, states(scalar, None)),
+                        now,
+                    );
+                }
+                Action::Notice { from, epoch } => {
+                    node.handle(&Message::epoch_notice(NodeId::new(from), epoch), now);
+                }
+                Action::Refuse { from, epoch } => {
+                    node.handle(&Message::refuse(NodeId::new(from), epoch), now);
+                }
+                Action::Garbage { from, epoch } => {
+                    // Shape-mismatched payloads must be rejected, not merged.
+                    node.handle(
+                        &Message::request(
+                            NodeId::new(from),
+                            epoch,
+                            vec![InstanceState::Map(InstanceMap::new())],
+                        ),
+                        now,
+                    );
+                }
+            }
+            // Epoch only ever moves forward.
+            prop_assert!(node.epoch() >= last_epoch, "epoch went backwards");
+            last_epoch = node.epoch();
+            // Scalar estimate remains within the envelope of its own local
+            // value and everything any peer could have sent (|x| <= 100).
+            if let Some(est) = node.scalar_estimate(0) {
+                prop_assert!(est.abs() <= 100.0 + 1e-9, "estimate escaped: {}", est);
+            }
+        }
+        // Reports, if any, are well-formed.
+        for report in node.take_reports() {
+            prop_assert_eq!(report.states.len(), 2);
+            prop_assert!(report.cycles_run > 0);
+        }
+    }
+
+    #[test]
+    fn two_nodes_always_agree_after_clean_exchange(
+        a_value in -100.0f64..100.0,
+        b_value in -100.0f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let cfg = NodeConfig::builder()
+            .gamma(50)
+            .cycle_length(100)
+            .timeout(30)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap();
+        let mut a = GossipNode::founder(NodeId::new(0), cfg.clone(), a_value, seed);
+        let mut b = GossipNode::founder(NodeId::new(1), cfg, b_value, seed + 1);
+        let mut t = 0u64;
+        let out = loop {
+            t += 1;
+            if let Some(out) = a.poll(t, Some(NodeId::new(1))) {
+                break out;
+            }
+            prop_assert!(t < 10_000);
+        };
+        let reply = b.handle(&out.message, t).expect("reply");
+        a.handle(&reply.message, t);
+        let expect = (a_value + b_value) / 2.0;
+        prop_assert_eq!(a.scalar_estimate(0), Some(expect));
+        prop_assert_eq!(b.scalar_estimate(0), Some(expect));
+    }
+}

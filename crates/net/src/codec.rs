@@ -1,0 +1,265 @@
+//! Binary wire format.
+//!
+//! One datagram carries one [`Message`]. The format is little-endian,
+//! versioned, and deliberately simple:
+//!
+//! ```text
+//! u8  version (=1)
+//! u8  body tag: 0 request, 1 reply, 2 epoch notice, 3 refuse
+//! u64 sender id
+//! u64 epoch
+//! -- request/reply only --
+//! u16 instance count
+//!   per instance: u8 state tag (0 scalar, 1 map)
+//!     scalar: f64
+//!     map:    u16 entry count, then (u64 leader, f64 estimate)*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use epidemic_aggregation::value::InstanceMap;
+use epidemic_aggregation::{InstanceState, Message, MessageBody};
+use epidemic_common::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Wire format version emitted by [`encode_message`].
+pub const WIRE_VERSION: u8 = 1;
+
+/// Error raised when a datagram cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The datagram was shorter than the fixed header.
+    Truncated,
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// Unknown body or state tag.
+    BadTag(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "datagram truncated"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encodes a message into a fresh buffer.
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(WIRE_VERSION);
+    let (tag, states): (u8, Option<&[InstanceState]>) = match &msg.body {
+        MessageBody::Request(s) => (0, Some(s)),
+        MessageBody::Reply(s) => (1, Some(s)),
+        MessageBody::EpochNotice => (2, None),
+        MessageBody::Refuse => (3, None),
+    };
+    buf.put_u8(tag);
+    buf.put_u64_le(msg.from.as_u64());
+    buf.put_u64_le(msg.epoch);
+    if let Some(states) = states {
+        buf.put_u16_le(states.len() as u16);
+        for state in states {
+            match state {
+                InstanceState::Scalar(v) => {
+                    buf.put_u8(0);
+                    buf.put_f64_le(*v);
+                }
+                InstanceState::Map(map) => {
+                    buf.put_u8(1);
+                    buf.put_u16_le(map.len() as u16);
+                    for (leader, estimate) in map.iter() {
+                        buf.put_u64_le(leader);
+                        buf.put_f64_le(estimate);
+                    }
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a datagram produced by [`encode_message`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the datagram is truncated, has an unknown
+/// version, or contains an unknown tag.
+pub fn decode_message(mut data: &[u8]) -> Result<Message, DecodeError> {
+    if data.remaining() < 18 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let tag = data.get_u8();
+    let from = NodeId::new(data.get_u64_le());
+    let epoch = data.get_u64_le();
+    let body = match tag {
+        2 => MessageBody::EpochNotice,
+        3 => MessageBody::Refuse,
+        0 | 1 => {
+            if data.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let count = data.get_u16_le() as usize;
+            let mut states = Vec::with_capacity(count);
+            for _ in 0..count {
+                if data.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                match data.get_u8() {
+                    0 => {
+                        if data.remaining() < 8 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        states.push(InstanceState::Scalar(data.get_f64_le()));
+                    }
+                    1 => {
+                        if data.remaining() < 2 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let entries = data.get_u16_le() as usize;
+                        if data.remaining() < entries * 16 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let mut pairs = Vec::with_capacity(entries);
+                        for _ in 0..entries {
+                            let leader = data.get_u64_le();
+                            let estimate = data.get_f64_le();
+                            pairs.push((leader, estimate));
+                        }
+                        states.push(InstanceState::Map(InstanceMap::from_entries(pairs)));
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                }
+            }
+            if tag == 0 {
+                MessageBody::Request(states)
+            } else {
+                MessageBody::Reply(states)
+            }
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    Ok(Message { from, epoch, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message) {
+        let encoded = encode_message(msg);
+        let decoded = decode_message(&encoded).expect("decode");
+        assert_eq!(&decoded, msg);
+    }
+
+    #[test]
+    fn round_trip_scalar_request() {
+        round_trip(&Message::request(
+            NodeId::new(7),
+            42,
+            vec![InstanceState::Scalar(3.25), InstanceState::Scalar(-1.5)],
+        ));
+    }
+
+    #[test]
+    fn round_trip_map_reply() {
+        let map = InstanceMap::from_entries([(3, 0.125), (900, 1.0), (u64::MAX, 1e-30)]);
+        round_trip(&Message::reply(
+            NodeId::new(u64::MAX),
+            u64::MAX,
+            vec![InstanceState::Map(map), InstanceState::Scalar(0.0)],
+        ));
+    }
+
+    #[test]
+    fn round_trip_control_messages() {
+        round_trip(&Message::epoch_notice(NodeId::new(0), 0));
+        round_trip(&Message::refuse(NodeId::new(1), 9));
+    }
+
+    #[test]
+    fn round_trip_empty_states_and_map() {
+        round_trip(&Message::request(NodeId::new(2), 1, vec![]));
+        round_trip(&Message::request(
+            NodeId::new(2),
+            1,
+            vec![InstanceState::Map(InstanceMap::new())],
+        ));
+    }
+
+    #[test]
+    fn round_trip_special_floats() {
+        round_trip(&Message::request(
+            NodeId::new(3),
+            2,
+            vec![
+                InstanceState::Scalar(f64::MAX),
+                InstanceState::Scalar(f64::MIN_POSITIVE),
+                InstanceState::Scalar(f64::INFINITY),
+            ],
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let msg = Message::request(
+            NodeId::new(7),
+            42,
+            vec![
+                InstanceState::Scalar(1.0),
+                InstanceState::Map(InstanceMap::from_entries([(1, 0.5)])),
+            ],
+        );
+        let encoded = encode_message(&msg);
+        for len in 0..encoded.len() {
+            let err = decode_message(&encoded[..len]).unwrap_err();
+            assert_eq!(err, DecodeError::Truncated, "prefix of length {len}");
+        }
+        assert!(decode_message(&encoded).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let mut encoded = encode_message(&Message::refuse(NodeId::new(1), 0)).to_vec();
+        encoded[0] = 99;
+        assert_eq!(decode_message(&encoded), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags() {
+        let mut encoded = encode_message(&Message::refuse(NodeId::new(1), 0)).to_vec();
+        encoded[1] = 9;
+        assert_eq!(decode_message(&encoded), Err(DecodeError::BadTag(9)));
+
+        let mut encoded =
+            encode_message(&Message::request(NodeId::new(1), 0, vec![InstanceState::Scalar(1.0)]))
+                .to_vec();
+        encoded[20] = 7; // the state tag
+        assert_eq!(decode_message(&encoded), Err(DecodeError::BadTag(7)));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // The paper argues COUNT messages stay small ("a few hundred
+        // bytes" for 20 instances); verify the format's arithmetic.
+        let map = InstanceMap::from_entries((0..20u64).map(|l| (l, 1.0 / 20.0)));
+        let msg = Message::request(NodeId::new(1), 5, vec![InstanceState::Map(map)]);
+        let encoded = encode_message(&msg);
+        assert!(encoded.len() < 350, "encoded size {}", encoded.len());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadVersion(3).to_string().contains('3'));
+        assert!(DecodeError::BadTag(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,49 @@
+//! Real-network runtime for epidemic aggregation.
+//!
+//! The paper presents the aggregation protocol as a deployable system
+//! (Figure 1: an active thread gossiping every δ and a passive thread
+//! answering). This crate provides exactly that embedding for the sans-io
+//! [`epidemic_aggregation::GossipNode`]:
+//!
+//! * [`codec`] — a compact, versioned binary wire format for protocol
+//!   messages (no serde data format dependency; hand-rolled over `bytes`).
+//! * [`runtime`] — a UDP runtime: one OS thread per node runs the active
+//!   and passive loops over a non-blocking socket, with a static peer
+//!   table playing the role of the membership service.
+//!
+//! # Examples
+//!
+//! A two-node loopback cluster computing an average:
+//!
+//! ```no_run
+//! use epidemic_aggregation::{InstanceSpec, NodeConfig};
+//! use epidemic_net::runtime::{ClusterConfig, UdpNode};
+//!
+//! let node_config = NodeConfig::builder()
+//!     .gamma(10)
+//!     .cycle_length(50)   // milliseconds
+//!     .timeout(20)
+//!     .instance(InstanceSpec::AVERAGE)
+//!     .build()?;
+//! let cluster = ClusterConfig::loopback(2, node_config)?;
+//! let mut nodes: Vec<UdpNode> = Vec::new();
+//! for i in 0..2 {
+//!     nodes.push(UdpNode::spawn(cluster.node(i, (i * 10) as f64))?);
+//! }
+//! std::thread::sleep(std::time::Duration::from_millis(1200));
+//! for node in &nodes {
+//!     for report in node.take_reports() {
+//!         println!("epoch {} -> {:?}", report.epoch, report.scalar(0));
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod runtime;
+
+pub use codec::{decode_message, encode_message, DecodeError};
+pub use runtime::{ClusterConfig, NodeHandleConfig, UdpNode};

@@ -1,0 +1,363 @@
+//! UDP node runtime.
+//!
+//! One OS thread per node realizes the paper's Figure 1: the *active*
+//! behavior initiates one exchange per cycle with a random peer from the
+//! peer table, the *passive* behavior answers incoming datagrams. Both run
+//! in a single event loop over a non-blocking socket, driving the sans-io
+//! [`GossipNode`] with wall-clock milliseconds.
+//!
+//! Membership is provided by a static peer table ([`ClusterConfig`]), which
+//! stands in for the out-of-band discovery service the paper assumes; the
+//! NEWSCAST crate provides the dynamic alternative in simulations.
+
+use crate::codec::{decode_message, encode_message};
+use epidemic_aggregation::node::GossipNode;
+use epidemic_aggregation::{EpochReport, NodeConfig};
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::NodeId;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared description of a cluster: the peer table mapping dense node ids
+/// to socket addresses, plus the common protocol configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    peers: Vec<SocketAddr>,
+    node_config: NodeConfig,
+    seed: u64,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster of `n` loopback nodes on ephemeral ports by
+    /// binding (and immediately releasing) `n` sockets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn loopback(n: usize, node_config: NodeConfig) -> io::Result<Self> {
+        let mut peers = Vec::with_capacity(n);
+        let mut held = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sock = UdpSocket::bind(("127.0.0.1", 0))?;
+            peers.push(sock.local_addr()?);
+            held.push(sock); // hold all sockets until every port is chosen
+        }
+        drop(held);
+        Ok(ClusterConfig {
+            peers,
+            node_config,
+            seed: 0xC0FFEE,
+        })
+    }
+
+    /// Creates a cluster from an explicit peer table.
+    pub fn from_peers(peers: Vec<SocketAddr>, node_config: NodeConfig) -> Self {
+        ClusterConfig {
+            peers,
+            node_config,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Overrides the randomness seed shared by the cluster.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The peer table.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    /// Per-node spawn configuration for node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: usize, local_value: f64) -> NodeHandleConfig {
+        assert!(index < self.peers.len(), "node index out of range");
+        NodeHandleConfig {
+            index,
+            local_value,
+            cluster: self.clone(),
+        }
+    }
+}
+
+/// Everything needed to spawn one node of a cluster.
+#[derive(Debug, Clone)]
+pub struct NodeHandleConfig {
+    index: usize,
+    local_value: f64,
+    cluster: ClusterConfig,
+}
+
+/// Handle to a running UDP gossip node.
+///
+/// Dropping the handle shuts the node down (the background thread exits
+/// within one poll interval).
+#[derive(Debug)]
+pub struct UdpNode {
+    addr: SocketAddr,
+    id: NodeId,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    stop: AtomicBool,
+    reports: Mutex<Vec<EpochReport>>,
+    local_value: Mutex<Option<f64>>,
+    datagrams_in: std::sync::atomic::AtomicUsize,
+    datagrams_out: std::sync::atomic::AtomicUsize,
+}
+
+impl UdpNode {
+    /// Binds the node's socket and spawns its gossip thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, non-blocking setup).
+    pub fn spawn(config: NodeHandleConfig) -> io::Result<UdpNode> {
+        let NodeHandleConfig {
+            index,
+            local_value,
+            cluster,
+        } = config;
+        let addr = cluster.peers[index];
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        let id = NodeId::new(index as u64);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            reports: Mutex::new(Vec::new()),
+            local_value: Mutex::new(None),
+            datagrams_in: std::sync::atomic::AtomicUsize::new(0),
+            datagrams_out: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name(format!("gossip-{index}"))
+            .spawn(move || {
+                run_loop(socket, id, local_value, cluster, thread_shared);
+            })?;
+        Ok(UdpNode {
+            addr,
+            id,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The node's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's identifier (its index in the peer table).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Drains the epoch reports produced since the last call.
+    pub fn take_reports(&self) -> Vec<EpochReport> {
+        std::mem::take(&mut *self.shared.reports.lock())
+    }
+
+    /// Updates the node's local value (takes effect at the next epoch).
+    pub fn set_local_value(&self, value: f64) {
+        *self.shared.local_value.lock() = Some(value);
+    }
+
+    /// Datagrams received and sent so far.
+    pub fn datagram_counts(&self) -> (usize, usize) {
+        (
+            self.shared.datagrams_in.load(Ordering::Relaxed),
+            self.shared.datagrams_out.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops the gossip thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for UdpNode {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn run_loop(
+    socket: UdpSocket,
+    id: NodeId,
+    local_value: f64,
+    cluster: ClusterConfig,
+    shared: Arc<Shared>,
+) {
+    let mut node = GossipNode::founder(id, cluster.node_config.clone(), local_value, cluster.seed);
+    let mut rng = Xoshiro256::stream(cluster.seed ^ 0x5EED, id.as_u64());
+    let start = Instant::now();
+    let mut buf = [0u8; 64 * 1024];
+    let n_peers = cluster.peers.len();
+    while !shared.stop.load(Ordering::Relaxed) {
+        let now_ms = start.elapsed().as_millis() as u64;
+
+        // Application-side local value updates.
+        if let Some(v) = shared.local_value.lock().take() {
+            node.set_local_value(v);
+        }
+
+        // Active behavior: tick the protocol; initiate when a cycle fires.
+        let peer = if n_peers > 1 {
+            let raw = rng.index(n_peers - 1);
+            let p = if raw >= id.index() { raw + 1 } else { raw };
+            Some(NodeId::new(p as u64))
+        } else {
+            None
+        };
+        if let Some(out) = node.poll(now_ms, peer) {
+            let target = cluster.peers[out.to.index()];
+            if socket.send_to(&encode_message(&out.message), target).is_ok() {
+                shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Passive behavior: drain the socket.
+        loop {
+            match socket.recv_from(&mut buf) {
+                Ok((len, _src)) => {
+                    shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                    let Ok(msg) = decode_message(&buf[..len]) else {
+                        continue; // corrupt datagram: drop, stay alive
+                    };
+                    let now_ms = start.elapsed().as_millis() as u64;
+                    if let Some(response) = node.handle(&msg, now_ms) {
+                        let target = cluster.peers[response.to.index()];
+                        if socket
+                            .send_to(&encode_message(&response.message), target)
+                            .is_ok()
+                        {
+                            shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Publish finished epochs.
+        let reports = node.take_reports();
+        if !reports.is_empty() {
+            shared.reports.lock().extend(reports);
+        }
+
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_aggregation::InstanceSpec;
+
+    fn node_config(gamma: u32, cycle_ms: u64) -> NodeConfig {
+        NodeConfig::builder()
+            .gamma(gamma)
+            .cycle_length(cycle_ms)
+            .timeout(cycle_ms / 2)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn loopback_cluster_ports_are_distinct() {
+        let cluster = ClusterConfig::loopback(5, node_config(10, 50)).unwrap();
+        let mut ports: Vec<u16> = cluster.peers().iter().map(|a| a.port()).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_index_validated() {
+        let cluster = ClusterConfig::loopback(2, node_config(10, 50)).unwrap();
+        cluster.node(5, 0.0);
+    }
+
+    #[test]
+    fn single_node_runs_and_stops() {
+        let cluster = ClusterConfig::loopback(1, node_config(2, 30)).unwrap();
+        let node = UdpNode::spawn(cluster.node(0, 7.0)).unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        let reports = node.take_reports();
+        node.shutdown();
+        // Alone in the cluster it still completes epochs (no exchanges).
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert_eq!(r.scalar(0), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn pair_converges_to_average() {
+        let cluster = ClusterConfig::loopback(2, node_config(8, 25)).unwrap();
+        let a = UdpNode::spawn(cluster.node(0, 10.0)).unwrap();
+        let b = UdpNode::spawn(cluster.node(1, 20.0)).unwrap();
+        std::thread::sleep(Duration::from_millis(900));
+        let mut estimates = Vec::new();
+        for node in [&a, &b] {
+            for r in node.take_reports() {
+                estimates.push(r.scalar(0).unwrap());
+            }
+        }
+        a.shutdown();
+        b.shutdown();
+        assert!(!estimates.is_empty(), "no epochs completed");
+        // Later epochs must be at the true average.
+        let last = *estimates.last().unwrap();
+        assert!((last - 15.0).abs() < 0.5, "final estimate {last}");
+    }
+
+    #[test]
+    fn datagram_counters_move() {
+        let cluster = ClusterConfig::loopback(2, node_config(30, 20)).unwrap();
+        let a = UdpNode::spawn(cluster.node(0, 1.0)).unwrap();
+        let b = UdpNode::spawn(cluster.node(1, 3.0)).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        let (in_a, out_a) = a.datagram_counts();
+        a.shutdown();
+        b.shutdown();
+        assert!(out_a > 0, "node never sent");
+        assert!(in_a > 0, "node never received");
+    }
+
+    #[test]
+    fn set_local_value_applies_next_epoch() {
+        let cluster = ClusterConfig::loopback(1, node_config(2, 20)).unwrap();
+        let node = UdpNode::spawn(cluster.node(0, 1.0)).unwrap();
+        node.set_local_value(100.0);
+        std::thread::sleep(Duration::from_millis(400));
+        let reports = node.take_reports();
+        node.shutdown();
+        let last = reports.last().and_then(|r| r.scalar(0)).unwrap();
+        assert_eq!(last, 100.0, "local value update never took effect");
+    }
+}

@@ -1,0 +1,258 @@
+//! Overlay-health analysis.
+//!
+//! The robustness arguments of the paper lean on NEWSCAST maintaining a
+//! "sufficiently random" and connected overlay under churn. These helpers
+//! quantify that: in-degree balance, connectivity of the directed view
+//! graph, descriptor freshness, and the fraction of view entries pointing
+//! at crashed peers (the self-healing signal).
+
+use crate::overlay::Overlay;
+use epidemic_common::stats::{OnlineStats, Summary};
+use epidemic_topology::{metrics as graph_metrics, Graph, GraphBuilder};
+
+/// Builds the directed snapshot graph of the current views, restricted to
+/// live nodes (edges to crashed peers are dropped).
+pub fn snapshot_graph(overlay: &Overlay) -> Graph {
+    let n = overlay.slot_count();
+    let mut b = GraphBuilder::with_degree_hint(n, overlay.view_size());
+    for node in 0..n {
+        if !overlay.is_alive(node) {
+            continue;
+        }
+        for d in overlay.view(node).entries() {
+            let peer = d.node as usize;
+            if overlay.is_alive(peer) {
+                b.add_edge(node, peer);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Returns `true` if the live part of the overlay forms one weakly
+/// connected component.
+///
+/// Crashed slots are excluded from the check: the snapshot graph contains
+/// them as isolated vertices, so we verify that all *live* nodes share one
+/// component instead of calling plain `is_connected`.
+pub fn is_connected(overlay: &Overlay) -> bool {
+    let g = snapshot_graph(overlay);
+    let components = graph_metrics::connected_components(&g);
+    let mut live_component = None;
+    for (node, &component) in components.iter().enumerate() {
+        if !overlay.is_alive(node) {
+            continue;
+        }
+        match live_component {
+            None => live_component = Some(component),
+            Some(c) if c != component => return false,
+            _ => {}
+        }
+    }
+    live_component.is_some()
+}
+
+/// In-degree of every slot: how many live views contain a descriptor of it.
+pub fn in_degrees(overlay: &Overlay) -> Vec<usize> {
+    let mut counts = vec![0usize; overlay.slot_count()];
+    for node in 0..overlay.slot_count() {
+        if !overlay.is_alive(node) {
+            continue;
+        }
+        for d in overlay.view(node).entries() {
+            counts[d.node as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Summary of the in-degree distribution over live nodes.
+pub fn in_degree_summary(overlay: &Overlay) -> Summary {
+    let counts = in_degrees(overlay);
+    let stats: OnlineStats = counts
+        .iter()
+        .enumerate()
+        .filter(|&(node, _)| overlay.is_alive(node))
+        .map(|(_, &c)| c as f64)
+        .collect();
+    stats.summary()
+}
+
+/// Summary of descriptor ages (`now - timestamp`) across live views.
+pub fn freshness_summary(overlay: &Overlay, now: u32) -> Summary {
+    let mut stats = OnlineStats::new();
+    for node in 0..overlay.slot_count() {
+        if !overlay.is_alive(node) {
+            continue;
+        }
+        for d in overlay.view(node).entries() {
+            stats.push(f64::from(now.saturating_sub(d.timestamp)));
+        }
+    }
+    stats.summary()
+}
+
+/// Fraction of live nodes inside the largest weakly connected component —
+/// `1.0` for a healthy overlay, lower when a crash wave partitioned it.
+pub fn largest_component_fraction(overlay: &Overlay) -> f64 {
+    let live_total = overlay.alive_count();
+    if live_total == 0 {
+        return 0.0;
+    }
+    let g = snapshot_graph(overlay);
+    let components = graph_metrics::connected_components(&g);
+    let mut counts = std::collections::HashMap::new();
+    for (node, &component) in components.iter().enumerate() {
+        if overlay.is_alive(node) {
+            *counts.entry(component).or_insert(0usize) += 1;
+        }
+    }
+    let largest = counts.values().copied().max().unwrap_or(0);
+    largest as f64 / live_total as f64
+}
+
+/// Fraction of descriptors in live views that point at crashed peers.
+/// Drops toward zero as the overlay heals after a crash wave.
+pub fn dead_entry_fraction(overlay: &Overlay) -> f64 {
+    let mut dead = 0usize;
+    let mut total = 0usize;
+    for node in 0..overlay.slot_count() {
+        if !overlay.is_alive(node) {
+            continue;
+        }
+        for d in overlay.view(node).entries() {
+            total += 1;
+            if !overlay.is_alive(d.node as usize) {
+                dead += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        dead as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_common::rng::Xoshiro256;
+
+    fn warmed_overlay(n: usize, c: usize, seed: u64) -> (Overlay, Xoshiro256) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut overlay = Overlay::random_init(n, c, &mut rng);
+        for cycle in 1..=10 {
+            overlay.run_cycle(cycle, &mut rng);
+        }
+        (overlay, rng)
+    }
+
+    #[test]
+    fn snapshot_matches_views() {
+        let (overlay, _) = warmed_overlay(60, 8, 1);
+        let g = snapshot_graph(&overlay);
+        assert_eq!(g.node_count(), 60);
+        for node in 0..60 {
+            assert_eq!(g.degree(node), overlay.view(node).len());
+        }
+    }
+
+    #[test]
+    fn healthy_overlay_is_connected() {
+        let (overlay, _) = warmed_overlay(300, 20, 2);
+        assert!(is_connected(&overlay));
+    }
+
+    #[test]
+    fn connectivity_survives_mass_crash() {
+        let (mut overlay, mut rng) = warmed_overlay(400, 20, 3);
+        for n in 0..200 {
+            overlay.crash(n);
+        }
+        for cycle in 11..=20 {
+            overlay.run_cycle(cycle, &mut rng);
+        }
+        assert!(is_connected(&overlay));
+    }
+
+    #[test]
+    fn in_degree_is_balanced_for_random_overlay() {
+        let (overlay, _) = warmed_overlay(500, 20, 4);
+        let s = in_degree_summary(&overlay);
+        assert!((s.mean - 20.0).abs() < 1.0, "mean in-degree {}", s.mean);
+        // Newscast's in-degree distribution is known to be skewed (recent
+        // exchangers are over-represented); check the bulk rather than the
+        // extreme tail.
+        let degrees: Vec<f64> = in_degrees(&overlay)
+            .iter()
+            .enumerate()
+            .filter(|&(node, _)| overlay.is_alive(node))
+            .map(|(_, &c)| c as f64)
+            .collect();
+        let median = epidemic_common::stats::quantile(&degrees, 0.5).unwrap();
+        let p95 = epidemic_common::stats::quantile(&degrees, 0.95).unwrap();
+        assert!(median <= 20.0, "median in-degree {median} above view size");
+        assert!(p95 < 100.0, "95th percentile in-degree {p95}");
+    }
+
+    #[test]
+    fn freshness_improves_with_cycles() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut overlay = Overlay::random_init(200, 10, &mut rng);
+        let before = freshness_summary(&overlay, 0).mean;
+        for cycle in 1..=10 {
+            overlay.run_cycle(cycle, &mut rng);
+        }
+        let after = freshness_summary(&overlay, 10).mean;
+        assert!(before <= after + 10.0);
+        assert!(after < 5.0, "descriptors too stale: mean age {after}");
+    }
+
+    #[test]
+    fn dead_fraction_decays() {
+        let (mut overlay, mut rng) = warmed_overlay(400, 20, 6);
+        for n in 0..100 {
+            overlay.crash(n);
+        }
+        let right_after = dead_entry_fraction(&overlay);
+        assert!(right_after > 0.1, "expected many dead entries, got {right_after}");
+        for cycle in 11..=30 {
+            overlay.run_cycle(cycle, &mut rng);
+        }
+        let healed = dead_entry_fraction(&overlay);
+        assert!(healed < right_after / 3.0, "no healing: {right_after} -> {healed}");
+    }
+
+    #[test]
+    fn largest_component_is_everything_when_healthy() {
+        let (overlay, _) = warmed_overlay(300, 20, 8);
+        assert_eq!(largest_component_fraction(&overlay), 1.0);
+    }
+
+    #[test]
+    fn largest_component_shrinks_when_partitioned() {
+        // Crash everything except two nodes that only know dead peers:
+        // the survivors split into singleton components.
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut overlay = Overlay::random_init(50, 4, &mut rng);
+        for n in 2..50 {
+            overlay.crash(n);
+        }
+        let frac = largest_component_fraction(&overlay);
+        assert!(frac <= 1.0);
+        assert!(frac >= 0.5); // two survivors: either together or split
+    }
+
+    #[test]
+    fn empty_overlay_edge_cases() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut overlay = Overlay::random_init(5, 2, &mut rng);
+        for n in 0..5 {
+            overlay.crash(n);
+        }
+        assert!(!is_connected(&overlay));
+        assert_eq!(dead_entry_fraction(&overlay), 0.0);
+        assert_eq!(freshness_summary(&overlay, 3).count, 0);
+    }
+}

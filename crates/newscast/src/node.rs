@@ -1,0 +1,285 @@
+//! Sans-io NEWSCAST membership node.
+//!
+//! [`Overlay`](crate::Overlay) simulates a whole network at once; this
+//! module provides the single-node view of the same protocol, in the same
+//! sans-io style as `epidemic_aggregation::GossipNode`: the embedding
+//! supplies the clock and the transport, [`MembershipNode`] supplies the
+//! protocol logic. This is the component a deployment pairs with the
+//! aggregation node so that `GETNEIGHBOR()` can be answered from live
+//! gossip instead of a static peer table.
+//!
+//! # Examples
+//!
+//! ```
+//! use epidemic_newscast::node::{MembershipConfig, MembershipNode};
+//!
+//! let config = MembershipConfig { view_size: 20, cycle_length: 1_000 };
+//! let mut a = MembershipNode::new(0, config, 1);
+//! let mut b = MembershipNode::new(1, config, 2);
+//! // Bootstrap: a knows b out of band.
+//! a.add_seed(1, 0);
+//!
+//! // a's timer fires; it gossips with a random view member (b).
+//! let (to, request) = a.poll(1_000).expect("cycle fired");
+//! assert_eq!(to, 1);
+//! let reply = b.handle_exchange(&request, 1_050);
+//! a.absorb_reply(&reply, 1_100);
+//! assert!(a.view().contains(1));
+//! assert!(b.view().contains(0));
+//! ```
+
+use crate::view::{Descriptor, View};
+use epidemic_common::rng::Xoshiro256;
+
+/// Static parameters of a membership node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// View size `c`.
+    pub view_size: usize,
+    /// Gossip period δ in ticks.
+    pub cycle_length: u64,
+}
+
+/// One node's NEWSCAST state machine.
+///
+/// Drive it with [`MembershipNode::poll`] (timer), deliver peer payloads
+/// through [`MembershipNode::handle_exchange`] (passive side) and
+/// [`MembershipNode::absorb_reply`] (active side).
+#[derive(Debug, Clone)]
+pub struct MembershipNode {
+    id: u32,
+    config: MembershipConfig,
+    view: View,
+    next_cycle_at: u64,
+    rng: Xoshiro256,
+}
+
+/// The payload of a view exchange: the sender's view entries plus a fresh
+/// descriptor of the sender itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewPayload {
+    /// Sender identifier.
+    pub from: u32,
+    /// Descriptors carried (sender's view + fresh self-descriptor).
+    pub descriptors: Vec<Descriptor>,
+}
+
+impl MembershipNode {
+    /// Creates a node with an empty view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_size == 0` or `cycle_length == 0`.
+    pub fn new(id: u32, config: MembershipConfig, seed: u64) -> Self {
+        assert!(config.cycle_length > 0, "cycle length must be positive");
+        let mut rng = Xoshiro256::stream(seed, u64::from(id));
+        let phase = rng.next_below(config.cycle_length);
+        MembershipNode {
+            id,
+            view: View::new(config.view_size),
+            config,
+            next_cycle_at: phase,
+            rng,
+        }
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current view (freshest first).
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Registers a bootstrap contact (the out-of-band discovery of
+    /// Section 4.2).
+    pub fn add_seed(&mut self, peer: u32, now: u64) {
+        if peer != self.id {
+            self.view.insert(Descriptor::new(peer, timestamp(now)));
+        }
+    }
+
+    /// Returns a uniformly random view member — `GETNEIGHBOR()` for the
+    /// aggregation protocol running on top.
+    pub fn sample_peer(&mut self) -> Option<u32> {
+        let entries = self.view.entries();
+        if entries.is_empty() {
+            return None;
+        }
+        let idx = self.rng.index(entries.len());
+        Some(entries[idx].node)
+    }
+
+    /// Advances the timer. When the gossip period elapses, picks a random
+    /// view member and returns `(peer, payload)` for the embedding to
+    /// transmit. Returns `None` while the timer has not fired or the view
+    /// is empty.
+    pub fn poll(&mut self, now: u64) -> Option<(u32, ViewPayload)> {
+        if now < self.next_cycle_at {
+            return None;
+        }
+        while self.next_cycle_at <= now {
+            self.next_cycle_at += self.config.cycle_length;
+        }
+        let peer = self.sample_peer()?;
+        Some((peer, self.payload(now)))
+    }
+
+    /// Passive side of an exchange: merge the initiator's payload and
+    /// return our pre-merge payload as the reply.
+    pub fn handle_exchange(&mut self, incoming: &ViewPayload, now: u64) -> ViewPayload {
+        let reply = self.payload(now);
+        self.view.merge_with(&incoming.descriptors, self.id);
+        reply
+    }
+
+    /// Active side: merge the responder's reply.
+    pub fn absorb_reply(&mut self, reply: &ViewPayload, _now: u64) {
+        self.view.merge_with(&reply.descriptors, self.id);
+    }
+
+    /// Drops a peer that failed to answer (timeout eviction; optional
+    /// hardening, see `Overlay::set_evict_on_timeout`).
+    pub fn evict(&mut self, peer: u32) -> bool {
+        self.view.remove(peer)
+    }
+
+    /// Local tick of the next gossip cycle.
+    pub fn next_cycle_at(&self) -> u64 {
+        self.next_cycle_at
+    }
+
+    fn payload(&self, now: u64) -> ViewPayload {
+        let mut descriptors: Vec<Descriptor> = self.view.entries().to_vec();
+        descriptors.push(Descriptor::new(self.id, timestamp(now)));
+        ViewPayload {
+            from: self.id,
+            descriptors,
+        }
+    }
+}
+
+/// Timestamps descriptor freshness in coarse ticks. NEWSCAST only needs a
+/// total order with enough resolution to distinguish cycles, so 32 bits of
+/// tick time are ample (wrap after ~4 × 10⁹ ticks).
+fn timestamp(now: u64) -> u32 {
+    now as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MembershipConfig {
+        MembershipConfig {
+            view_size: 8,
+            cycle_length: 100,
+        }
+    }
+
+    fn two_bootstrapped() -> (MembershipNode, MembershipNode) {
+        let mut a = MembershipNode::new(0, config(), 1);
+        let b = MembershipNode::new(1, config(), 2);
+        a.add_seed(1, 0);
+        (a, b)
+    }
+
+    #[test]
+    fn empty_view_never_initiates() {
+        let mut lonely = MembershipNode::new(9, config(), 3);
+        for t in 0..1_000 {
+            assert!(lonely.poll(t).is_none());
+        }
+    }
+
+    #[test]
+    fn seeds_are_not_self() {
+        let mut node = MembershipNode::new(4, config(), 1);
+        node.add_seed(4, 0);
+        assert!(node.view().is_empty());
+        node.add_seed(5, 0);
+        assert_eq!(node.view().len(), 1);
+    }
+
+    #[test]
+    fn exchange_makes_both_sides_know_each_other() {
+        let (mut a, mut b) = two_bootstrapped();
+        let (to, request) = a.poll(150).expect("timer fired");
+        assert_eq!(to, 1);
+        let reply = b.handle_exchange(&request, 155);
+        a.absorb_reply(&reply, 160);
+        assert!(a.view().contains(1));
+        assert!(b.view().contains(0));
+        // Fresh timestamps were injected.
+        let d = b.view().entries().iter().find(|d| d.node == 0).unwrap();
+        assert_eq!(d.timestamp, 150);
+    }
+
+    #[test]
+    fn poll_respects_cycle_cadence() {
+        let (mut a, _) = two_bootstrapped();
+        let first = a.poll(250).expect("fired");
+        drop(first);
+        // Immediately afterwards the timer is re-armed.
+        assert!(a.poll(260).is_none());
+        assert!(a.poll(400).is_some());
+    }
+
+    #[test]
+    fn views_stay_bounded_and_self_free() {
+        // Gossip a small clique for a while; views never exceed c and
+        // never contain the owner.
+        let n = 12u32;
+        let mut nodes: Vec<MembershipNode> = (0..n)
+            .map(|i| MembershipNode::new(i, config(), 7))
+            .collect();
+        for i in 0..n {
+            let seed = (i + 1) % n;
+            nodes[i as usize].add_seed(seed, 0);
+        }
+        for t in (0..5_000u64).step_by(10) {
+            for i in 0..n as usize {
+                if let Some((peer, request)) = nodes[i].poll(t) {
+                    let reply = nodes[peer as usize].handle_exchange(&request, t);
+                    nodes[i].absorb_reply(&reply, t);
+                }
+            }
+        }
+        for node in &nodes {
+            assert!(node.view().len() <= 8);
+            assert!(!node.view().contains(node.id()));
+            // The ring bootstrap mixed into a richer overlay.
+            assert!(node.view().len() >= 4, "view stayed tiny");
+        }
+    }
+
+    #[test]
+    fn sample_peer_returns_view_members() {
+        let (mut a, _) = two_bootstrapped();
+        for _ in 0..10 {
+            assert_eq!(a.sample_peer(), Some(1));
+        }
+    }
+
+    #[test]
+    fn evict_removes_peer() {
+        let (mut a, _) = two_bootstrapped();
+        assert!(a.evict(1));
+        assert!(!a.evict(1));
+        assert!(a.view().is_empty());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let make = || {
+            let mut node = MembershipNode::new(0, config(), 42);
+            for p in 1..6 {
+                node.add_seed(p, 0);
+            }
+            (0..5).map(|_| node.sample_peer().unwrap()).collect::<Vec<u32>>()
+        };
+        assert_eq!(make(), make());
+    }
+}

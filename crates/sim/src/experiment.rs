@@ -1,0 +1,609 @@
+//! One-call experiment driver.
+//!
+//! [`ExperimentConfig`] describes a complete single-epoch experiment in the
+//! style of the paper's Section 7: an overlay, an initial value
+//! distribution, an aggregate, failure models, and a cycle budget.
+//! [`ExperimentConfig::run`] executes it deterministically from a seed and
+//! returns per-cycle statistics plus final per-node estimates;
+//! [`run_many`] fans repetitions out over OS threads.
+
+use crate::failure::{CommFailure, FailureModel};
+use crate::network::{CycleOptions, CycleReport, Network};
+use epidemic_aggregation::rule::Rule;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::stats::Summary;
+use epidemic_newscast::Overlay;
+use epidemic_topology::{CompleteSampler, Graph, NeighborSampling, TopologyKind};
+
+/// Which overlay the aggregation runs over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverlaySpec {
+    /// Implicit complete graph.
+    Complete,
+    /// A static topology generated once at experiment start.
+    Static(TopologyKind),
+    /// A NEWSCAST overlay with view size `c`, gossiping membership in
+    /// every cycle alongside the aggregation.
+    Newscast {
+        /// View size (the paper uses `c = 30`).
+        c: usize,
+    },
+}
+
+/// Initial distribution of local values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueInit {
+    /// One uniformly chosen node holds `total`, all others hold zero — the
+    /// paper's *peak* distribution, the worst case for robustness.
+    Peak {
+        /// Value held by the single peak node.
+        total: f64,
+    },
+    /// Independent uniform values in `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Every node holds the same constant.
+    Constant(f64),
+    /// Node `i` holds `i as f64` (deterministic, handy in tests).
+    Linear,
+}
+
+impl ValueInit {
+    fn materialize(self, n: usize, rng: &mut Xoshiro256) -> Vec<f64> {
+        match self {
+            ValueInit::Peak { total } => {
+                let mut v = vec![0.0; n];
+                v[rng.index(n)] = total;
+                v
+            }
+            ValueInit::Uniform { lo, hi } => {
+                (0..n).map(|_| lo + rng.next_f64() * (hi - lo)).collect()
+            }
+            ValueInit::Constant(c) => vec![c; n],
+            ValueInit::Linear => (0..n).map(|i| i as f64).collect(),
+        }
+    }
+}
+
+/// Which aggregate the experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregateSetup {
+    /// Scalar averaging over the initial values.
+    Average,
+    /// COUNT with a single leader, run as a scalar peak instance
+    /// (leader = 1, others = 0; the size estimate is `1/value`).
+    CountPeak,
+    /// COUNT with `leaders` concurrent instances in an instance map; the
+    /// reported estimate is the per-node trimmed mean (Section 7.3).
+    CountMap {
+        /// Number of concurrent instances `t`.
+        leaders: usize,
+    },
+}
+
+/// Complete description of a single-epoch experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Initial network size.
+    pub n: usize,
+    /// Overlay specification.
+    pub overlay: OverlaySpec,
+    /// Number of cycles to run (the epoch length γ).
+    pub cycles: u32,
+    /// Initial value distribution (ignored for COUNT setups).
+    pub values: ValueInit,
+    /// Aggregate under test.
+    pub aggregate: AggregateSetup,
+    /// Node failure schedule.
+    pub failure: FailureModel,
+    /// Communication failure probabilities.
+    pub comm: CommFailure,
+    /// NEWSCAST-only warm-up cycles before the epoch starts.
+    pub newscast_warmup: u32,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            n: 1_000,
+            overlay: OverlaySpec::Complete,
+            cycles: 30,
+            values: ValueInit::Peak { total: 1_000.0 },
+            aggregate: AggregateSetup::Average,
+            failure: FailureModel::None,
+            comm: CommFailure::NONE,
+            newscast_warmup: 5,
+        }
+    }
+}
+
+/// Everything measured during one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Estimate variance per cycle (`variance[0]` is the initial state,
+    /// `variance[k]` after cycle `k`), over live participating nodes.
+    pub variance: Vec<f64>,
+    /// Estimate mean per cycle (µ_i of Eq. (1)).
+    pub mean: Vec<f64>,
+    /// Minimum estimate per cycle.
+    pub min: Vec<f64>,
+    /// Maximum estimate per cycle.
+    pub max: Vec<f64>,
+    /// Live node count per cycle.
+    pub alive: Vec<usize>,
+    /// Communication report per cycle.
+    pub reports: Vec<CycleReport>,
+    /// Final per-node aggregate estimates, interpreted per
+    /// [`AggregateSetup`]: raw averages, `1/value` size estimates, or
+    /// trimmed multi-instance size estimates.
+    pub final_estimates: Vec<f64>,
+}
+
+impl RunOutcome {
+    /// Average per-cycle convergence factor over the first `k` cycles:
+    /// `(σ²_k / σ²_0)^(1/k)` — the quantity plotted in Figures 3(a), 4
+    /// and 7(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k` cycles were recorded or `k == 0`.
+    pub fn convergence_factor(&self, k: u32) -> f64 {
+        assert!(k > 0, "need at least one cycle");
+        let k = k as usize;
+        assert!(self.variance.len() > k, "only {} cycles recorded", self.variance.len() - 1);
+        (self.variance[k] / self.variance[0]).powf(1.0 / k as f64)
+    }
+
+    /// Normalized variance series `σ²_i / σ²_0` (Figure 3(b)).
+    pub fn variance_reduction(&self) -> Vec<f64> {
+        let v0 = self.variance[0];
+        self.variance.iter().map(|&v| v / v0).collect()
+    }
+
+    /// Mean of the final per-node estimates (one experiment dot in
+    /// Figures 6 and 8).
+    pub fn mean_final_estimate(&self) -> f64 {
+        epidemic_common::stats::mean(&self.final_estimates)
+    }
+
+    /// Summary of the final per-node estimates.
+    pub fn final_summary(&self) -> Summary {
+        let stats: epidemic_common::stats::OnlineStats =
+            self.final_estimates.iter().copied().collect();
+        stats.summary()
+    }
+}
+
+enum OverlayState {
+    Complete(usize),
+    Static(Graph),
+    Newscast(Overlay),
+}
+
+impl OverlayState {
+    fn sampler(&self) -> &dyn NeighborSampling {
+        match self {
+            OverlayState::Complete(_) => panic!("complete sampler materialized on demand"),
+            OverlayState::Static(g) => g,
+            OverlayState::Newscast(o) => o,
+        }
+    }
+}
+
+/// Uniform sampling over the current live population — the idealized
+/// fully connected overlay of the paper, whose membership adapts to
+/// crashes instantly (a dead node is in nobody's neighbor set). Static
+/// graphs and NEWSCAST instead model the realistic behaviour: dead
+/// neighbors are discovered by timeout.
+struct LiveSampler<'a> {
+    live: &'a [u32],
+    slots: usize,
+}
+
+impl NeighborSampling for LiveSampler<'_> {
+    fn node_count(&self) -> usize {
+        self.slots
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut Xoshiro256) -> Option<usize> {
+        if self.live.len() < 2 {
+            return None;
+        }
+        loop {
+            let peer = self.live[rng.index(self.live.len())] as usize;
+            if peer != node {
+                return Some(peer);
+            }
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Runs the experiment deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (e.g. churn over a
+    /// static overlay, `n < 2`, or an invalid topology parameter).
+    pub fn run(&self, seed: u64) -> RunOutcome {
+        assert!(self.n >= 2, "experiment needs at least two nodes");
+        assert!(
+            !self.failure.needs_growable_overlay()
+                || matches!(self.overlay, OverlaySpec::Newscast { .. }),
+            "churn requires a NEWSCAST overlay"
+        );
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+
+        // --- Overlay -----------------------------------------------------
+        let mut clock: u32 = 0;
+        let mut overlay = match self.overlay {
+            OverlaySpec::Complete => OverlayState::Complete(self.n),
+            OverlaySpec::Static(kind) => OverlayState::Static(
+                kind.generate(self.n, &mut rng)
+                    .expect("invalid topology parameters"),
+            ),
+            OverlaySpec::Newscast { c } => {
+                let mut o = Overlay::random_init(self.n, c, &mut rng);
+                for _ in 0..self.newscast_warmup {
+                    clock += 1;
+                    o.run_cycle(clock, &mut rng);
+                }
+                OverlayState::Newscast(o)
+            }
+        };
+
+        // --- Aggregation state -------------------------------------------
+        let mut net = Network::new(self.n);
+        let field = match self.aggregate {
+            AggregateSetup::Average => {
+                let values = self.values.materialize(self.n, &mut rng);
+                net.add_scalar_field(Rule::Average, |i| values[i])
+            }
+            AggregateSetup::CountPeak => {
+                let leader = rng.index(self.n);
+                net.add_scalar_field(Rule::Average, |i| if i == leader { 1.0 } else { 0.0 })
+            }
+            AggregateSetup::CountMap { leaders } => {
+                let chosen = rng.sample_distinct(self.n, leaders);
+                net.add_map_field(&chosen)
+            }
+        };
+        let opts = CycleOptions {
+            link_failure: self.comm.link_failure,
+            message_loss: self.comm.message_loss,
+        };
+
+        let cap = self.cycles as usize + 1;
+        let mut outcome = RunOutcome {
+            variance: Vec::with_capacity(cap),
+            mean: Vec::with_capacity(cap),
+            min: Vec::with_capacity(cap),
+            max: Vec::with_capacity(cap),
+            alive: Vec::with_capacity(cap),
+            reports: Vec::with_capacity(self.cycles as usize),
+            final_estimates: Vec::new(),
+        };
+        record_stats(&net, field, self.aggregate, &mut outcome);
+
+        // --- Cycle loop ---------------------------------------------------
+        for cycle in 0..self.cycles {
+            // Failures strike before the cycle (worst case, Section 6.1).
+            let crashes = self.failure.crashes_at(cycle, net.alive_count());
+            if crashes > 0 {
+                let alive_idx: Vec<u32> = (0..net.slot_count() as u32)
+                    .filter(|&i| net.is_alive(i as usize))
+                    .collect();
+                for pick in rng.sample_distinct(alive_idx.len(), crashes.min(alive_idx.len())) {
+                    let victim = alive_idx[pick] as usize;
+                    net.crash(victim);
+                    if let OverlayState::Newscast(o) = &mut overlay {
+                        o.crash(victim);
+                    }
+                }
+            }
+            let joins = self.failure.joins_at(cycle);
+            for _ in 0..joins {
+                let idx = net.add_node();
+                if let OverlayState::Newscast(o) = &mut overlay {
+                    // Bootstrap through a random live member.
+                    let introducer = loop {
+                        let cand = rng.index(o.slot_count());
+                        if o.is_alive(cand) && cand != idx {
+                            break cand;
+                        }
+                    };
+                    let joined = o.join_via(introducer, clock);
+                    debug_assert_eq!(joined, idx);
+                }
+            }
+
+            clock += 1;
+            // Membership gossip first, then aggregation over fresh views.
+            if let OverlayState::Newscast(o) = &mut overlay {
+                o.run_cycle(clock, &mut rng);
+            }
+            let report = match &overlay {
+                OverlayState::Complete(n) => {
+                    if matches!(self.failure, FailureModel::None) {
+                        let sampler = CompleteSampler::new(*n);
+                        net.run_cycle(&sampler, opts, &mut rng)
+                    } else {
+                        // Perfect membership: sample among live nodes only.
+                        let live: Vec<u32> = (0..net.slot_count() as u32)
+                            .filter(|&i| net.is_alive(i as usize))
+                            .collect();
+                        let sampler = LiveSampler {
+                            live: &live,
+                            slots: net.slot_count(),
+                        };
+                        net.run_cycle(&sampler, opts, &mut rng)
+                    }
+                }
+                _ => net.run_cycle(overlay.sampler(), opts, &mut rng),
+            };
+            outcome.reports.push(report);
+            record_stats(&net, field, self.aggregate, &mut outcome);
+        }
+
+        outcome.final_estimates = match self.aggregate {
+            AggregateSetup::Average => net.scalar_values(field),
+            AggregateSetup::CountPeak => net
+                .scalar_values(field)
+                .into_iter()
+                .map(|v| if v > 0.0 { 1.0 / v } else { f64::INFINITY })
+                .collect(),
+            AggregateSetup::CountMap { .. } => net.count_estimates(field),
+        };
+        outcome
+    }
+}
+
+fn record_stats(
+    net: &Network,
+    field: crate::network::FieldId,
+    aggregate: AggregateSetup,
+    outcome: &mut RunOutcome,
+) {
+    let summary = match aggregate {
+        AggregateSetup::Average | AggregateSetup::CountPeak => net.scalar_summary(field),
+        AggregateSetup::CountMap { .. } => {
+            // Track the per-node total instance mass: its variance decays
+            // at the same rate as the underlying averaging.
+            let stats: epidemic_common::stats::OnlineStats = (0..net.slot_count())
+                .filter(|&i| net.is_alive(i) && net.is_participating(i))
+                .map(|i| net.map_value(field, i).total())
+                .collect();
+            stats.summary()
+        }
+    };
+    outcome.variance.push(summary.variance);
+    outcome.mean.push(summary.mean);
+    outcome.min.push(summary.min);
+    outcome.max.push(summary.max);
+    outcome.alive.push(net.alive_count());
+}
+
+/// Runs `seeds.len()` independent repetitions across OS threads, returning
+/// outcomes in seed order.
+pub fn run_many(config: &ExperimentConfig, seeds: &[u64]) -> Vec<RunOutcome> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    if workers <= 1 || seeds.len() <= 1 {
+        return seeds.iter().map(|&s| config.run(s)).collect();
+    }
+    let mut slots: Vec<Option<RunOutcome>> = (0..seeds.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<RunOutcome>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= seeds.len() {
+                    break;
+                }
+                let outcome = config.run(seeds[idx]);
+                **slot_refs[idx].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots.into_iter().map(|s| s.expect("worker missed a seed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_aggregation::theory::RHO_PUSH_PULL;
+
+    fn base(n: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            n,
+            values: ValueInit::Peak { total: n as f64 },
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn average_converges_on_complete_graph() {
+        let cfg = base(2000);
+        let out = cfg.run(1);
+        assert_eq!(out.variance.len(), 31);
+        assert!((out.mean[0] - 1.0).abs() < 1e-9);
+        assert!((out.mean[30] - 1.0).abs() < 1e-9, "mean drifted");
+        let factor = out.convergence_factor(20);
+        assert!((factor - RHO_PUSH_PULL).abs() < 0.05, "factor {factor}");
+    }
+
+    #[test]
+    fn average_converges_on_newscast() {
+        let cfg = ExperimentConfig {
+            overlay: OverlaySpec::Newscast { c: 30 },
+            ..base(2000)
+        };
+        let out = cfg.run(2);
+        let factor = out.convergence_factor(20);
+        assert!(factor < 0.45, "newscast convergence factor {factor}");
+    }
+
+    #[test]
+    fn average_on_static_random_topology() {
+        let cfg = ExperimentConfig {
+            overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
+            ..base(2000)
+        };
+        let out = cfg.run(3);
+        let factor = out.convergence_factor(20);
+        assert!(factor < 0.42, "random-20 convergence factor {factor}");
+    }
+
+    #[test]
+    fn lattice_is_much_slower() {
+        let fast = ExperimentConfig {
+            overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
+            ..base(2000)
+        }
+        .run(4)
+        .convergence_factor(20);
+        let slow = ExperimentConfig {
+            overlay: OverlaySpec::Static(TopologyKind::RingLattice { k: 20 }),
+            ..base(2000)
+        }
+        .run(4)
+        .convergence_factor(20);
+        assert!(
+            slow > fast + 0.2,
+            "lattice should converge much slower: lattice {slow} vs random {fast}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = base(500);
+        let a = cfg.run(42);
+        let b = cfg.run(42);
+        assert_eq!(a.variance, b.variance);
+        assert_eq!(a.final_estimates, b.final_estimates);
+    }
+
+    #[test]
+    fn count_peak_estimates_network_size() {
+        let cfg = ExperimentConfig {
+            aggregate: AggregateSetup::CountPeak,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            ..base(1000)
+        };
+        let out = cfg.run(5);
+        let est = out.mean_final_estimate();
+        assert!((est - 1000.0).abs() < 20.0, "size estimate {est}");
+    }
+
+    #[test]
+    fn count_map_estimates_network_size() {
+        let cfg = ExperimentConfig {
+            aggregate: AggregateSetup::CountMap { leaders: 10 },
+            overlay: OverlaySpec::Newscast { c: 30 },
+            ..base(1000)
+        };
+        let out = cfg.run(6);
+        assert_eq!(out.final_estimates.len(), 1000);
+        let est = out.mean_final_estimate();
+        assert!((est - 1000.0).abs() < 25.0, "size estimate {est}");
+    }
+
+    #[test]
+    fn sudden_death_late_in_epoch_is_harmless() {
+        let cfg = ExperimentConfig {
+            aggregate: AggregateSetup::CountPeak,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            failure: FailureModel::SuddenDeath {
+                fraction: 0.5,
+                at_cycle: 25,
+            },
+            ..base(1000)
+        };
+        let out = cfg.run(7);
+        assert_eq!(*out.alive.last().unwrap(), 500);
+        let est = out.mean_final_estimate();
+        // Crash at cycle 25: variance is tiny, damage negligible; the
+        // protocol reports the size at epoch start.
+        assert!((est - 1000.0).abs() < 50.0, "estimate {est}");
+    }
+
+    #[test]
+    fn churn_keeps_size_constant() {
+        let cfg = ExperimentConfig {
+            aggregate: AggregateSetup::CountPeak,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            failure: FailureModel::Churn { per_cycle: 20 },
+            ..base(1000)
+        };
+        let out = cfg.run(8);
+        for &alive in &out.alive {
+            assert_eq!(alive, 1000);
+        }
+        // Estimates remain in a sane band despite 60% substitution.
+        let est = out.mean_final_estimate();
+        assert!(est > 500.0 && est < 2000.0, "estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "churn requires a NEWSCAST overlay")]
+    fn churn_rejected_on_static_overlay() {
+        let cfg = ExperimentConfig {
+            failure: FailureModel::Churn { per_cycle: 5 },
+            ..base(100)
+        };
+        cfg.run(9);
+    }
+
+    #[test]
+    fn link_failure_slows_convergence() {
+        let clean = base(2000).run(10).convergence_factor(20);
+        let lossy = ExperimentConfig {
+            comm: CommFailure::links(0.6),
+            ..base(2000)
+        }
+        .run(10)
+        .convergence_factor(20);
+        assert!(lossy > clean + 0.15, "link failure too cheap: {clean} -> {lossy}");
+        // But the mean is unbiased.
+        let out = ExperimentConfig {
+            comm: CommFailure::links(0.6),
+            ..base(2000)
+        }
+        .run(11);
+        assert!((out.mean[30] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_and_is_ordered() {
+        let cfg = base(300);
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7];
+        let parallel = run_many(&cfg, &seeds);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let solo = cfg.run(seed);
+            assert_eq!(parallel[i].variance, solo.variance, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn variance_reduction_is_normalized() {
+        let out = base(500).run(12);
+        let series = out.variance_reduction();
+        assert_eq!(series[0], 1.0);
+        assert!(series[20] < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_network_rejected() {
+        base(1).run(0);
+    }
+}

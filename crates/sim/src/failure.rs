@@ -1,0 +1,159 @@
+//! Failure schedules (Sections 6 and 7).
+//!
+//! * [`FailureModel::ProportionalCrash`] — before every cycle a fixed
+//!   proportion `P_f` of the *remaining* nodes crashes (the Theorem 1
+//!   model, worst case because it strikes while variance is maximal).
+//! * [`FailureModel::SuddenDeath`] — a single mass crash of a fraction of
+//!   the network at a chosen cycle (Figure 6(a)).
+//! * [`FailureModel::Churn`] — every cycle, `per_cycle` random nodes crash
+//!   and the same number of fresh nodes joins: constant size, dynamic
+//!   composition (Figure 6(b)).
+//! * [`CommFailure`] — link failure probability and per-message loss
+//!   probability applied to every exchange (Figures 7(a) and 7(b)).
+
+use serde::{Deserialize, Serialize};
+
+/// Node-level failure schedule applied at the start of each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// No node failures.
+    #[default]
+    None,
+    /// Crash `round(p_f × alive)` uniformly random nodes before every cycle.
+    ProportionalCrash {
+        /// Per-cycle crash proportion `P_f ∈ [0, 1)`.
+        p_f: f64,
+    },
+    /// Crash `round(fraction × alive)` nodes at the start of cycle
+    /// `at_cycle` (0-based), once.
+    SuddenDeath {
+        /// Fraction of live nodes to crash.
+        fraction: f64,
+        /// Cycle index at which the crash strikes.
+        at_cycle: u32,
+    },
+    /// Crash `per_cycle` random nodes and add `per_cycle` fresh joiners
+    /// before every cycle; network size stays constant.
+    Churn {
+        /// Nodes substituted per cycle.
+        per_cycle: usize,
+    },
+}
+
+impl FailureModel {
+    /// Number of crashes to inflict at the start of `cycle`, given the
+    /// current live population.
+    pub fn crashes_at(&self, cycle: u32, alive: usize) -> usize {
+        match *self {
+            FailureModel::None => 0,
+            FailureModel::ProportionalCrash { p_f } => (p_f * alive as f64).round() as usize,
+            FailureModel::SuddenDeath { fraction, at_cycle } => {
+                if cycle == at_cycle {
+                    (fraction * alive as f64).round() as usize
+                } else {
+                    0
+                }
+            }
+            FailureModel::Churn { per_cycle } => per_cycle.min(alive),
+        }
+    }
+
+    /// Number of fresh joiners to add at the start of `cycle`.
+    pub fn joins_at(&self, _cycle: u32) -> usize {
+        match *self {
+            FailureModel::Churn { per_cycle } => per_cycle,
+            _ => 0,
+        }
+    }
+
+    /// Whether this model ever adds nodes (requires a growable overlay,
+    /// i.e. NEWSCAST).
+    pub fn needs_growable_overlay(&self) -> bool {
+        matches!(self, FailureModel::Churn { .. })
+    }
+}
+
+/// Communication failure probabilities applied to every exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CommFailure {
+    /// Link failure probability `P_d` (whole exchange dropped).
+    pub link_failure: f64,
+    /// Per-message loss probability (request and reply independently).
+    pub message_loss: f64,
+}
+
+impl CommFailure {
+    /// No communication failures.
+    pub const NONE: CommFailure = CommFailure {
+        link_failure: 0.0,
+        message_loss: 0.0,
+    };
+
+    /// Only link failures with probability `p_d`.
+    pub fn links(p_d: f64) -> Self {
+        CommFailure {
+            link_failure: p_d,
+            message_loss: 0.0,
+        }
+    }
+
+    /// Only message loss with probability `p_l` per message.
+    pub fn messages(p_l: f64) -> Self {
+        CommFailure {
+            link_failure: 0.0,
+            message_loss: p_l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_crashes() {
+        let m = FailureModel::None;
+        for cycle in 0..40 {
+            assert_eq!(m.crashes_at(cycle, 1000), 0);
+            assert_eq!(m.joins_at(cycle), 0);
+        }
+        assert!(!m.needs_growable_overlay());
+    }
+
+    #[test]
+    fn proportional_crash_follows_population() {
+        let m = FailureModel::ProportionalCrash { p_f: 0.1 };
+        assert_eq!(m.crashes_at(0, 1000), 100);
+        assert_eq!(m.crashes_at(5, 900), 90);
+        assert_eq!(m.crashes_at(5, 7), 1);
+    }
+
+    #[test]
+    fn sudden_death_fires_once() {
+        let m = FailureModel::SuddenDeath {
+            fraction: 0.5,
+            at_cycle: 7,
+        };
+        assert_eq!(m.crashes_at(6, 1000), 0);
+        assert_eq!(m.crashes_at(7, 1000), 500);
+        assert_eq!(m.crashes_at(8, 500), 0);
+    }
+
+    #[test]
+    fn churn_is_symmetric_and_growable() {
+        let m = FailureModel::Churn { per_cycle: 50 };
+        assert_eq!(m.crashes_at(3, 1000), 50);
+        assert_eq!(m.joins_at(3), 50);
+        assert!(m.needs_growable_overlay());
+        // Cannot crash more nodes than are alive.
+        assert_eq!(m.crashes_at(3, 20), 20);
+    }
+
+    #[test]
+    fn comm_failure_constructors() {
+        assert_eq!(CommFailure::NONE.link_failure, 0.0);
+        assert_eq!(CommFailure::links(0.3).link_failure, 0.3);
+        assert_eq!(CommFailure::links(0.3).message_loss, 0.0);
+        assert_eq!(CommFailure::messages(0.2).message_loss, 0.2);
+    }
+}

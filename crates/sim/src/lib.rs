@@ -1,0 +1,53 @@
+//! PeerSim-style simulation engines for epidemic aggregation.
+//!
+//! The paper's evaluation (Section 7) was produced with PeerSim, the
+//! authors' cycle-driven overlay simulator. This crate rebuilds that
+//! substrate in Rust and adds an event-driven engine for the asynchronous
+//! aspects the cycle model abstracts away:
+//!
+//! * [`network`] — the cycle-driven kernel: per-cycle random-permutation
+//!   push-pull exchanges over SoA state fields, with link-failure and
+//!   asymmetric message-loss injection.
+//! * [`failure`] — failure schedules: proportional crashes, sudden death,
+//!   churn (crash + join at constant size).
+//! * [`experiment`] — one-call experiment driver gluing topology/newscast,
+//!   network state, failure models and per-cycle metrics; plus a
+//!   thread-pooled repetition runner.
+//! * [`event`] — event-driven engine (message delay, clock drift, loss,
+//!   timeouts) driving the sans-io [`epidemic_aggregation::GossipNode`];
+//!   measures epoch-synchronization spread.
+//! * [`metrics`] — convergence factors and exchange-count distributions
+//!   (the `1 + Poisson(1)` cost analysis of Section 4.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+//!
+//! let config = ExperimentConfig {
+//!     n: 1000,
+//!     overlay: OverlaySpec::Newscast { c: 30 },
+//!     cycles: 20,
+//!     values: ValueInit::Peak { total: 1000.0 },
+//!     aggregate: AggregateSetup::Average,
+//!     ..ExperimentConfig::default()
+//! };
+//! let outcome = config.run(42);
+//! // Variance decays by roughly 1/(2 sqrt e) per cycle.
+//! assert!(outcome.variance[20] < outcome.variance[0] * 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod experiment;
+pub mod failure;
+pub mod metrics;
+pub mod network;
+pub mod session;
+
+pub use experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, RunOutcome, ValueInit};
+pub use failure::{CommFailure, FailureModel};
+pub use network::{FieldId, Network};
+pub use session::{Session, SessionConfig, SessionEpoch};

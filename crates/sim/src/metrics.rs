@@ -1,0 +1,78 @@
+//! Convergence metrics.
+//!
+//! Helper functions shared by the experiment harness and the figure
+//! reproduction binaries: convergence factors from variance series and the
+//! exchange-count distribution check of the cost analysis (Section 4.5).
+
+use epidemic_common::stats::OnlineStats;
+
+/// Average per-cycle convergence factor over `k` cycles:
+/// `(σ²_k / σ²_0)^(1/k)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the variances are not positive.
+pub fn convergence_factor(variance_0: f64, variance_k: f64, k: u32) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        variance_0 > 0.0 && variance_k >= 0.0,
+        "variances must be non-negative (σ₀² > 0)"
+    );
+    (variance_k / variance_0).powf(1.0 / f64::from(k))
+}
+
+/// Per-cycle convergence factors `ρ_i = σ²_i / σ²_{i−1}` from a variance
+/// series (index 0 is the initial variance). Entries where the previous
+/// variance is zero yield `NaN`.
+pub fn per_cycle_factors(variances: &[f64]) -> Vec<f64> {
+    variances
+        .windows(2)
+        .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { f64::NAN })
+        .collect()
+}
+
+/// Verifies the cost-analysis shape of a per-node exchange tally: per
+/// cycle, a node participates in `1 + φ` exchanges where `φ ~ Poisson(1)`.
+/// Returns `(mean, variance)` of the tally.
+pub fn exchange_moments(tally: &[u32]) -> (f64, f64) {
+    let stats: OnlineStats = tally.iter().map(|&c| f64::from(c)).collect();
+    (stats.mean(), stats.variance())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_of_exact_geometric_series() {
+        // σ² halves per cycle -> factor 0.5 regardless of horizon.
+        assert!((convergence_factor(1.0, 0.5f64.powi(10), 10) - 0.5).abs() < 1e-12);
+        assert!((convergence_factor(8.0, 8.0 * 0.25f64.powi(4), 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_of_stalled_series_is_one() {
+        assert!((convergence_factor(3.0, 3.0, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn factor_rejects_zero_k() {
+        convergence_factor(1.0, 0.5, 0);
+    }
+
+    #[test]
+    fn per_cycle_factors_basic() {
+        let f = per_cycle_factors(&[4.0, 2.0, 1.0, 0.5]);
+        assert_eq!(f, vec![0.5, 0.5, 0.5]);
+        let f = per_cycle_factors(&[0.0, 1.0]);
+        assert!(f[0].is_nan());
+    }
+
+    #[test]
+    fn exchange_moments_of_constant_tally() {
+        let (m, v) = exchange_moments(&[2, 2, 2, 2]);
+        assert_eq!(m, 2.0);
+        assert_eq!(v, 0.0);
+    }
+}

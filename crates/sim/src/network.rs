@@ -1,0 +1,644 @@
+//! Cycle-driven simulation kernel.
+//!
+//! [`Network`] holds the aggregation state of every simulated node in
+//! structure-of-arrays form (one [`FieldId`] per gossip instance) and
+//! executes the paper's cycle model: in each cycle every live,
+//! participating node — visited in a fresh random permutation — initiates
+//! one push-pull exchange with a neighbor drawn from the overlay. The
+//! communication failure knobs of Section 7.2 are injected here:
+//!
+//! * **link failure** (`P_d`): the whole exchange silently aborts, no state
+//!   changes — convergence merely slows down;
+//! * **message loss** (`P_l`), applied to request and reply independently:
+//!   a lost request aborts the exchange, but a lost *reply* leaves the
+//!   responder updated while the initiator keeps its old state — violating
+//!   mass conservation exactly as the paper describes.
+
+use epidemic_aggregation::estimator;
+use epidemic_aggregation::rule::{Rule, UpdateRule};
+use epidemic_aggregation::value::InstanceMap;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::stats::{OnlineStats, Summary};
+use epidemic_topology::NeighborSampling;
+use std::fmt;
+
+/// Handle to a state field registered with [`Network::add_scalar_field`] or
+/// [`Network::add_map_field`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldId(usize);
+
+enum Field {
+    Scalar { rule: Rule, values: Vec<f64> },
+    Map { maps: Vec<InstanceMap> },
+}
+
+/// Communication failure counters for one cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Exchanges attempted (one per live participating initiator with a
+    /// neighbor available).
+    pub attempted: usize,
+    /// Exchanges in which both sides merged.
+    pub completed: usize,
+    /// Exchanges where only the responder merged (reply lost).
+    pub half_completed: usize,
+    /// Skipped: selected peer had crashed (initiator timeout).
+    pub skipped_dead: usize,
+    /// Skipped: selected peer is not participating in the epoch (refused).
+    pub skipped_refused: usize,
+    /// Skipped: link failure.
+    pub skipped_link: usize,
+    /// Skipped: the request message was lost.
+    pub lost_requests: usize,
+}
+
+/// Per-cycle communication failure probabilities.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CycleOptions {
+    /// Probability that the link for an exchange is down (`P_d`,
+    /// Section 6.2). The exchange is skipped symmetrically.
+    pub link_failure: f64,
+    /// Probability that any single message (request or reply,
+    /// independently) is lost (Section 7.2).
+    pub message_loss: f64,
+}
+
+/// State of every simulated node, in structure-of-arrays layout.
+pub struct Network {
+    fields: Vec<Field>,
+    alive: Vec<bool>,
+    participating: Vec<bool>,
+    alive_count: usize,
+    permutation: Vec<u32>,
+    /// Exchange participation tally for the cost analysis (reset per cycle
+    /// when tallying is enabled).
+    tally: Option<Vec<u32>>,
+}
+
+impl Network {
+    /// Creates a network of `n` live, participating nodes with no fields.
+    pub fn new(n: usize) -> Self {
+        Network {
+            fields: Vec::new(),
+            alive: vec![true; n],
+            participating: vec![true; n],
+            alive_count: n,
+            permutation: Vec::new(),
+            tally: None,
+        }
+    }
+
+    /// Re-initializes a scalar field in place (epoch restart: estimates are
+    /// rebuilt from fresh local values, Section 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is a map field.
+    pub fn reset_scalar_field<F: FnMut(usize) -> f64>(&mut self, field: FieldId, mut init: F) {
+        match &mut self.fields[field.0] {
+            Field::Scalar { values, .. } => {
+                for (i, v) in values.iter_mut().enumerate() {
+                    *v = init(i);
+                }
+            }
+            Field::Map { .. } => panic!("field {field:?} is a map field"),
+        }
+    }
+
+    /// Re-initializes a map field with a fresh leader set (epoch restart
+    /// for COUNT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is a scalar field or a leader is out of range.
+    pub fn reset_map_field(&mut self, field: FieldId, leaders: &[usize]) {
+        match &mut self.fields[field.0] {
+            Field::Map { maps } => {
+                for m in maps.iter_mut() {
+                    *m = InstanceMap::new();
+                }
+                for &l in leaders {
+                    maps[l] = InstanceMap::leader(l as u64);
+                }
+            }
+            Field::Scalar { .. } => panic!("field {field:?} is a scalar field"),
+        }
+    }
+
+    /// Number of node slots (live + crashed).
+    pub fn slot_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Returns `true` if `node` is live.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Returns `true` if `node` participates in the current epoch.
+    pub fn is_participating(&self, node: usize) -> bool {
+        self.participating[node]
+    }
+
+    /// Registers a scalar gossip field; `init` supplies each node's initial
+    /// estimate.
+    pub fn add_scalar_field<F: FnMut(usize) -> f64>(
+        &mut self,
+        rule: Rule,
+        mut init: F,
+    ) -> FieldId {
+        let values = (0..self.slot_count()).map(&mut init).collect();
+        self.fields.push(Field::Scalar { rule, values });
+        FieldId(self.fields.len() - 1)
+    }
+
+    /// Registers a COUNT map field with the given leader nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leader index is out of range.
+    pub fn add_map_field(&mut self, leaders: &[usize]) -> FieldId {
+        let mut maps = vec![InstanceMap::new(); self.slot_count()];
+        for &l in leaders {
+            maps[l] = InstanceMap::leader(l as u64);
+        }
+        self.fields.push(Field::Map { maps });
+        FieldId(self.fields.len() - 1)
+    }
+
+    /// Crashes a node (idempotent). Its state mass disappears from the
+    /// computation, exactly like a real crash.
+    pub fn crash(&mut self, node: usize) {
+        if self.alive[node] {
+            self.alive[node] = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    /// Adds a new node. It is live immediately but does **not** participate
+    /// in the running epoch (Section 4.2): exchanges directed at it are
+    /// refused. Returns the new node index.
+    pub fn add_node(&mut self) -> usize {
+        let idx = self.alive.len();
+        self.alive.push(true);
+        self.participating.push(false);
+        self.alive_count += 1;
+        for field in &mut self.fields {
+            match field {
+                Field::Scalar { values, .. } => values.push(0.0),
+                Field::Map { maps } => maps.push(InstanceMap::new()),
+            }
+        }
+        idx
+    }
+
+    /// Enables per-node exchange tallying (for the `1 + Poisson(1)` cost
+    /// analysis). Counts both initiated and passively served exchanges.
+    pub fn enable_tally(&mut self) {
+        self.tally = Some(vec![0; self.slot_count()]);
+    }
+
+    /// Takes the tallies accumulated since [`Network::enable_tally`] /
+    /// the previous call, restricted to live participating nodes.
+    pub fn take_tally(&mut self) -> Vec<u32> {
+        match &mut self.tally {
+            Some(t) => {
+                let out = (0..t.len())
+                    .filter(|&i| self.alive[i] && self.participating[i])
+                    .map(|i| t[i])
+                    .collect();
+                t.iter_mut().for_each(|c| *c = 0);
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Runs one cycle over the overlay `sampler`: every live participating
+    /// node, in random order, initiates one push-pull exchange.
+    pub fn run_cycle<S: NeighborSampling + ?Sized>(
+        &mut self,
+        sampler: &S,
+        opts: CycleOptions,
+        rng: &mut Xoshiro256,
+    ) -> CycleReport {
+        debug_assert!(sampler.node_count() >= self.slot_count());
+        let mut report = CycleReport::default();
+        self.permutation.clear();
+        self.permutation.extend(
+            (0..self.slot_count() as u32)
+                .filter(|&i| self.alive[i as usize] && self.participating[i as usize]),
+        );
+        rng.shuffle(&mut self.permutation);
+        for idx in 0..self.permutation.len() {
+            let initiator = self.permutation[idx] as usize;
+            if !self.alive[initiator] {
+                continue; // crashed earlier in this cycle by a failure model
+            }
+            let Some(peer) = sampler.sample_neighbor(initiator, rng) else {
+                continue;
+            };
+            if peer == initiator {
+                continue;
+            }
+            report.attempted += 1;
+            if opts.link_failure > 0.0 && rng.next_bool(opts.link_failure) {
+                report.skipped_link += 1;
+                continue;
+            }
+            if opts.message_loss > 0.0 && rng.next_bool(opts.message_loss) {
+                report.lost_requests += 1;
+                continue;
+            }
+            if !self.alive[peer] {
+                report.skipped_dead += 1;
+                continue;
+            }
+            if !self.participating[peer] {
+                report.skipped_refused += 1;
+                continue;
+            }
+            // The responder merges upon receipt; the initiator merges only
+            // if the reply survives.
+            let reply_lost = opts.message_loss > 0.0 && rng.next_bool(opts.message_loss);
+            self.apply_exchange(initiator, peer, reply_lost);
+            if let Some(t) = &mut self.tally {
+                t[peer] += 1;
+                if !reply_lost {
+                    t[initiator] += 1;
+                }
+            }
+            if reply_lost {
+                report.half_completed += 1;
+            } else {
+                report.completed += 1;
+            }
+        }
+        report
+    }
+
+    fn apply_exchange(&mut self, i: usize, j: usize, reply_lost: bool) {
+        for field in &mut self.fields {
+            match field {
+                Field::Scalar { rule, values } => {
+                    let merged = rule.merge(values[i], values[j]);
+                    values[j] = merged;
+                    if !reply_lost {
+                        values[i] = merged;
+                    }
+                }
+                Field::Map { maps } => {
+                    let merged = InstanceMap::merge(&maps[i], &maps[j]);
+                    if reply_lost {
+                        maps[j] = merged;
+                    } else {
+                        maps[i] = merged.clone();
+                        maps[j] = merged;
+                    }
+                }
+            }
+        }
+    }
+
+    fn scalar_field(&self, field: FieldId) -> (&Rule, &[f64]) {
+        match &self.fields[field.0] {
+            Field::Scalar { rule, values } => (rule, values),
+            Field::Map { .. } => panic!("field {field:?} is a map field"),
+        }
+    }
+
+    fn map_field(&self, field: FieldId) -> &[InstanceMap] {
+        match &self.fields[field.0] {
+            Field::Map { maps } => maps,
+            Field::Scalar { .. } => panic!("field {field:?} is a scalar field"),
+        }
+    }
+
+    /// Raw scalar value of one node (alive or not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is a map field or the index is out of range.
+    pub fn scalar_value(&self, field: FieldId, node: usize) -> f64 {
+        self.scalar_field(field).1[node]
+    }
+
+    /// Scalar values of all live participating nodes.
+    pub fn scalar_values(&self, field: FieldId) -> Vec<f64> {
+        let (_, values) = self.scalar_field(field);
+        (0..values.len())
+            .filter(|&i| self.alive[i] && self.participating[i])
+            .map(|i| values[i])
+            .collect()
+    }
+
+    /// Mean/variance/extrema of a scalar field over live participating
+    /// nodes (the paper's Eq. (1) statistics).
+    pub fn scalar_summary(&self, field: FieldId) -> Summary {
+        let (_, values) = self.scalar_field(field);
+        let stats: OnlineStats = (0..values.len())
+            .filter(|&i| self.alive[i] && self.participating[i])
+            .map(|i| values[i])
+            .collect();
+        stats.summary()
+    }
+
+    /// The instance map of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is a scalar field or the index is out of range.
+    pub fn map_value(&self, field: FieldId, node: usize) -> &InstanceMap {
+        &self.map_field(field)[node]
+    }
+
+    /// Per-node robust COUNT estimates (trimmed mean over leaders, paper
+    /// Section 7.3) across live participating nodes. Nodes that no
+    /// instance mass reached are skipped.
+    pub fn count_estimates(&self, field: FieldId) -> Vec<f64> {
+        let maps = self.map_field(field);
+        (0..maps.len())
+            .filter(|&i| self.alive[i] && self.participating[i])
+            .filter_map(|i| estimator::count_estimate(&maps[i]))
+            .collect()
+    }
+
+    /// Per-leader mass of a map field summed over live participating nodes
+    /// (diagnostic: equals 1 per leader while no mass has been lost).
+    pub fn map_mass(&self, field: FieldId, leader: u64) -> f64 {
+        let maps = self.map_field(field);
+        (0..maps.len())
+            .filter(|&i| self.alive[i] && self.participating[i])
+            .map(|i| maps[i].get(leader).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Marks every live node as participating (start of a fresh epoch).
+    pub fn admit_all(&mut self) {
+        for i in 0..self.participating.len() {
+            self.participating[i] = true;
+        }
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("slots", &self.slot_count())
+            .field("alive", &self.alive_count)
+            .field("fields", &self.fields.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_topology::CompleteSampler;
+
+    fn rng(seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn scalar_field_initialization() {
+        let mut net = Network::new(4);
+        let f = net.add_scalar_field(Rule::Average, |i| i as f64);
+        assert_eq!(net.scalar_value(f, 2), 2.0);
+        let s = net.scalar_summary(f);
+        assert_eq!(s.mean, 1.5);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn cycle_conserves_mean_and_reduces_variance() {
+        let mut net = Network::new(200);
+        let f = net.add_scalar_field(Rule::Average, |i| if i == 0 { 200.0 } else { 0.0 });
+        let sampler = CompleteSampler::new(200);
+        let mut r = rng(1);
+        let before = net.scalar_summary(f);
+        for _ in 0..10 {
+            net.run_cycle(&sampler, CycleOptions::default(), &mut r);
+        }
+        let after = net.scalar_summary(f);
+        assert!((after.mean - before.mean).abs() < 1e-9, "mean drifted");
+        // Ten cycles at rho ~ 0.303 shrink the variance by ~6.7e-6.
+        assert!(after.variance < before.variance * 1e-4, "no convergence");
+    }
+
+    #[test]
+    fn variance_reduction_rate_matches_rho() {
+        // The headline claim: per-cycle variance reduction ~ 1/(2 sqrt e).
+        let n = 20_000;
+        let mut net = Network::new(n);
+        let f = net.add_scalar_field(Rule::Average, |i| if i == 0 { n as f64 } else { 0.0 });
+        let sampler = CompleteSampler::new(n);
+        let mut r = rng(2);
+        let v0 = net.scalar_summary(f).variance;
+        let cycles = 15;
+        for _ in 0..cycles {
+            net.run_cycle(&sampler, CycleOptions::default(), &mut r);
+        }
+        let vk = net.scalar_summary(f).variance;
+        let factor = (vk / v0).powf(1.0 / cycles as f64);
+        let rho = epidemic_aggregation::theory::RHO_PUSH_PULL;
+        assert!(
+            (factor - rho).abs() < 0.05,
+            "measured convergence factor {factor}, expected ~{rho}"
+        );
+    }
+
+    #[test]
+    fn link_failure_slows_but_preserves_mean() {
+        let mut net = Network::new(500);
+        let f = net.add_scalar_field(Rule::Average, |i| i as f64);
+        let sampler = CompleteSampler::new(500);
+        let mut r = rng(3);
+        let mean0 = net.scalar_summary(f).mean;
+        let mut report_sum = 0usize;
+        for _ in 0..10 {
+            let rep = net.run_cycle(
+                &sampler,
+                CycleOptions {
+                    link_failure: 0.5,
+                    message_loss: 0.0,
+                },
+                &mut r,
+            );
+            report_sum += rep.skipped_link;
+            assert_eq!(rep.half_completed, 0);
+        }
+        assert!((net.scalar_summary(f).mean - mean0).abs() < 1e-9);
+        // About half of all attempts must have been dropped.
+        assert!((report_sum as f64 - 2500.0).abs() < 300.0);
+    }
+
+    #[test]
+    fn lost_reply_breaks_mass_conservation() {
+        // With heavy reply loss the global sum drifts — the exact pathology
+        // of Section 7.2.
+        let mut net = Network::new(300);
+        let f = net.add_scalar_field(Rule::Average, |i| if i == 0 { 300.0 } else { 0.0 });
+        let sampler = CompleteSampler::new(300);
+        let mut r = rng(4);
+        let mut saw_half = false;
+        for _ in 0..15 {
+            let rep = net.run_cycle(
+                &sampler,
+                CycleOptions {
+                    link_failure: 0.0,
+                    message_loss: 0.4,
+                },
+                &mut r,
+            );
+            saw_half |= rep.half_completed > 0;
+        }
+        assert!(saw_half);
+        let mean = net.scalar_summary(f).mean;
+        assert!((mean - 1.0).abs() > 1e-6, "mass improbably conserved: {mean}");
+    }
+
+    #[test]
+    fn crashed_nodes_are_excluded() {
+        let mut net = Network::new(10);
+        let f = net.add_scalar_field(Rule::Average, |i| i as f64);
+        net.crash(9);
+        net.crash(9);
+        assert_eq!(net.alive_count(), 9);
+        let s = net.scalar_summary(f);
+        assert_eq!(s.count, 9);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn dead_peer_skips_exchange() {
+        let mut net = Network::new(2);
+        let f = net.add_scalar_field(Rule::Average, |i| i as f64);
+        net.crash(1);
+        let sampler = CompleteSampler::new(2);
+        let mut r = rng(5);
+        let rep = net.run_cycle(&sampler, CycleOptions::default(), &mut r);
+        assert_eq!(rep.skipped_dead, 1);
+        assert_eq!(rep.completed, 0);
+        assert_eq!(net.scalar_value(f, 0), 0.0);
+    }
+
+    #[test]
+    fn new_nodes_refuse_exchanges() {
+        let mut net = Network::new(2);
+        let f = net.add_scalar_field(Rule::Average, |i| (i + 1) as f64);
+        let joiner = net.add_node();
+        assert_eq!(joiner, 2);
+        assert!(!net.is_participating(joiner));
+        let sampler = CompleteSampler::new(3);
+        let mut r = rng(6);
+        let mut refused = 0;
+        for _ in 0..30 {
+            refused += net
+                .run_cycle(&sampler, CycleOptions::default(), &mut r)
+                .skipped_refused;
+        }
+        assert!(refused > 0, "joiner never refused an exchange");
+        // Joiner state untouched; participants converged to their own mean.
+        assert_eq!(net.scalar_value(f, joiner), 0.0);
+        let s = net.scalar_summary(f);
+        assert!((s.mean - 1.5).abs() < 1e-9);
+        assert!(s.variance < 1e-12);
+    }
+
+    #[test]
+    fn admit_all_brings_joiners_in() {
+        let mut net = Network::new(2);
+        net.add_scalar_field(Rule::Average, |_| 1.0);
+        let joiner = net.add_node();
+        net.admit_all();
+        assert!(net.is_participating(joiner));
+    }
+
+    #[test]
+    fn map_field_count_protocol_converges() {
+        let n = 400;
+        let mut net = Network::new(n);
+        let f = net.add_map_field(&[3, 77, 200]);
+        let sampler = CompleteSampler::new(n);
+        let mut r = rng(7);
+        for _ in 0..30 {
+            net.run_cycle(&sampler, CycleOptions::default(), &mut r);
+        }
+        // Mass per leader conserved.
+        for leader in [3u64, 77, 200] {
+            assert!((net.map_mass(f, leader) - 1.0).abs() < 1e-9);
+        }
+        let estimates = net.count_estimates(f);
+        assert_eq!(estimates.len(), n);
+        for est in estimates {
+            assert!((est - n as f64).abs() < n as f64 * 0.05, "estimate {est}");
+        }
+    }
+
+    #[test]
+    fn map_mass_drops_when_holder_crashes() {
+        let mut net = Network::new(10);
+        let f = net.add_map_field(&[0]);
+        net.crash(0); // leader dies before any exchange: all mass gone
+        assert_eq!(net.map_mass(f, 0), 0.0);
+        assert!(net.count_estimates(f).is_empty());
+    }
+
+    #[test]
+    fn exchange_tally_distribution() {
+        // Section 4.5: exchanges per node per cycle = 1 + Poisson(1) on a
+        // random overlay: mean 2, variance 1.
+        let n = 20_000;
+        let mut net = Network::new(n);
+        net.add_scalar_field(Rule::Average, |_| 0.0);
+        net.enable_tally();
+        let sampler = CompleteSampler::new(n);
+        let mut r = rng(8);
+        net.run_cycle(&sampler, CycleOptions::default(), &mut r);
+        let tally = net.take_tally();
+        let stats: OnlineStats = tally.iter().map(|&c| c as f64).collect();
+        assert!((stats.mean() - 2.0).abs() < 0.05, "mean {}", stats.mean());
+        assert!(
+            (stats.variance() - 1.0).abs() < 0.1,
+            "variance {}",
+            stats.variance()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "is a map field")]
+    fn scalar_accessor_rejects_map_field() {
+        let mut net = Network::new(2);
+        let f = net.add_map_field(&[0]);
+        net.scalar_value(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a scalar field")]
+    fn map_accessor_rejects_scalar_field() {
+        let mut net = Network::new(2);
+        let f = net.add_scalar_field(Rule::Average, |_| 0.0);
+        net.map_value(f, 0);
+    }
+
+    #[test]
+    fn min_rule_broadcasts_extreme() {
+        let n = 256;
+        let mut net = Network::new(n);
+        let f = net.add_scalar_field(Rule::Min, |i| 100.0 + i as f64);
+        let sampler = CompleteSampler::new(n);
+        let mut r = rng(9);
+        for _ in 0..12 {
+            net.run_cycle(&sampler, CycleOptions::default(), &mut r);
+        }
+        let s = net.scalar_summary(f);
+        assert_eq!(s.max, 100.0, "min not fully broadcast");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the cycle kernel's conservation laws.
+
+use epidemic_aggregation::rule::Rule;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_sim::network::{CycleOptions, Network};
+use epidemic_topology::CompleteSampler;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mean_is_invariant_without_message_loss(
+        n in 4usize..200,
+        cycles in 1u32..12,
+        link_failure in 0.0f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut net = Network::new(n);
+        let f = net.add_scalar_field(Rule::Average, |i| (i as f64).sin() * 100.0);
+        let sampler = CompleteSampler::new(n);
+        let before = net.scalar_summary(f).mean;
+        for _ in 0..cycles {
+            net.run_cycle(
+                &sampler,
+                CycleOptions { link_failure, message_loss: 0.0 },
+                &mut rng,
+            );
+        }
+        let after = net.scalar_summary(f).mean;
+        prop_assert!((after - before).abs() < 1e-9 * (1.0 + before.abs()));
+    }
+
+    #[test]
+    fn estimates_stay_within_initial_envelope(
+        n in 4usize..200,
+        cycles in 1u32..12,
+        message_loss in 0.0f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        // Averaging merges are convex: even with message loss, no node's
+        // estimate can ever leave [initial min, initial max].
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut net = Network::new(n);
+        let f = net.add_scalar_field(Rule::Average, |i| (i % 7) as f64 * 3.0 - 9.0);
+        let sampler = CompleteSampler::new(n);
+        let s0 = net.scalar_summary(f);
+        for _ in 0..cycles {
+            net.run_cycle(
+                &sampler,
+                CycleOptions { link_failure: 0.0, message_loss },
+                &mut rng,
+            );
+        }
+        let s = net.scalar_summary(f);
+        prop_assert!(s.min >= s0.min - 1e-12);
+        prop_assert!(s.max <= s0.max + 1e-12);
+    }
+
+    #[test]
+    fn variance_never_increases_without_failures(
+        n in 4usize..150,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut net = Network::new(n);
+        let f = net.add_scalar_field(Rule::Average, |i| if i == 0 { n as f64 } else { 0.0 });
+        let sampler = CompleteSampler::new(n);
+        let mut last = net.scalar_summary(f).variance;
+        for _ in 0..10 {
+            net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+            let v = net.scalar_summary(f).variance;
+            prop_assert!(v <= last + 1e-12, "variance rose {last} -> {v}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn map_mass_conserved_under_link_failures(
+        n in 4usize..150,
+        leaders in 1usize..4,
+        link_failure in 0.0f64..0.8,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(leaders < n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut net = Network::new(n);
+        let leader_ids: Vec<usize> = (0..leaders).collect();
+        let f = net.add_map_field(&leader_ids);
+        let sampler = CompleteSampler::new(n);
+        for _ in 0..8 {
+            net.run_cycle(
+                &sampler,
+                CycleOptions { link_failure, message_loss: 0.0 },
+                &mut rng,
+            );
+        }
+        for &l in &leader_ids {
+            let mass = net.map_mass(f, l as u64);
+            prop_assert!((mass - 1.0).abs() < 1e-9, "leader {} mass {}", l, mass);
+        }
+    }
+
+    #[test]
+    fn crashes_only_remove_mass(
+        n in 10usize..150,
+        crash_count in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(crash_count < n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut net = Network::new(n);
+        let f = net.add_scalar_field(Rule::Average, |_| 1.0);
+        let sampler = CompleteSampler::new(n);
+        for _ in 0..3 {
+            net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+        }
+        for i in 0..crash_count {
+            net.crash(i);
+        }
+        prop_assert_eq!(net.alive_count(), n - crash_count);
+        // All values were 1.0, so survivors' mean is still exactly 1.0.
+        let s = net.scalar_summary(f);
+        prop_assert_eq!(s.count as usize, n - crash_count);
+        prop_assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,524 @@
+//! Topology generators.
+//!
+//! Deterministic (seeded) generators for every static overlay evaluated in
+//! Section 4.4 of the paper:
+//!
+//! * [`complete`] — every node knows every other node.
+//! * [`random_k_out`] — each node's neighbor set is a random sample of `k`
+//!   distinct peers (the paper's "random network" with degree 20).
+//! * [`ring_lattice`] — nodes on a ring, connected to the `k/2` nearest
+//!   neighbors on each side (the Watts–Strogatz β = 0 case).
+//! * [`watts_strogatz`] — ring lattice with each lattice edge rewired to a
+//!   random target with probability β.
+//! * [`barabasi_albert`] — preferential attachment; each new node wires `m`
+//!   edges to existing nodes picked proportionally to their degree.
+//!
+//! [`TopologyKind`] names the full family (including the implicit complete
+//! graph and the dynamic NEWSCAST overlay) so experiment configuration can
+//! be data-driven.
+
+use crate::graph::{Graph, GraphBuilder};
+use epidemic_common::rng::Xoshiro256;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when generator parameters are inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// The requested degree cannot be realized for the given node count.
+    DegreeTooLarge {
+        /// Number of nodes requested.
+        nodes: usize,
+        /// Degree requested.
+        degree: usize,
+    },
+    /// The lattice degree must be even (k/2 neighbors on each side).
+    OddLatticeDegree(usize),
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// The generator needs at least this many nodes.
+    TooFewNodes {
+        /// Number of nodes requested.
+        requested: usize,
+        /// Minimum supported.
+        minimum: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DegreeTooLarge { nodes, degree } => {
+                write!(f, "degree {degree} is not realizable with {nodes} nodes")
+            }
+            TopologyError::OddLatticeDegree(k) => {
+                write!(f, "lattice degree must be even, got {k}")
+            }
+            TopologyError::InvalidProbability(p) => {
+                write!(f, "probability must be in [0, 1], got {p}")
+            }
+            TopologyError::TooFewNodes { requested, minimum } => {
+                write!(f, "generator needs at least {minimum} nodes, got {requested}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// Complete graph on `n` nodes (materialized).
+///
+/// Only practical for small `n`; for large networks use
+/// [`crate::CompleteSampler`], which draws neighbors without storing edges.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_degree_hint(n, n.saturating_sub(1));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random k-out graph: each node's neighbor list is a uniform sample of `k`
+/// distinct peers, excluding itself (directed; this is the paper's "random"
+/// topology with `k = 20`).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::DegreeTooLarge`] if `k >= n`.
+pub fn random_k_out(n: usize, k: usize, rng: &mut Xoshiro256) -> Result<Graph, TopologyError> {
+    if n == 0 || k >= n {
+        return Err(TopologyError::DegreeTooLarge { nodes: n, degree: k });
+    }
+    let mut b = GraphBuilder::with_degree_hint(n, k);
+    for u in 0..n {
+        // Sample k distinct targets from the n-1 peers (skip self by shift).
+        for raw in rng.sample_distinct(n - 1, k) {
+            let v = if raw >= u { raw + 1 } else { raw };
+            b.add_edge(u, v);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Ring lattice: `n` nodes on a ring, each connected (undirected) to its
+/// `k/2` nearest neighbors on both sides.
+///
+/// # Errors
+///
+/// Returns an error if `k` is odd, `k >= n`, or `n < 3`.
+pub fn ring_lattice(n: usize, k: usize) -> Result<Graph, TopologyError> {
+    validate_lattice(n, k)?;
+    let mut b = GraphBuilder::with_degree_hint(n, k);
+    let half = k / 2;
+    for u in 0..n {
+        for j in 1..=half {
+            let v = (u + j) % n;
+            b.add_undirected_edge(u, v);
+        }
+    }
+    Ok(b.build())
+}
+
+fn validate_lattice(n: usize, k: usize) -> Result<(), TopologyError> {
+    if n < 3 {
+        return Err(TopologyError::TooFewNodes {
+            requested: n,
+            minimum: 3,
+        });
+    }
+    if !k.is_multiple_of(2) {
+        return Err(TopologyError::OddLatticeDegree(k));
+    }
+    if k >= n {
+        return Err(TopologyError::DegreeTooLarge { nodes: n, degree: k });
+    }
+    Ok(())
+}
+
+/// Watts–Strogatz small-world graph.
+///
+/// Starts from [`ring_lattice`]`(n, k)` and rewires each "forward" lattice
+/// edge `(u, u+j)` with probability `beta`: the edge is removed and replaced
+/// by `(u, w)` for a uniform random `w` avoiding self-loops and duplicate
+/// edges (Watts & Strogatz, Nature 393, 1998). `beta = 0` leaves the
+/// lattice intact; `beta = 1` rewires every edge.
+///
+/// # Errors
+///
+/// Returns an error for invalid lattice parameters or `beta` outside
+/// `[0, 1]`.
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut Xoshiro256,
+) -> Result<Graph, TopologyError> {
+    validate_lattice(n, k)?;
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(TopologyError::InvalidProbability(beta));
+    }
+    let half = k / 2;
+    let mut b = GraphBuilder::with_degree_hint(n, k);
+    // Build the lattice first.
+    for u in 0..n {
+        for j in 1..=half {
+            let v = (u + j) % n;
+            b.add_undirected_edge(u, v);
+        }
+    }
+    if beta == 0.0 {
+        return Ok(b.build());
+    }
+    // Rewire pass: scan forward lattice edges in the canonical W-S order.
+    for j in 1..=half {
+        for u in 0..n {
+            if !rng.next_bool(beta) {
+                continue;
+            }
+            let old_v = (u + j) % n;
+            // Draw a new target avoiding self-loops and duplicates; skip the
+            // rewire if the node is already saturated (tiny n edge case).
+            if b.degree(u) >= n - 1 {
+                continue;
+            }
+            let new_v = loop {
+                let w = rng.index(n);
+                if w != u && !b.has_edge(u, w) {
+                    break w;
+                }
+            };
+            remove_directed(&mut b, u, old_v);
+            remove_directed(&mut b, old_v, u);
+            b.add_undirected_edge(u, new_v);
+        }
+    }
+    Ok(b.build())
+}
+
+fn remove_directed(b: &mut GraphBuilder, u: usize, v: usize) {
+    let nbrs = b.neighbors_mut(u);
+    if let Some(pos) = nbrs.iter().position(|&x| x == v as u32) {
+        nbrs.swap_remove(pos);
+    }
+}
+
+/// Barabási–Albert scale-free graph via preferential attachment.
+///
+/// Starts from a clique of `m + 1` seed nodes; every subsequent node
+/// attaches `m` undirected edges to distinct existing nodes chosen with
+/// probability proportional to their current degree (implemented with the
+/// repeated-endpoints trick). The paper's scale-free topology uses a mean
+/// degree of about 20, i.e. `m = 10`.
+///
+/// # Errors
+///
+/// Returns an error if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut Xoshiro256) -> Result<Graph, TopologyError> {
+    if m == 0 {
+        return Err(TopologyError::DegreeTooLarge { nodes: n, degree: m });
+    }
+    if n <= m + 1 {
+        return Err(TopologyError::TooFewNodes {
+            requested: n,
+            minimum: m + 2,
+        });
+    }
+    let mut b = GraphBuilder::with_degree_hint(n, 2 * m);
+    // Every edge endpoint is appended here; sampling a uniform element of
+    // this vector is exactly degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_undirected_edge(u, v);
+            endpoints.push(u as u32);
+            endpoints.push(v as u32);
+        }
+    }
+    let mut chosen = Vec::with_capacity(m);
+    for u in (m + 1)..n {
+        chosen.clear();
+        while chosen.len() < m {
+            let v = endpoints[rng.index(endpoints.len())];
+            if v as usize != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            b.add_undirected_edge(u, v as usize);
+            endpoints.push(u as u32);
+            endpoints.push(v);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Named topology families used throughout the experiments.
+///
+/// `degree`-style parameters follow the paper: all regular topologies use
+/// degree 20, the scale-free graph uses `m = 10` (mean degree ≈ 20).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyKind {
+    /// Complete graph (implicit; use [`crate::CompleteSampler`]).
+    Complete,
+    /// Random k-out graph.
+    Random {
+        /// Out-degree of every node.
+        k: usize,
+    },
+    /// Ring lattice (Watts–Strogatz with β = 0).
+    RingLattice {
+        /// Even lattice degree.
+        k: usize,
+    },
+    /// Watts–Strogatz small world.
+    WattsStrogatz {
+        /// Even lattice degree.
+        k: usize,
+        /// Rewiring probability in `[0, 1]`.
+        beta: f64,
+    },
+    /// Barabási–Albert scale-free graph.
+    ScaleFree {
+        /// Edges attached by each arriving node.
+        m: usize,
+    },
+}
+
+impl TopologyKind {
+    /// Generates the topology over `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parameter-validation errors of the individual
+    /// generators. `Complete` is materialized — prefer
+    /// [`crate::CompleteSampler`] for large `n`.
+    pub fn generate(self, n: usize, rng: &mut Xoshiro256) -> Result<Graph, TopologyError> {
+        match self {
+            TopologyKind::Complete => Ok(complete(n)),
+            TopologyKind::Random { k } => random_k_out(n, k, rng),
+            TopologyKind::RingLattice { k } => ring_lattice(n, k),
+            TopologyKind::WattsStrogatz { k, beta } => watts_strogatz(n, k, beta, rng),
+            TopologyKind::ScaleFree { m } => barabasi_albert(n, m, rng),
+        }
+    }
+
+    /// Short human-readable label used in experiment output.
+    pub fn label(self) -> String {
+        match self {
+            TopologyKind::Complete => "complete".to_string(),
+            TopologyKind::Random { k } => format!("random(k={k})"),
+            TopologyKind::RingLattice { k } => format!("lattice(k={k})"),
+            TopologyKind::WattsStrogatz { k: _, beta } => format!("w-s(beta={beta:.2})"),
+            TopologyKind::ScaleFree { m } => format!("scale-free(m={m})"),
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn rng(seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn complete_small() {
+        let g = complete(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 20);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 4);
+            assert!(!g.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn random_k_out_degrees_and_validity() {
+        let g = random_k_out(100, 20, &mut rng(1)).unwrap();
+        for u in 0..100 {
+            assert_eq!(g.degree(u), 20);
+            let nbrs = g.neighbors(u);
+            let set: std::collections::HashSet<_> = nbrs.iter().collect();
+            assert_eq!(set.len(), 20, "duplicate neighbors at {u}");
+            assert!(!nbrs.contains(&(u as u32)), "self-loop at {u}");
+        }
+    }
+
+    #[test]
+    fn random_k_out_rejects_k_ge_n() {
+        assert!(random_k_out(5, 5, &mut rng(2)).is_err());
+        assert!(random_k_out(0, 0, &mut rng(2)).is_err());
+    }
+
+    #[test]
+    fn random_k_out_is_deterministic() {
+        let a = random_k_out(50, 5, &mut rng(7)).unwrap();
+        let b = random_k_out(50, 5, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ring_lattice_structure() {
+        let g = ring_lattice(10, 4).unwrap();
+        for u in 0..10 {
+            assert_eq!(g.degree(u), 4);
+            assert!(g.has_edge(u, (u + 1) % 10));
+            assert!(g.has_edge(u, (u + 2) % 10));
+            assert!(g.has_edge(u, (u + 8) % 10));
+            assert!(g.has_edge(u, (u + 9) % 10));
+        }
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn ring_lattice_validation() {
+        assert_eq!(
+            ring_lattice(10, 3).unwrap_err(),
+            TopologyError::OddLatticeDegree(3)
+        );
+        assert!(ring_lattice(2, 2).is_err());
+        assert!(ring_lattice(10, 10).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let ws = watts_strogatz(30, 6, 0.0, &mut rng(3)).unwrap();
+        let lat = ring_lattice(30, 6).unwrap();
+        assert_eq!(ws, lat);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        for beta in [0.1, 0.5, 1.0] {
+            let g = watts_strogatz(200, 10, beta, &mut rng(4)).unwrap();
+            // Rewiring replaces edges one-for-one.
+            assert_eq!(g.edge_count(), 200 * 10, "beta={beta}");
+            // Mean degree is preserved even though individual degrees vary.
+            let total: usize = (0..200).map(|u| g.degree(u)).sum();
+            assert_eq!(total, 2000);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_no_self_loops_or_duplicates() {
+        let g = watts_strogatz(100, 8, 0.7, &mut rng(5)).unwrap();
+        for u in 0..100 {
+            let nbrs = g.neighbors(u);
+            assert!(!nbrs.contains(&(u as u32)), "self-loop at {u}");
+            let set: std::collections::HashSet<_> = nbrs.iter().collect();
+            assert_eq!(set.len(), nbrs.len(), "duplicate edge at {u}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_remains_symmetric() {
+        let g = watts_strogatz(80, 6, 0.4, &mut rng(6)).unwrap();
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "edge {u}->{v} has no reverse");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_beta_one_destroys_lattice() {
+        let g = watts_strogatz(500, 10, 1.0, &mut rng(8)).unwrap();
+        // Count surviving forward lattice edges; with full rewiring only a
+        // small fraction should remain by chance.
+        let surviving = (0..500)
+            .flat_map(|u| (1..=5).map(move |j| (u, (u + j) % 500)))
+            .filter(|&(u, v)| g.has_edge(u, v))
+            .count();
+        assert!(surviving < 250, "too many lattice edges survived: {surviving}");
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_bad_beta() {
+        assert!(matches!(
+            watts_strogatz(10, 4, 1.5, &mut rng(9)),
+            Err(TopologyError::InvalidProbability(_))
+        ));
+        assert!(watts_strogatz(10, 4, -0.1, &mut rng(9)).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let n = 300;
+        let m = 4;
+        let g = barabasi_albert(n, m, &mut rng(10)).unwrap();
+        // clique(m+1) + m per subsequent node, undirected => 2x directed.
+        let clique_edges = (m + 1) * m / 2;
+        let expected = 2 * (clique_edges + m * (n - m - 1));
+        assert_eq!(g.edge_count(), expected);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn barabasi_albert_is_skewed() {
+        let g = barabasi_albert(2000, 3, &mut rng(11)).unwrap();
+        let max_degree = (0..2000).map(|u| g.degree(u)).max().unwrap();
+        // Hubs should appear: max degree far above the mean (~6).
+        assert!(max_degree > 40, "max degree {max_degree} too small for scale-free");
+    }
+
+    #[test]
+    fn barabasi_albert_no_self_loops_or_duplicates() {
+        let g = barabasi_albert(400, 5, &mut rng(12)).unwrap();
+        for u in 0..400 {
+            let nbrs = g.neighbors(u);
+            assert!(!nbrs.contains(&(u as u32)));
+            let set: std::collections::HashSet<_> = nbrs.iter().collect();
+            assert_eq!(set.len(), nbrs.len());
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_validation() {
+        assert!(barabasi_albert(5, 0, &mut rng(13)).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng(13)).is_err());
+    }
+
+    #[test]
+    fn kind_generate_dispatches() {
+        let mut r = rng(14);
+        assert_eq!(TopologyKind::Complete.generate(4, &mut r).unwrap().edge_count(), 12);
+        assert!(TopologyKind::Random { k: 3 }.generate(10, &mut r).is_ok());
+        assert!(TopologyKind::RingLattice { k: 4 }.generate(10, &mut r).is_ok());
+        assert!(TopologyKind::WattsStrogatz { k: 4, beta: 0.5 }
+            .generate(10, &mut r)
+            .is_ok());
+        assert!(TopologyKind::ScaleFree { m: 2 }.generate(10, &mut r).is_ok());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(TopologyKind::Complete.label(), "complete");
+        assert_eq!(TopologyKind::Random { k: 20 }.label(), "random(k=20)");
+        assert_eq!(
+            TopologyKind::WattsStrogatz { k: 20, beta: 0.25 }.to_string(),
+            "w-s(beta=0.25)"
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = TopologyError::DegreeTooLarge { nodes: 5, degree: 9 };
+        assert!(e.to_string().contains("degree 9"));
+        assert!(TopologyError::OddLatticeDegree(3).to_string().contains("even"));
+        assert!(TopologyError::InvalidProbability(2.0)
+            .to_string()
+            .contains("[0, 1]"));
+        let e = TopologyError::TooFewNodes { requested: 1, minimum: 3 };
+        assert!(e.to_string().contains("at least 3"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Compact adjacency storage.
+//!
+//! Simulations in this workspace run on overlays with up to a million nodes
+//! and degree around 20, so adjacency is stored in compressed sparse row
+//! (CSR) form: one flat `Vec<u32>` of neighbor indices plus an offset table.
+//! Graphs are built incrementally through [`GraphBuilder`] and then frozen
+//! into an immutable [`Graph`].
+
+use crate::sample::NeighborSampling;
+use epidemic_common::rng::Xoshiro256;
+use std::fmt;
+
+/// Immutable overlay graph in CSR form.
+///
+/// Edges are directed: `neighbors(u)` is the list of nodes that `u` may
+/// initiate an exchange with. Undirected topologies simply store both
+/// directions. Note that a push-pull exchange moves information both ways
+/// along an edge regardless of its direction, so *weak* connectivity is the
+/// relevant criterion for convergence (see [`crate::metrics::is_connected`]).
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_topology::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_undirected_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.neighbors(2), &[] as &[u32]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.node_count()`.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        &self.targets[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.node_count()`.
+    #[inline]
+    pub fn degree(&self, node: usize) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    /// Iterates over all directed edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            self.neighbors(u).iter().map(move |&v| (u, v as usize))
+        })
+    }
+
+    /// Returns `true` if the directed edge `u -> v` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).contains(&(v as u32))
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+impl NeighborSampling for Graph {
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut Xoshiro256) -> Option<usize> {
+        let nbrs = self.neighbors(node);
+        rng.choose(nbrs).map(|&v| v as usize)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Edges may be added in any order; duplicates are kept as-is (generators
+/// are responsible for avoiding them where the model forbids multi-edges).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `nodes` nodes and no edges.
+    pub fn new(nodes: usize) -> Self {
+        GraphBuilder {
+            adjacency: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Creates a builder pre-reserving `degree` slots per node.
+    pub fn with_degree_hint(nodes: usize, degree: usize) -> Self {
+        GraphBuilder {
+            adjacency: vec![Vec::with_capacity(degree); nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(v < self.adjacency.len(), "target {v} out of range");
+        self.adjacency[u].push(v as u32);
+        self
+    }
+
+    /// Adds both `u -> v` and `v -> u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_undirected_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+        self
+    }
+
+    /// Returns `true` if the directed edge `u -> v` already exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency[u].contains(&(v as u32))
+    }
+
+    /// Current out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Mutable access to the adjacency list of `u` (used by the
+    /// Watts–Strogatz rewiring pass).
+    pub(crate) fn neighbors_mut(&mut self, u: usize) -> &mut Vec<u32> {
+        &mut self.adjacency[u]
+    }
+
+    /// Out-neighbors of `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adjacency[u]
+    }
+
+    /// Freezes the builder into a CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let mut offsets = Vec::with_capacity(self.adjacency.len() + 1);
+        offsets.push(0);
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        for nbrs in &self.adjacency {
+            targets.extend_from_slice(nbrs);
+            offsets.push(targets.len());
+        }
+        Graph { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        b.add_undirected_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.node_count(), 5);
+        for i in 0..5 {
+            assert_eq!(g.degree(i), 0);
+            assert!(g.neighbors(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 6);
+        for i in 0..3 {
+            assert_eq!(g.degree(i), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = triangle();
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn sampling_returns_a_neighbor() {
+        let g = triangle();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..50 {
+            let peer = g.sample_neighbor(0, &mut rng).unwrap();
+            assert!(peer == 1 || peer == 2);
+        }
+    }
+
+    #[test]
+    fn sampling_isolated_node_is_none() {
+        let g = GraphBuilder::new(2).build();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        assert_eq!(g.sample_neighbor(0, &mut rng), None);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        let g = b.build();
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[g.sample_neighbor(0, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            assert!((c as i64 - 10_000).abs() < 1_000, "count {c} not ~10000");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_rejects_bad_target() {
+        GraphBuilder::new(2).add_edge(0, 7);
+    }
+
+    #[test]
+    fn builder_degree_and_has_edge() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert!(b.has_edge(0, 1));
+        assert!(!b.has_edge(1, 0));
+        assert_eq!(b.degree(0), 1);
+        assert_eq!(b.degree(1), 0);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let g = triangle();
+        let s = format!("{g:?}");
+        assert!(s.contains("nodes: 3"));
+        assert!(s.contains("edges: 6"));
+    }
+}

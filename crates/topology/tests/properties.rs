@@ -1,0 +1,118 @@
+//! Property-based tests of the topology generators.
+
+use epidemic_common::rng::Xoshiro256;
+use epidemic_topology::{generate, metrics, CompleteSampler, NeighborSampling};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_k_out_always_valid(
+        n in 2usize..300,
+        k_frac in 0.01f64..0.99,
+        seed in 0u64..1000,
+    ) {
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n - 1);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let g = generate::random_k_out(n, k, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        for u in 0..n {
+            let nbrs = g.neighbors(u);
+            prop_assert_eq!(nbrs.len(), k);
+            prop_assert!(!nbrs.contains(&(u as u32)), "self loop at {}", u);
+            let set: std::collections::HashSet<_> = nbrs.iter().collect();
+            prop_assert_eq!(set.len(), k, "duplicate neighbor at {}", u);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edges_and_symmetry(
+        half_k in 1usize..6,
+        beta in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = 60;
+        let k = half_k * 2;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let g = generate::watts_strogatz(n, k, beta, &mut rng).unwrap();
+        // Rewiring is one-for-one: total directed edge count is unchanged.
+        prop_assert_eq!(g.edge_count(), n * k);
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(v, u), "asymmetric edge {}->{}", u, v);
+            prop_assert!(u != v, "self loop at {}", u);
+        }
+    }
+
+    #[test]
+    fn lattice_is_connected_and_regular(
+        n in 5usize..200,
+        half_k in 1usize..4,
+    ) {
+        let k = (half_k * 2).min(n - 1);
+        let k = if k % 2 == 1 { k - 1 } else { k };
+        prop_assume!(k >= 2);
+        let g = generate::ring_lattice(n, k).unwrap();
+        prop_assert!(metrics::is_connected(&g));
+        for u in 0..n {
+            prop_assert_eq!(g.degree(u), k);
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected(
+        n in 10usize..300,
+        m in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n > m + 1);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let g = generate::barabasi_albert(n, m, &mut rng).unwrap();
+        prop_assert!(metrics::is_connected(&g));
+        // Every non-seed node has degree >= m.
+        for u in (m + 1)..n {
+            prop_assert!(g.degree(u) >= m, "degree {} < m at {}", g.degree(u), u);
+        }
+    }
+
+    #[test]
+    fn complete_sampler_uniform_support(
+        n in 2usize..50,
+        seed in 0u64..1000,
+    ) {
+        let sampler = CompleteSampler::new(n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let node = rng.index(n);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..(n * 30) {
+            let peer = sampler.sample_neighbor(node, &mut rng).unwrap();
+            prop_assert!(peer < n);
+            prop_assert!(peer != node);
+            seen.insert(peer);
+        }
+        // With 30n draws, all n-1 peers appear with overwhelming probability.
+        prop_assert_eq!(seen.len(), n - 1);
+    }
+
+    #[test]
+    fn components_partition_the_graph(
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let mut b = epidemic_topology::GraphBuilder::new(40);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let comp = metrics::connected_components(&g);
+        prop_assert_eq!(comp.len(), 40);
+        // Connected endpoints share a component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+        // Component ids are dense 0..count.
+        let count = metrics::component_count(&g);
+        prop_assert!(comp.iter().all(|&c| c < count));
+    }
+}

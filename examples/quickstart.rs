@@ -1,0 +1,38 @@
+//! Quickstart: estimate a global average over a dynamic overlay.
+//!
+//! One thousand nodes each hold a private value; NEWSCAST maintains the
+//! overlay and the push-pull averaging protocol converges every node's
+//! estimate onto the global mean in ~30 cycles — without any coordinator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+
+fn main() {
+    let n = 1_000;
+    let config = ExperimentConfig {
+        n,
+        overlay: OverlaySpec::Newscast { c: 30 },
+        cycles: 30,
+        values: ValueInit::Uniform { lo: 0.0, hi: 100.0 },
+        aggregate: AggregateSetup::Average,
+        ..ExperimentConfig::default()
+    };
+    let outcome = config.run(42);
+
+    println!("push-pull AVERAGE over a {n}-node NEWSCAST overlay (c = 30)\n");
+    println!("{:>5}  {:>14}  {:>14}  {:>14}", "cycle", "min estimate", "max estimate", "variance");
+    for cycle in [0usize, 1, 2, 3, 5, 10, 15, 20, 25, 30] {
+        println!(
+            "{:>5}  {:>14.6}  {:>14.6}  {:>14.3e}",
+            cycle, outcome.min[cycle], outcome.max[cycle], outcome.variance[cycle]
+        );
+    }
+    let estimate = outcome.mean_final_estimate();
+    println!("\nevery node now estimates the global average as ~{estimate:.4}");
+    println!(
+        "measured convergence factor: {:.4} (theory for random overlays: {:.4})",
+        outcome.convergence_factor(20),
+        epidemic::aggregation::theory::RHO_PUSH_PULL
+    );
+}

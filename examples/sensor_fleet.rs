@@ -1,0 +1,67 @@
+//! Sensor fleet with adaptive restart: tracking a moving signal.
+//!
+//! A fleet of temperature sensors gossips four aggregates at once —
+//! mean, mean of squares (for the variance), minimum and maximum — while
+//! the underlying temperature field drifts. The epoch mechanism
+//! (Section 4.1) restarts the aggregation from fresh readings every γ
+//! cycles, so the reported aggregates track the drift with one epoch of
+//! lag.
+//!
+//! Run with: `cargo run --release --example sensor_fleet`
+
+use epidemic::aggregation::estimator;
+use epidemic::aggregation::rule::Rule;
+use epidemic::common::rng::Xoshiro256;
+use epidemic::common::stats;
+use epidemic::newscast::Overlay;
+use epidemic::sim::network::{CycleOptions, Network};
+
+fn main() {
+    let n = 2_000usize;
+    let gamma = 25u32;
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    let mut overlay = Overlay::random_init(n, 30, &mut rng);
+    let mut net = Network::new(n);
+
+    // Per-sensor offset from the regional baseline.
+    let offsets: Vec<f64> = (0..n).map(|_| rng.next_f64() * 8.0 - 4.0).collect();
+    let reading = |baseline: f64, i: usize| baseline + offsets[i];
+
+    let avg = net.add_scalar_field(Rule::Average, |_| 0.0);
+    let avg_sq = net.add_scalar_field(Rule::Average, |_| 0.0);
+    let min = net.add_scalar_field(Rule::Min, |_| 0.0);
+    let max = net.add_scalar_field(Rule::Max, |_| 0.0);
+
+    println!("epoch | baseline | est. mean | est. std | est. min | est. max");
+    println!("------+----------+-----------+----------+----------+---------");
+    let mut clock = 0u32;
+    for epoch in 0..8 {
+        // The region warms by 1.5 degrees per epoch.
+        let baseline = 15.0 + epoch as f64 * 1.5;
+        // Epoch restart: re-read the sensors.
+        net.reset_scalar_field(avg, |i| reading(baseline, i));
+        net.reset_scalar_field(avg_sq, |i| reading(baseline, i).powi(2));
+        net.reset_scalar_field(min, |i| reading(baseline, i));
+        net.reset_scalar_field(max, |i| reading(baseline, i));
+        for _ in 0..gamma {
+            clock += 1;
+            overlay.run_cycle(clock, &mut rng);
+            net.run_cycle(&overlay, CycleOptions::default(), &mut rng);
+        }
+        // Any single node's state now approximates the fleet aggregates.
+        let probe = 0usize;
+        let mean = net.scalar_value(avg, probe);
+        let mean_sq = net.scalar_value(avg_sq, probe);
+        let std = estimator::variance_estimate(mean, mean_sq).sqrt();
+        println!(
+            "{epoch:>5} | {baseline:>8.2} | {mean:>9.3} | {std:>8.3} | {mn:>8.3} | {mx:>8.3}",
+            mn = net.scalar_value(min, probe),
+            mx = net.scalar_value(max, probe),
+        );
+        // Sanity: the gossip estimates match direct computation.
+        let truth: Vec<f64> = (0..n).map(|i| reading(baseline, i)).collect();
+        assert!((mean - stats::mean(&truth)).abs() < 0.05);
+    }
+    println!("\neach row was read from ONE arbitrary sensor — after an epoch,");
+    println!("every node holds the fleet-wide aggregates locally");
+}

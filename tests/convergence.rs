@@ -1,0 +1,190 @@
+//! Cross-crate integration: the aggregation protocol converges to the
+//! correct aggregate over every overlay substrate the workspace builds.
+
+use epidemic::aggregation::estimator;
+use epidemic::aggregation::rule::Rule;
+use epidemic::common::rng::Xoshiro256;
+use epidemic::newscast::Overlay;
+use epidemic::sim::experiment::{
+    AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
+use epidemic::sim::network::{CycleOptions, Network};
+use epidemic::topology::TopologyKind;
+
+fn average_config(overlay: OverlaySpec) -> ExperimentConfig {
+    ExperimentConfig {
+        n: 2_000,
+        overlay,
+        cycles: 40,
+        values: ValueInit::Uniform { lo: -5.0, hi: 15.0 },
+        aggregate: AggregateSetup::Average,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn average_converges_on_every_topology() {
+    let overlays = [
+        ("complete", OverlaySpec::Complete),
+        ("random", OverlaySpec::Static(TopologyKind::Random { k: 20 })),
+        (
+            "watts-strogatz",
+            OverlaySpec::Static(TopologyKind::WattsStrogatz { k: 20, beta: 0.25 }),
+        ),
+        ("scale-free", OverlaySpec::Static(TopologyKind::ScaleFree { m: 10 })),
+        ("lattice", OverlaySpec::Static(TopologyKind::RingLattice { k: 20 })),
+        ("newscast", OverlaySpec::Newscast { c: 30 }),
+    ];
+    for (name, overlay) in overlays {
+        let out = average_config(overlay).run(11);
+        // Mass conservation: the mean never moves.
+        let drift = (out.mean[40] - out.mean[0]).abs();
+        assert!(drift < 1e-9, "{name}: mean drifted by {drift}");
+        // Convergence: estimates agree. The pure ring lattice is the
+        // paper's pathological case (Fig. 3(b) shows it reaching only
+        // ~1e-2 after 50 cycles), so it gets a looser bound.
+        let reduction = out.variance[40] / out.variance[0];
+        let bound = if name == "lattice" { 5e-2 } else { 1e-3 };
+        assert!(
+            reduction < bound,
+            "{name}: variance only reduced by {reduction}"
+        );
+    }
+}
+
+#[test]
+fn every_node_learns_the_same_value() {
+    let out = average_config(OverlaySpec::Newscast { c: 30 }).run(5);
+    let summary = out.final_summary();
+    assert_eq!(summary.count, 2_000);
+    assert!(
+        summary.max - summary.min < 1e-4,
+        "estimates disagree: [{}, {}]",
+        summary.min,
+        summary.max
+    );
+}
+
+#[test]
+fn count_is_accurate_across_sizes() {
+    for n in [500usize, 2_000, 8_000] {
+        let config = ExperimentConfig {
+            n,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            cycles: 30,
+            values: ValueInit::Constant(0.0),
+            aggregate: AggregateSetup::CountPeak,
+            ..ExperimentConfig::default()
+        };
+        let est = config.run(3).mean_final_estimate();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.03, "n={n}: estimate {est} ({:.1}% off)", err * 100.0);
+    }
+}
+
+#[test]
+fn min_max_sum_variance_product_compose() {
+    // Run the full Section 5 suite as parallel fields over one overlay and
+    // check every derived aggregate against ground truth.
+    let n = 3_000usize;
+    let mut rng = Xoshiro256::seed_from_u64(17);
+    let mut overlay_rng = Xoshiro256::seed_from_u64(18);
+    let values: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64() * 9.0).collect();
+
+    let mut overlay = Overlay::random_init(n, 30, &mut overlay_rng);
+    let mut net = Network::new(n);
+    let avg = net.add_scalar_field(Rule::Average, |i| values[i]);
+    let avg_sq = net.add_scalar_field(Rule::Average, |i| values[i] * values[i]);
+    let min = net.add_scalar_field(Rule::Min, |i| values[i]);
+    let max = net.add_scalar_field(Rule::Max, |i| values[i]);
+    let geo = net.add_scalar_field(Rule::GeometricMean, |i| values[i]);
+    let count = net.add_map_field(&[0, n / 2, n - 1]);
+
+    for cycle in 1..=40 {
+        overlay.run_cycle(cycle, &mut overlay_rng);
+        net.run_cycle(&overlay, CycleOptions::default(), &mut overlay_rng);
+    }
+
+    let probe = 123usize;
+    let est_mean = net.scalar_value(avg, probe);
+    let est_mean_sq = net.scalar_value(avg_sq, probe);
+    let est_count = estimator::count_estimate(net.map_value(count, probe)).unwrap();
+
+    let true_mean = values.iter().sum::<f64>() / n as f64;
+    assert!((est_mean - true_mean).abs() < 1e-6);
+
+    // MIN / MAX broadcast the exact extrema.
+    let true_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let true_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(net.scalar_value(min, probe), true_min);
+    assert_eq!(net.scalar_value(max, probe), true_max);
+
+    // COUNT.
+    assert!((est_count - n as f64).abs() < n as f64 * 0.05, "count {est_count}");
+
+    // SUM = AVERAGE x COUNT.
+    let true_sum: f64 = values.iter().sum();
+    let est_sum = estimator::sum_estimate(est_mean, est_count);
+    assert!((est_sum - true_sum).abs() / true_sum < 0.05, "sum {est_sum}");
+
+    // VARIANCE = E[x^2] - E[x]^2.
+    let est_var = estimator::variance_estimate(est_mean, est_mean_sq);
+    let true_var = values
+        .iter()
+        .map(|v| (v - true_mean) * (v - true_mean))
+        .sum::<f64>()
+        / n as f64;
+    assert!(
+        (est_var - true_var).abs() / true_var < 0.01,
+        "variance {est_var} vs {true_var}"
+    );
+
+    // PRODUCT = geomean^COUNT — compare in log space (the raw product of
+    // 3000 values overflows f64).
+    let est_geo = net.scalar_value(geo, probe);
+    let true_log_product: f64 = values.iter().map(|v| v.ln()).sum();
+    let est_log_product = est_count * est_geo.ln();
+    assert!(
+        (est_log_product - true_log_product).abs() / true_log_product.abs() < 0.05,
+        "log product {est_log_product} vs {true_log_product}"
+    );
+}
+
+#[test]
+fn peak_distribution_worst_case_converges() {
+    // The paper's Figure 2 scenario at reduced scale.
+    let n = 10_000;
+    let config = ExperimentConfig {
+        n,
+        overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
+        cycles: 30,
+        values: ValueInit::Peak { total: n as f64 },
+        aggregate: AggregateSetup::Average,
+        ..ExperimentConfig::default()
+    };
+    let out = config.run(2);
+    // After 30 cycles min and max hug the true average of 1.
+    assert!(out.min[30] > 0.99, "min {}", out.min[30]);
+    assert!(out.max[30] < 1.01, "max {}", out.max[30]);
+    // And the trajectory is monotone-ish: max decreasing, min increasing
+    // after the first cycles.
+    assert!(out.max[30] < out.max[5]);
+    assert!(out.min[30] > out.min[5]);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The README's five-line quickstart, via the facade.
+    let config = ExperimentConfig {
+        n: 500,
+        overlay: OverlaySpec::Newscast { c: 20 },
+        cycles: 25,
+        values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
+        aggregate: AggregateSetup::Average,
+        ..ExperimentConfig::default()
+    };
+    let estimate = config.run(1).mean_final_estimate();
+    assert!((estimate - 5.0).abs() < 0.6);
+    // Theory constants are reachable through the facade too.
+    assert!((epidemic::aggregation::theory::RHO_PUSH_PULL - 0.3033).abs() < 1e-4);
+}

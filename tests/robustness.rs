@@ -1,0 +1,209 @@
+//! Cross-crate integration: robustness claims of Sections 6 and 7 hold at
+//! test scale.
+
+use epidemic::aggregation::theory;
+use epidemic::common::stats;
+use epidemic::sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
+use epidemic::sim::failure::{CommFailure, FailureModel};
+
+fn count_config(n: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        n,
+        overlay: OverlaySpec::Newscast { c: 30 },
+        cycles: 30,
+        values: ValueInit::Constant(0.0),
+        aggregate: AggregateSetup::CountPeak,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn theorem_1_predicts_crash_error() {
+    // Complete topology, proportional crashes: the measured variance of
+    // the mean must match Eq. (2) within statistical noise. Theorem 1
+    // assumes uncorrelated node values, so the initial distribution is
+    // i.i.d. uniform (not the peak).
+    let n = 10_000;
+    let cycles = 20u32;
+    let p_f = 0.1;
+    let config = ExperimentConfig {
+        n,
+        overlay: OverlaySpec::Complete,
+        cycles,
+        values: ValueInit::Uniform { lo: 0.0, hi: 2.0 },
+        aggregate: AggregateSetup::Average,
+        failure: FailureModel::ProportionalCrash { p_f },
+        ..ExperimentConfig::default()
+    };
+    let seeds: Vec<u64> = (0..40).collect();
+    let outcomes = run_many(&config, &seeds);
+    // The theorem predicts the variance of the crash-induced drift
+    // µ₂₀ − µ₀ (each run's starting mean is its own reference point).
+    let drifts: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.mean[cycles as usize] - o.mean[0])
+        .collect();
+    let sigma0 = stats::mean(&outcomes.iter().map(|o| o.variance[0]).collect::<Vec<_>>());
+    let measured = stats::variance(&drifts) / sigma0;
+    let predicted = theory::crash_variance_ratio(p_f, n, theory::RHO_PUSH_PULL, cycles);
+    // Variance-of-variance noise with 60 runs is large; require the right
+    // order of magnitude and a 3x band, like the paper's visual fit.
+    assert!(
+        measured > predicted / 3.0 && measured < predicted * 3.0,
+        "measured {measured:.3e} vs predicted {predicted:.3e}"
+    );
+}
+
+#[test]
+fn link_failure_bound_holds() {
+    for p_d in [0.3, 0.6, 0.8] {
+        let config = ExperimentConfig {
+            comm: CommFailure::links(p_d),
+            cycles: 20,
+            ..count_config(5_000)
+        };
+        let seeds: Vec<u64> = (0..5).collect();
+        let outcomes = run_many(&config, &seeds);
+        let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
+        let mean_factor = stats::mean(&factors);
+        let bound = theory::link_failure_rho_bound(p_d);
+        assert!(
+            mean_factor <= bound + 0.03,
+            "P_d={p_d}: factor {mean_factor} above bound {bound}"
+        );
+        // And convergence genuinely slows relative to failure-free runs.
+        assert!(mean_factor > theory::RHO_PUSH_PULL);
+    }
+}
+
+#[test]
+fn link_failure_does_not_bias_the_mean() {
+    let config = ExperimentConfig {
+        n: 5_000,
+        overlay: OverlaySpec::Complete,
+        cycles: 30,
+        values: ValueInit::Peak { total: 5_000.0 },
+        aggregate: AggregateSetup::Average,
+        comm: CommFailure::links(0.7),
+        ..ExperimentConfig::default()
+    };
+    let out = config.run(9);
+    assert!(
+        (out.mean[30] - 1.0).abs() < 1e-9,
+        "link failure changed the mean: {}",
+        out.mean[30]
+    );
+}
+
+#[test]
+fn message_loss_biases_but_moderately() {
+    let seeds: Vec<u64> = (0..8).collect();
+    let outcomes = run_many(
+        &ExperimentConfig {
+            comm: CommFailure::messages(0.05),
+            ..count_config(5_000)
+        },
+        &seeds,
+    );
+    for o in &outcomes {
+        let est = o.mean_final_estimate();
+        assert!(
+            est > 2_500.0 && est < 10_000.0,
+            "5% loss blew up the estimate: {est}"
+        );
+    }
+}
+
+#[test]
+fn sudden_death_early_vs_late() {
+    let n = 10_000;
+    let seeds: Vec<u64> = (0..8).collect();
+    let run_at = |at_cycle: u32| -> Vec<f64> {
+        run_many(
+            &ExperimentConfig {
+                failure: FailureModel::SuddenDeath {
+                    fraction: 0.5,
+                    at_cycle,
+                },
+                ..count_config(n)
+            },
+            &seeds,
+        )
+        .iter()
+        .map(|o| o.mean_final_estimate())
+        .filter(|v| v.is_finite())
+        .collect()
+    };
+    let early = run_at(2);
+    let late = run_at(25);
+    // Late crashes are harmless: estimates stay at the epoch-start size.
+    for &est in &late {
+        assert!(
+            (est - n as f64).abs() < n as f64 * 0.1,
+            "late crash estimate {est}"
+        );
+    }
+    // Early crashes scatter the estimates much more.
+    let early_spread = stats::variance(&early).sqrt();
+    let late_spread = stats::variance(&late).sqrt();
+    assert!(
+        early_spread > late_spread * 3.0,
+        "early {early_spread} vs late {late_spread}"
+    );
+}
+
+#[test]
+fn churn_of_75_percent_still_estimates() {
+    // The headline robustness claim: 75% of nodes substituted within one
+    // epoch (2.5%/cycle x 30 cycles) still yields usable estimates.
+    let n = 4_000;
+    let config = ExperimentConfig {
+        failure: FailureModel::Churn {
+            per_cycle: n / 40, // 2.5% per cycle
+        },
+        ..count_config(n)
+    };
+    let seeds: Vec<u64> = (0..8).collect();
+    let estimates: Vec<f64> = run_many(&config, &seeds)
+        .iter()
+        .map(|o| o.mean_final_estimate())
+        .filter(|v| v.is_finite())
+        .collect();
+    assert!(!estimates.is_empty());
+    let mean = stats::mean(&estimates);
+    assert!(
+        mean > n as f64 * 0.5 && mean < n as f64 * 2.5,
+        "estimate {mean} out of band for n={n}"
+    );
+}
+
+#[test]
+fn multiple_instances_tighten_estimates_under_loss() {
+    let n = 4_000;
+    let seeds: Vec<u64> = (0..10).collect();
+    let spread_with = |t: usize| -> f64 {
+        let estimates: Vec<f64> = run_many(
+            &ExperimentConfig {
+                aggregate: AggregateSetup::CountMap { leaders: t },
+                comm: CommFailure::messages(0.2),
+                ..count_config(n)
+            },
+            &seeds,
+        )
+        .iter()
+        .map(|o| o.mean_final_estimate())
+        .filter(|v| v.is_finite())
+        .collect();
+        let max = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = estimates.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    };
+    let single = spread_with(1);
+    let twenty = spread_with(20);
+    assert!(
+        twenty < single,
+        "20 instances should tighten the estimate range: 1 -> {single}, 20 -> {twenty}"
+    );
+}

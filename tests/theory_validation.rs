@@ -1,0 +1,131 @@
+//! Cross-crate validation of the paper's analytical claims (Sections 3,
+//! 4.5 and 6) against simulation.
+
+use epidemic::aggregation::theory;
+use epidemic::common::stats;
+use epidemic::sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
+use epidemic::sim::metrics::{convergence_factor, exchange_moments, per_cycle_factors};
+
+fn average_peak(n: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        n,
+        overlay: OverlaySpec::Complete,
+        cycles: 20,
+        values: ValueInit::Peak { total: n as f64 },
+        aggregate: AggregateSetup::Average,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn rho_matches_one_over_two_sqrt_e() {
+    let seeds: Vec<u64> = (0..10).collect();
+    let outcomes = run_many(&average_peak(20_000), &seeds);
+    let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
+    let mean = stats::mean(&factors);
+    assert!(
+        (mean - theory::RHO_PUSH_PULL).abs() < 0.01,
+        "measured rho {mean} vs theory {}",
+        theory::RHO_PUSH_PULL
+    );
+}
+
+#[test]
+fn rho_is_independent_of_network_size() {
+    // The O(1)-time claim: the factor does not change with N.
+    let mut factors = Vec::new();
+    for n in [1_000usize, 10_000, 50_000] {
+        let out = average_peak(n).run(3);
+        factors.push(out.convergence_factor(20));
+    }
+    let spread = factors
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - factors.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.03, "rho varies with N: {factors:?}");
+}
+
+#[test]
+fn per_cycle_factor_is_constant_on_random_overlays() {
+    // Fig. 3(b)'s "straight line on log scale": every cycle reduces the
+    // variance by the same factor (after the first couple of cycles).
+    let out = average_peak(20_000).run(4);
+    let factors = per_cycle_factors(&out.variance);
+    for (i, &f) in factors.iter().enumerate().take(15).skip(2) {
+        assert!(
+            (f - theory::RHO_PUSH_PULL).abs() < 0.12,
+            "cycle {i}: factor {f} far from constant"
+        );
+    }
+}
+
+#[test]
+fn gamma_from_cycles_for_accuracy_is_sufficient() {
+    // Pick epsilon, derive gamma, run gamma cycles, check accuracy.
+    let epsilon = 1e-8;
+    let gamma = theory::cycles_for_accuracy(epsilon, theory::RHO_PUSH_PULL);
+    let config = ExperimentConfig {
+        cycles: gamma,
+        ..average_peak(10_000)
+    };
+    let seeds: Vec<u64> = (0..5).collect();
+    for out in run_many(&config, &seeds) {
+        let achieved = out.variance[gamma as usize] / out.variance[0];
+        // Statistical fluctuation allows a small factor above epsilon.
+        assert!(
+            achieved < epsilon * 30.0,
+            "gamma={gamma} left variance ratio {achieved:.3e}"
+        );
+    }
+}
+
+#[test]
+fn exchange_count_moments_match_poisson() {
+    use epidemic::aggregation::rule::Rule;
+    use epidemic::common::rng::Xoshiro256;
+    use epidemic::sim::network::{CycleOptions, Network};
+    use epidemic::topology::CompleteSampler;
+
+    let n = 30_000;
+    let mut net = Network::new(n);
+    net.add_scalar_field(Rule::Average, |_| 0.0);
+    net.enable_tally();
+    let sampler = CompleteSampler::new(n);
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+    let tally = net.take_tally();
+    let (mean, variance) = exchange_moments(&tally);
+    assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    assert!((variance - 1.0).abs() < 0.08, "variance {variance}");
+}
+
+#[test]
+fn convergence_factor_helper_consistency() {
+    let out = average_peak(5_000).run(6);
+    let direct = out.convergence_factor(20);
+    let helper = convergence_factor(out.variance[0], out.variance[20], 20);
+    assert!((direct - helper).abs() < 1e-12);
+}
+
+#[test]
+fn link_failure_behaves_like_slowdown() {
+    // Section 6.2: P_d > 0 is "the same system, slower". Verify that the
+    // variance after k cycles at P_d=0.5 is comparable to the variance
+    // after ~k/2 cycles without failures.
+    let clean = average_peak(10_000).run(7);
+    let lossy = ExperimentConfig {
+        comm: epidemic::sim::failure::CommFailure::links(0.5),
+        ..average_peak(10_000)
+    }
+    .run(7);
+    let clean_at_10 = clean.variance[10] / clean.variance[0];
+    let lossy_at_20 = lossy.variance[20] / lossy.variance[0];
+    let ratio = lossy_at_20.ln() / clean_at_10.ln();
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "half-speed equivalence violated: ratio {ratio}"
+    );
+}
