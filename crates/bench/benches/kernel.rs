@@ -27,7 +27,10 @@ fn bench_map_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("instance_map_merge");
     for t in [1usize, 10, 20, 50] {
         let a: InstanceMap = (0..t as u64).map(|l| (l, 0.5)).collect();
-        let b_map: InstanceMap = (0..t as u64).filter(|l| l % 2 == 0).map(|l| (l, 0.25)).collect();
+        let b_map: InstanceMap = (0..t as u64)
+            .filter(|l| l % 2 == 0)
+            .map(|l| (l, 0.25))
+            .collect();
         group.throughput(Throughput::Elements(t as u64));
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bencher, _| {
             bencher.iter(|| InstanceMap::merge(black_box(&a), black_box(&b_map)));

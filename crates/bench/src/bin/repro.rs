@@ -35,6 +35,9 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => {
                 let v = iter.next().ok_or("--scale needs a value")?;
                 args.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err(format!("scale {v} out of range: must be in (0, 1]"));
+                }
             }
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;

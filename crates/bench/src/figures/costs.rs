@@ -87,7 +87,10 @@ mod tests {
         // k=0 never occurs; k=1 (no passive contacts) should be near 1/e.
         assert_eq!(fig.rows[0][1], 0.0);
         let observed_k1 = fig.rows[1][1];
-        assert!((observed_k1 - 0.3679).abs() < 0.02, "P(k=1) = {observed_k1}");
+        assert!(
+            (observed_k1 - 0.3679).abs() < 0.02,
+            "P(k=1) = {observed_k1}"
+        );
         // Observed tracks prediction across the bulk.
         for row in &fig.rows[1..6] {
             assert!((row[1] - row[2]).abs() < 0.02, "row {row:?}");

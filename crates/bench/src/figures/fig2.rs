@@ -7,7 +7,9 @@
 
 use super::seeds;
 use crate::{FigureOutput, Scale};
-use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
 use epidemic_topology::TopologyKind;
 
 /// Reproduces Figure 2. Columns: cycle, the across-run averages of the

@@ -9,7 +9,9 @@
 
 use super::seeds;
 use crate::{FigureOutput, Scale};
-use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
 use epidemic_topology::TopologyKind;
 
 /// The eight overlay families of Figure 3, in plot order.
@@ -17,13 +19,34 @@ fn topology_suite(n: usize) -> Vec<(String, OverlaySpec)> {
     let k = 20.min(n - 1);
     let k = if k % 2 == 1 { k - 1 } else { k };
     vec![
-        ("ws_b0.00".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.0 })),
-        ("ws_b0.25".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.25 })),
-        ("ws_b0.50".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.5 })),
-        ("ws_b0.75".into(), OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.75 })),
-        ("newscast".into(), OverlaySpec::Newscast { c: 30.min(n / 2) }),
-        ("scalefree".into(), OverlaySpec::Static(TopologyKind::ScaleFree { m: (k / 2).max(1) })),
-        ("random".into(), OverlaySpec::Static(TopologyKind::Random { k })),
+        (
+            "ws_b0.00".into(),
+            OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.0 }),
+        ),
+        (
+            "ws_b0.25".into(),
+            OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.25 }),
+        ),
+        (
+            "ws_b0.50".into(),
+            OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.5 }),
+        ),
+        (
+            "ws_b0.75".into(),
+            OverlaySpec::Static(TopologyKind::WattsStrogatz { k, beta: 0.75 }),
+        ),
+        (
+            "newscast".into(),
+            OverlaySpec::Newscast { c: 30.min(n / 2) },
+        ),
+        (
+            "scalefree".into(),
+            OverlaySpec::Static(TopologyKind::ScaleFree { m: (k / 2).max(1) }),
+        ),
+        (
+            "random".into(),
+            OverlaySpec::Static(TopologyKind::Random { k }),
+        ),
         ("complete".into(), OverlaySpec::Complete),
     ]
 }

@@ -17,7 +17,9 @@ use super::seeds;
 use crate::{FigureOutput, Scale};
 use epidemic_aggregation::theory;
 use epidemic_common::stats;
-use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
 use epidemic_sim::failure::FailureModel;
 
 /// Reproduces Figure 5. Columns: P_f, measured ratio on the complete

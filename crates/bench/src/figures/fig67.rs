@@ -14,7 +14,9 @@ use super::seeds;
 use crate::{FigureOutput, Scale};
 use epidemic_aggregation::theory;
 use epidemic_common::stats;
-use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
 use epidemic_sim::failure::{CommFailure, FailureModel};
 
 fn count_config(n: usize) -> ExperimentConfig {

@@ -9,7 +9,9 @@
 use super::seeds;
 use crate::{FigureOutput, Scale};
 use epidemic_common::stats;
-use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_sim::experiment::{
+    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
+};
 use epidemic_sim::failure::{CommFailure, FailureModel};
 
 const T_GRID: [usize; 14] = [1, 2, 3, 4, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];

@@ -33,8 +33,21 @@ pub(crate) fn seeds(base: u64, reps: usize) -> Vec<u64> {
 
 /// All figure ids in presentation order.
 pub const ALL: &[&str] = &[
-    "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
-    "fig8a", "fig8b", "costs", "ablation-pushpull", "ablation-sync",
+    "fig2",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "costs",
+    "ablation-pushpull",
+    "ablation-sync",
 ];
 
 /// Runs a figure by id.

@@ -133,7 +133,11 @@ fn format_value(v: f64) -> String {
     if v.is_nan() {
         "nan".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "inf".to_string() } else { "-inf".to_string() }
+        if v > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        }
     } else if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 1e6 || v.abs() < 1e-3 {

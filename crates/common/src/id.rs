@@ -8,7 +8,6 @@
 //!
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier of a node in the overlay network.
@@ -28,7 +27,7 @@ use std::fmt;
 /// assert_eq!(a.as_u64(), 3);
 /// assert_eq!(format!("{a}"), "n3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u64);
 
 impl NodeId {

@@ -11,9 +11,9 @@
 //!   generator with 256 bits of state and a jump function for creating
 //!   non-overlapping parallel streams.
 //!
-//! [`Xoshiro256`] also implements [`rand::Rng`] (via the infallible
-//! [`rand_core::TryRng`][rand::rand_core::TryRng]) and [`rand::SeedableRng`]
-//! so it can be plugged into the wider `rand` ecosystem when convenient.
+//! [`Xoshiro256`] exposes `rand`-style entry points ([`Xoshiro256::fill_bytes`],
+//! [`Xoshiro256::from_seed`]) as inherent methods so no external RNG crate is
+//! required; `rand` trait impls can be layered on later behind a feature.
 //!
 //! # Examples
 //!
@@ -29,10 +29,6 @@
 //! let x = node_rngs[0].next_f64();
 //! assert!((0.0..1.0).contains(&x));
 //! ```
-
-use rand::rand_core::TryRng;
-use rand::SeedableRng;
-use std::convert::Infallible;
 
 /// SplitMix64 generator.
 ///
@@ -83,9 +79,7 @@ impl SplitMix64 {
 ///
 /// Implements this workspace's convenience sampling API (ranges, floats,
 /// shuffles, distinct sampling) directly so that results do not depend on
-/// the sampling algorithms of any external crate version, and additionally
-/// implements `rand`'s `TryRng` (hence `Rng`) and [`rand::SeedableRng`]
-/// for interop.
+/// the sampling algorithms of any external crate version.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Xoshiro256 {
     s: [u64; 4],
@@ -120,10 +114,7 @@ impl Xoshiro256 {
     /// Returns the next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -236,37 +227,24 @@ impl Xoshiro256 {
     pub fn split(&mut self) -> Xoshiro256 {
         Xoshiro256::seed_from_u64(self.next_u64())
     }
-}
 
-impl TryRng for Xoshiro256 {
-    type Error = Infallible;
-
-    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-        Ok((Xoshiro256::next_u64(self) >> 32) as u32)
-    }
-
-    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-        Ok(Xoshiro256::next_u64(self))
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+    /// Fills `dest` with random bytes (little-endian words of
+    /// [`next_u64`](Self::next_u64)).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
-            chunk.copy_from_slice(&Xoshiro256::next_u64(self).to_le_bytes());
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
         }
         let rem = chunks.into_remainder();
         if !rem.is_empty() {
-            let bytes = Xoshiro256::next_u64(self).to_le_bytes();
+            let bytes = self.next_u64().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-        Ok(())
     }
-}
 
-impl SeedableRng for Xoshiro256 {
-    type Seed = [u8; 32];
-
-    fn from_seed(seed: Self::Seed) -> Self {
+    /// Builds a generator directly from 32 bytes of seed material
+    /// (little-endian state words), `rand::SeedableRng`-style.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut s = [0u64; 4];
         for (i, slot) in s.iter_mut().enumerate() {
             let mut bytes = [0u8; 8];
@@ -424,8 +402,7 @@ mod tests {
     }
 
     #[test]
-    fn rng_trait_fill_bytes_deterministic() {
-        use rand::Rng;
+    fn fill_bytes_deterministic() {
         let mut a = Xoshiro256::seed_from_u64(15);
         let mut b = Xoshiro256::seed_from_u64(15);
         let mut ba = [0u8; 13];
@@ -438,8 +415,8 @@ mod tests {
     #[test]
     fn seedable_from_seed_round_trip() {
         let seed = [7u8; 32];
-        let mut a = <Xoshiro256 as SeedableRng>::from_seed(seed);
-        let mut b = <Xoshiro256 as SeedableRng>::from_seed(seed);
+        let mut a = Xoshiro256::from_seed(seed);
+        let mut b = Xoshiro256::from_seed(seed);
         assert_eq!(a.next_u64(), b.next_u64());
     }
 }

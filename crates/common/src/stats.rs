@@ -116,8 +116,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -315,9 +315,7 @@ mod tests {
     fn welford_is_stable_for_tiny_variance() {
         // Mean ~1e9, variance ~1: naive sum-of-squares loses all precision.
         let base = 1e9;
-        let s: OnlineStats = (0..1000)
-            .map(|i| base + (i % 3) as f64 - 1.0)
-            .collect();
+        let s: OnlineStats = (0..1000).map(|i| base + (i % 3) as f64 - 1.0).collect();
         assert!((s.variance() - 0.667).abs() < 0.01);
     }
 

@@ -36,11 +36,10 @@
 use crate::estimator;
 use crate::instance::InstanceSpec;
 use crate::report::EpochReport;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The aggregation functions of Section 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggregateKind {
     /// Arithmetic mean of the local values.
     Average,
@@ -110,9 +109,7 @@ impl AggregateKind {
             | AggregateKind::Minimum
             | AggregateKind::Maximum
             | AggregateKind::GeometricMean => report.scalar(offset),
-            AggregateKind::Count => report
-                .map(offset)
-                .and_then(estimator::count_estimate),
+            AggregateKind::Count => report.map(offset).and_then(estimator::count_estimate),
             AggregateKind::Sum => {
                 let avg = report.scalar(offset)?;
                 let count = report.map(offset + 1).and_then(estimator::count_estimate)?;
@@ -275,8 +272,8 @@ mod tests {
     fn extraction_with_offset() {
         // Average and Variance sharing one report.
         let report = report_with(vec![
-            InstanceState::Scalar(1.0), // average's instance
-            InstanceState::Scalar(3.0), // variance's avg
+            InstanceState::Scalar(1.0),  // average's instance
+            InstanceState::Scalar(3.0),  // variance's avg
             InstanceState::Scalar(13.0), // variance's avg_sq
         ]);
         assert_eq!(AggregateKind::Average.extract(&report, 0), Some(1.0));
@@ -311,7 +308,10 @@ mod tests {
     #[test]
     fn compute_exact_edge_cases() {
         assert_eq!(AggregateKind::Average.compute_exact(&[]), None);
-        assert_eq!(AggregateKind::GeometricMean.compute_exact(&[1.0, -2.0]), None);
+        assert_eq!(
+            AggregateKind::GeometricMean.compute_exact(&[1.0, -2.0]),
+            None
+        );
         assert_eq!(AggregateKind::Product.compute_exact(&[0.0]), None);
     }
 

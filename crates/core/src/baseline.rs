@@ -9,8 +9,6 @@
 //! average — but one-directional diffusion converges more slowly per cycle
 //! than push-pull, which is the ablation this module supports.
 
-use serde::{Deserialize, Serialize};
-
 /// Push-sum protocol state of one node.
 ///
 /// # Examples
@@ -26,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((a.value + b.value - 12.0).abs() < 1e-12);
 /// assert!((a.weight + b.weight - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PushSumState {
     /// Value component (starts at the local value).
     pub value: f64,
@@ -35,7 +33,7 @@ pub struct PushSumState {
 }
 
 /// The `(value, weight)` share pushed to a peer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PushSumShare {
     /// Pushed value component.
     pub value: f64,
@@ -120,15 +118,14 @@ mod tests {
     fn network_converges_to_average() {
         let mut rng = Xoshiro256::seed_from_u64(7);
         let n = 64;
-        let mut nodes: Vec<PushSumState> =
-            (0..n).map(|i| PushSumState::new(i as f64)).collect();
+        let mut nodes: Vec<PushSumState> = (0..n).map(|i| PushSumState::new(i as f64)).collect();
         let truth = (n as f64 - 1.0) / 2.0;
         for _ in 0..60 {
             // Push-only: each node pushes half its mass to a random peer.
             // Collect shares first so a cycle is one synchronous round.
             let mut inbox: Vec<Vec<PushSumShare>> = vec![Vec::new(); n];
-            for i in 0..n {
-                let share = nodes[i].emit_half();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let share = node.emit_half();
                 let j = (i + 1 + rng.index(n - 1)) % n;
                 inbox[j].push(share);
             }

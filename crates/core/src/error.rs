@@ -45,9 +45,12 @@ mod tests {
     fn display_messages() {
         assert!(ConfigError::ZeroGamma.to_string().contains("gamma"));
         assert!(ConfigError::ZeroCycleLength.to_string().contains("delta"));
-        assert!(ConfigError::BadTimeout { timeout: 0, cycle: 10 }
-            .to_string()
-            .contains("timeout 0"));
+        assert!(ConfigError::BadTimeout {
+            timeout: 0,
+            cycle: 10
+        }
+        .to_string()
+        .contains("timeout 0"));
         assert!(ConfigError::NoInstances.to_string().contains("instance"));
     }
 

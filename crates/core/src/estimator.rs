@@ -162,7 +162,7 @@ mod tests {
             (1, 1.0 / 100.0),
             (2, 1.0 / 101.0),
             (3, 1.0 / 99.0),
-            (4, 1.0 / 1e9), // corrupted high
+            (4, 1.0 / 1e9),  // corrupted high
             (5, 1.0 / 0.01), // corrupted low
             (6, 1.0 / 100.0),
         ]);

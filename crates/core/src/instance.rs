@@ -8,11 +8,10 @@
 
 use crate::rule::{Rule, UpdateRule};
 use crate::value::InstanceMap;
-use serde::{Deserialize, Serialize};
 
 /// How a scalar instance is initialized from the node's local value at the
 /// start of each epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InitPolicy {
     /// Start from the local value itself (AVERAGE, MIN, MAX, GEOMETRICMEAN).
     LocalValue,
@@ -36,7 +35,7 @@ impl InitPolicy {
 
 /// How a node decides whether to lead a COUNT instance in a new epoch
 /// (paper Section 5, COUNT: `P_lead = C / N̂`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LeaderPolicy {
     /// Lead with probability `concurrency / N̂`, where `N̂` is the size
     /// estimate from the previous epoch (or the configured initial guess).
@@ -69,7 +68,7 @@ impl LeaderPolicy {
 }
 
 /// Specification of one gossip instance running within an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InstanceSpec {
     /// A scalar estimate merged with `rule`, initialized by `init`.
     Scalar {
@@ -148,9 +147,11 @@ impl InstanceSpec {
     /// that indicates a protocol bug, not a runtime condition.
     pub fn merge(&self, a: &InstanceState, b: &InstanceState) -> InstanceState {
         match (self, a, b) {
-            (InstanceSpec::Scalar { rule, .. }, InstanceState::Scalar(x), InstanceState::Scalar(y)) => {
-                InstanceState::Scalar(rule.merge(*x, *y))
-            }
+            (
+                InstanceSpec::Scalar { rule, .. },
+                InstanceState::Scalar(x),
+                InstanceState::Scalar(y),
+            ) => InstanceState::Scalar(rule.merge(*x, *y)),
             (InstanceSpec::CountMap { .. }, InstanceState::Map(x), InstanceState::Map(y)) => {
                 InstanceState::Map(InstanceMap::merge(x, y))
             }
@@ -160,7 +161,7 @@ impl InstanceSpec {
 }
 
 /// Runtime state of one instance at one node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InstanceState {
     /// Scalar estimate.
     Scalar(f64),
@@ -266,9 +267,6 @@ mod tests {
         assert_eq!(min_spec.merge(&a, &b), InstanceState::Scalar(-2.0));
 
         let max_spec = InstanceSpec::MAX;
-        assert_eq!(
-            max_spec.merge(&a, &b),
-            InstanceState::Scalar(4.0)
-        );
+        assert_eq!(max_spec.merge(&a, &b), InstanceState::Scalar(4.0));
     }
 }

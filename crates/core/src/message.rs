@@ -8,10 +8,9 @@
 
 use crate::instance::InstanceState;
 use epidemic_common::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A protocol message between two nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     /// Sender.
     pub from: NodeId,
@@ -22,7 +21,7 @@ pub struct Message {
 }
 
 /// Message payloads.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MessageBody {
     /// Push half of the exchange: the initiator's pre-merge states.
     Request(Vec<InstanceState>),

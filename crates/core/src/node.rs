@@ -607,8 +607,14 @@ mod tests {
     #[test]
     fn joiner_refuses_current_epoch() {
         let cfg = config(10);
-        let mut joiner =
-            GossipNode::joiner(NodeId::new(5), cfg, 1.0, 3, /*epoch*/ 2, /*next at*/ 10_000);
+        let mut joiner = GossipNode::joiner(
+            NodeId::new(5),
+            cfg,
+            1.0,
+            3,
+            /*epoch*/ 2,
+            /*next at*/ 10_000,
+        );
         assert!(!joiner.is_active());
         let req = Message::request(NodeId::new(0), 2, vec![InstanceState::Scalar(9.0)]);
         let resp = joiner.handle(&req, 100).unwrap();
@@ -669,7 +675,10 @@ mod tests {
         // Expire the exchange.
         a.poll(t + 100, None);
         let before = a.scalar_estimate(0);
-        a.handle(&Message::reply(NodeId::new(1), 0, vec![InstanceState::Scalar(99.0)]), t + 101);
+        a.handle(
+            &Message::reply(NodeId::new(1), 0, vec![InstanceState::Scalar(99.0)]),
+            t + 101,
+        );
         assert_eq!(a.scalar_estimate(0), before, "late reply merged");
     }
 
@@ -684,7 +693,10 @@ mod tests {
             }
         }
         let before = a.scalar_estimate(0);
-        a.handle(&Message::reply(NodeId::new(7), 0, vec![InstanceState::Scalar(99.0)]), t);
+        a.handle(
+            &Message::reply(NodeId::new(7), 0, vec![InstanceState::Scalar(99.0)]),
+            t,
+        );
         assert_eq!(a.scalar_estimate(0), before);
     }
 
@@ -786,6 +798,8 @@ mod tests {
     fn always_leads_helper() {
         assert!(always_leads(LeaderPolicy::Always));
         assert!(!always_leads(LeaderPolicy::Never));
-        assert!(!always_leads(LeaderPolicy::Probability { concurrency: 4.0 }));
+        assert!(!always_leads(LeaderPolicy::Probability {
+            concurrency: 4.0
+        }));
     }
 }

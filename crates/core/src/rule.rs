@@ -15,7 +15,6 @@
 //! [`UpdateRule`] (for static dispatch in hot simulation loops) and via the
 //! [`Rule`] enum (for configuration and wire encoding).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A symmetric merge function applied by both peers of an exchange.
@@ -87,7 +86,7 @@ impl UpdateRule for GeometricMean {
 }
 
 /// Runtime-selectable update rule, used in configuration and messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// [`Average`].
     Average,

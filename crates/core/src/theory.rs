@@ -36,7 +36,10 @@ pub fn rho_push_pull() -> f64 {
 ///
 /// Panics if `p_d` is outside `[0, 1]`.
 pub fn link_failure_rho_bound(p_d: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p_d), "P_d must be in [0,1], got {p_d}");
+    assert!(
+        (0.0..=1.0).contains(&p_d),
+        "P_d must be in [0,1], got {p_d}"
+    );
     (p_d - 1.0).exp()
 }
 
@@ -146,8 +149,8 @@ mod tests {
         let (p_f, n, rho, cycles) = (0.05, 10_000usize, RHO_PUSH_PULL, 20u32);
         let mut manual = 0.0;
         for j in 0..cycles {
-            manual += p_f / (1.0 - p_f) * rho.powi(j as i32)
-                / (n as f64 * (1.0 - p_f).powi(j as i32));
+            manual +=
+                p_f / (1.0 - p_f) * rho.powi(j as i32) / (n as f64 * (1.0 - p_f).powi(j as i32));
         }
         let formula = crash_variance_ratio(p_f, n, rho, cycles);
         assert!((manual - formula).abs() / manual < 1e-10);

@@ -18,7 +18,6 @@
 //! which is exactly scalar averaging per leader with absent-as-zero, so
 //! per-leader mass (the initial 1) is conserved across every exchange.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Sparse map from leader identifier to average estimate, kept sorted by
@@ -34,7 +33,7 @@ use std::fmt;
 /// let merged = InstanceMap::merge(&leader, &follower);
 /// assert_eq!(merged.get(7), Some(0.5)); // both sides now hold 1/2
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct InstanceMap {
     entries: Vec<(u64, f64)>,
 }

@@ -21,22 +21,55 @@ fn config() -> NodeConfig {
 
 #[derive(Debug, Clone)]
 enum Action {
-    Poll { dt: u64, peer: u64 },
-    Request { from: u64, epoch: u64, scalar: f64, leader: Option<u64> },
-    Reply { from: u64, epoch: u64, scalar: f64 },
-    Notice { from: u64, epoch: u64 },
-    Refuse { from: u64, epoch: u64 },
-    Garbage { from: u64, epoch: u64 },
+    Poll {
+        dt: u64,
+        peer: u64,
+    },
+    Request {
+        from: u64,
+        epoch: u64,
+        scalar: f64,
+        leader: Option<u64>,
+    },
+    Reply {
+        from: u64,
+        epoch: u64,
+        scalar: f64,
+    },
+    Notice {
+        from: u64,
+        epoch: u64,
+    },
+    Refuse {
+        from: u64,
+        epoch: u64,
+    },
+    Garbage {
+        from: u64,
+        epoch: u64,
+    },
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
         (0u64..200, 0u64..8).prop_map(|(dt, peer)| Action::Poll { dt, peer }),
-        (0u64..8, 0u64..6, -100.0f64..100.0, prop::option::of(0u64..8)).prop_map(
-            |(from, epoch, scalar, leader)| Action::Request { from, epoch, scalar, leader }
-        ),
-        (0u64..8, 0u64..6, -100.0f64..100.0)
-            .prop_map(|(from, epoch, scalar)| Action::Reply { from, epoch, scalar }),
+        (
+            0u64..8,
+            0u64..6,
+            -100.0f64..100.0,
+            prop::option::of(0u64..8)
+        )
+            .prop_map(|(from, epoch, scalar, leader)| Action::Request {
+                from,
+                epoch,
+                scalar,
+                leader
+            }),
+        (0u64..8, 0u64..6, -100.0f64..100.0).prop_map(|(from, epoch, scalar)| Action::Reply {
+            from,
+            epoch,
+            scalar
+        }),
         (0u64..8, 0u64..6).prop_map(|(from, epoch)| Action::Notice { from, epoch }),
         (0u64..8, 0u64..6).prop_map(|(from, epoch)| Action::Refuse { from, epoch }),
         (0u64..8, 0u64..6).prop_map(|(from, epoch)| Action::Garbage { from, epoch }),

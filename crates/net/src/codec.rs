@@ -15,7 +15,6 @@
 //!     map:    u16 entry count, then (u64 leader, f64 estimate)*
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use epidemic_aggregation::value::InstanceMap;
 use epidemic_aggregation::{InstanceState, Message, MessageBody};
 use epidemic_common::NodeId;
@@ -48,9 +47,68 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
+/// Little-endian write helpers over a plain byte vector (stand-in for the
+/// `bytes` crate's `BufMut`, which is unavailable offline).
+trait WireWrite {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl WireWrite for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian read helpers that advance a byte slice (stand-in for the
+/// `bytes` crate's `Buf`). Callers must check `remaining()` first; the
+/// getters panic on underflow like their `bytes` counterparts.
+trait WireRead {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl WireRead for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
 /// Encodes a message into a fresh buffer.
-pub fn encode_message(msg: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
     buf.put_u8(WIRE_VERSION);
     let (tag, states): (u8, Option<&[InstanceState]>) = match &msg.body {
         MessageBody::Request(s) => (0, Some(s)),
@@ -80,7 +138,7 @@ pub fn encode_message(msg: &Message) -> Bytes {
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a datagram produced by [`encode_message`].
@@ -228,20 +286,22 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_version() {
-        let mut encoded = encode_message(&Message::refuse(NodeId::new(1), 0)).to_vec();
+        let mut encoded = encode_message(&Message::refuse(NodeId::new(1), 0));
         encoded[0] = 99;
         assert_eq!(decode_message(&encoded), Err(DecodeError::BadVersion(99)));
     }
 
     #[test]
     fn decode_rejects_bad_tags() {
-        let mut encoded = encode_message(&Message::refuse(NodeId::new(1), 0)).to_vec();
+        let mut encoded = encode_message(&Message::refuse(NodeId::new(1), 0));
         encoded[1] = 9;
         assert_eq!(decode_message(&encoded), Err(DecodeError::BadTag(9)));
 
-        let mut encoded =
-            encode_message(&Message::request(NodeId::new(1), 0, vec![InstanceState::Scalar(1.0)]))
-                .to_vec();
+        let mut encoded = encode_message(&Message::request(
+            NodeId::new(1),
+            0,
+            vec![InstanceState::Scalar(1.0)],
+        ));
         encoded[20] = 7; // the state tag
         assert_eq!(decode_message(&encoded), Err(DecodeError::BadTag(7)));
     }

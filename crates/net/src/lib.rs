@@ -6,7 +6,7 @@
 //! [`epidemic_aggregation::GossipNode`]:
 //!
 //! * [`codec`] — a compact, versioned binary wire format for protocol
-//!   messages (no serde data format dependency; hand-rolled over `bytes`).
+//!   messages (hand-rolled little-endian framing, no codec dependency).
 //! * [`runtime`] — a UDP runtime: one OS thread per node runs the active
 //!   and passive loops over a non-blocking socket, with a static peer
 //!   table playing the role of the membership service.

@@ -15,11 +15,11 @@ use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, NodeConfig};
 use epidemic_common::rng::Xoshiro256;
 use epidemic_common::NodeId;
-use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Shared description of a cluster: the peer table mapping dense node ids
@@ -167,12 +167,12 @@ impl UdpNode {
 
     /// Drains the epoch reports produced since the last call.
     pub fn take_reports(&self) -> Vec<EpochReport> {
-        std::mem::take(&mut *self.shared.reports.lock())
+        std::mem::take(&mut *self.shared.reports.lock().unwrap())
     }
 
     /// Updates the node's local value (takes effect at the next epoch).
     pub fn set_local_value(&self, value: f64) {
-        *self.shared.local_value.lock() = Some(value);
+        *self.shared.local_value.lock().unwrap() = Some(value);
     }
 
     /// Datagrams received and sent so far.
@@ -218,7 +218,7 @@ fn run_loop(
         let now_ms = start.elapsed().as_millis() as u64;
 
         // Application-side local value updates.
-        if let Some(v) = shared.local_value.lock().take() {
+        if let Some(v) = shared.local_value.lock().unwrap().take() {
             node.set_local_value(v);
         }
 
@@ -232,7 +232,10 @@ fn run_loop(
         };
         if let Some(out) = node.poll(now_ms, peer) {
             let target = cluster.peers[out.to.index()];
-            if socket.send_to(&encode_message(&out.message), target).is_ok() {
+            if socket
+                .send_to(&encode_message(&out.message), target)
+                .is_ok()
+            {
                 shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -264,7 +267,7 @@ fn run_loop(
         // Publish finished epochs.
         let reports = node.take_reports();
         if !reports.is_empty() {
-            shared.reports.lock().extend(reports);
+            shared.reports.lock().unwrap().extend(reports);
         }
 
         std::thread::sleep(Duration::from_millis(1));

@@ -216,12 +216,18 @@ mod tests {
             overlay.crash(n);
         }
         let right_after = dead_entry_fraction(&overlay);
-        assert!(right_after > 0.1, "expected many dead entries, got {right_after}");
+        assert!(
+            right_after > 0.1,
+            "expected many dead entries, got {right_after}"
+        );
         for cycle in 11..=30 {
             overlay.run_cycle(cycle, &mut rng);
         }
         let healed = dead_entry_fraction(&overlay);
-        assert!(healed < right_after / 3.0, "no healing: {right_after} -> {healed}");
+        assert!(
+            healed < right_after / 3.0,
+            "no healing: {right_after} -> {healed}"
+        );
     }
 
     #[test]

@@ -278,7 +278,9 @@ mod tests {
             for p in 1..6 {
                 node.add_seed(p, 0);
             }
-            (0..5).map(|_| node.sample_peer().unwrap()).collect::<Vec<u32>>()
+            (0..5)
+                .map(|_| node.sample_peer().unwrap())
+                .collect::<Vec<u32>>()
         };
         assert_eq!(make(), make());
     }

@@ -125,7 +125,10 @@ impl Overlay {
     ///
     /// Panics if the introducer is crashed or out of range.
     pub fn join_via(&mut self, introducer: usize, now: u32) -> usize {
-        assert!(self.alive[introducer], "introducer {introducer} is not alive");
+        assert!(
+            self.alive[introducer],
+            "introducer {introducer} is not alive"
+        );
         let new_index = self.views.len();
         let mut view = View::new(self.c);
         let snapshot: Vec<Descriptor> = self.views[introducer].entries().to_vec();
@@ -271,7 +274,12 @@ mod tests {
         overlay.exchange(0, 1, 42);
         assert!(overlay.view(0).contains(1));
         assert!(overlay.view(1).contains(0));
-        let d = overlay.view(0).entries().iter().find(|d| d.node == 1).unwrap();
+        let d = overlay
+            .view(0)
+            .entries()
+            .iter()
+            .find(|d| d.node == 1)
+            .unwrap();
         assert_eq!(d.timestamp, 42);
     }
 
@@ -326,7 +334,9 @@ mod tests {
             for cycle in 1..=10 {
                 o.run_cycle(cycle, &mut r);
             }
-            (0..64).map(|n| o.view(n).entries().to_vec()).collect::<Vec<_>>()
+            (0..64)
+                .map(|n| o.view(n).entries().to_vec())
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(42), build(42));
     }
@@ -406,6 +416,9 @@ mod tests {
             }
         }
         let frac = dead_entries as f64 / total as f64;
-        assert!(frac < 0.05, "dead-entry fraction {frac} too high after healing");
+        assert!(
+            frac < 0.05,
+            "dead-entry fraction {frac} too high after healing"
+        );
     }
 }

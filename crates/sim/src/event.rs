@@ -104,17 +104,18 @@ pub fn run(config: &EventConfig) -> EventOutcome {
     let mut payloads: HashMap<u64, EventKind> = HashMap::new();
     let mut seq: u64 = 0;
     let push = |queue: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                    payloads: &mut HashMap<u64, EventKind>,
-                    seq: &mut u64,
-                    at: u64,
-                    kind: EventKind| {
+                payloads: &mut HashMap<u64, EventKind>,
+                seq: &mut u64,
+                at: u64,
+                kind: EventKind| {
         *seq += 1;
         payloads.insert(*seq, kind);
         queue.push(Reverse((at, *seq)));
     };
 
     let to_local = |global: u64, node: usize| -> u64 { (global as f64 * drifts[node]) as u64 };
-    let to_global = |local: u64, node: usize| -> u64 { (local as f64 / drifts[node]).ceil() as u64 };
+    let to_global =
+        |local: u64, node: usize| -> u64 { (local as f64 / drifts[node]).ceil() as u64 };
 
     for (i, node) in nodes.iter().enumerate() {
         let at = to_global(node.next_deadline(), i);
@@ -269,9 +270,7 @@ mod tests {
         let out = run(&cfg);
         // Find a mid-simulation epoch and check its entry spread is well
         // below one epoch length (gamma * cycle = 15_000 ticks).
-        let spread = out
-            .epoch_spread(3)
-            .expect("epoch 3 never entered");
+        let spread = out.epoch_spread(3).expect("epoch 3 never entered");
         assert!(
             spread < 15_000 / 2,
             "epoch spread {spread} not bounded by synchronization"

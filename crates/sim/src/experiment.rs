@@ -154,7 +154,11 @@ impl RunOutcome {
     pub fn convergence_factor(&self, k: u32) -> f64 {
         assert!(k > 0, "need at least one cycle");
         let k = k as usize;
-        assert!(self.variance.len() > k, "only {} cycles recorded", self.variance.len() - 1);
+        assert!(
+            self.variance.len() > k,
+            "only {} cycles recorded",
+            self.variance.len() - 1
+        );
         (self.variance[k] / self.variance[0]).powf(1.0 / k as f64)
     }
 
@@ -414,7 +418,10 @@ pub fn run_many(config: &ExperimentConfig, seeds: &[u64]) -> Vec<RunOutcome> {
         }
     });
     drop(slot_refs);
-    slots.into_iter().map(|s| s.expect("worker missed a seed")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker missed a seed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -572,7 +579,10 @@ mod tests {
         }
         .run(10)
         .convergence_factor(20);
-        assert!(lossy > clean + 0.15, "link failure too cheap: {clean} -> {lossy}");
+        assert!(
+            lossy > clean + 0.15,
+            "link failure too cheap: {clean} -> {lossy}"
+        );
         // But the mean is unbiased.
         let out = ExperimentConfig {
             comm: CommFailure::links(0.6),

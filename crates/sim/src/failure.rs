@@ -11,10 +11,8 @@
 //! * [`CommFailure`] — link failure probability and per-message loss
 //!   probability applied to every exchange (Figures 7(a) and 7(b)).
 
-use serde::{Deserialize, Serialize};
-
 /// Node-level failure schedule applied at the start of each cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FailureModel {
     /// No node failures.
     #[default]
@@ -74,7 +72,7 @@ impl FailureModel {
 }
 
 /// Communication failure probabilities applied to every exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CommFailure {
     /// Link failure probability `P_d` (whole exchange dropped).
     pub link_failure: f64,

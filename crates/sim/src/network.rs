@@ -147,11 +147,7 @@ impl Network {
 
     /// Registers a scalar gossip field; `init` supplies each node's initial
     /// estimate.
-    pub fn add_scalar_field<F: FnMut(usize) -> f64>(
-        &mut self,
-        rule: Rule,
-        mut init: F,
-    ) -> FieldId {
+    pub fn add_scalar_field<F: FnMut(usize) -> f64>(&mut self, rule: Rule, mut init: F) -> FieldId {
         let values = (0..self.slot_count()).map(&mut init).collect();
         self.fields.push(Field::Scalar { rule, values });
         FieldId(self.fields.len() - 1)
@@ -501,7 +497,10 @@ mod tests {
         }
         assert!(saw_half);
         let mean = net.scalar_summary(f).mean;
-        assert!((mean - 1.0).abs() > 1e-6, "mass improbably conserved: {mean}");
+        assert!(
+            (mean - 1.0).abs() > 1e-6,
+            "mass improbably conserved: {mean}"
+        );
     }
 
     #[test]

@@ -127,11 +127,7 @@ impl Session {
     ///
     /// Panics on degenerate parameters (`n < 2`, `view_size` not in
     /// `1..n`, `gamma == 0`).
-    pub fn new<F: FnMut(usize) -> f64>(
-        config: SessionConfig,
-        mut values: F,
-        seed: u64,
-    ) -> Self {
+    pub fn new<F: FnMut(usize) -> f64>(config: SessionConfig, mut values: F, seed: u64) -> Self {
         assert!(config.gamma > 0, "gamma must be positive");
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let overlay = Overlay::random_init(config.n, config.view_size, &mut rng);
@@ -220,8 +216,9 @@ impl Session {
             // A leaderless COUNT epoch would report nothing; force one
             // leader, as a deployment's fallback timer would.
             if leaders.is_empty() {
-                let alive: Vec<usize> =
-                    (0..self.net.slot_count()).filter(|&i| self.net.is_alive(i)).collect();
+                let alive: Vec<usize> = (0..self.net.slot_count())
+                    .filter(|&i| self.net.is_alive(i))
+                    .collect();
                 leaders.push(alive[self.rng.index(alive.len())]);
             }
         }
@@ -249,7 +246,10 @@ impl Session {
                 let alive: Vec<u32> = (0..self.net.slot_count() as u32)
                     .filter(|&i| self.net.is_alive(i as usize))
                     .collect();
-                for pick in self.rng.sample_distinct(alive.len(), crashes.min(alive.len())) {
+                for pick in self
+                    .rng
+                    .sample_distinct(alive.len(), crashes.min(alive.len()))
+                {
                     let victim = alive[pick] as usize;
                     self.net.crash(victim);
                     self.overlay.crash(victim);
@@ -465,7 +465,10 @@ mod tests {
         let est2 = second.mean_estimate().unwrap();
         let truth = session.ground_truth().unwrap();
         assert!(truth < 5.0, "joiners should drag the truth down");
-        assert!((est2 - truth).abs() < 0.05, "next epoch missed joiners: {est2} vs {truth}");
+        assert!(
+            (est2 - truth).abs() < 0.05,
+            "next epoch missed joiners: {est2} vs {truth}"
+        );
     }
 
     #[test]

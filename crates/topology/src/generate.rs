@@ -58,7 +58,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "probability must be in [0, 1], got {p}")
             }
             TopologyError::TooFewNodes { requested, minimum } => {
-                write!(f, "generator needs at least {minimum} nodes, got {requested}")
+                write!(
+                    f,
+                    "generator needs at least {minimum} nodes, got {requested}"
+                )
             }
         }
     }
@@ -91,7 +94,10 @@ pub fn complete(n: usize) -> Graph {
 /// Returns [`TopologyError::DegreeTooLarge`] if `k >= n`.
 pub fn random_k_out(n: usize, k: usize, rng: &mut Xoshiro256) -> Result<Graph, TopologyError> {
     if n == 0 || k >= n {
-        return Err(TopologyError::DegreeTooLarge { nodes: n, degree: k });
+        return Err(TopologyError::DegreeTooLarge {
+            nodes: n,
+            degree: k,
+        });
     }
     let mut b = GraphBuilder::with_degree_hint(n, k);
     for u in 0..n {
@@ -130,11 +136,14 @@ fn validate_lattice(n: usize, k: usize) -> Result<(), TopologyError> {
             minimum: 3,
         });
     }
-    if !k.is_multiple_of(2) {
+    if k % 2 != 0 {
         return Err(TopologyError::OddLatticeDegree(k));
     }
     if k >= n {
-        return Err(TopologyError::DegreeTooLarge { nodes: n, degree: k });
+        return Err(TopologyError::DegreeTooLarge {
+            nodes: n,
+            degree: k,
+        });
     }
     Ok(())
 }
@@ -219,7 +228,10 @@ fn remove_directed(b: &mut GraphBuilder, u: usize, v: usize) {
 /// Returns an error if `m == 0` or `n <= m`.
 pub fn barabasi_albert(n: usize, m: usize, rng: &mut Xoshiro256) -> Result<Graph, TopologyError> {
     if m == 0 {
-        return Err(TopologyError::DegreeTooLarge { nodes: n, degree: m });
+        return Err(TopologyError::DegreeTooLarge {
+            nodes: n,
+            degree: m,
+        });
     }
     if n <= m + 1 {
         return Err(TopologyError::TooFewNodes {
@@ -439,7 +451,10 @@ mod tests {
             .flat_map(|u| (1..=5).map(move |j| (u, (u + j) % 500)))
             .filter(|&(u, v)| g.has_edge(u, v))
             .count();
-        assert!(surviving < 250, "too many lattice edges survived: {surviving}");
+        assert!(
+            surviving < 250,
+            "too many lattice edges survived: {surviving}"
+        );
     }
 
     #[test]
@@ -468,7 +483,10 @@ mod tests {
         let g = barabasi_albert(2000, 3, &mut rng(11)).unwrap();
         let max_degree = (0..2000).map(|u| g.degree(u)).max().unwrap();
         // Hubs should appear: max degree far above the mean (~6).
-        assert!(max_degree > 40, "max degree {max_degree} too small for scale-free");
+        assert!(
+            max_degree > 40,
+            "max degree {max_degree} too small for scale-free"
+        );
     }
 
     #[test]
@@ -491,13 +509,23 @@ mod tests {
     #[test]
     fn kind_generate_dispatches() {
         let mut r = rng(14);
-        assert_eq!(TopologyKind::Complete.generate(4, &mut r).unwrap().edge_count(), 12);
+        assert_eq!(
+            TopologyKind::Complete
+                .generate(4, &mut r)
+                .unwrap()
+                .edge_count(),
+            12
+        );
         assert!(TopologyKind::Random { k: 3 }.generate(10, &mut r).is_ok());
-        assert!(TopologyKind::RingLattice { k: 4 }.generate(10, &mut r).is_ok());
+        assert!(TopologyKind::RingLattice { k: 4 }
+            .generate(10, &mut r)
+            .is_ok());
         assert!(TopologyKind::WattsStrogatz { k: 4, beta: 0.5 }
             .generate(10, &mut r)
             .is_ok());
-        assert!(TopologyKind::ScaleFree { m: 2 }.generate(10, &mut r).is_ok());
+        assert!(TopologyKind::ScaleFree { m: 2 }
+            .generate(10, &mut r)
+            .is_ok());
     }
 
     #[test]
@@ -512,13 +540,21 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = TopologyError::DegreeTooLarge { nodes: 5, degree: 9 };
+        let e = TopologyError::DegreeTooLarge {
+            nodes: 5,
+            degree: 9,
+        };
         assert!(e.to_string().contains("degree 9"));
-        assert!(TopologyError::OddLatticeDegree(3).to_string().contains("even"));
+        assert!(TopologyError::OddLatticeDegree(3)
+            .to_string()
+            .contains("even"));
         assert!(TopologyError::InvalidProbability(2.0)
             .to_string()
             .contains("[0, 1]"));
-        let e = TopologyError::TooFewNodes { requested: 1, minimum: 3 };
+        let e = TopologyError::TooFewNodes {
+            requested: 1,
+            minimum: 3,
+        };
         assert!(e.to_string().contains("at least 3"));
     }
 }

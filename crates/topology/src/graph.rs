@@ -70,9 +70,8 @@ impl Graph {
 
     /// Iterates over all directed edges as `(source, target)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.node_count()).flat_map(move |u| {
-            self.neighbors(u).iter().map(move |&v| (u, v as usize))
-        })
+        (0..self.node_count())
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v as usize)))
     }
 
     /// Returns `true` if the directed edge `u -> v` is present.

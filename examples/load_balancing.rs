@@ -30,7 +30,11 @@ fn main() {
         })
         .collect();
     let before: OnlineStats = loads.iter().copied().collect();
-    println!("initial load: mean {:.2}, max {:.2}", before.mean(), before.max());
+    println!(
+        "initial load: mean {:.2}, max {:.2}",
+        before.mean(),
+        before.max()
+    );
 
     // Step 1: learn the global average by gossip. (Each node only ever
     // sees its own exchanges; after 30 cycles all estimates agree.)

@@ -21,7 +21,10 @@ fn main() {
     let outcome = config.run(42);
 
     println!("push-pull AVERAGE over a {n}-node NEWSCAST overlay (c = 30)\n");
-    println!("{:>5}  {:>14}  {:>14}  {:>14}", "cycle", "min estimate", "max estimate", "variance");
+    println!(
+        "{:>5}  {:>14}  {:>14}  {:>14}",
+        "cycle", "min estimate", "max estimate", "variance"
+    );
     for cycle in [0usize, 1, 2, 3, 5, 10, 15, 20, 25, 30] {
         println!(
             "{:>5}  {:>14.6}  {:>14.6}  {:>14.3e}",

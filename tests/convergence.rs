@@ -5,9 +5,7 @@ use epidemic::aggregation::estimator;
 use epidemic::aggregation::rule::Rule;
 use epidemic::common::rng::Xoshiro256;
 use epidemic::newscast::Overlay;
-use epidemic::sim::experiment::{
-    AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
 use epidemic::sim::network::{CycleOptions, Network};
 use epidemic::topology::TopologyKind;
 
@@ -26,13 +24,22 @@ fn average_config(overlay: OverlaySpec) -> ExperimentConfig {
 fn average_converges_on_every_topology() {
     let overlays = [
         ("complete", OverlaySpec::Complete),
-        ("random", OverlaySpec::Static(TopologyKind::Random { k: 20 })),
+        (
+            "random",
+            OverlaySpec::Static(TopologyKind::Random { k: 20 }),
+        ),
         (
             "watts-strogatz",
             OverlaySpec::Static(TopologyKind::WattsStrogatz { k: 20, beta: 0.25 }),
         ),
-        ("scale-free", OverlaySpec::Static(TopologyKind::ScaleFree { m: 10 })),
-        ("lattice", OverlaySpec::Static(TopologyKind::RingLattice { k: 20 })),
+        (
+            "scale-free",
+            OverlaySpec::Static(TopologyKind::ScaleFree { m: 10 }),
+        ),
+        (
+            "lattice",
+            OverlaySpec::Static(TopologyKind::RingLattice { k: 20 }),
+        ),
         ("newscast", OverlaySpec::Newscast { c: 30 }),
     ];
     for (name, overlay) in overlays {
@@ -78,7 +85,11 @@ fn count_is_accurate_across_sizes() {
         };
         let est = config.run(3).mean_final_estimate();
         let err = (est - n as f64).abs() / n as f64;
-        assert!(err < 0.03, "n={n}: estimate {est} ({:.1}% off)", err * 100.0);
+        assert!(
+            err < 0.03,
+            "n={n}: estimate {est} ({:.1}% off)",
+            err * 100.0
+        );
     }
 }
 
@@ -120,12 +131,18 @@ fn min_max_sum_variance_product_compose() {
     assert_eq!(net.scalar_value(max, probe), true_max);
 
     // COUNT.
-    assert!((est_count - n as f64).abs() < n as f64 * 0.05, "count {est_count}");
+    assert!(
+        (est_count - n as f64).abs() < n as f64 * 0.05,
+        "count {est_count}"
+    );
 
     // SUM = AVERAGE x COUNT.
     let true_sum: f64 = values.iter().sum();
     let est_sum = estimator::sum_estimate(est_mean, est_count);
-    assert!((est_sum - true_sum).abs() / true_sum < 0.05, "sum {est_sum}");
+    assert!(
+        (est_sum - true_sum).abs() / true_sum < 0.05,
+        "sum {est_sum}"
+    );
 
     // VARIANCE = E[x^2] - E[x]^2.
     let est_var = estimator::variance_estimate(est_mean, est_mean_sq);

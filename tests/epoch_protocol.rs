@@ -118,7 +118,10 @@ fn message_loss_slows_but_epochs_still_complete() {
     });
     assert!(out.messages_lost > 0);
     let completed: usize = out.reports.iter().map(Vec::len).sum();
-    assert!(completed > 60, "only {completed} epochs completed under loss");
+    assert!(
+        completed > 60,
+        "only {completed} epochs completed under loss"
+    );
 }
 
 #[test]
@@ -130,7 +133,11 @@ fn isolated_node_epochs_do_not_stall() {
         node.poll(t, None);
     }
     let reports = node.take_reports();
-    assert!(reports.len() >= 4, "only {} epochs while isolated", reports.len());
+    assert!(
+        reports.len() >= 4,
+        "only {} epochs while isolated",
+        reports.len()
+    );
     for r in &reports {
         assert_eq!(r.scalar(0), Some(5.0)); // its own value is the average
     }

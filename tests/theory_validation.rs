@@ -40,10 +40,7 @@ fn rho_is_independent_of_network_size() {
         let out = average_peak(n).run(3);
         factors.push(out.convergence_factor(20));
     }
-    let spread = factors
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = factors.iter().copied().fold(f64::NEG_INFINITY, f64::max)
         - factors.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(spread < 0.03, "rho varies with N: {factors:?}");
 }

@@ -6,11 +6,7 @@ use epidemic::aggregation::{InstanceSpec, LeaderPolicy, NodeConfig};
 use epidemic::net::runtime::{ClusterConfig, UdpNode};
 use std::time::Duration;
 
-fn spawn_cluster(
-    n: usize,
-    node_config: NodeConfig,
-    values: impl Fn(usize) -> f64,
-) -> Vec<UdpNode> {
+fn spawn_cluster(n: usize, node_config: NodeConfig, values: impl Fn(usize) -> f64) -> Vec<UdpNode> {
     let cluster = ClusterConfig::loopback(n, node_config).expect("bind cluster");
     (0..n)
         .map(|i| UdpNode::spawn(cluster.node(i, values(i))).expect("spawn node"))

@@ -1,0 +1,267 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements just enough of criterion's API for the workspace's benches to
+//! compile and run: benchmark groups, `iter`/`iter_batched`, throughput
+//! annotation, and the `criterion_group!`/`criterion_main!` macros. It
+//! measures wall-clock mean time per iteration (no statistical analysis or
+//! outlier detection) and prints one line per benchmark.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally append one JSON object per
+//! benchmark to `<path>` (used to capture `BENCH_baseline.json`).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export point used by `criterion::black_box` callers.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+/// Units-of-work annotation, echoed into reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a units-of-work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Ends the group (the stand-in reports eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let ns = bencher.ns_per_iter();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) if ns > 0.0 => {
+                format!("  {:>12.0} elem/s", e as f64 / (ns * 1e-9))
+            }
+            Some(Throughput::Bytes(b)) if ns > 0.0 => {
+                format!("  {:>12.0} B/s", b as f64 / (ns * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench: {}/{:<40} {:>14.1} ns/iter ({} iters){rate}",
+            self.name, id, ns, bencher.iters
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let elems = match self.throughput {
+                Some(Throughput::Elements(e)) => e,
+                _ => 0,
+            };
+            let line = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{},\"throughput_elems\":{}}}\n",
+                self.name, id, ns, bencher.iters, elems
+            );
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// Measures closures; handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Target measurement time, scaled down for small sample sizes (which
+    /// the benches use to mark expensive workloads).
+    fn budget(&self) -> Duration {
+        if self.sample_size <= 10 {
+            Duration::from_millis(300)
+        } else {
+            Duration::from_millis(500)
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total.as_nanos() as f64 / self.iters as f64
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let budget = self.budget();
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = self.budget();
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,340 @@
+//! Generation-only strategies: ranges, tuples, collections, map/union
+//! combinators. No shrinking — failures report the case index instead.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest this is generate-only (`&self`, no value tree), so
+/// any `Strategy` is also usable through a `Box<dyn ...>`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`, `a | b`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.next_below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in [`Union`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+impl<V: 'static, A, B> std::ops::BitOr<B> for crate::strategy::Wrap<A>
+where
+    A: Strategy<Value = V> + 'static,
+    B: Strategy<Value = V> + 'static,
+{
+    type Output = Union<V>;
+    fn bitor(self, rhs: B) -> Union<V> {
+        Union::new(vec![boxed(self.0), boxed(rhs)])
+    }
+}
+
+/// Newtype enabling `a | b` unions on strategy constants.
+#[derive(Debug, Clone)]
+pub struct Wrap<S>(pub S);
+
+impl<S: Strategy> Strategy for Wrap<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        self.0.generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.next_below(span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end as i128 - self.start as i128) as u64;
+        (self.start as i128 + rng.next_below(span) as i128) as i64
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `any::<T>()` support for the handful of types the tests use.
+pub trait ArbitraryValue: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Mirrors `proptest::prelude::any`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// `Vec` strategy with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `prop::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeMap` strategy; the generated size may fall below the requested
+    /// range when random keys collide (acceptable for these tests).
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `prop::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.len.generate(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// `Option<T>` strategies.
+pub mod option {
+    use super::*;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` 25% of the time, `Some(inner)` otherwise (matches real
+    /// proptest's default `of` weighting closely enough).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// `f64` class strategies (`prop::num::f64`).
+pub mod num_f64 {
+    use super::*;
+
+    /// Normal (non-zero, non-subnormal, finite) doubles of either sign.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// Positive or negative zero.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ZeroF64;
+
+    /// Mirrors `prop::num::f64::NORMAL` (wrapped so `NORMAL | ZERO` works).
+    pub const NORMAL: Wrap<NormalF64> = Wrap(NormalF64);
+
+    /// Mirrors `prop::num::f64::ZERO`.
+    pub const ZERO: Wrap<ZeroF64> = Wrap(ZeroF64);
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                let sign = rng.next_u64() & (1 << 63);
+                // Biased exponent in [1, 2046]: excludes zero/subnormal
+                // (0) and inf/nan (2047).
+                let exp = 1 + rng.next_below(2046);
+                let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+                let bits = sign | (exp << 52) | mantissa;
+                let v = f64::from_bits(bits);
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Strategy for ZeroF64 {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            if rng.next_u64() & 1 == 0 {
+                0.0
+            } else {
+                -0.0
+            }
+        }
+    }
+}
