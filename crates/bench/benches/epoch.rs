@@ -1,8 +1,13 @@
-//! End-to-end benchmark: one full 30-cycle COUNT epoch over NEWSCAST —
-//! the workload behind every robustness figure.
+//! End-to-end benchmarks: one full 30-cycle COUNT epoch over NEWSCAST —
+//! the workload behind every robustness figure — plus the event-driven
+//! engine's queue-bound inner loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic_aggregation::{InstanceSpec, NodeConfig};
+use epidemic_sim::event::EventConfig;
+use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig};
+use epidemic_sim::failure::CommFailure;
+use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 fn bench_full_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_epoch");
@@ -11,12 +16,14 @@ fn bench_full_epoch(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64 * 30));
         group.bench_with_input(BenchmarkId::new("count_newscast", n), &n, |b, &n| {
             let config = ExperimentConfig {
-                n,
-                overlay: OverlaySpec::Newscast { c: 30 },
+                scenario: Scenario {
+                    n,
+                    overlay: OverlaySpec::Newscast { c: 30 },
+                    values: ValueInit::Constant(0.0),
+                    ..Scenario::default()
+                },
                 cycles: 30,
-                values: ValueInit::Constant(0.0),
                 aggregate: AggregateSetup::CountPeak,
-                ..ExperimentConfig::default()
             };
             let mut seed = 0u64;
             b.iter(|| {
@@ -26,12 +33,14 @@ fn bench_full_epoch(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("average_complete", n), &n, |b, &n| {
             let config = ExperimentConfig {
-                n,
-                overlay: OverlaySpec::Complete,
+                scenario: Scenario {
+                    n,
+                    overlay: OverlaySpec::Complete,
+                    values: ValueInit::Peak { total: n as f64 },
+                    ..Scenario::default()
+                },
                 cycles: 30,
-                values: ValueInit::Peak { total: n as f64 },
                 aggregate: AggregateSetup::Average,
-                ..ExperimentConfig::default()
             };
             let mut seed = 0u64;
             b.iter(|| {
@@ -43,5 +52,42 @@ fn bench_full_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_epoch);
+fn bench_event_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_epoch");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        // ~40 cycles of gamma=15 epochs: the hottest loop in the repo is
+        // the event queue push/pop under message delay, loss, and drift.
+        let node = NodeConfig::builder()
+            .gamma(15)
+            .cycle_length(1_000)
+            .timeout(200)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap();
+        group.throughput(Throughput::Elements(40 * n as u64));
+        group.bench_with_input(BenchmarkId::new("complete_lossy", n), &n, |b, &n| {
+            let config = EventConfig {
+                scenario: Scenario {
+                    n,
+                    values: ValueInit::Linear,
+                    comm: CommFailure::messages(0.05),
+                    ..Scenario::default()
+                },
+                node: node.clone(),
+                delay: (10, 50),
+                drift: 0.02,
+                duration: 40_000,
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                config.run(seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_epoch, bench_event_epoch);
 criterion_main!(benches);

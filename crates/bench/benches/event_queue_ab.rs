@@ -1,0 +1,169 @@
+//! A/B benchmark: old event-queue design (key heap + HashMap payload side
+//! table) vs the new inline-payload heap, same workload, same process.
+//! Temporary instrumentation for the PR-2 BENCH_trajectory measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_aggregation::node::GossipNode;
+use epidemic_aggregation::{InstanceSpec, Message, NodeConfig};
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::NodeId;
+use epidemic_sim::event::EventConfig;
+use epidemic_sim::failure::CommFailure;
+use epidemic_sim::scenario::{Scenario, ValueInit};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug)]
+enum EventKind {
+    Wake(usize),
+    Deliver(usize, Message),
+}
+
+/// The pre-PR-2 event loop, verbatim apart from dropping the epoch-entry
+/// bookkeeping interfaces that did not change.
+fn run_old(
+    node_config: &NodeConfig,
+    n: usize,
+    message_loss: f64,
+    drift: f64,
+    duration: u64,
+    seed: u64,
+) -> usize {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut nodes: Vec<GossipNode> = (0..n)
+        .map(|i| {
+            GossipNode::founder(
+                NodeId::new(i as u64),
+                node_config.clone(),
+                i as f64,
+                seed ^ 0xE7E7,
+            )
+        })
+        .collect();
+    let drifts: Vec<f64> = (0..n)
+        .map(|_| 1.0 + drift * (2.0 * rng.next_f64() - 1.0))
+        .collect();
+    let mut queue: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut payloads: HashMap<u64, EventKind> = HashMap::new();
+    let mut seq: u64 = 0;
+    let push = |queue: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                payloads: &mut HashMap<u64, EventKind>,
+                seq: &mut u64,
+                at: u64,
+                kind: EventKind| {
+        *seq += 1;
+        payloads.insert(*seq, kind);
+        queue.push(Reverse((at, *seq)));
+    };
+    let to_local = |global: u64, node: usize| -> u64 { (global as f64 * drifts[node]) as u64 };
+    let to_global =
+        |local: u64, node: usize| -> u64 { (local as f64 / drifts[node]).ceil() as u64 };
+    for (i, node) in nodes.iter().enumerate() {
+        let at = to_global(node.next_deadline(), i);
+        push(&mut queue, &mut payloads, &mut seq, at, EventKind::Wake(i));
+    }
+    let mut messages_sent = 0usize;
+    let mut epoch_seen: Vec<u64> = nodes.iter().map(GossipNode::epoch).collect();
+    let mut entries: HashMap<u64, (u64, u64)> = HashMap::new();
+    entries.insert(0, (0, 0));
+    while let Some(Reverse((at, id))) = queue.pop() {
+        if at > duration {
+            break;
+        }
+        let kind = payloads.remove(&id).expect("event payload");
+        let (node_idx, outbound) = match kind {
+            EventKind::Wake(i) => {
+                let local_now = to_local(at, i);
+                let peer = {
+                    let raw = rng.index(n - 1);
+                    let p = if raw >= i { raw + 1 } else { raw };
+                    Some(NodeId::new(p as u64))
+                };
+                let out = nodes[i].poll(local_now, peer);
+                (i, out)
+            }
+            EventKind::Deliver(i, msg) => {
+                let local_now = to_local(at, i);
+                let out = nodes[i].handle(&msg, local_now);
+                (i, out)
+            }
+        };
+        if let Some(out) = outbound {
+            messages_sent += 1;
+            if message_loss > 0.0 && rng.next_bool(message_loss) {
+                // lost
+            } else {
+                let delay = rng.range_u64(10, 50);
+                let to = out.to.index();
+                push(
+                    &mut queue,
+                    &mut payloads,
+                    &mut seq,
+                    at + delay,
+                    EventKind::Deliver(to, out.message),
+                );
+            }
+        }
+        let epoch_now = nodes[node_idx].epoch();
+        if epoch_now != epoch_seen[node_idx] {
+            epoch_seen[node_idx] = epoch_now;
+            let entry = entries.entry(epoch_now).or_insert((at, at));
+            entry.0 = entry.0.min(at);
+            entry.1 = entry.1.max(at);
+        }
+        let next = to_global(nodes[node_idx].next_deadline(), node_idx);
+        push(
+            &mut queue,
+            &mut payloads,
+            &mut seq,
+            next.max(at + 1),
+            EventKind::Wake(node_idx),
+        );
+    }
+    messages_sent
+}
+
+fn bench_ab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_ab");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        let node = NodeConfig::builder()
+            .gamma(15)
+            .cycle_length(1_000)
+            .timeout(200)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap();
+        group.throughput(Throughput::Elements(40 * n as u64));
+        group.bench_with_input(BenchmarkId::new("old_side_table", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_old(&node, n, 0.05, 0.02, 40_000, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("new_inline_heap", n), &n, |b, &n| {
+            let config = EventConfig {
+                scenario: Scenario {
+                    n,
+                    values: ValueInit::Linear,
+                    comm: CommFailure::messages(0.05),
+                    ..Scenario::default()
+                },
+                node: node.clone(),
+                delay: (10, 50),
+                drift: 0.02,
+                duration: 40_000,
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                config.run(seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ab);
+criterion_main!(benches);

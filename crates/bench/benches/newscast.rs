@@ -53,5 +53,35 @@ fn bench_overlay_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_view_merge, bench_overlay_cycle);
+fn bench_sample_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_distinct");
+    // Sparse draw: one NEWSCAST view init (c=30 peers from n=100k).
+    group.throughput(Throughput::Elements(30));
+    group.bench_function("sparse_30_of_100k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        b.iter(|| rng.sample_distinct(100_000, 30));
+    });
+    // Dense draw: a 50% crash-wave victim selection.
+    group.throughput(Throughput::Elements(25_000));
+    group.bench_function("dense_25k_of_50k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        b.iter(|| rng.sample_distinct(50_000, 25_000));
+    });
+    // Whole-overlay bootstrap: n sparse draws back to back.
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("overlay_init_10k_c30", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256::seed_from_u64(13);
+            Overlay::random_init(10_000, 30, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_view_merge,
+    bench_overlay_cycle,
+    bench_sample_distinct
+);
 criterion_main!(benches);

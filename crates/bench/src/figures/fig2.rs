@@ -7,9 +7,8 @@
 
 use super::seeds;
 use crate::{FigureOutput, Scale};
-use epidemic_sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
+use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 use epidemic_topology::TopologyKind;
 
 /// Reproduces Figure 2. Columns: cycle, the across-run averages of the
@@ -19,12 +18,14 @@ pub fn fig2(scale: Scale, seed: u64) -> FigureOutput {
     let reps = scale.reps(50);
     let cycles = 30u32;
     let config = ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Static(TopologyKind::Random { k: 20.min(n - 1) }),
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Static(TopologyKind::Random { k: 20.min(n - 1) }),
+            values: ValueInit::Peak { total: n as f64 },
+            ..Scenario::default()
+        },
         cycles,
-        values: ValueInit::Peak { total: n as f64 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     };
     let outcomes = run_many(&config, &seeds(seed, reps));
     let mut rows = Vec::with_capacity(cycles as usize + 1);

@@ -9,9 +9,8 @@
 
 use super::seeds;
 use crate::{FigureOutput, Scale};
-use epidemic_sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
+use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 use epidemic_topology::TopologyKind;
 
 /// The eight overlay families of Figure 3, in plot order.
@@ -53,12 +52,14 @@ fn topology_suite(n: usize) -> Vec<(String, OverlaySpec)> {
 
 fn average_config(n: usize, overlay: OverlaySpec, cycles: u32) -> ExperimentConfig {
     ExperimentConfig {
-        n,
-        overlay,
+        scenario: Scenario {
+            n,
+            overlay,
+            values: ValueInit::Peak { total: n as f64 },
+            ..Scenario::default()
+        },
         cycles,
-        values: ValueInit::Peak { total: n as f64 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     }
 }
 

@@ -17,10 +17,9 @@ use super::seeds;
 use crate::{FigureOutput, Scale};
 use epidemic_aggregation::theory;
 use epidemic_common::stats;
-use epidemic_sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
 use epidemic_sim::failure::FailureModel;
+use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 /// Reproduces Figure 5. Columns: P_f, measured ratio on the complete
 /// topology, measured ratio on NEWSCAST, and the Theorem 1 prediction.
@@ -38,17 +37,19 @@ pub fn fig5(scale: Scale, seed: u64) -> FigureOutput {
         let mut row = vec![p_f];
         for overlay in overlays {
             let config = ExperimentConfig {
-                n,
-                overlay,
-                cycles,
-                values: ValueInit::Uniform { lo: 0.0, hi: 2.0 },
-                aggregate: AggregateSetup::Average,
-                failure: if p_f > 0.0 {
-                    FailureModel::ProportionalCrash { p_f }
-                } else {
-                    FailureModel::None
+                scenario: Scenario {
+                    n,
+                    overlay,
+                    values: ValueInit::Uniform { lo: 0.0, hi: 2.0 },
+                    failure: if p_f > 0.0 {
+                        FailureModel::ProportionalCrash { p_f }
+                    } else {
+                        FailureModel::None
+                    },
+                    ..Scenario::default()
                 },
-                ..ExperimentConfig::default()
+                cycles,
+                aggregate: AggregateSetup::Average,
             };
             let outcomes = run_many(&config, &seeds(seed, reps));
             // Theorem 1 predicts the variance of the crash-induced drift

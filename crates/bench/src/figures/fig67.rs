@@ -14,19 +14,20 @@ use super::seeds;
 use crate::{FigureOutput, Scale};
 use epidemic_aggregation::theory;
 use epidemic_common::stats;
-use epidemic_sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
 use epidemic_sim::failure::{CommFailure, FailureModel};
+use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 fn count_config(n: usize) -> ExperimentConfig {
     ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Newscast { c: 30.min(n / 2) },
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Newscast { c: 30.min(n / 2) },
+            values: ValueInit::Constant(0.0), // ignored by CountPeak
+            ..Scenario::default()
+        },
         cycles: 30,
-        values: ValueInit::Constant(0.0), // ignored by CountPeak
         aggregate: AggregateSetup::CountPeak,
-        ..ExperimentConfig::default()
     }
 }
 
@@ -53,12 +54,10 @@ pub fn fig6a(scale: Scale, seed: u64) -> FigureOutput {
     let reps = scale.reps(50);
     let mut rows = Vec::new();
     for crash_cycle in 0..=20u32 {
-        let config = ExperimentConfig {
-            failure: FailureModel::SuddenDeath {
-                fraction: 0.5,
-                at_cycle: crash_cycle,
-            },
-            ..count_config(n)
+        let mut config = count_config(n);
+        config.scenario.failure = FailureModel::SuddenDeath {
+            fraction: 0.5,
+            at_cycle: crash_cycle,
         };
         let outcomes = run_many(&config, &seeds(seed, reps));
         let estimates: Vec<f64> = outcomes.iter().map(|o| o.mean_final_estimate()).collect();
@@ -89,13 +88,11 @@ pub fn fig6b(scale: Scale, seed: u64) -> FigureOutput {
     let mut rows = Vec::new();
     for &frac in &fractions {
         let per_cycle = (frac * n as f64).round() as usize;
-        let config = ExperimentConfig {
-            failure: if per_cycle > 0 {
-                FailureModel::Churn { per_cycle }
-            } else {
-                FailureModel::None
-            },
-            ..count_config(n)
+        let mut config = count_config(n);
+        config.scenario.failure = if per_cycle > 0 {
+            FailureModel::Churn { per_cycle }
+        } else {
+            FailureModel::None
         };
         let outcomes = run_many(&config, &seeds(seed, reps));
         let estimates: Vec<f64> = outcomes.iter().map(|o| o.mean_final_estimate()).collect();
@@ -127,11 +124,9 @@ pub fn fig7a(scale: Scale, seed: u64) -> FigureOutput {
         .collect();
     let mut rows = Vec::new();
     for &p_d in &pds {
-        let config = ExperimentConfig {
-            comm: CommFailure::links(p_d),
-            cycles: 20,
-            ..count_config(n)
-        };
+        let mut config = count_config(n);
+        config.scenario.comm = CommFailure::links(p_d);
+        config.cycles = 20;
         let outcomes = run_many(&config, &seeds(seed, reps));
         let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
         rows.push(vec![
@@ -165,10 +160,8 @@ pub fn fig7b(scale: Scale, seed: u64) -> FigureOutput {
     let losses: Vec<f64> = (0..=10).map(|i| i as f64 * 0.05).collect();
     let mut rows = Vec::new();
     for &loss in &losses {
-        let config = ExperimentConfig {
-            comm: CommFailure::messages(loss),
-            ..count_config(n)
-        };
+        let mut config = count_config(n);
+        config.scenario.comm = CommFailure::messages(loss);
         let outcomes = run_many(&config, &seeds(seed, reps));
         let mut run_mins = Vec::with_capacity(reps);
         let mut run_maxs = Vec::with_capacity(reps);

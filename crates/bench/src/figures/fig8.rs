@@ -9,10 +9,9 @@
 use super::seeds;
 use crate::{FigureOutput, Scale};
 use epidemic_common::stats;
-use epidemic_sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic_sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
 use epidemic_sim::failure::{CommFailure, FailureModel};
+use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 const T_GRID: [usize; 14] = [1, 2, 3, 4, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
 
@@ -28,14 +27,16 @@ fn multi_count_sweep(
     let mut rows = Vec::new();
     for &t in &T_GRID {
         let config = ExperimentConfig {
-            n,
-            overlay: OverlaySpec::Newscast { c: 30.min(n / 2) },
+            scenario: Scenario {
+                n,
+                overlay: OverlaySpec::Newscast { c: 30.min(n / 2) },
+                values: ValueInit::Constant(0.0), // ignored by CountMap
+                failure,
+                comm,
+                ..Scenario::default()
+            },
             cycles: 30,
-            values: ValueInit::Constant(0.0), // ignored by CountMap
             aggregate: AggregateSetup::CountMap { leaders: t },
-            failure,
-            comm,
-            ..ExperimentConfig::default()
         };
         let outcomes = run_many(&config, &seeds(seed, reps));
         let estimates: Vec<f64> = outcomes

@@ -23,6 +23,7 @@
 //! | `costs` | Sec. 4.5 | [`figures::costs`] |
 //! | `ablation-pushpull` | — | [`figures::ablation_pushpull`] |
 //! | `ablation-sync` | — | [`figures::ablation_sync`] |
+//! | `ablation-event` | — | [`figures::ablation_event`] |
 
 #![warn(missing_docs)]
 

@@ -7,6 +7,9 @@
 //! * [`rng`] — deterministic, splittable random number generation
 //!   ([`rng::SplitMix64`], [`rng::Xoshiro256`]) so that every simulation in
 //!   the workspace is bit-for-bit reproducible from a single `u64` seed.
+//! * [`sample`] — the [`NeighborSampling`] overlay abstraction (the paper's
+//!   `GETNEIGHBOR()`), shared by static topologies, NEWSCAST membership,
+//!   and both simulation engines.
 //! * [`stats`] — streaming and batch statistics (mean, variance, extrema,
 //!   quantiles) used to measure convergence of the aggregation protocols.
 //!
@@ -29,8 +32,10 @@
 
 pub mod id;
 pub mod rng;
+pub mod sample;
 pub mod stats;
 
 pub use id::NodeId;
 pub use rng::{SplitMix64, Xoshiro256};
+pub use sample::{CompleteSampler, NeighborSampling};
 pub use stats::{OnlineStats, Summary};

@@ -201,25 +201,45 @@ impl Xoshiro256 {
         }
     }
 
-    /// Samples `k` *distinct* indices from `[0, n)` using Floyd's algorithm.
+    /// Samples `k` *distinct* indices from `[0, n)`.
     ///
-    /// The result is in no particular order. Runs in `O(k)` expected time
-    /// and memory, independent of `n`.
+    /// The result is in no particular order. Dense draws (`k` a sizable
+    /// fraction of `n`, or very large in absolute terms) use a partial
+    /// Fisher–Yates shuffle; sparse draws use rejection sampling against a
+    /// small sorted buffer. Neither path hashes or touches the heap beyond
+    /// the output buffer (plus the `O(n)` pool on the dense path), which
+    /// keeps the NEWSCAST view-bootstrap and crash-selection hot paths free
+    /// of per-call `HashSet` churn.
     ///
     /// # Panics
     ///
     /// Panics if `k > n`.
     pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "cannot sample {k} distinct values from {n}");
-        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
-        let mut out = Vec::with_capacity(k);
-        for j in (n - k)..n {
-            let t = self.index(j + 1);
-            let v = if chosen.contains(&t) { j } else { t };
-            chosen.insert(v);
-            out.push(v);
+        if k == 0 {
+            return Vec::new();
         }
-        out
+        if k * 16 >= n || k >= 8192 {
+            // Dense: shuffle the first k slots of the full pool.
+            let mut pool: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.index(n - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(k);
+            return pool;
+        }
+        // Sparse: rejection against a sorted buffer. With k < n/16 the
+        // expected number of rejections is below k/15, and the buffer is
+        // small enough that binary search + insertion shifts stay cheap.
+        let mut sorted: Vec<usize> = Vec::with_capacity(k);
+        while sorted.len() < k {
+            let v = self.index(n);
+            if let Err(pos) = sorted.binary_search(&v) {
+                sorted.insert(pos, v);
+            }
+        }
+        sorted
     }
 
     /// Splits off a new generator whose stream is independent of `self`'s

@@ -1,0 +1,163 @@
+//! Neighbor sampling abstraction.
+//!
+//! The only thing the aggregation protocol needs from a membership or
+//! topology layer is the `GETNEIGHBOR()` primitive of the paper's Figure 1:
+//! a uniformly random member of the node's current neighbor set.
+//! [`NeighborSampling`] captures exactly that. It lives in the shared
+//! kernel so that membership (`epidemic-newscast`) and topology
+//! (`epidemic-topology`) are sibling layers: both implement the trait, and
+//! every engine from `epidemic-common` up can accept any overlay without
+//! depending on either crate.
+
+use crate::rng::Xoshiro256;
+
+/// Draws a uniform index in `[0, len)` excluding `skip` (when
+/// `skip < len`), or `None` when no eligible index remains.
+///
+/// This is the one skip-over-self trick every overlay sampler needs; a
+/// single implementation keeps the off-by-one invariant in one place.
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_common::rng::Xoshiro256;
+/// use epidemic_common::sample::index_excluding;
+///
+/// let mut rng = Xoshiro256::seed_from_u64(1);
+/// assert_eq!(index_excluding(&mut rng, 1, Some(0)), None);
+/// let i = index_excluding(&mut rng, 5, Some(2)).unwrap();
+/// assert!(i < 5 && i != 2);
+/// ```
+#[inline]
+pub fn index_excluding(rng: &mut Xoshiro256, len: usize, skip: Option<usize>) -> Option<usize> {
+    match skip {
+        Some(pos) if pos < len => {
+            if len < 2 {
+                return None;
+            }
+            let raw = rng.index(len - 1);
+            Some(if raw >= pos { raw + 1 } else { raw })
+        }
+        _ => {
+            if len == 0 {
+                return None;
+            }
+            Some(rng.index(len))
+        }
+    }
+}
+
+/// A source of uniformly random neighbors — the paper's `GETNEIGHBOR()`.
+///
+/// Implementors: `epidemic_topology::Graph` (static topologies),
+/// [`CompleteSampler`] (implicit complete graph), and
+/// `epidemic_newscast::Overlay` (dynamic views).
+pub trait NeighborSampling {
+    /// Total number of nodes in the overlay.
+    fn node_count(&self) -> usize;
+
+    /// Returns a uniformly random out-neighbor of `node`, or `None` if the
+    /// node has no neighbors.
+    fn sample_neighbor(&self, node: usize, rng: &mut Xoshiro256) -> Option<usize>;
+}
+
+/// Implicit complete graph: every node neighbors every other node.
+///
+/// The complete topology at `n = 10^6` would need ~10¹² edges if
+/// materialized; this sampler draws a uniform peer `!= node` in O(1).
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_common::rng::Xoshiro256;
+/// use epidemic_common::sample::{CompleteSampler, NeighborSampling};
+///
+/// let overlay = CompleteSampler::new(10);
+/// let mut rng = Xoshiro256::seed_from_u64(0);
+/// let peer = overlay.sample_neighbor(3, &mut rng).unwrap();
+/// assert_ne!(peer, 3);
+/// assert!(peer < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteSampler {
+    nodes: usize,
+}
+
+impl CompleteSampler {
+    /// Creates a complete-graph sampler over `nodes` nodes.
+    pub const fn new(nodes: usize) -> Self {
+        CompleteSampler { nodes }
+    }
+}
+
+impl NeighborSampling for CompleteSampler {
+    fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut Xoshiro256) -> Option<usize> {
+        index_excluding(rng, self.nodes, Some(node))
+    }
+}
+
+impl<T: NeighborSampling + ?Sized> NeighborSampling for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut Xoshiro256) -> Option<usize> {
+        (**self).sample_neighbor(node, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_never_returns_self() {
+        let s = CompleteSampler::new(5);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for node in 0..5 {
+            for _ in 0..100 {
+                let peer = s.sample_neighbor(node, &mut rng).unwrap();
+                assert_ne!(peer, node);
+                assert!(peer < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn complete_covers_all_peers_uniformly() {
+        let s = CompleteSampler::new(4);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[s.sample_neighbor(1, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for &c in [counts[0], counts[2], counts[3]].iter() {
+            assert!((c as i64 - 10_000).abs() < 1_000);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        assert_eq!(CompleteSampler::new(0).sample_neighbor(0, &mut rng), None);
+        assert_eq!(CompleteSampler::new(1).sample_neighbor(0, &mut rng), None);
+        let two = CompleteSampler::new(2);
+        assert_eq!(two.sample_neighbor(0, &mut rng), Some(1));
+        assert_eq!(two.sample_neighbor(1, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let s = CompleteSampler::new(3);
+        let by_ref: &dyn NeighborSampling = &s;
+        assert_eq!(NeighborSampling::node_count(&by_ref), 3);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        assert!(by_ref.sample_neighbor(0, &mut rng).is_some());
+    }
+}

@@ -15,8 +15,8 @@
 //! * [`Descriptor`] and [`View`] — the protocol state ([`view`]).
 //! * [`Overlay`] — a whole-network simulation substrate that runs NEWSCAST
 //!   cycles over millions of nodes and implements
-//!   [`epidemic_topology::NeighborSampling`], so the aggregation protocol
-//!   can draw peers from live views ([`overlay`]).
+//!   [`epidemic_common::sample::NeighborSampling`], so the aggregation
+//!   protocol can draw peers from live views ([`overlay`]).
 //! * [`metrics`] — overlay-health analysis: in-degree distribution,
 //!   connectivity, freshness.
 //!
@@ -24,8 +24,8 @@
 //!
 //! ```
 //! use epidemic_common::rng::Xoshiro256;
+//! use epidemic_common::sample::NeighborSampling;
 //! use epidemic_newscast::Overlay;
-//! use epidemic_topology::NeighborSampling;
 //!
 //! let mut rng = Xoshiro256::seed_from_u64(1);
 //! let mut overlay = Overlay::random_init(500, 30, &mut rng);

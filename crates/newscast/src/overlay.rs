@@ -9,7 +9,7 @@
 
 use crate::view::{Descriptor, View};
 use epidemic_common::rng::Xoshiro256;
-use epidemic_topology::NeighborSampling;
+use epidemic_common::sample::NeighborSampling;
 use std::fmt;
 
 /// A simulated NEWSCAST overlay over a growing population of nodes.
@@ -398,7 +398,7 @@ mod tests {
         for node in 0..n / 2 {
             overlay.crash(node);
         }
-        for cycle in 6..=40 {
+        for cycle in 6..=50 {
             overlay.run_cycle(cycle, &mut r);
         }
         // Views of survivors should now be dominated by live peers. A small

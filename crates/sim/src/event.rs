@@ -10,37 +10,89 @@
 //! * messages arrive after a uniformly random delay, or never (loss);
 //! * nodes are woken exactly at their next self-reported deadline.
 //!
+//! Conditions come from the same engine-independent
+//! [`Scenario`](crate::scenario::Scenario) the cycle engine consumes:
+//! pluggable overlays (complete, static [`Graph`], live-set sampling for
+//! NEWSCAST), [`ValueInit`](crate::scenario::ValueInit)-driven local
+//! values, crash/churn schedules applied at cycle boundaries by killing
+//! nodes (dropping their in-flight deliveries) and bootstrapping joiners
+//! through live introducers, and message/link loss probabilities.
+//!
+//! The event queue is a single binary heap of ordered [`Event`] structs
+//! carrying their payloads inline — one push and one pop per event, no
+//! side-table bookkeeping on the hottest loop in the repo.
+//!
 //! The headline measurement is the *epoch entry spread* `T_j` (Section
 //! 4.3): the global-time window within which all live nodes enter epoch
 //! `j`. With epidemic epoch synchronization the spread stays bounded by a
 //! few message delays; without it, clock drift widens it without bound —
 //! the ablation `repro ablation-sync` demonstrates exactly this.
 
+use crate::scenario::{OverlaySpec, Scenario};
+use epidemic_aggregation::message::MessageBody;
 use epidemic_aggregation::node::GossipNode;
-use epidemic_aggregation::{EpochReport, Message, NodeConfig};
+use epidemic_aggregation::{EpochReport, InstanceSpec, Message, NodeConfig};
 use epidemic_common::rng::Xoshiro256;
+use epidemic_common::sample::NeighborSampling;
 use epidemic_common::NodeId;
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
-/// Configuration of an event-driven simulation.
+use epidemic_topology::Graph;
+
+/// Configuration of an event-driven simulation: the shared [`Scenario`]
+/// plus the timing model only this engine has.
 #[derive(Debug, Clone)]
 pub struct EventConfig {
-    /// Number of founding nodes.
-    pub n: usize,
+    /// Conditions shared with the cycle-driven engine.
+    pub scenario: Scenario,
     /// Protocol configuration shared by all nodes.
     pub node: NodeConfig,
     /// Uniform message delay range `[min, max)` in ticks.
     pub delay: (u64, u64),
-    /// Per-message loss probability.
-    pub message_loss: f64,
     /// Maximum relative clock drift: node clocks run at a rate drawn
     /// uniformly from `[1 − drift, 1 + drift]`.
     pub drift: f64,
     /// Global simulation duration in ticks.
     pub duration: u64,
-    /// Master seed.
-    pub seed: u64,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            scenario: Scenario::default(),
+            node: NodeConfig::builder()
+                .gamma(15)
+                .cycle_length(1_000)
+                .timeout(200)
+                .instance(InstanceSpec::AVERAGE)
+                .build()
+                .expect("default node config is valid"),
+            delay: (10, 50),
+            drift: 0.0,
+            duration: 40_000,
+        }
+    }
+}
+
+impl EventConfig {
+    /// Runs the simulation deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent scenario (see
+    /// [`Scenario::validate`](crate::scenario::Scenario::validate)) or an
+    /// empty delay range.
+    pub fn run(&self, seed: u64) -> EventOutcome {
+        EventSim::new(self, seed).run()
+    }
+}
+
+/// Runs `seeds.len()` independent repetitions across OS threads, returning
+/// outcomes in seed order — the event-engine twin of
+/// [`crate::experiment::run_many`].
+pub fn run_many(config: &EventConfig, seeds: &[u64]) -> Vec<EventOutcome> {
+    crate::pool::parallel_map_seeds(seeds, |seed| config.run(seed))
 }
 
 /// Result of an event-driven simulation.
@@ -55,6 +107,8 @@ pub struct EventOutcome {
     pub messages_sent: usize,
     /// Messages dropped by the loss model.
     pub messages_lost: usize,
+    /// Nodes alive when the simulation ended.
+    pub final_alive: usize,
 }
 
 impl EventOutcome {
@@ -66,143 +120,409 @@ impl EventOutcome {
             .find(|&&(e, _, _)| e == epoch)
             .map(|&(_, first, last)| last - first)
     }
+
+    /// All scalar estimates (instance 0) reported for `epoch`, across
+    /// nodes.
+    pub fn epoch_estimates(&self, epoch: u64) -> Vec<f64> {
+        self.reports
+            .iter()
+            .flatten()
+            .filter(|r| r.epoch == epoch)
+            .filter_map(|r| r.scalar(0))
+            .collect()
+    }
+
+    /// Mean of the scalar estimates reported for `epoch`, or `None` if no
+    /// node completed it.
+    pub fn mean_epoch_estimate(&self, epoch: u64) -> Option<f64> {
+        let estimates = self.epoch_estimates(epoch);
+        if estimates.is_empty() {
+            None
+        } else {
+            Some(epidemic_common::stats::mean(&estimates))
+        }
+    }
+}
+
+/// One scheduled event, payload inline. Ordered as a *min*-heap key on
+/// `(at, seq)` so `BinaryHeap::pop` yields events in time order without a
+/// `Reverse` wrapper or a side table of payloads.
+#[derive(Debug)]
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
 }
 
 #[derive(Debug)]
 enum EventKind {
-    Wake(usize),
-    Deliver(usize, Message),
+    /// Poll node `i` (its clock reached a self-reported deadline).
+    Wake(u32),
+    /// Deliver a message to node `i`.
+    Deliver(u32, Message),
+    /// Apply the failure schedule for cycle `k` (cycle boundaries in
+    /// nominal global time).
+    FailureTick(u32),
 }
 
-/// Runs an event-driven simulation of `config.n` founder nodes on an
-/// implicit complete overlay.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the binary heap is a max-heap, so "greater" must mean
+        // "earlier" for pops to come out in time order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum EventOverlay {
+    /// Uniform sampling over the live population. Models both the
+    /// implicit complete graph and (idealized) NEWSCAST membership, whose
+    /// job is precisely to keep the overlay sufficiently random.
+    LiveSet,
+    /// A static topology; dead neighbors are still sampled and discovered
+    /// by timeout, as in a real deployment.
+    Static(Graph),
+}
+
+/// Event-driven simulator state, parameterized by a [`Scenario`].
 ///
-/// Uniform local values `i as f64` are assigned (the aggregate estimates
-/// then converge to `(n−1)/2`, which the tests verify).
-pub fn run(config: &EventConfig) -> EventOutcome {
-    let mut rng = Xoshiro256::seed_from_u64(config.seed);
-    let n = config.n;
-    assert!(n >= 2, "event simulation needs at least two nodes");
-    assert!(config.delay.1 > config.delay.0, "empty delay range");
+/// Construct with [`EventSim::new`], drive to completion with
+/// [`EventSim::run`]. Most callers use the [`EventConfig::run`]
+/// convenience instead.
+pub struct EventSim {
+    node_config: NodeConfig,
+    delay: (u64, u64),
+    duration: u64,
+    link_failure: f64,
+    message_loss: f64,
+    drift_bound: f64,
+    failure: crate::failure::FailureModel,
+    joiner_value: f64,
+    joiner_seed: u64,
 
-    let mut nodes: Vec<GossipNode> = (0..n)
-        .map(|i| {
-            GossipNode::founder(
-                NodeId::new(i as u64),
-                config.node.clone(),
-                i as f64,
-                config.seed ^ 0xE7E7,
-            )
-        })
-        .collect();
-    let drifts: Vec<f64> = (0..n)
-        .map(|_| 1.0 + config.drift * (2.0 * rng.next_f64() - 1.0))
-        .collect();
+    rng: Xoshiro256,
+    nodes: Vec<GossipNode>,
+    drifts: Vec<f64>,
+    /// Live node ids, unordered; `live_pos[i]` is `i`'s index in `live`
+    /// (or `usize::MAX` when dead, which is also the liveness check) for
+    /// O(1) crash removal.
+    live: Vec<u32>,
+    live_pos: Vec<usize>,
+    overlay: EventOverlay,
 
-    // Event queue ordered by (global time, sequence number).
-    let mut queue: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut payloads: HashMap<u64, EventKind> = HashMap::new();
-    let mut seq: u64 = 0;
-    let push = |queue: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                payloads: &mut HashMap<u64, EventKind>,
-                seq: &mut u64,
-                at: u64,
-                kind: EventKind| {
-        *seq += 1;
-        payloads.insert(*seq, kind);
-        queue.push(Reverse((at, *seq)));
-    };
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    messages_sent: usize,
+    messages_lost: usize,
+    epoch_seen: Vec<u64>,
+    entries: HashMap<u64, (u64, u64)>,
+}
 
-    let to_local = |global: u64, node: usize| -> u64 { (global as f64 * drifts[node]) as u64 };
-    let to_global =
-        |local: u64, node: usize| -> u64 { (local as f64 / drifts[node]).ceil() as u64 };
-
-    for (i, node) in nodes.iter().enumerate() {
-        let at = to_global(node.next_deadline(), i);
-        push(&mut queue, &mut payloads, &mut seq, at, EventKind::Wake(i));
+impl std::fmt::Debug for EventSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSim")
+            .field("nodes", &self.nodes.len())
+            .field("alive", &self.live.len())
+            .field("queued", &self.queue.len())
+            .finish()
     }
+}
 
-    let mut messages_sent = 0usize;
-    let mut messages_lost = 0usize;
-    let mut epoch_seen: Vec<u64> = nodes.iter().map(GossipNode::epoch).collect();
-    let mut entries: HashMap<u64, (u64, u64)> = HashMap::new();
-    entries.insert(0, (0, 0));
+impl EventSim {
+    /// Builds the initial simulation state for `config` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent scenario or an empty delay range.
+    pub fn new(config: &EventConfig, seed: u64) -> Self {
+        let scenario = &config.scenario;
+        scenario.validate();
+        assert!(config.delay.1 > config.delay.0, "empty delay range");
+        let n = scenario.n;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
 
-    while let Some(Reverse((at, id))) = queue.pop() {
-        if at > config.duration {
-            break;
-        }
-        let kind = payloads.remove(&id).expect("event payload");
-        let (node_idx, outbound) = match kind {
-            EventKind::Wake(i) => {
-                let local_now = to_local(at, i);
-                // GETNEIGHBOR() over the implicit complete graph.
-                let peer = {
-                    let raw = rng.index(n - 1);
-                    let p = if raw >= i { raw + 1 } else { raw };
-                    Some(NodeId::new(p as u64))
-                };
-                let out = nodes[i].poll(local_now, peer);
-                (i, out)
-            }
-            EventKind::Deliver(i, msg) => {
-                let local_now = to_local(at, i);
-                let out = nodes[i].handle(&msg, local_now);
-                (i, out)
-            }
+        let overlay = match scenario.overlay {
+            OverlaySpec::Complete | OverlaySpec::Newscast { .. } => EventOverlay::LiveSet,
+            OverlaySpec::Static(kind) => EventOverlay::Static(
+                kind.generate(n, &mut rng)
+                    .expect("invalid topology parameters"),
+            ),
         };
-        if let Some(out) = outbound {
-            messages_sent += 1;
-            if config.message_loss > 0.0 && rng.next_bool(config.message_loss) {
-                messages_lost += 1;
-            } else {
-                let delay = rng.range_u64(config.delay.0, config.delay.1);
-                let to = out.to.index();
-                push(
-                    &mut queue,
-                    &mut payloads,
-                    &mut seq,
-                    at + delay,
-                    EventKind::Deliver(to, out.message),
-                );
-            }
+        let values = scenario.values.materialize(n, &mut rng);
+        let joiner_seed = seed ^ 0xE7E7;
+        let nodes: Vec<GossipNode> = (0..n)
+            .map(|i| {
+                GossipNode::founder(
+                    NodeId::new(i as u64),
+                    config.node.clone(),
+                    values[i],
+                    joiner_seed,
+                )
+            })
+            .collect();
+        let drifts: Vec<f64> = (0..n)
+            .map(|_| 1.0 + config.drift * (2.0 * rng.next_f64() - 1.0))
+            .collect();
+        let epoch_seen: Vec<u64> = nodes.iter().map(GossipNode::epoch).collect();
+        let mut entries = HashMap::new();
+        entries.insert(0, (0, 0));
+
+        let mut sim = EventSim {
+            node_config: config.node.clone(),
+            delay: config.delay,
+            duration: config.duration,
+            link_failure: scenario.comm.link_failure,
+            message_loss: scenario.comm.message_loss,
+            drift_bound: config.drift,
+            failure: scenario.failure,
+            joiner_value: scenario.joiner_value,
+            joiner_seed,
+            rng,
+            nodes,
+            drifts,
+            live: (0..n as u32).collect(),
+            live_pos: (0..n).collect(),
+            overlay,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            messages_sent: 0,
+            messages_lost: 0,
+            epoch_seen,
+            entries,
+        };
+        // Failure schedule ticks at nominal cycle boundaries, starting
+        // with cycle 0's failures before anything else happens.
+        if !matches!(sim.failure, crate::failure::FailureModel::None) {
+            sim.push(0, EventKind::FailureTick(0));
         }
-        // Track epoch transitions for the synchronization measurement.
-        let epoch_now = nodes[node_idx].epoch();
-        if epoch_now != epoch_seen[node_idx] {
-            epoch_seen[node_idx] = epoch_now;
-            let entry = entries.entry(epoch_now).or_insert((at, at));
-            entry.0 = entry.0.min(at);
-            entry.1 = entry.1.max(at);
+        for i in 0..sim.nodes.len() {
+            let at = sim.to_global(sim.nodes[i].next_deadline(), i);
+            sim.push(at, EventKind::Wake(i as u32));
         }
-        // Reschedule this node at its next deadline.
-        let next = to_global(nodes[node_idx].next_deadline(), node_idx);
-        push(
-            &mut queue,
-            &mut payloads,
-            &mut seq,
-            next.max(at + 1),
-            EventKind::Wake(node_idx),
-        );
+        sim
     }
 
-    let mut epoch_entries: Vec<(u64, u64, u64)> = entries
-        .into_iter()
-        .map(|(e, (first, last))| (e, first, last))
-        .collect();
-    epoch_entries.sort_unstable();
-    EventOutcome {
-        reports: nodes.iter_mut().map(GossipNode::take_reports).collect(),
-        epoch_entries,
-        messages_sent,
-        messages_lost,
+    fn push(&mut self, at: u64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn to_local(&self, global: u64, node: usize) -> u64 {
+        (global as f64 * self.drifts[node]) as u64
+    }
+
+    fn to_global(&self, local: u64, node: usize) -> u64 {
+        (local as f64 / self.drifts[node]).ceil() as u64
+    }
+
+    /// `GETNEIGHBOR()` for `node` under the configured overlay.
+    fn sample_peer(&mut self, node: usize) -> Option<NodeId> {
+        match &self.overlay {
+            EventOverlay::LiveSet => {
+                // Uniform over live nodes, skipping the initiator's slot.
+                let me = match self.live_pos[node] {
+                    usize::MAX => None,
+                    pos => Some(pos),
+                };
+                let idx =
+                    epidemic_common::sample::index_excluding(&mut self.rng, self.live.len(), me)?;
+                Some(NodeId::new(u64::from(self.live[idx])))
+            }
+            EventOverlay::Static(g) => {
+                // Dead neighbors are sampled too: the request goes out and
+                // silently dies, costing the initiator a timeout.
+                let peer = g.sample_neighbor(node, &mut self.rng)?;
+                Some(NodeId::new(peer as u64))
+            }
+        }
+    }
+
+    #[inline]
+    fn is_alive(&self, node: usize) -> bool {
+        self.live_pos[node] != usize::MAX
+    }
+
+    fn kill(&mut self, node: usize) {
+        let pos = self.live_pos[node];
+        if pos == usize::MAX {
+            return;
+        }
+        self.live.swap_remove(pos);
+        if let Some(&moved) = self.live.get(pos) {
+            self.live_pos[moved as usize] = pos;
+        }
+        self.live_pos[node] = usize::MAX;
+    }
+
+    /// Applies cycle `k`'s crash/churn schedule at global time `at`.
+    fn failure_tick(&mut self, k: u32, at: u64) {
+        let crashes = self.failure.crashes_at(k, self.live.len());
+        if crashes > 0 {
+            let victims: Vec<u32> = self
+                .rng
+                .sample_distinct(self.live.len(), crashes.min(self.live.len()))
+                .into_iter()
+                .map(|pos| self.live[pos])
+                .collect();
+            for v in victims {
+                self.kill(v as usize);
+            }
+        }
+        for _ in 0..self.failure.joins_at(k) {
+            if self.live.is_empty() {
+                break; // nobody left to introduce the joiner
+            }
+            let introducer = self.live[self.rng.index(self.live.len())] as usize;
+            self.join(introducer, at);
+        }
+        // Schedule the next boundary.
+        let next_at = u64::from(k + 1) * self.node_config.cycle_length();
+        if next_at <= self.duration {
+            self.push(next_at, EventKind::FailureTick(k + 1));
+        }
+    }
+
+    /// Adds one joiner bootstrapped through `introducer` at global `at`
+    /// (Section 4.2: the contacted member supplies the running epoch and
+    /// the expected start of the next one).
+    fn join(&mut self, introducer: usize, at: u64) {
+        let idx = self.nodes.len();
+        let drift = 1.0 + self.drift_bound * (2.0 * self.rng.next_f64() - 1.0);
+        // Register the drift first so the joiner shares the same clock
+        // conversions as every other node.
+        self.drifts.push(drift);
+        let intro = &self.nodes[introducer];
+        let intro_epoch = intro.epoch();
+        let remaining = u64::from(self.node_config.gamma().saturating_sub(intro.cycles_run()));
+        let next_epoch_global = at + remaining * self.node_config.cycle_length();
+        let node = GossipNode::joiner(
+            NodeId::new(idx as u64),
+            self.node_config.clone(),
+            self.joiner_value,
+            self.joiner_seed,
+            intro_epoch,
+            self.to_local(next_epoch_global, idx),
+        );
+        let wake_at = self.to_global(node.next_deadline(), idx);
+        self.epoch_seen.push(node.epoch());
+        self.nodes.push(node);
+        self.live_pos.push(self.live.len());
+        self.live.push(idx as u32);
+        self.push(wake_at.max(at + 1), EventKind::Wake(idx as u32));
+    }
+
+    /// Sends `out` from the loss models' point of view and schedules its
+    /// delivery.
+    fn transmit(&mut self, at: u64, message: Message, to: NodeId) {
+        self.messages_sent += 1;
+        // Link failure drops the whole exchange, i.e. the request.
+        let is_request = matches!(message.body, MessageBody::Request(_));
+        if is_request && self.link_failure > 0.0 && self.rng.next_bool(self.link_failure) {
+            self.messages_lost += 1;
+            return;
+        }
+        if self.message_loss > 0.0 && self.rng.next_bool(self.message_loss) {
+            self.messages_lost += 1;
+            return;
+        }
+        let delay = self.rng.range_u64(self.delay.0, self.delay.1);
+        self.push(at + delay, EventKind::Deliver(to.index() as u32, message));
+    }
+
+    /// Drives the event loop to `duration` and harvests the outcome.
+    pub fn run(mut self) -> EventOutcome {
+        while let Some(event) = self.queue.pop() {
+            let at = event.at;
+            if at > self.duration {
+                break;
+            }
+            let (node_idx, outbound) = match event.kind {
+                EventKind::FailureTick(k) => {
+                    self.failure_tick(k, at);
+                    continue;
+                }
+                EventKind::Wake(i) => {
+                    let i = i as usize;
+                    if !self.is_alive(i) {
+                        continue; // stale wake-up of a crashed node
+                    }
+                    let local_now = self.to_local(at, i);
+                    let peer = self.sample_peer(i);
+                    let out = self.nodes[i].poll(local_now, peer);
+                    (i, out)
+                }
+                EventKind::Deliver(i, msg) => {
+                    let i = i as usize;
+                    if !self.is_alive(i) {
+                        continue; // in-flight delivery to a crashed node
+                    }
+                    let local_now = self.to_local(at, i);
+                    let out = self.nodes[i].handle(&msg, local_now);
+                    (i, out)
+                }
+            };
+            if let Some(out) = outbound {
+                self.transmit(at, out.message, out.to);
+            }
+            // Track epoch transitions for the synchronization measurement.
+            let epoch_now = self.nodes[node_idx].epoch();
+            if epoch_now != self.epoch_seen[node_idx] {
+                self.epoch_seen[node_idx] = epoch_now;
+                let entry = self.entries.entry(epoch_now).or_insert((at, at));
+                entry.0 = entry.0.min(at);
+                entry.1 = entry.1.max(at);
+            }
+            // Reschedule this node at its next deadline.
+            let next = self.to_global(self.nodes[node_idx].next_deadline(), node_idx);
+            self.push(next.max(at + 1), EventKind::Wake(node_idx as u32));
+        }
+
+        let mut epoch_entries: Vec<(u64, u64, u64)> = self
+            .entries
+            .into_iter()
+            .map(|(e, (first, last))| (e, first, last))
+            .collect();
+        epoch_entries.sort_unstable();
+        EventOutcome {
+            reports: self
+                .nodes
+                .iter_mut()
+                .map(GossipNode::take_reports)
+                .collect(),
+            epoch_entries,
+            messages_sent: self.messages_sent,
+            messages_lost: self.messages_lost,
+            final_alive: self.live.len(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use epidemic_aggregation::InstanceSpec;
+    use crate::failure::{CommFailure, FailureModel};
+    use crate::scenario::ValueInit;
+    use epidemic_topology::TopologyKind;
 
     fn node_config(gamma: u32) -> NodeConfig {
         NodeConfig::builder()
@@ -216,19 +536,21 @@ mod tests {
 
     fn base_config() -> EventConfig {
         EventConfig {
-            n: 64,
+            scenario: Scenario {
+                n: 64,
+                values: ValueInit::Linear,
+                ..Scenario::default()
+            },
             node: node_config(15),
             delay: (10, 50),
-            message_loss: 0.0,
             drift: 0.0,
             duration: 40_000,
-            seed: 1,
         }
     }
 
     #[test]
     fn epochs_complete_and_converge() {
-        let out = run(&base_config());
+        let out = base_config().run(1);
         let truth = 63.0 / 2.0;
         let mut reported = 0;
         for reports in &out.reports {
@@ -239,15 +561,16 @@ mod tests {
             }
         }
         assert!(reported >= 64, "only {reported} epoch reports");
+        assert_eq!(out.final_alive, 64);
     }
 
     #[test]
     fn message_loss_only_slows_down() {
         let mut cfg = base_config();
-        cfg.message_loss = 0.2;
+        cfg.scenario.comm = CommFailure::messages(0.2);
         cfg.duration = 60_000;
         cfg.node = node_config(30);
-        let out = run(&cfg);
+        let out = cfg.run(1);
         assert!(out.messages_lost > 0);
         let truth = 63.0 / 2.0;
         let mut count = 0;
@@ -267,7 +590,7 @@ mod tests {
         let mut cfg = base_config();
         cfg.drift = 0.05; // ±5% clock drift
         cfg.duration = 120_000;
-        let out = run(&cfg);
+        let out = cfg.run(1);
         // Find a mid-simulation epoch and check its entry spread is well
         // below one epoch length (gamma * cycle = 15_000 ticks).
         let spread = out.epoch_spread(3).expect("epoch 3 never entered");
@@ -279,16 +602,108 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run(&base_config());
-        let b = run(&base_config());
+        let a = base_config().run(1);
+        let b = base_config().run(1);
         assert_eq!(a.messages_sent, b.messages_sent);
         assert_eq!(a.epoch_entries, b.epoch_entries);
     }
 
     #[test]
     fn outcome_spread_accessor() {
-        let out = run(&base_config());
+        let out = base_config().run(1);
         assert!(out.epoch_spread(0).is_some());
         assert_eq!(out.epoch_spread(9_999), None);
+    }
+
+    #[test]
+    fn static_overlay_converges_with_timeouts() {
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Static(TopologyKind::Random { k: 10 });
+        let out = cfg.run(2);
+        let est = out.mean_epoch_estimate(0).expect("no epoch completed");
+        let truth = 63.0 / 2.0;
+        assert!((est - truth).abs() < 1.5, "estimate {est} vs {truth}");
+    }
+
+    #[test]
+    fn sudden_death_drops_in_flight_messages() {
+        let mut cfg = base_config();
+        cfg.scenario.failure = FailureModel::SuddenDeath {
+            fraction: 0.5,
+            at_cycle: 4,
+        };
+        let out = cfg.run(3);
+        assert_eq!(out.final_alive, 32);
+        // Survivors keep completing epochs after the wave.
+        let late_epochs: usize = out
+            .reports
+            .iter()
+            .flatten()
+            .filter(|r| r.epoch >= 1)
+            .count();
+        assert!(late_epochs > 0, "no epochs completed after the crash wave");
+    }
+
+    #[test]
+    fn churn_keeps_population_constant() {
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        cfg.scenario.failure = FailureModel::Churn { per_cycle: 2 };
+        let out = cfg.run(4);
+        assert_eq!(out.final_alive, 64);
+        assert!(out.mean_epoch_estimate(0).is_some());
+    }
+
+    #[test]
+    fn deterministic_under_crash_schedule() {
+        let mut cfg = base_config();
+        cfg.scenario.failure = FailureModel::ProportionalCrash { p_f: 0.02 };
+        let a = cfg.run(9);
+        let b = cfg.run(9);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.messages_lost, b.messages_lost);
+        assert_eq!(a.epoch_entries, b.epoch_entries);
+        assert_eq!(a.final_alive, b.final_alive);
+        let ea: Vec<f64> = a.epoch_estimates(0);
+        let eb: Vec<f64> = b.epoch_estimates(0);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn run_many_matches_sequential() {
+        let cfg = base_config();
+        let seeds = [1u64, 2, 3, 4, 5];
+        let many = run_many(&cfg, &seeds);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let solo = cfg.run(seed);
+            assert_eq!(many[i].messages_sent, solo.messages_sent, "seed {seed}");
+            assert_eq!(many[i].epoch_entries, solo.epoch_entries, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn event_ordering_is_time_then_seq() {
+        let mk = |at, seq| Event {
+            at,
+            seq,
+            kind: EventKind::Wake(0),
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(5, 1));
+        heap.push(mk(3, 2));
+        heap.push(mk(3, 1));
+        heap.push(mk(7, 0));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at, e.seq))
+            .collect();
+        assert_eq!(order, [(3, 1), (3, 2), (5, 1), (7, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty delay range")]
+    fn empty_delay_rejected() {
+        let mut cfg = base_config();
+        cfg.delay = (10, 10);
+        cfg.run(0);
     }
 }

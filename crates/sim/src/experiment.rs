@@ -1,73 +1,23 @@
-//! One-call experiment driver.
+//! One-call experiment driver for the cycle-driven engine.
 //!
-//! [`ExperimentConfig`] describes a complete single-epoch experiment in the
-//! style of the paper's Section 7: an overlay, an initial value
-//! distribution, an aggregate, failure models, and a cycle budget.
-//! [`ExperimentConfig::run`] executes it deterministically from a seed and
-//! returns per-cycle statistics plus final per-node estimates;
-//! [`run_many`] fans repetitions out over OS threads.
+//! [`ExperimentConfig`] is a thin wrapper over the engine-independent
+//! [`Scenario`]: it adds the two cycle-engine-specific choices — a cycle
+//! budget (the epoch length γ) and which aggregate to compute — in the
+//! style of the paper's Section 7 experiments. [`ExperimentConfig::run`]
+//! executes it deterministically from a seed and returns per-cycle
+//! statistics plus final per-node estimates; [`run_many`] fans repetitions
+//! out over OS threads.
 
-use crate::failure::{CommFailure, FailureModel};
 use crate::network::{CycleOptions, CycleReport, Network};
+use crate::scenario::Scenario;
 use epidemic_aggregation::rule::Rule;
 use epidemic_common::rng::Xoshiro256;
+use epidemic_common::sample::{CompleteSampler, NeighborSampling};
 use epidemic_common::stats::Summary;
 use epidemic_newscast::Overlay;
-use epidemic_topology::{CompleteSampler, Graph, NeighborSampling, TopologyKind};
+use epidemic_topology::Graph;
 
-/// Which overlay the aggregation runs over.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum OverlaySpec {
-    /// Implicit complete graph.
-    Complete,
-    /// A static topology generated once at experiment start.
-    Static(TopologyKind),
-    /// A NEWSCAST overlay with view size `c`, gossiping membership in
-    /// every cycle alongside the aggregation.
-    Newscast {
-        /// View size (the paper uses `c = 30`).
-        c: usize,
-    },
-}
-
-/// Initial distribution of local values.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ValueInit {
-    /// One uniformly chosen node holds `total`, all others hold zero — the
-    /// paper's *peak* distribution, the worst case for robustness.
-    Peak {
-        /// Value held by the single peak node.
-        total: f64,
-    },
-    /// Independent uniform values in `[lo, hi)`.
-    Uniform {
-        /// Lower bound.
-        lo: f64,
-        /// Upper bound.
-        hi: f64,
-    },
-    /// Every node holds the same constant.
-    Constant(f64),
-    /// Node `i` holds `i as f64` (deterministic, handy in tests).
-    Linear,
-}
-
-impl ValueInit {
-    fn materialize(self, n: usize, rng: &mut Xoshiro256) -> Vec<f64> {
-        match self {
-            ValueInit::Peak { total } => {
-                let mut v = vec![0.0; n];
-                v[rng.index(n)] = total;
-                v
-            }
-            ValueInit::Uniform { lo, hi } => {
-                (0..n).map(|_| lo + rng.next_f64() * (hi - lo)).collect()
-            }
-            ValueInit::Constant(c) => vec![c; n],
-            ValueInit::Linear => (0..n).map(|i| i as f64).collect(),
-        }
-    }
-}
+pub use crate::scenario::{OverlaySpec, ValueInit};
 
 /// Which aggregate the experiment exercises.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,38 +35,24 @@ pub enum AggregateSetup {
     },
 }
 
-/// Complete description of a single-epoch experiment.
+/// Complete description of a single-epoch cycle-driven experiment: a
+/// [`Scenario`] plus the cycle budget and aggregate under test.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
-    /// Initial network size.
-    pub n: usize,
-    /// Overlay specification.
-    pub overlay: OverlaySpec,
+    /// Conditions shared with the event-driven engine.
+    pub scenario: Scenario,
     /// Number of cycles to run (the epoch length γ).
     pub cycles: u32,
-    /// Initial value distribution (ignored for COUNT setups).
-    pub values: ValueInit,
     /// Aggregate under test.
     pub aggregate: AggregateSetup,
-    /// Node failure schedule.
-    pub failure: FailureModel,
-    /// Communication failure probabilities.
-    pub comm: CommFailure,
-    /// NEWSCAST-only warm-up cycles before the epoch starts.
-    pub newscast_warmup: u32,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
-            n: 1_000,
-            overlay: OverlaySpec::Complete,
+            scenario: Scenario::default(),
             cycles: 30,
-            values: ValueInit::Peak { total: 1_000.0 },
             aggregate: AggregateSetup::Average,
-            failure: FailureModel::None,
-            comm: CommFailure::NONE,
-            newscast_warmup: 5,
         }
     }
 }
@@ -203,9 +139,12 @@ impl OverlayState {
 /// crashes instantly (a dead node is in nobody's neighbor set). Static
 /// graphs and NEWSCAST instead model the realistic behaviour: dead
 /// neighbors are discovered by timeout.
-struct LiveSampler<'a> {
-    live: &'a [u32],
-    slots: usize,
+///
+/// `live` must be sorted ascending (it is built by filtering an index
+/// range in order).
+pub(crate) struct LiveSampler<'a> {
+    pub(crate) live: &'a [u32],
+    pub(crate) slots: usize,
 }
 
 impl NeighborSampling for LiveSampler<'_> {
@@ -214,16 +153,34 @@ impl NeighborSampling for LiveSampler<'_> {
     }
 
     fn sample_neighbor(&self, node: usize, rng: &mut Xoshiro256) -> Option<usize> {
-        if self.live.len() < 2 {
-            return None;
-        }
-        loop {
-            let peer = self.live[rng.index(self.live.len())] as usize;
-            if peer != node {
-                return Some(peer);
-            }
+        // Draw from the live set minus the initiator by skipping over its
+        // position — no rejection loop, and `None` (rather than a spin)
+        // when the initiator is the only live node.
+        let me = self.live.binary_search(&(node as u32)).ok();
+        let idx = epidemic_common::sample::index_excluding(rng, self.live.len(), me)?;
+        Some(self.live[idx] as usize)
+    }
+}
+
+/// Picks a uniformly random live overlay member to introduce a joiner, or
+/// `None` when nobody is alive (the join is then impossible and must be
+/// skipped instead of spinning).
+pub(crate) fn random_live_introducer(overlay: &Overlay, rng: &mut Xoshiro256) -> Option<usize> {
+    if overlay.alive_count() == 0 {
+        return None;
+    }
+    // Rejection is fast while a reasonable fraction of slots is live.
+    for _ in 0..64 {
+        let cand = rng.index(overlay.slot_count());
+        if overlay.is_alive(cand) {
+            return Some(cand);
         }
     }
+    // Mostly-dead overlay: fall back to an explicit live list.
+    let live: Vec<usize> = (0..overlay.slot_count())
+        .filter(|&i| overlay.is_alive(i))
+        .collect();
+    rng.choose(&live).copied()
 }
 
 impl ExperimentConfig {
@@ -234,25 +191,22 @@ impl ExperimentConfig {
     /// Panics if the configuration is inconsistent (e.g. churn over a
     /// static overlay, `n < 2`, or an invalid topology parameter).
     pub fn run(&self, seed: u64) -> RunOutcome {
-        assert!(self.n >= 2, "experiment needs at least two nodes");
-        assert!(
-            !self.failure.needs_growable_overlay()
-                || matches!(self.overlay, OverlaySpec::Newscast { .. }),
-            "churn requires a NEWSCAST overlay"
-        );
+        let scenario = &self.scenario;
+        scenario.validate();
+        let n = scenario.n;
         let mut rng = Xoshiro256::seed_from_u64(seed);
 
         // --- Overlay -----------------------------------------------------
         let mut clock: u32 = 0;
-        let mut overlay = match self.overlay {
-            OverlaySpec::Complete => OverlayState::Complete(self.n),
+        let mut overlay = match scenario.overlay {
+            OverlaySpec::Complete => OverlayState::Complete(n),
             OverlaySpec::Static(kind) => OverlayState::Static(
-                kind.generate(self.n, &mut rng)
+                kind.generate(n, &mut rng)
                     .expect("invalid topology parameters"),
             ),
             OverlaySpec::Newscast { c } => {
-                let mut o = Overlay::random_init(self.n, c, &mut rng);
-                for _ in 0..self.newscast_warmup {
+                let mut o = Overlay::random_init(n, c, &mut rng);
+                for _ in 0..scenario.newscast_warmup {
                     clock += 1;
                     o.run_cycle(clock, &mut rng);
                 }
@@ -261,24 +215,24 @@ impl ExperimentConfig {
         };
 
         // --- Aggregation state -------------------------------------------
-        let mut net = Network::new(self.n);
+        let mut net = Network::new(n);
         let field = match self.aggregate {
             AggregateSetup::Average => {
-                let values = self.values.materialize(self.n, &mut rng);
+                let values = scenario.values.materialize(n, &mut rng);
                 net.add_scalar_field(Rule::Average, |i| values[i])
             }
             AggregateSetup::CountPeak => {
-                let leader = rng.index(self.n);
+                let leader = rng.index(n);
                 net.add_scalar_field(Rule::Average, |i| if i == leader { 1.0 } else { 0.0 })
             }
             AggregateSetup::CountMap { leaders } => {
-                let chosen = rng.sample_distinct(self.n, leaders);
+                let chosen = rng.sample_distinct(n, leaders);
                 net.add_map_field(&chosen)
             }
         };
         let opts = CycleOptions {
-            link_failure: self.comm.link_failure,
-            message_loss: self.comm.message_loss,
+            link_failure: scenario.comm.link_failure,
+            message_loss: scenario.comm.message_loss,
         };
 
         let cap = self.cycles as usize + 1;
@@ -296,7 +250,7 @@ impl ExperimentConfig {
         // --- Cycle loop ---------------------------------------------------
         for cycle in 0..self.cycles {
             // Failures strike before the cycle (worst case, Section 6.1).
-            let crashes = self.failure.crashes_at(cycle, net.alive_count());
+            let crashes = scenario.failure.crashes_at(cycle, net.alive_count());
             if crashes > 0 {
                 let alive_idx: Vec<u32> = (0..net.slot_count() as u32)
                     .filter(|&i| net.is_alive(i as usize))
@@ -309,17 +263,15 @@ impl ExperimentConfig {
                     }
                 }
             }
-            let joins = self.failure.joins_at(cycle);
+            let joins = scenario.failure.joins_at(cycle);
             for _ in 0..joins {
-                let idx = net.add_node();
                 if let OverlayState::Newscast(o) = &mut overlay {
-                    // Bootstrap through a random live member.
-                    let introducer = loop {
-                        let cand = rng.index(o.slot_count());
-                        if o.is_alive(cand) && cand != idx {
-                            break cand;
-                        }
+                    // Bootstrap through a random live member; without one
+                    // the join is impossible this cycle.
+                    let Some(introducer) = random_live_introducer(o, &mut rng) else {
+                        break;
                     };
+                    let idx = net.add_node();
                     let joined = o.join_via(introducer, clock);
                     debug_assert_eq!(joined, idx);
                 }
@@ -332,7 +284,7 @@ impl ExperimentConfig {
             }
             let report = match &overlay {
                 OverlayState::Complete(n) => {
-                    if matches!(self.failure, FailureModel::None) {
+                    if matches!(scenario.failure, crate::failure::FailureModel::None) {
                         let sampler = CompleteSampler::new(*n);
                         net.run_cycle(&sampler, opts, &mut rng)
                     } else {
@@ -394,47 +346,32 @@ fn record_stats(
 /// Runs `seeds.len()` independent repetitions across OS threads, returning
 /// outcomes in seed order.
 pub fn run_many(config: &ExperimentConfig, seeds: &[u64]) -> Vec<RunOutcome> {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(seeds.len().max(1));
-    if workers <= 1 || seeds.len() <= 1 {
-        return seeds.iter().map(|&s| config.run(s)).collect();
-    }
-    let mut slots: Vec<Option<RunOutcome>> = (0..seeds.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<RunOutcome>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= seeds.len() {
-                    break;
-                }
-                let outcome = config.run(seeds[idx]);
-                **slot_refs[idx].lock().unwrap() = Some(outcome);
-            });
-        }
-    });
-    drop(slot_refs);
-    slots
-        .into_iter()
-        .map(|s| s.expect("worker missed a seed"))
-        .collect()
+    crate::pool::parallel_map_seeds(seeds, |seed| config.run(seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failure::{CommFailure, FailureModel};
+    use crate::scenario::Scenario;
     use epidemic_aggregation::theory::RHO_PUSH_PULL;
+    use epidemic_topology::TopologyKind;
 
     fn base(n: usize) -> ExperimentConfig {
         ExperimentConfig {
-            n,
-            values: ValueInit::Peak { total: n as f64 },
+            scenario: Scenario {
+                n,
+                values: ValueInit::Peak { total: n as f64 },
+                ..Scenario::default()
+            },
             ..ExperimentConfig::default()
         }
+    }
+
+    fn with_overlay(n: usize, overlay: OverlaySpec) -> ExperimentConfig {
+        let mut config = base(n);
+        config.scenario.overlay = overlay;
+        config
     }
 
     #[test]
@@ -450,10 +387,7 @@ mod tests {
 
     #[test]
     fn average_converges_on_newscast() {
-        let cfg = ExperimentConfig {
-            overlay: OverlaySpec::Newscast { c: 30 },
-            ..base(2000)
-        };
+        let cfg = with_overlay(2000, OverlaySpec::Newscast { c: 30 });
         let out = cfg.run(2);
         let factor = out.convergence_factor(20);
         assert!(factor < 0.45, "newscast convergence factor {factor}");
@@ -461,10 +395,7 @@ mod tests {
 
     #[test]
     fn average_on_static_random_topology() {
-        let cfg = ExperimentConfig {
-            overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
-            ..base(2000)
-        };
+        let cfg = with_overlay(2000, OverlaySpec::Static(TopologyKind::Random { k: 20 }));
         let out = cfg.run(3);
         let factor = out.convergence_factor(20);
         assert!(factor < 0.42, "random-20 convergence factor {factor}");
@@ -472,16 +403,13 @@ mod tests {
 
     #[test]
     fn lattice_is_much_slower() {
-        let fast = ExperimentConfig {
-            overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
-            ..base(2000)
-        }
-        .run(4)
-        .convergence_factor(20);
-        let slow = ExperimentConfig {
-            overlay: OverlaySpec::Static(TopologyKind::RingLattice { k: 20 }),
-            ..base(2000)
-        }
+        let fast = with_overlay(2000, OverlaySpec::Static(TopologyKind::Random { k: 20 }))
+            .run(4)
+            .convergence_factor(20);
+        let slow = with_overlay(
+            2000,
+            OverlaySpec::Static(TopologyKind::RingLattice { k: 20 }),
+        )
         .run(4)
         .convergence_factor(20);
         assert!(
@@ -501,11 +429,8 @@ mod tests {
 
     #[test]
     fn count_peak_estimates_network_size() {
-        let cfg = ExperimentConfig {
-            aggregate: AggregateSetup::CountPeak,
-            overlay: OverlaySpec::Newscast { c: 30 },
-            ..base(1000)
-        };
+        let mut cfg = with_overlay(1000, OverlaySpec::Newscast { c: 30 });
+        cfg.aggregate = AggregateSetup::CountPeak;
         let out = cfg.run(5);
         let est = out.mean_final_estimate();
         assert!((est - 1000.0).abs() < 20.0, "size estimate {est}");
@@ -513,11 +438,8 @@ mod tests {
 
     #[test]
     fn count_map_estimates_network_size() {
-        let cfg = ExperimentConfig {
-            aggregate: AggregateSetup::CountMap { leaders: 10 },
-            overlay: OverlaySpec::Newscast { c: 30 },
-            ..base(1000)
-        };
+        let mut cfg = with_overlay(1000, OverlaySpec::Newscast { c: 30 });
+        cfg.aggregate = AggregateSetup::CountMap { leaders: 10 };
         let out = cfg.run(6);
         assert_eq!(out.final_estimates.len(), 1000);
         let est = out.mean_final_estimate();
@@ -526,14 +448,11 @@ mod tests {
 
     #[test]
     fn sudden_death_late_in_epoch_is_harmless() {
-        let cfg = ExperimentConfig {
-            aggregate: AggregateSetup::CountPeak,
-            overlay: OverlaySpec::Newscast { c: 30 },
-            failure: FailureModel::SuddenDeath {
-                fraction: 0.5,
-                at_cycle: 25,
-            },
-            ..base(1000)
+        let mut cfg = with_overlay(1000, OverlaySpec::Newscast { c: 30 });
+        cfg.aggregate = AggregateSetup::CountPeak;
+        cfg.scenario.failure = FailureModel::SuddenDeath {
+            fraction: 0.5,
+            at_cycle: 25,
         };
         let out = cfg.run(7);
         assert_eq!(*out.alive.last().unwrap(), 500);
@@ -545,12 +464,9 @@ mod tests {
 
     #[test]
     fn churn_keeps_size_constant() {
-        let cfg = ExperimentConfig {
-            aggregate: AggregateSetup::CountPeak,
-            overlay: OverlaySpec::Newscast { c: 30 },
-            failure: FailureModel::Churn { per_cycle: 20 },
-            ..base(1000)
-        };
+        let mut cfg = with_overlay(1000, OverlaySpec::Newscast { c: 30 });
+        cfg.aggregate = AggregateSetup::CountPeak;
+        cfg.scenario.failure = FailureModel::Churn { per_cycle: 20 };
         let out = cfg.run(8);
         for &alive in &out.alive {
             assert_eq!(alive, 1000);
@@ -563,32 +479,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "churn requires a NEWSCAST overlay")]
     fn churn_rejected_on_static_overlay() {
-        let cfg = ExperimentConfig {
-            failure: FailureModel::Churn { per_cycle: 5 },
-            ..base(100)
-        };
+        let mut cfg = base(100);
+        cfg.scenario.failure = FailureModel::Churn { per_cycle: 5 };
         cfg.run(9);
     }
 
     #[test]
     fn link_failure_slows_convergence() {
         let clean = base(2000).run(10).convergence_factor(20);
-        let lossy = ExperimentConfig {
-            comm: CommFailure::links(0.6),
-            ..base(2000)
-        }
-        .run(10)
-        .convergence_factor(20);
+        let mut lossy_cfg = base(2000);
+        lossy_cfg.scenario.comm = CommFailure::links(0.6);
+        let lossy = lossy_cfg.run(10).convergence_factor(20);
         assert!(
             lossy > clean + 0.15,
             "link failure too cheap: {clean} -> {lossy}"
         );
         // But the mean is unbiased.
-        let out = ExperimentConfig {
-            comm: CommFailure::links(0.6),
-            ..base(2000)
-        }
-        .run(11);
+        let out = lossy_cfg.run(11);
         assert!((out.mean[30] - 1.0).abs() < 1e-9);
     }
 
@@ -615,5 +522,62 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn tiny_network_rejected() {
         base(1).run(0);
+    }
+
+    #[test]
+    fn live_sampler_returns_none_when_alone() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let live = [3u32];
+        let sampler = LiveSampler {
+            live: &live,
+            slots: 10,
+        };
+        assert_eq!(sampler.sample_neighbor(3, &mut rng), None);
+        // A dead initiator among one live node still has a peer.
+        assert_eq!(sampler.sample_neighbor(4, &mut rng), Some(3));
+    }
+
+    #[test]
+    fn live_sampler_skips_initiator_uniformly() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let live = [1u32, 4, 7, 9];
+        let sampler = LiveSampler {
+            live: &live,
+            slots: 10,
+        };
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..40_000 {
+            let peer = sampler.sample_neighbor(4, &mut rng).unwrap();
+            *counts.entry(peer).or_insert(0usize) += 1;
+        }
+        assert!(!counts.contains_key(&4));
+        for &p in &[1usize, 7, 9] {
+            let c = counts[&p] as i64;
+            assert!((c - 13_333).abs() < 1_200, "peer {p} count {c}");
+        }
+    }
+
+    #[test]
+    fn introducer_none_when_all_dead() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut overlay = Overlay::random_init(10, 3, &mut rng);
+        for i in 0..10 {
+            overlay.crash(i);
+        }
+        assert_eq!(random_live_introducer(&overlay, &mut rng), None);
+    }
+
+    #[test]
+    fn introducer_found_in_mostly_dead_overlay() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut overlay = Overlay::random_init(200, 3, &mut rng);
+        for i in 0..199 {
+            overlay.crash(i);
+        }
+        // Only node 199 is alive; both the rejection and fallback paths
+        // must find it.
+        for _ in 0..10 {
+            assert_eq!(random_live_introducer(&overlay, &mut rng), Some(199));
+        }
     }
 }

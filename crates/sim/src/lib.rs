@@ -5,32 +5,39 @@
 //! substrate in Rust and adds an event-driven engine for the asynchronous
 //! aspects the cycle model abstracts away:
 //!
+//! * [`scenario`] — engine-independent experiment conditions
+//!   ([`Scenario`]): overlay, initial values, crash/churn schedule,
+//!   communication failures. One `Scenario` value drives both engines.
 //! * [`network`] — the cycle-driven kernel: per-cycle random-permutation
 //!   push-pull exchanges over SoA state fields, with link-failure and
 //!   asymmetric message-loss injection.
 //! * [`failure`] — failure schedules: proportional crashes, sudden death,
 //!   churn (crash + join at constant size).
-//! * [`experiment`] — one-call experiment driver gluing topology/newscast,
-//!   network state, failure models and per-cycle metrics; plus a
-//!   thread-pooled repetition runner.
+//! * [`experiment`] — one-call cycle-driven experiment driver: a thin
+//!   wrapper adding a cycle budget and an aggregate to a [`Scenario`];
+//!   plus a thread-pooled repetition runner.
 //! * [`event`] — event-driven engine (message delay, clock drift, loss,
-//!   timeouts) driving the sans-io [`epidemic_aggregation::GossipNode`];
-//!   measures epoch-synchronization spread.
+//!   timeouts) driving the sans-io [`epidemic_aggregation::GossipNode`]
+//!   under the same [`Scenario`] conditions; measures
+//!   epoch-synchronization spread.
 //! * [`metrics`] — convergence factors and exchange-count distributions
 //!   (the `1 + Poisson(1)` cost analysis of Section 4.5).
 //!
 //! # Examples
 //!
 //! ```
-//! use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+//! use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig};
+//! use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
 //!
 //! let config = ExperimentConfig {
-//!     n: 1000,
-//!     overlay: OverlaySpec::Newscast { c: 30 },
+//!     scenario: Scenario {
+//!         n: 1000,
+//!         overlay: OverlaySpec::Newscast { c: 30 },
+//!         values: ValueInit::Peak { total: 1000.0 },
+//!         ..Scenario::default()
+//!     },
 //!     cycles: 20,
-//!     values: ValueInit::Peak { total: 1000.0 },
 //!     aggregate: AggregateSetup::Average,
-//!     ..ExperimentConfig::default()
 //! };
 //! let outcome = config.run(42);
 //! // Variance decays by roughly 1/(2 sqrt e) per cycle.
@@ -45,9 +52,13 @@ pub mod experiment;
 pub mod failure;
 pub mod metrics;
 pub mod network;
+mod pool;
+pub mod scenario;
 pub mod session;
 
-pub use experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, RunOutcome, ValueInit};
+pub use event::{EventConfig, EventOutcome, EventSim};
+pub use experiment::{AggregateSetup, ExperimentConfig, RunOutcome};
 pub use failure::{CommFailure, FailureModel};
 pub use network::{FieldId, Network};
+pub use scenario::{OverlaySpec, Scenario, ValueInit};
 pub use session::{Session, SessionConfig, SessionEpoch};

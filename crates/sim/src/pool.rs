@@ -1,0 +1,38 @@
+//! Worker-pool fan-out shared by the engines' `run_many` entry points.
+
+/// Runs `run(seed)` for every seed across OS threads, returning results in
+/// seed order. Falls back to sequential execution for tiny workloads.
+pub(crate) fn parallel_map_seeds<T, F>(seeds: &[u64], run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    if workers <= 1 || seeds.len() <= 1 {
+        return seeds.iter().map(|&s| run(s)).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<T>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= seeds.len() {
+                    break;
+                }
+                let outcome = run(seeds[idx]);
+                **slot_refs[idx].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker missed a seed"))
+        .collect()
+}

@@ -1,0 +1,212 @@
+//! Engine-independent scenario descriptions.
+//!
+//! The paper's claims (Sections 4, 6–7) are about *one* protocol under
+//! *many* conditions: different overlays, initial value distributions,
+//! crash waves, churn, and communication failures. A [`Scenario`] captures
+//! exactly those conditions — and nothing about how time is modelled — so
+//! the *same* value drives both simulation engines:
+//!
+//! * the cycle-driven engine ([`crate::experiment::ExperimentConfig`] is a
+//!   thin wrapper adding a cycle budget and an aggregate choice), and
+//! * the event-driven engine ([`crate::event::EventConfig`] adds message
+//!   delay, clock drift, and a duration).
+//!
+//! This is the engine-vs-condition separation stressed by the dynamic
+//! aggregation literature: robustness claims only mean something when the
+//! practical protocol meets the same adversity in every time model.
+//!
+//! # Examples
+//!
+//! One scenario, two engines:
+//!
+//! ```
+//! use epidemic_sim::scenario::{OverlaySpec, Scenario, ValueInit};
+//! use epidemic_sim::experiment::{AggregateSetup, ExperimentConfig};
+//! use epidemic_sim::event::EventConfig;
+//!
+//! let scenario = Scenario {
+//!     n: 200,
+//!     overlay: OverlaySpec::Complete,
+//!     values: ValueInit::Linear,
+//!     ..Scenario::default()
+//! };
+//!
+//! // Cycle-driven: 30 synchronous cycles.
+//! let cycle_out = ExperimentConfig {
+//!     scenario: scenario.clone(),
+//!     cycles: 30,
+//!     aggregate: AggregateSetup::Average,
+//! }
+//! .run(1);
+//!
+//! // Event-driven: the same conditions under delay and drift.
+//! let event_out = EventConfig {
+//!     scenario,
+//!     ..EventConfig::default()
+//! }
+//! .run(1);
+//!
+//! let truth = 199.0 / 2.0;
+//! assert!((cycle_out.mean_final_estimate() - truth).abs() < 1.0);
+//! let est = event_out.mean_epoch_estimate(0).unwrap();
+//! assert!((est - truth).abs() < 1.0);
+//! ```
+
+use crate::failure::{CommFailure, FailureModel};
+use epidemic_common::rng::Xoshiro256;
+use epidemic_topology::TopologyKind;
+
+/// Which overlay the aggregation runs over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverlaySpec {
+    /// Implicit complete graph.
+    Complete,
+    /// A static topology generated once at experiment start.
+    Static(TopologyKind),
+    /// A NEWSCAST overlay with view size `c`, gossiping membership in
+    /// every cycle alongside the aggregation.
+    ///
+    /// The event-driven engine models this as uniform sampling over the
+    /// live population — the "sufficiently random" overlay NEWSCAST
+    /// maintains — rather than simulating membership gossip event by
+    /// event.
+    Newscast {
+        /// View size (the paper uses `c = 30`).
+        c: usize,
+    },
+}
+
+/// Initial distribution of local values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueInit {
+    /// One uniformly chosen node holds `total`, all others hold zero — the
+    /// paper's *peak* distribution, the worst case for robustness.
+    Peak {
+        /// Value held by the single peak node.
+        total: f64,
+    },
+    /// Independent uniform values in `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Every node holds the same constant.
+    Constant(f64),
+    /// Node `i` holds `i as f64` (deterministic, handy in tests).
+    Linear,
+}
+
+impl ValueInit {
+    /// Draws the initial local values for `n` nodes.
+    pub fn materialize(self, n: usize, rng: &mut Xoshiro256) -> Vec<f64> {
+        match self {
+            ValueInit::Peak { total } => {
+                let mut v = vec![0.0; n];
+                v[rng.index(n)] = total;
+                v
+            }
+            ValueInit::Uniform { lo, hi } => {
+                (0..n).map(|_| lo + rng.next_f64() * (hi - lo)).collect()
+            }
+            ValueInit::Constant(c) => vec![c; n],
+            ValueInit::Linear => (0..n).map(|i| i as f64).collect(),
+        }
+    }
+}
+
+/// Engine-independent description of the conditions an experiment runs
+/// under: population, overlay, initial values, and failure models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Initial network size.
+    pub n: usize,
+    /// Overlay specification.
+    pub overlay: OverlaySpec,
+    /// Initial value distribution (ignored by COUNT-style aggregates).
+    pub values: ValueInit,
+    /// Node failure schedule, indexed by cycle.
+    pub failure: FailureModel,
+    /// Communication failure probabilities.
+    pub comm: CommFailure,
+    /// NEWSCAST-only warm-up cycles before the measurement starts
+    /// (cycle-driven engine only; the event engine's overlay idealization
+    /// needs no warm-up).
+    pub newscast_warmup: u32,
+    /// Local value assigned to nodes that join through churn.
+    pub joiner_value: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            n: 1_000,
+            overlay: OverlaySpec::Complete,
+            values: ValueInit::Peak { total: 1_000.0 },
+            failure: FailureModel::None,
+            comm: CommFailure::NONE,
+            newscast_warmup: 5,
+            joiner_value: 0.0,
+        }
+    }
+}
+
+impl Scenario {
+    /// Checks internal consistency, shared by both engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is degenerate (`n < 2`) or inconsistent
+    /// (churn over an overlay that cannot grow).
+    pub fn validate(&self) {
+        assert!(self.n >= 2, "experiment needs at least two nodes");
+        assert!(
+            !self.failure.needs_growable_overlay()
+                || matches!(self.overlay, OverlaySpec::Newscast { .. }),
+            "churn requires a NEWSCAST overlay"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Scenario::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_network_rejected() {
+        Scenario {
+            n: 1,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "churn requires a NEWSCAST overlay")]
+    fn churn_needs_growable_overlay() {
+        Scenario {
+            failure: FailureModel::Churn { per_cycle: 5 },
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn value_init_materializes() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let peak = ValueInit::Peak { total: 10.0 }.materialize(5, &mut rng);
+        assert_eq!(peak.iter().sum::<f64>(), 10.0);
+        assert_eq!(peak.iter().filter(|&&v| v != 0.0).count(), 1);
+        let uni = ValueInit::Uniform { lo: 1.0, hi: 2.0 }.materialize(100, &mut rng);
+        assert!(uni.iter().all(|&v| (1.0..2.0).contains(&v)));
+        assert_eq!(ValueInit::Constant(3.0).materialize(3, &mut rng), [3.0; 3]);
+        assert_eq!(ValueInit::Linear.materialize(3, &mut rng), [0.0, 1.0, 2.0]);
+    }
+}

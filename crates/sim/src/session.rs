@@ -256,14 +256,15 @@ impl Session {
                 }
             }
             for _ in 0..failure.joins_at(cycle) {
+                // Without a live introducer the join is impossible this
+                // cycle; skip rather than spin.
+                let Some(introducer) =
+                    crate::experiment::random_live_introducer(&self.overlay, &mut self.rng)
+                else {
+                    break;
+                };
                 let idx = self.net.add_node();
                 self.local_values.push(self.config.joiner_value);
-                let introducer = loop {
-                    let cand = self.rng.index(self.overlay.slot_count());
-                    if self.overlay.is_alive(cand) && cand != idx {
-                        break cand;
-                    }
-                };
                 let joined = self.overlay.join_via(introducer, self.clock);
                 debug_assert_eq!(joined, idx);
             }

@@ -14,6 +14,8 @@
 //!   analysis used to validate the generators.
 //! * [`NeighborSampling`] — the one-method abstraction the aggregation
 //!   protocol needs from a topology: "give me a uniformly random neighbor".
+//!   The trait itself lives in [`epidemic_common::sample`] (so membership
+//!   and topology stay sibling layers) and is re-exported here.
 //!
 //! # Examples
 //!

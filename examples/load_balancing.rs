@@ -13,7 +13,8 @@
 
 use epidemic::common::rng::Xoshiro256;
 use epidemic::common::stats::OnlineStats;
-use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 fn main() {
     let n = 5_000;
@@ -40,12 +41,14 @@ fn main() {
     // sees its own exchanges; after 30 cycles all estimates agree.)
     let total: f64 = loads.iter().sum();
     let config = ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Newscast { c: 30 },
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            values: ValueInit::Peak { total }, // same sum, harder distribution
+            ..Scenario::default()
+        },
         cycles: 30,
-        values: ValueInit::Peak { total }, // same sum, harder distribution
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     };
     let outcome = config.run(1);
     let learned_avg = outcome.mean_final_estimate();

@@ -6,17 +6,20 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 fn main() {
     let n = 1_000;
     let config = ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Newscast { c: 30 },
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            values: ValueInit::Uniform { lo: 0.0, hi: 100.0 },
+            ..Scenario::default()
+        },
         cycles: 30,
-        values: ValueInit::Uniform { lo: 0.0, hi: 100.0 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     };
     let outcome = config.run(42);
 

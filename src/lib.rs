@@ -20,20 +20,28 @@
 //! overlay:
 //!
 //! ```
-//! use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+//! use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
+//! use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 //!
 //! let config = ExperimentConfig {
-//!     n: 1_000,
-//!     overlay: OverlaySpec::Newscast { c: 30 },
+//!     scenario: Scenario {
+//!         n: 1_000,
+//!         overlay: OverlaySpec::Newscast { c: 30 },
+//!         values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
+//!         ..Scenario::default()
+//!     },
 //!     cycles: 30,
-//!     values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
 //!     aggregate: AggregateSetup::Average,
-//!     ..ExperimentConfig::default()
 //! };
 //! let outcome = config.run(1);
 //! let estimate = outcome.mean_final_estimate();
 //! assert!((estimate - 5.0).abs() < 0.5); // true mean of U[0,10) is 5
 //! ```
+//!
+//! The [`sim::Scenario`] describing the conditions — overlay, value
+//! distribution, failures — is engine-independent: the same value also
+//! drives the event-driven simulator ([`sim::EventConfig`]) under message
+//! delay, clock drift, and loss.
 //!
 //! See the `examples/` directory for runnable scenarios: a quickstart, a
 //! proactive network-size monitor under churn, gossip-driven load

@@ -5,18 +5,21 @@ use epidemic::aggregation::estimator;
 use epidemic::aggregation::rule::Rule;
 use epidemic::common::rng::Xoshiro256;
 use epidemic::newscast::Overlay;
-use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
 use epidemic::sim::network::{CycleOptions, Network};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 use epidemic::topology::TopologyKind;
 
 fn average_config(overlay: OverlaySpec) -> ExperimentConfig {
     ExperimentConfig {
-        n: 2_000,
-        overlay,
+        scenario: Scenario {
+            n: 2_000,
+            overlay,
+            values: ValueInit::Uniform { lo: -5.0, hi: 15.0 },
+            ..Scenario::default()
+        },
         cycles: 40,
-        values: ValueInit::Uniform { lo: -5.0, hi: 15.0 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     }
 }
 
@@ -76,12 +79,14 @@ fn every_node_learns_the_same_value() {
 fn count_is_accurate_across_sizes() {
     for n in [500usize, 2_000, 8_000] {
         let config = ExperimentConfig {
-            n,
-            overlay: OverlaySpec::Newscast { c: 30 },
+            scenario: Scenario {
+                n,
+                overlay: OverlaySpec::Newscast { c: 30 },
+                values: ValueInit::Constant(0.0),
+                ..Scenario::default()
+            },
             cycles: 30,
-            values: ValueInit::Constant(0.0),
             aggregate: AggregateSetup::CountPeak,
-            ..ExperimentConfig::default()
         };
         let est = config.run(3).mean_final_estimate();
         let err = (est - n as f64).abs() / n as f64;
@@ -172,12 +177,14 @@ fn peak_distribution_worst_case_converges() {
     // The paper's Figure 2 scenario at reduced scale.
     let n = 10_000;
     let config = ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Static(TopologyKind::Random { k: 20 }),
+            values: ValueInit::Peak { total: n as f64 },
+            ..Scenario::default()
+        },
         cycles: 30,
-        values: ValueInit::Peak { total: n as f64 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     };
     let out = config.run(2);
     // After 30 cycles min and max hug the true average of 1.
@@ -193,12 +200,14 @@ fn peak_distribution_worst_case_converges() {
 fn facade_reexports_are_usable() {
     // The README's five-line quickstart, via the facade.
     let config = ExperimentConfig {
-        n: 500,
-        overlay: OverlaySpec::Newscast { c: 20 },
+        scenario: Scenario {
+            n: 500,
+            overlay: OverlaySpec::Newscast { c: 20 },
+            values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
+            ..Scenario::default()
+        },
         cycles: 25,
-        values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     };
     let estimate = config.run(1).mean_final_estimate();
     assert!((estimate - 5.0).abs() < 0.6);

@@ -1,0 +1,133 @@
+//! Cross-engine agreement: the *same* [`Scenario`] value drives the
+//! cycle-driven and the event-driven engine, and both converge to the same
+//! aggregate under the same adversity (peak values, churn, message loss).
+//! This is the point of the scenario layer — robustness claims hold in
+//! both time models, not just the synchronous idealization.
+
+use epidemic::aggregation::{InstanceSpec, NodeConfig};
+use epidemic::sim::event::EventConfig;
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
+use epidemic::sim::failure::{CommFailure, FailureModel};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
+
+/// gamma matching the cycle engine's 30-cycle epochs.
+fn event_node(gamma: u32) -> NodeConfig {
+    NodeConfig::builder()
+        .gamma(gamma)
+        .cycle_length(1_000)
+        .timeout(200)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap()
+}
+
+fn run_both(scenario: Scenario, seed: u64) -> (f64, f64) {
+    let cycle_est = ExperimentConfig {
+        scenario: scenario.clone(),
+        cycles: 30,
+        aggregate: AggregateSetup::Average,
+    }
+    .run(seed)
+    .mean_final_estimate();
+    let event_out = EventConfig {
+        scenario,
+        node: event_node(30),
+        delay: (10, 50),
+        drift: 0.01,
+        duration: 45_000,
+    }
+    .run(seed);
+    let event_est = event_out
+        .mean_epoch_estimate(0)
+        .expect("event engine completed no epoch");
+    (cycle_est, event_est)
+}
+
+#[test]
+fn engines_agree_on_peak_average_with_message_loss() {
+    // A lost message under the peak distribution can carry a macroscopic
+    // share of the total mass, so individual runs scatter; agreement is a
+    // property of the expectation. Average both engines over seeds.
+    let scenario = Scenario {
+        n: 400,
+        overlay: OverlaySpec::Newscast { c: 20 },
+        values: ValueInit::Peak { total: 400.0 },
+        comm: CommFailure::messages(0.05),
+        ..Scenario::default()
+    };
+    let seeds = 1u64..=8;
+    let (mut cycle_sum, mut event_sum) = (0.0, 0.0);
+    let reps = seeds.clone().count() as f64;
+    for seed in seeds {
+        let (c, e) = run_both(scenario.clone(), seed);
+        cycle_sum += c;
+        event_sum += e;
+    }
+    let (cycle_mean, event_mean) = (cycle_sum / reps, event_sum / reps);
+    let truth = 1.0;
+    assert!(
+        (cycle_mean - truth).abs() < 0.15,
+        "cycle engine mean estimate {cycle_mean} vs truth {truth}"
+    );
+    assert!(
+        (event_mean - truth).abs() < 0.15,
+        "event engine mean estimate {event_mean} vs truth {truth}"
+    );
+    assert!(
+        (cycle_mean - event_mean).abs() < 0.2,
+        "engines disagree: cycle {cycle_mean} vs event {event_mean}"
+    );
+}
+
+#[test]
+fn engines_agree_under_churn() {
+    // Constant values keep the true average at 5.0 regardless of which
+    // nodes are substituted, so both engines must report it despite 10%
+    // of the population churning every epoch.
+    let scenario = Scenario {
+        n: 300,
+        overlay: OverlaySpec::Newscast { c: 20 },
+        values: ValueInit::Constant(5.0),
+        failure: FailureModel::Churn { per_cycle: 1 },
+        joiner_value: 5.0,
+        ..Scenario::default()
+    };
+    let (cycle_est, event_est) = run_both(scenario, 7);
+    assert!(
+        (cycle_est - 5.0).abs() < 0.1,
+        "cycle engine estimate {cycle_est}"
+    );
+    assert!(
+        (event_est - 5.0).abs() < 0.1,
+        "event engine estimate {event_est}"
+    );
+    assert!((cycle_est - event_est).abs() < 0.1);
+}
+
+#[test]
+fn event_engine_is_deterministic_under_crash_schedule() {
+    let config = EventConfig {
+        scenario: Scenario {
+            n: 128,
+            values: ValueInit::Linear,
+            failure: FailureModel::SuddenDeath {
+                fraction: 0.3,
+                at_cycle: 5,
+            },
+            ..Scenario::default()
+        },
+        node: event_node(15),
+        delay: (10, 50),
+        drift: 0.02,
+        duration: 40_000,
+    };
+    let a = config.run(11);
+    let b = config.run(11);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.messages_lost, b.messages_lost);
+    assert_eq!(a.epoch_entries, b.epoch_entries);
+    assert_eq!(a.final_alive, b.final_alive);
+    assert_eq!(a.epoch_estimates(1), b.epoch_estimates(1));
+    // And the crash actually happened.
+    assert!(a.final_alive < 128);
+}

@@ -5,7 +5,9 @@
 use epidemic::aggregation::node::GossipNode;
 use epidemic::aggregation::{InstanceSpec, Message, NodeConfig};
 use epidemic::common::NodeId;
-use epidemic::sim::event::{run as run_event, EventConfig};
+use epidemic::sim::event::EventConfig;
+use epidemic::sim::scenario::{Scenario, ValueInit};
+use epidemic::sim::CommFailure;
 
 fn config(gamma: u32) -> NodeConfig {
     NodeConfig::builder()
@@ -21,15 +23,18 @@ fn config(gamma: u32) -> NodeConfig {
 #[test]
 fn event_sim_produces_correct_averages_and_counts() {
     let n = 100;
-    let out = run_event(&EventConfig {
-        n,
+    let out = EventConfig {
+        scenario: Scenario {
+            n,
+            values: ValueInit::Linear,
+            ..Scenario::default()
+        },
         node: config(20),
         delay: (5, 40),
-        message_loss: 0.0,
         drift: 0.01,
         duration: 100_000,
-        seed: 4,
-    });
+    }
+    .run(4);
     let truth = (n as f64 - 1.0) / 2.0;
     let mut avg_errs = Vec::new();
     let mut count_estimates = Vec::new();
@@ -107,15 +112,19 @@ fn epoch_identifiers_synchronize_epidemically() {
 
 #[test]
 fn message_loss_slows_but_epochs_still_complete() {
-    let out = run_event(&EventConfig {
-        n: 60,
+    let out = EventConfig {
+        scenario: Scenario {
+            n: 60,
+            values: ValueInit::Linear,
+            comm: CommFailure::messages(0.3),
+            ..Scenario::default()
+        },
         node: config(15),
         delay: (5, 30),
-        message_loss: 0.3,
         drift: 0.02,
         duration: 80_000,
-        seed: 8,
-    });
+    }
+    .run(8);
     assert!(out.messages_lost > 0);
     let completed: usize = out.reports.iter().map(Vec::len).sum();
     assert!(

@@ -3,19 +3,20 @@
 
 use epidemic::aggregation::theory;
 use epidemic::common::stats;
-use epidemic::sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic::sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
 use epidemic::sim::failure::{CommFailure, FailureModel};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 fn count_config(n: usize) -> ExperimentConfig {
     ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Newscast { c: 30 },
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            values: ValueInit::Constant(0.0),
+            ..Scenario::default()
+        },
         cycles: 30,
-        values: ValueInit::Constant(0.0),
         aggregate: AggregateSetup::CountPeak,
-        ..ExperimentConfig::default()
     }
 }
 
@@ -29,13 +30,15 @@ fn theorem_1_predicts_crash_error() {
     let cycles = 20u32;
     let p_f = 0.1;
     let config = ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Complete,
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Complete,
+            values: ValueInit::Uniform { lo: 0.0, hi: 2.0 },
+            failure: FailureModel::ProportionalCrash { p_f },
+            ..Scenario::default()
+        },
         cycles,
-        values: ValueInit::Uniform { lo: 0.0, hi: 2.0 },
         aggregate: AggregateSetup::Average,
-        failure: FailureModel::ProportionalCrash { p_f },
-        ..ExperimentConfig::default()
     };
     let seeds: Vec<u64> = (0..40).collect();
     let outcomes = run_many(&config, &seeds);
@@ -59,11 +62,9 @@ fn theorem_1_predicts_crash_error() {
 #[test]
 fn link_failure_bound_holds() {
     for p_d in [0.3, 0.6, 0.8] {
-        let config = ExperimentConfig {
-            comm: CommFailure::links(p_d),
-            cycles: 20,
-            ..count_config(5_000)
-        };
+        let mut config = count_config(5_000);
+        config.scenario.comm = CommFailure::links(p_d);
+        config.cycles = 20;
         let seeds: Vec<u64> = (0..5).collect();
         let outcomes = run_many(&config, &seeds);
         let factors: Vec<f64> = outcomes.iter().map(|o| o.convergence_factor(20)).collect();
@@ -81,13 +82,15 @@ fn link_failure_bound_holds() {
 #[test]
 fn link_failure_does_not_bias_the_mean() {
     let config = ExperimentConfig {
-        n: 5_000,
-        overlay: OverlaySpec::Complete,
+        scenario: Scenario {
+            n: 5_000,
+            overlay: OverlaySpec::Complete,
+            values: ValueInit::Peak { total: 5_000.0 },
+            comm: CommFailure::links(0.7),
+            ..Scenario::default()
+        },
         cycles: 30,
-        values: ValueInit::Peak { total: 5_000.0 },
         aggregate: AggregateSetup::Average,
-        comm: CommFailure::links(0.7),
-        ..ExperimentConfig::default()
     };
     let out = config.run(9);
     assert!(
@@ -100,13 +103,9 @@ fn link_failure_does_not_bias_the_mean() {
 #[test]
 fn message_loss_biases_but_moderately() {
     let seeds: Vec<u64> = (0..8).collect();
-    let outcomes = run_many(
-        &ExperimentConfig {
-            comm: CommFailure::messages(0.05),
-            ..count_config(5_000)
-        },
-        &seeds,
-    );
+    let mut config = count_config(5_000);
+    config.scenario.comm = CommFailure::messages(0.05);
+    let outcomes = run_many(&config, &seeds);
     for o in &outcomes {
         let est = o.mean_final_estimate();
         assert!(
@@ -121,20 +120,16 @@ fn sudden_death_early_vs_late() {
     let n = 10_000;
     let seeds: Vec<u64> = (0..8).collect();
     let run_at = |at_cycle: u32| -> Vec<f64> {
-        run_many(
-            &ExperimentConfig {
-                failure: FailureModel::SuddenDeath {
-                    fraction: 0.5,
-                    at_cycle,
-                },
-                ..count_config(n)
-            },
-            &seeds,
-        )
-        .iter()
-        .map(|o| o.mean_final_estimate())
-        .filter(|v| v.is_finite())
-        .collect()
+        let mut config = count_config(n);
+        config.scenario.failure = FailureModel::SuddenDeath {
+            fraction: 0.5,
+            at_cycle,
+        };
+        run_many(&config, &seeds)
+            .iter()
+            .map(|o| o.mean_final_estimate())
+            .filter(|v| v.is_finite())
+            .collect()
     };
     let early = run_at(2);
     let late = run_at(25);
@@ -159,11 +154,9 @@ fn churn_of_75_percent_still_estimates() {
     // The headline robustness claim: 75% of nodes substituted within one
     // epoch (2.5%/cycle x 30 cycles) still yields usable estimates.
     let n = 4_000;
-    let config = ExperimentConfig {
-        failure: FailureModel::Churn {
-            per_cycle: n / 40, // 2.5% per cycle
-        },
-        ..count_config(n)
+    let mut config = count_config(n);
+    config.scenario.failure = FailureModel::Churn {
+        per_cycle: n / 40, // 2.5% per cycle
     };
     let seeds: Vec<u64> = (0..8).collect();
     let estimates: Vec<f64> = run_many(&config, &seeds)
@@ -184,18 +177,14 @@ fn multiple_instances_tighten_estimates_under_loss() {
     let n = 4_000;
     let seeds: Vec<u64> = (0..10).collect();
     let spread_with = |t: usize| -> f64 {
-        let estimates: Vec<f64> = run_many(
-            &ExperimentConfig {
-                aggregate: AggregateSetup::CountMap { leaders: t },
-                comm: CommFailure::messages(0.2),
-                ..count_config(n)
-            },
-            &seeds,
-        )
-        .iter()
-        .map(|o| o.mean_final_estimate())
-        .filter(|v| v.is_finite())
-        .collect();
+        let mut config = count_config(n);
+        config.aggregate = AggregateSetup::CountMap { leaders: t };
+        config.scenario.comm = CommFailure::messages(0.2);
+        let estimates: Vec<f64> = run_many(&config, &seeds)
+            .iter()
+            .map(|o| o.mean_final_estimate())
+            .filter(|v| v.is_finite())
+            .collect();
         let max = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = estimates.iter().copied().fold(f64::INFINITY, f64::min);
         max - min

@@ -4,17 +4,20 @@
 //! E[σ²(i+1)/σ²(i)] = ρ ≈ 1/(2√e) per cycle (Section 3).
 
 use epidemic::aggregation::theory::RHO_PUSH_PULL;
-use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit};
+use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 #[test]
 fn deterministic_experiment_converges_at_paper_rate() {
     let config = ExperimentConfig {
-        n: 500,
-        overlay: OverlaySpec::Newscast { c: 30 },
+        scenario: Scenario {
+            n: 500,
+            overlay: OverlaySpec::Newscast { c: 30 },
+            values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
+            ..Scenario::default()
+        },
         cycles: 20,
-        values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     };
     let out = config.run(42);
 

@@ -3,19 +3,20 @@
 
 use epidemic::aggregation::theory;
 use epidemic::common::stats;
-use epidemic::sim::experiment::{
-    run_many, AggregateSetup, ExperimentConfig, OverlaySpec, ValueInit,
-};
+use epidemic::sim::experiment::{run_many, AggregateSetup, ExperimentConfig};
 use epidemic::sim::metrics::{convergence_factor, exchange_moments, per_cycle_factors};
+use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
 
 fn average_peak(n: usize) -> ExperimentConfig {
     ExperimentConfig {
-        n,
-        overlay: OverlaySpec::Complete,
+        scenario: Scenario {
+            n,
+            overlay: OverlaySpec::Complete,
+            values: ValueInit::Peak { total: n as f64 },
+            ..Scenario::default()
+        },
         cycles: 20,
-        values: ValueInit::Peak { total: n as f64 },
         aggregate: AggregateSetup::Average,
-        ..ExperimentConfig::default()
     }
 }
 
@@ -113,11 +114,9 @@ fn link_failure_behaves_like_slowdown() {
     // variance after k cycles at P_d=0.5 is comparable to the variance
     // after ~k/2 cycles without failures.
     let clean = average_peak(10_000).run(7);
-    let lossy = ExperimentConfig {
-        comm: epidemic::sim::failure::CommFailure::links(0.5),
-        ..average_peak(10_000)
-    }
-    .run(7);
+    let mut lossy_cfg = average_peak(10_000);
+    lossy_cfg.scenario.comm = epidemic::sim::failure::CommFailure::links(0.5);
+    let lossy = lossy_cfg.run(7);
     let clean_at_10 = clean.variance[10] / clean.variance[0];
     let lossy_at_20 = lossy.variance[20] / lossy.variance[0];
     let ratio = lossy_at_20.ln() / clean_at_10.ln();
