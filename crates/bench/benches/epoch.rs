@@ -78,6 +78,7 @@ fn bench_event_epoch(c: &mut Criterion) {
                 delay: (10, 50),
                 drift: 0.02,
                 duration: 40_000,
+                ..EventConfig::default()
             };
             let mut seed = 0u64;
             b.iter(|| {

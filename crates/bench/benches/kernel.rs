@@ -60,6 +60,34 @@ fn bench_cycle(c: &mut Criterion) {
             );
         });
     }
+    // COUNT with many concurrent instances: the exchange merges sparse
+    // instance maps, the path where per-exchange allocations dominate.
+    for n in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("count_map32", n), &n, |bencher, &n| {
+            let sampler = CompleteSampler::new(n);
+            let leaders: Vec<usize> = (0..32).map(|i| i * (n / 32)).collect();
+            bencher.iter_batched(
+                || {
+                    let mut net = Network::new(n);
+                    let f = net.add_map_field(&leaders);
+                    let mut rng = Xoshiro256::seed_from_u64(1);
+                    // Warm up so the maps are populated and merges touch
+                    // real entries, not empty vectors.
+                    for _ in 0..5 {
+                        net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+                    }
+                    (net, f, rng)
+                },
+                |(mut net, f, mut rng)| {
+                    net.run_cycle(&sampler, CycleOptions::default(), &mut rng);
+                    black_box(net.map_mass(f, 0));
+                    net
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
     group.finish();
 }
 

@@ -17,7 +17,7 @@ mod fig5;
 mod fig67;
 mod fig8;
 
-pub use ablation::{ablation_event, ablation_pushpull, ablation_sync};
+pub use ablation::{ablation_event, ablation_membership, ablation_pushpull, ablation_sync};
 pub use costs::costs;
 pub use fig2::fig2;
 pub use fig34::{fig3a, fig3b, fig4a, fig4b};
@@ -49,6 +49,7 @@ pub const ALL: &[&str] = &[
     "ablation-pushpull",
     "ablation-sync",
     "ablation-event",
+    "ablation-membership",
 ];
 
 /// Runs a figure by id.
@@ -74,6 +75,7 @@ pub fn run(id: &str, scale: Scale, seed: u64) -> FigureOutput {
         "ablation-pushpull" => ablation_pushpull(scale, seed),
         "ablation-sync" => ablation_sync(scale, seed),
         "ablation-event" => ablation_event(scale, seed),
+        "ablation-membership" => ablation_membership(scale, seed),
         other => panic!("unknown figure id {other:?}"),
     }
 }

@@ -100,30 +100,49 @@ impl InstanceMap {
     /// The paper's merge: per-leader averaging with absent-as-zero. Both
     /// peers of an exchange install the returned map.
     pub fn merge(a: &InstanceMap, b: &InstanceMap) -> InstanceMap {
-        let mut out = Vec::with_capacity(a.entries.len() + b.entries.len());
+        let mut out = InstanceMap::new();
+        InstanceMap::merge_into(a, b, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`InstanceMap::merge`]: writes the merge of
+    /// `a` and `b` into `out`, reusing `out`'s buffer. Hot loops (the
+    /// simulator runs one merge per exchange) keep a scratch map around
+    /// instead of allocating a fresh vector per exchange.
+    pub fn merge_into(a: &InstanceMap, b: &InstanceMap, out: &mut InstanceMap) {
+        let entries = &mut out.entries;
+        entries.clear();
+        entries.reserve(a.entries.len() + b.entries.len());
         let (mut i, mut j) = (0, 0);
         while i < a.entries.len() && j < b.entries.len() {
             let (la, ea) = a.entries[i];
             let (lb, eb) = b.entries[j];
             match la.cmp(&lb) {
                 std::cmp::Ordering::Equal => {
-                    out.push((la, (ea + eb) / 2.0));
+                    entries.push((la, (ea + eb) / 2.0));
                     i += 1;
                     j += 1;
                 }
                 std::cmp::Ordering::Less => {
-                    out.push((la, ea / 2.0));
+                    entries.push((la, ea / 2.0));
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push((lb, eb / 2.0));
+                    entries.push((lb, eb / 2.0));
                     j += 1;
                 }
             }
         }
-        out.extend(a.entries[i..].iter().map(|&(l, e)| (l, e / 2.0)));
-        out.extend(b.entries[j..].iter().map(|&(l, e)| (l, e / 2.0)));
-        InstanceMap { entries: out }
+        entries.extend(a.entries[i..].iter().map(|&(l, e)| (l, e / 2.0)));
+        entries.extend(b.entries[j..].iter().map(|&(l, e)| (l, e / 2.0)));
+    }
+
+    /// Overwrites this map with `src`'s contents, reusing the existing
+    /// buffer (the receiving half of an exchange installing a merge
+    /// result without a fresh allocation).
+    pub fn copy_from(&mut self, src: &InstanceMap) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&src.entries);
     }
 }
 
@@ -198,6 +217,20 @@ mod tests {
         assert_eq!(m.get(1), Some(0.4));
         assert_eq!(m.get(2), Some(0.2));
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_into_matches_merge_and_reuses_buffer() {
+        let a = InstanceMap::from_entries([(1, 0.8), (3, 0.4)]);
+        let b = InstanceMap::from_entries([(2, 0.4), (3, 0.2)]);
+        let mut out = InstanceMap::from_entries([(9, 9.0)]); // stale content
+        InstanceMap::merge_into(&a, &b, &mut out);
+        assert_eq!(out, InstanceMap::merge(&a, &b));
+        assert_eq!(out.get(9), None, "stale entry survived");
+
+        let mut copy = InstanceMap::from_entries([(5, 1.0)]);
+        copy.copy_from(&out);
+        assert_eq!(copy, out);
     }
 
     #[test]

@@ -101,6 +101,14 @@ impl MembershipNode {
         }
     }
 
+    /// Bootstraps the view from a snapshot of descriptors — typically an
+    /// introducer's current view handed over out of band when this node
+    /// joins a running system. Self-descriptors are filtered and the `c`
+    /// freshest entries kept, exactly like a regular merge.
+    pub fn bootstrap(&mut self, descriptors: &[Descriptor]) {
+        self.view.merge_with(descriptors, self.id);
+    }
+
     /// Returns a uniformly random view member — `GETNEIGHBOR()` for the
     /// aggregation protocol running on top.
     pub fn sample_peer(&mut self) -> Option<u32> {
@@ -253,6 +261,20 @@ mod tests {
             // The ring bootstrap mixed into a richer overlay.
             assert!(node.view().len() >= 4, "view stayed tiny");
         }
+    }
+
+    #[test]
+    fn bootstrap_copies_snapshot_without_self() {
+        let mut joiner = MembershipNode::new(9, config(), 4);
+        let snapshot = [
+            Descriptor::new(1, 10),
+            Descriptor::new(9, 99), // the joiner itself: must be dropped
+            Descriptor::new(2, 5),
+        ];
+        joiner.bootstrap(&snapshot);
+        assert!(joiner.view().contains(1));
+        assert!(joiner.view().contains(2));
+        assert!(!joiner.view().contains(9));
     }
 
     #[test]

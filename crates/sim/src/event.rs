@@ -12,11 +12,20 @@
 //!
 //! Conditions come from the same engine-independent
 //! [`Scenario`](crate::scenario::Scenario) the cycle engine consumes:
-//! pluggable overlays (complete, static [`Graph`], live-set sampling for
-//! NEWSCAST), [`ValueInit`](crate::scenario::ValueInit)-driven local
-//! values, crash/churn schedules applied at cycle boundaries by killing
-//! nodes (dropping their in-flight deliveries) and bootstrapping joiners
+//! pluggable overlays (complete, static [`Graph`], NEWSCAST), a
+//! [`ValueInit`](crate::scenario::ValueInit)-driven local value per node,
+//! crash/churn schedules applied at cycle-boundary ticks by killing nodes
+//! (dropping their in-flight deliveries) and bootstrapping joiners
 //! through live introducers, and message/link loss probabilities.
+//!
+//! `OverlaySpec::Newscast` is simulated *event by event* (Section 4.4):
+//! every node runs a [`MembershipNode`] next to its aggregation state
+//! machine, view exchanges travel through the same delay/loss model as
+//! aggregation messages, `GETNEIGHBOR()` draws from the node's own
+//! partial view (so stale entries really do cost timeouts), and churn
+//! joiners bootstrap their view from an introducer's snapshot. The
+//! pre-PR-3 idealization — uniform sampling over the global live set —
+//! is kept as [`MembershipModel::Idealized`] for ablations.
 //!
 //! The event queue is a single binary heap of ordered [`Event`] structs
 //! carrying their payloads inline — one push and one pop per event, no
@@ -35,10 +44,27 @@ use epidemic_aggregation::{EpochReport, InstanceSpec, Message, NodeConfig};
 use epidemic_common::rng::Xoshiro256;
 use epidemic_common::sample::NeighborSampling;
 use epidemic_common::NodeId;
+use epidemic_newscast::node::{MembershipConfig, MembershipNode, ViewPayload};
+use epidemic_newscast::Descriptor;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use epidemic_topology::Graph;
+
+/// How the event engine realizes `OverlaySpec::Newscast`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MembershipModel {
+    /// Simulate NEWSCAST membership event by event: per-node partial
+    /// views, view exchanges through the same delay/loss model as
+    /// aggregation traffic, peers drawn from the local view.
+    #[default]
+    Gossip,
+    /// Idealize membership as uniform sampling over the global live set —
+    /// the "sufficiently random" overlay NEWSCAST maintains, with the
+    /// maintenance cost and staleness effects abstracted away. Kept for
+    /// ablations against the gossiped model.
+    Idealized,
+}
 
 /// Configuration of an event-driven simulation: the shared [`Scenario`]
 /// plus the timing model only this engine has.
@@ -55,6 +81,8 @@ pub struct EventConfig {
     pub drift: f64,
     /// Global simulation duration in ticks.
     pub duration: u64,
+    /// How `OverlaySpec::Newscast` is simulated (gossiped by default).
+    pub membership: MembershipModel,
 }
 
 impl Default for EventConfig {
@@ -71,6 +99,7 @@ impl Default for EventConfig {
             delay: (10, 50),
             drift: 0.0,
             duration: 40_000,
+            membership: MembershipModel::Gossip,
         }
     }
 }
@@ -103,10 +132,18 @@ pub struct EventOutcome {
     /// For each observed epoch: `(epoch, first_entry, last_entry)` in
     /// global ticks over nodes that entered it.
     pub epoch_entries: Vec<(u64, u64, u64)>,
-    /// Messages transmitted.
+    /// Aggregation messages transmitted.
     pub messages_sent: usize,
-    /// Messages dropped by the loss model.
+    /// Aggregation messages dropped by the loss model.
     pub messages_lost: usize,
+    /// Membership view-exchange messages transmitted (gossiped NEWSCAST
+    /// only; the cost the idealized model hides).
+    pub view_messages_sent: usize,
+    /// Membership view-exchange messages dropped by the loss model.
+    pub view_messages_lost: usize,
+    /// Health of the live population's partial views when the simulation
+    /// ended (`None` unless membership was gossiped).
+    pub view_health: Option<crate::metrics::ViewHealth>,
     /// Nodes alive when the simulation ended.
     pub final_alive: usize,
 }
@@ -163,6 +200,15 @@ enum EventKind {
     /// Apply the failure schedule for cycle `k` (cycle boundaries in
     /// nominal global time).
     FailureTick(u32),
+    /// Poll node `i`'s membership timer (gossiped NEWSCAST only).
+    WakeView(u32),
+    /// Deliver a membership view exchange to node `to`. `reply` marks the
+    /// passive side's answer (absorbed without a response).
+    DeliverView {
+        to: u32,
+        reply: bool,
+        payload: ViewPayload,
+    },
 }
 
 impl PartialEq for Event {
@@ -198,6 +244,10 @@ enum EventOverlay {
     /// A static topology; dead neighbors are still sampled and discovered
     /// by timeout, as in a real deployment.
     Static(Graph),
+    /// Gossiped NEWSCAST membership: one [`MembershipNode`] per slot
+    /// (dead slots keep their state so stale descriptors can point at
+    /// them until aged out), exchanging views via queue events.
+    Newscast { members: Vec<MembershipNode> },
 }
 
 /// Event-driven simulator state, parameterized by a [`Scenario`].
@@ -215,8 +265,16 @@ pub struct EventSim {
     failure: crate::failure::FailureModel,
     joiner_value: f64,
     joiner_seed: u64,
+    /// `Some` when membership is gossiped; joiners need it to spin up
+    /// their own [`MembershipNode`].
+    membership_config: Option<MembershipConfig>,
+    membership_seed: u64,
 
     rng: Xoshiro256,
+    /// Dedicated stream for membership bootstrap and view-traffic draws:
+    /// the main `rng` sees the same draw sequence whether membership is
+    /// gossiped or idealized, keeping the two models seed-comparable.
+    view_rng: Xoshiro256,
     nodes: Vec<GossipNode>,
     drifts: Vec<f64>,
     /// Live node ids, unordered; `live_pos[i]` is `i`'s index in `live`
@@ -230,6 +288,8 @@ pub struct EventSim {
     seq: u64,
     messages_sent: usize,
     messages_lost: usize,
+    view_messages_sent: usize,
+    view_messages_lost: usize,
     epoch_seen: Vec<u64>,
     entries: HashMap<u64, (u64, u64)>,
 }
@@ -257,12 +317,42 @@ impl EventSim {
         let n = scenario.n;
         let mut rng = Xoshiro256::seed_from_u64(seed);
 
-        let overlay = match scenario.overlay {
-            OverlaySpec::Complete | OverlaySpec::Newscast { .. } => EventOverlay::LiveSet,
-            OverlaySpec::Static(kind) => EventOverlay::Static(
+        // Everything membership-related draws from its own stream,
+        // decorrelated both from the per-node aggregation streams (seeded
+        // from `joiner_seed`) and from the main sim RNG. Keeping the main
+        // stream untouched here means an Idealized and a Gossip run of
+        // the same seed materialize identical values, drifts, and failure
+        // draws — the membership models stay comparable pairwise.
+        let membership_seed = seed ^ 0x4E57_C057;
+        let mut view_rng = Xoshiro256::seed_from_u64(membership_seed);
+        let mut membership_config = None;
+        let overlay = match (scenario.overlay, config.membership) {
+            (OverlaySpec::Complete, _)
+            | (OverlaySpec::Newscast { .. }, MembershipModel::Idealized) => EventOverlay::LiveSet,
+            (OverlaySpec::Static(kind), _) => EventOverlay::Static(
                 kind.generate(n, &mut rng)
                     .expect("invalid topology parameters"),
             ),
+            (OverlaySpec::Newscast { c }, MembershipModel::Gossip) => {
+                assert!(c >= 1 && c < n, "view size must satisfy 1 <= c < n");
+                let mcfg = MembershipConfig {
+                    view_size: c,
+                    cycle_length: config.node.cycle_length(),
+                };
+                membership_config = Some(mcfg);
+                let mut members: Vec<MembershipNode> = (0..n)
+                    .map(|i| MembershipNode::new(i as u32, mcfg, membership_seed))
+                    .collect();
+                // Same bootstrap as the cycle engine's `Overlay::random_init`:
+                // `c` uniformly random distinct peers at timestamp 0.
+                for (node, member) in members.iter_mut().enumerate() {
+                    for raw in view_rng.sample_distinct(n - 1, c) {
+                        let peer = if raw >= node { raw + 1 } else { raw };
+                        member.add_seed(peer as u32, 0);
+                    }
+                }
+                EventOverlay::Newscast { members }
+            }
         };
         let values = scenario.values.materialize(n, &mut rng);
         let joiner_seed = seed ^ 0xE7E7;
@@ -293,7 +383,10 @@ impl EventSim {
             failure: scenario.failure,
             joiner_value: scenario.joiner_value,
             joiner_seed,
+            membership_config,
+            membership_seed,
             rng,
+            view_rng,
             nodes,
             drifts,
             live: (0..n as u32).collect(),
@@ -303,6 +396,8 @@ impl EventSim {
             seq: 0,
             messages_sent: 0,
             messages_lost: 0,
+            view_messages_sent: 0,
+            view_messages_lost: 0,
             epoch_seen,
             entries,
         };
@@ -314,6 +409,18 @@ impl EventSim {
         for i in 0..sim.nodes.len() {
             let at = sim.to_global(sim.nodes[i].next_deadline(), i);
             sim.push(at, EventKind::Wake(i as u32));
+        }
+        // Membership timers tick independently of the aggregation timers
+        // (each node's gossip phase is its own).
+        if let EventOverlay::Newscast { members } = &sim.overlay {
+            let wakes: Vec<u64> = members
+                .iter()
+                .enumerate()
+                .map(|(i, m)| sim.to_global(m.next_cycle_at(), i))
+                .collect();
+            for (i, at) in wakes.into_iter().enumerate() {
+                sim.push(at, EventKind::WakeView(i as u32));
+            }
         }
         sim
     }
@@ -337,7 +444,7 @@ impl EventSim {
 
     /// `GETNEIGHBOR()` for `node` under the configured overlay.
     fn sample_peer(&mut self, node: usize) -> Option<NodeId> {
-        match &self.overlay {
+        match &mut self.overlay {
             EventOverlay::LiveSet => {
                 // Uniform over live nodes, skipping the initiator's slot.
                 let me = match self.live_pos[node] {
@@ -353,6 +460,14 @@ impl EventSim {
                 // silently dies, costing the initiator a timeout.
                 let peer = g.sample_neighbor(node, &mut self.rng)?;
                 Some(NodeId::new(peer as u64))
+            }
+            EventOverlay::Newscast { members } => {
+                // A uniform member of the node's own partial view. The
+                // entry may describe a crashed peer that has not aged out
+                // yet — the request then dies in flight and costs the
+                // initiator a timeout, exactly like a real deployment.
+                let peer = members[node].sample_peer()?;
+                Some(NodeId::new(u64::from(peer)))
             }
         }
     }
@@ -429,6 +544,26 @@ impl EventSim {
         self.live_pos.push(self.live.len());
         self.live.push(idx as u32);
         self.push(wake_at.max(at + 1), EventKind::Wake(idx as u32));
+        // Under gossiped membership the joiner also bootstraps a view from
+        // the introducer's current snapshot plus a fresh descriptor of the
+        // introducer itself (the out-of-band discovery of Section 4.2).
+        if let Some(mcfg) = self.membership_config {
+            let local_at = self.to_local(at, idx);
+            let view_wake = match &mut self.overlay {
+                EventOverlay::Newscast { members } => {
+                    let mut member = MembershipNode::new(idx as u32, mcfg, self.membership_seed);
+                    let snapshot: Vec<Descriptor> = members[introducer].view().entries().to_vec();
+                    member.bootstrap(&snapshot);
+                    member.add_seed(introducer as u32, local_at);
+                    let next = member.next_cycle_at();
+                    members.push(member);
+                    next
+                }
+                _ => unreachable!("membership_config implies a gossiped overlay"),
+            };
+            let view_at = self.to_global(view_wake, idx);
+            self.push(view_at.max(at + 1), EventKind::WakeView(idx as u32));
+        }
     }
 
     /// Sends `out` from the loss models' point of view and schedules its
@@ -449,6 +584,24 @@ impl EventSim {
         self.push(at + delay, EventKind::Deliver(to.index() as u32, message));
     }
 
+    /// Sends a membership view exchange through the same loss and delay
+    /// model as aggregation traffic. A lost request kills the whole
+    /// exchange; a lost reply leaves only the passive side updated —
+    /// harmless for membership, since views carry no conserved mass.
+    fn transmit_view(&mut self, at: u64, to: u32, payload: ViewPayload, reply: bool) {
+        self.view_messages_sent += 1;
+        if !reply && self.link_failure > 0.0 && self.view_rng.next_bool(self.link_failure) {
+            self.view_messages_lost += 1;
+            return;
+        }
+        if self.message_loss > 0.0 && self.view_rng.next_bool(self.message_loss) {
+            self.view_messages_lost += 1;
+            return;
+        }
+        let delay = self.view_rng.range_u64(self.delay.0, self.delay.1);
+        self.push(at + delay, EventKind::DeliverView { to, reply, payload });
+    }
+
     /// Drives the event loop to `duration` and harvests the outcome.
     pub fn run(mut self) -> EventOutcome {
         while let Some(event) = self.queue.pop() {
@@ -460,6 +613,41 @@ impl EventSim {
                 EventKind::FailureTick(k) => {
                     self.failure_tick(k, at);
                     continue;
+                }
+                EventKind::WakeView(i) => {
+                    let i = i as usize;
+                    if self.is_alive(i) {
+                        let local_now = self.to_local(at, i);
+                        let EventOverlay::Newscast { members } = &mut self.overlay else {
+                            unreachable!("WakeView scheduled without a gossiped overlay");
+                        };
+                        let out = members[i].poll(local_now);
+                        let next = members[i].next_cycle_at();
+                        let next_at = self.to_global(next, i).max(at + 1);
+                        self.push(next_at, EventKind::WakeView(i as u32));
+                        if let Some((peer, payload)) = out {
+                            self.transmit_view(at, peer, payload, false);
+                        }
+                    }
+                    continue; // stale timer of a crashed node: chain ends
+                }
+                EventKind::DeliverView { to, reply, payload } => {
+                    let to = to as usize;
+                    if self.is_alive(to) {
+                        let local_now = self.to_local(at, to);
+                        let EventOverlay::Newscast { members } = &mut self.overlay else {
+                            unreachable!("DeliverView scheduled without a gossiped overlay");
+                        };
+                        if reply {
+                            // Active side absorbs the responder's pre-merge
+                            // view; the exchange is complete.
+                            members[to].absorb_reply(&payload, local_now);
+                        } else {
+                            let response = members[to].handle_exchange(&payload, local_now);
+                            self.transmit_view(at, payload.from, response, true);
+                        }
+                    }
+                    continue; // in-flight view exchange to a crashed node
                 }
                 EventKind::Wake(i) => {
                     let i = i as usize;
@@ -497,6 +685,13 @@ impl EventSim {
             self.push(next.max(at + 1), EventKind::Wake(node_idx as u32));
         }
 
+        let view_health = match &self.overlay {
+            EventOverlay::Newscast { members } => Some(crate::metrics::view_health(
+                self.live.iter().map(|&i| members[i as usize].view()),
+                |peer| self.is_alive(peer as usize),
+            )),
+            _ => None,
+        };
         let mut epoch_entries: Vec<(u64, u64, u64)> = self
             .entries
             .into_iter()
@@ -512,6 +707,9 @@ impl EventSim {
             epoch_entries,
             messages_sent: self.messages_sent,
             messages_lost: self.messages_lost,
+            view_messages_sent: self.view_messages_sent,
+            view_messages_lost: self.view_messages_lost,
+            view_health,
             final_alive: self.live.len(),
         }
     }
@@ -545,6 +743,7 @@ mod tests {
             delay: (10, 50),
             drift: 0.0,
             duration: 40_000,
+            membership: MembershipModel::Gossip,
         }
     }
 
@@ -652,6 +851,87 @@ mod tests {
         let out = cfg.run(4);
         assert_eq!(out.final_alive, 64);
         assert!(out.mean_epoch_estimate(0).is_some());
+        // Membership really was gossiped, not idealized away.
+        assert!(out.view_messages_sent > 0, "no view exchanges happened");
+    }
+
+    #[test]
+    fn gossiped_membership_converges_like_idealized() {
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        let gossiped = cfg.run(5);
+        cfg.membership = MembershipModel::Idealized;
+        let idealized = cfg.run(5);
+        let truth = 63.0 / 2.0;
+        let g = gossiped.mean_epoch_estimate(0).expect("gossiped epoch 0");
+        let i = idealized.mean_epoch_estimate(0).expect("idealized epoch 0");
+        assert!((g - truth).abs() < 1.0, "gossiped estimate {g} vs {truth}");
+        assert!((i - truth).abs() < 1.0, "idealized estimate {i} vs {truth}");
+        // Only the gossiped model pays the membership traffic.
+        assert!(gossiped.view_messages_sent > 0);
+        assert_eq!(idealized.view_messages_sent, 0);
+    }
+
+    #[test]
+    fn view_exchanges_respect_loss_model() {
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        cfg.scenario.comm = CommFailure::messages(0.3);
+        let out = cfg.run(6);
+        assert!(out.view_messages_lost > 0, "loss never hit view traffic");
+        assert!(
+            out.view_messages_lost < out.view_messages_sent,
+            "all view traffic lost"
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_age_out_of_views() {
+        // After a 50% crash wave the gossiped overlay keeps the survivors
+        // exchanging: fresh descriptors displace the dead, and epochs keep
+        // completing on the partial views.
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        cfg.scenario.failure = FailureModel::SuddenDeath {
+            fraction: 0.5,
+            at_cycle: 4,
+        };
+        cfg.duration = 60_000;
+        cfg.node = node_config(10);
+        let out = cfg.run(7);
+        assert_eq!(out.final_alive, 32);
+        let late_epochs = out
+            .reports
+            .iter()
+            .flatten()
+            .filter(|r| r.epoch >= 2)
+            .count();
+        assert!(late_epochs > 0, "survivors stopped completing epochs");
+        // Self-healing: by the end of the run (~56 gossip cycles after the
+        // wave) fresh descriptors have displaced most of the dead ones,
+        // and views are still usefully full.
+        let health = out.view_health.expect("gossiped membership");
+        assert_eq!(health.views, 32);
+        assert!(
+            health.dead_entry_fraction < 0.2,
+            "views failed to heal: {health:?}"
+        );
+        assert!(health.mean_size > 5.0, "views collapsed: {health:?}");
+    }
+
+    #[test]
+    fn gossiped_membership_is_deterministic() {
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        cfg.scenario.failure = FailureModel::Churn { per_cycle: 2 };
+        cfg.scenario.comm = CommFailure::messages(0.1);
+        let a = cfg.run(8);
+        let b = cfg.run(8);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.view_messages_sent, b.view_messages_sent);
+        assert_eq!(a.view_messages_lost, b.view_messages_lost);
+        assert_eq!(a.epoch_entries, b.epoch_entries);
+        assert_eq!(a.epoch_estimates(0), b.epoch_estimates(0));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Convergence metrics.
 //!
 //! Helper functions shared by the experiment harness and the figure
-//! reproduction binaries: convergence factors from variance series and the
-//! exchange-count distribution check of the cost analysis (Section 4.5).
+//! reproduction binaries: convergence factors from variance series, the
+//! exchange-count distribution check of the cost analysis (Section 4.5),
+//! and a membership [`ViewHealth`] snapshot for engines that gossip
+//! NEWSCAST views.
 
 use epidemic_common::stats::OnlineStats;
+use epidemic_newscast::View;
 
 /// Average per-cycle convergence factor over `k` cycles:
 /// `(σ²_k / σ²_0)^(1/k)`.
@@ -37,6 +40,56 @@ pub fn per_cycle_factors(variances: &[f64]) -> Vec<f64> {
 pub fn exchange_moments(tally: &[u32]) -> (f64, f64) {
     let stats: OnlineStats = tally.iter().map(|&c| f64::from(c)).collect();
     (stats.mean(), stats.variance())
+}
+
+/// Health snapshot of a population of NEWSCAST partial views: how full
+/// they are and how many entries still point at crashed peers (the
+/// self-healing signal of Section 4.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewHealth {
+    /// Number of views summarized (live nodes).
+    pub views: usize,
+    /// Mean view fill (entries per view).
+    pub mean_size: f64,
+    /// Fraction of descriptors whose target is no longer alive. Decays
+    /// toward zero after a crash wave as fresh descriptors displace the
+    /// stale ones.
+    pub dead_entry_fraction: f64,
+}
+
+/// Summarizes the views of the live population; `is_alive` classifies
+/// descriptor targets. Engine-agnostic: the event engine feeds it per-node
+/// membership state, tests can feed it any view collection.
+pub fn view_health<'a, I, F>(views: I, is_alive: F) -> ViewHealth
+where
+    I: IntoIterator<Item = &'a View>,
+    F: Fn(u32) -> bool,
+{
+    let mut view_count = 0usize;
+    let mut entries = 0usize;
+    let mut dead = 0usize;
+    for view in views {
+        view_count += 1;
+        for d in view.entries() {
+            entries += 1;
+            if !is_alive(d.node) {
+                dead += 1;
+            }
+        }
+    }
+    ViewHealth {
+        views: view_count,
+        mean_size: if view_count == 0 {
+            0.0
+        } else {
+            entries as f64 / view_count as f64
+        },
+        dead_entry_fraction: if entries == 0 {
+            0.0
+        } else {
+            dead as f64 / entries as f64
+        },
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +127,27 @@ mod tests {
         let (m, v) = exchange_moments(&[2, 2, 2, 2]);
         assert_eq!(m, 2.0);
         assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn view_health_counts_dead_entries() {
+        use epidemic_newscast::Descriptor;
+        let mut a = View::new(4);
+        a.insert(Descriptor::new(1, 10));
+        a.insert(Descriptor::new(2, 9));
+        let mut b = View::new(4);
+        b.insert(Descriptor::new(2, 7));
+        let health = view_health([&a, &b], |peer| peer != 2);
+        assert_eq!(health.views, 2);
+        assert!((health.mean_size - 1.5).abs() < 1e-12);
+        assert!((health.dead_entry_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_health_of_nothing() {
+        let health = view_health(std::iter::empty::<&View>(), |_| true);
+        assert_eq!(health.views, 0);
+        assert_eq!(health.mean_size, 0.0);
+        assert_eq!(health.dead_entry_fraction, 0.0);
     }
 }

@@ -73,6 +73,10 @@ pub struct Network {
     /// Exchange participation tally for the cost analysis (reset per cycle
     /// when tallying is enabled).
     tally: Option<Vec<u32>>,
+    /// Reusable merge buffer: map-field exchanges write the merge result
+    /// here and copy it into both peers, so the hot loop allocates nothing
+    /// once capacities have grown.
+    scratch: InstanceMap,
 }
 
 impl Network {
@@ -85,6 +89,7 @@ impl Network {
             alive_count: n,
             permutation: Vec::new(),
             tally: None,
+            scratch: InstanceMap::new(),
         }
     }
 
@@ -279,6 +284,7 @@ impl Network {
     }
 
     fn apply_exchange(&mut self, i: usize, j: usize, reply_lost: bool) {
+        let scratch = &mut self.scratch;
         for field in &mut self.fields {
             match field {
                 Field::Scalar { rule, values } => {
@@ -289,12 +295,14 @@ impl Network {
                     }
                 }
                 Field::Map { maps } => {
-                    let merged = InstanceMap::merge(&maps[i], &maps[j]);
-                    if reply_lost {
-                        maps[j] = merged;
-                    } else {
-                        maps[i] = merged.clone();
-                        maps[j] = merged;
+                    // Merge into the reused scratch buffer, then install by
+                    // copy into each peer's existing buffer — no fresh
+                    // allocations per exchange (the old code allocated one
+                    // vector for the merge and cloned a second).
+                    InstanceMap::merge_into(&maps[i], &maps[j], scratch);
+                    maps[j].copy_from(scratch);
+                    if !reply_lost {
+                        maps[i].copy_from(scratch);
                     }
                 }
             }

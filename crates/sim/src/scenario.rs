@@ -66,10 +66,13 @@ pub enum OverlaySpec {
     /// A NEWSCAST overlay with view size `c`, gossiping membership in
     /// every cycle alongside the aggregation.
     ///
-    /// The event-driven engine models this as uniform sampling over the
-    /// live population — the "sufficiently random" overlay NEWSCAST
-    /// maintains — rather than simulating membership gossip event by
-    /// event.
+    /// Both engines simulate the membership protocol for real: the cycle
+    /// engine advances a whole-network [`epidemic_newscast::Overlay`] each
+    /// cycle, the event engine runs per-node membership state machines
+    /// whose view exchanges travel through the same delay/loss model as
+    /// aggregation messages (idealizable via
+    /// [`MembershipModel::Idealized`](crate::event::MembershipModel) for
+    /// ablations).
     Newscast {
         /// View size (the paper uses `c = 30`).
         c: usize,
@@ -131,8 +134,8 @@ pub struct Scenario {
     /// Communication failure probabilities.
     pub comm: CommFailure,
     /// NEWSCAST-only warm-up cycles before the measurement starts
-    /// (cycle-driven engine only; the event engine's overlay idealization
-    /// needs no warm-up).
+    /// (cycle-driven engine only; the event engine starts gossiping views
+    /// at tick 0, concurrently with epoch 0).
     pub newscast_warmup: u32,
     /// Local value assigned to nodes that join through churn.
     pub joiner_value: f64,

@@ -1,11 +1,14 @@
-//! Cross-engine agreement: the *same* [`Scenario`] value drives the
+//! Cross-engine conformance: the *same* [`Scenario`] value drives the
 //! cycle-driven and the event-driven engine, and both converge to the same
 //! aggregate under the same adversity (peak values, churn, message loss).
 //! This is the point of the scenario layer — robustness claims hold in
-//! both time models, not just the synchronous idealization.
+//! both time models, not just the synchronous idealization. The NEWSCAST
+//! scenarios exercise *gossiped* membership in the event engine: partial
+//! views maintained by view exchanges under the same delay/loss model,
+//! not uniform sampling over the live set.
 
 use epidemic::aggregation::{InstanceSpec, NodeConfig};
-use epidemic::sim::event::EventConfig;
+use epidemic::sim::event::{EventConfig, EventOutcome, MembershipModel};
 use epidemic::sim::experiment::{AggregateSetup, ExperimentConfig};
 use epidemic::sim::failure::{CommFailure, FailureModel};
 use epidemic::sim::scenario::{OverlaySpec, Scenario, ValueInit};
@@ -21,6 +24,18 @@ fn event_node(gamma: u32) -> NodeConfig {
         .unwrap()
 }
 
+fn run_event(scenario: Scenario, seed: u64) -> EventOutcome {
+    EventConfig {
+        scenario,
+        node: event_node(30),
+        delay: (10, 50),
+        drift: 0.01,
+        duration: 45_000,
+        membership: MembershipModel::Gossip,
+    }
+    .run(seed)
+}
+
 fn run_both(scenario: Scenario, seed: u64) -> (f64, f64) {
     let cycle_est = ExperimentConfig {
         scenario: scenario.clone(),
@@ -29,14 +44,7 @@ fn run_both(scenario: Scenario, seed: u64) -> (f64, f64) {
     }
     .run(seed)
     .mean_final_estimate();
-    let event_out = EventConfig {
-        scenario,
-        node: event_node(30),
-        delay: (10, 50),
-        drift: 0.01,
-        duration: 45_000,
-    }
-    .run(seed);
+    let event_out = run_event(scenario, seed);
     let event_est = event_out
         .mean_epoch_estimate(0)
         .expect("event engine completed no epoch");
@@ -120,6 +128,7 @@ fn event_engine_is_deterministic_under_crash_schedule() {
         delay: (10, 50),
         drift: 0.02,
         duration: 40_000,
+        membership: MembershipModel::Gossip,
     };
     let a = config.run(11);
     let b = config.run(11);
@@ -130,4 +139,87 @@ fn event_engine_is_deterministic_under_crash_schedule() {
     assert_eq!(a.epoch_estimates(1), b.epoch_estimates(1));
     // And the crash actually happened.
     assert!(a.final_alive < 128);
+}
+
+#[test]
+fn engines_agree_on_newscast_under_churn_and_loss() {
+    // The acceptance scenario for gossiped membership: a NEWSCAST overlay
+    // whose views are maintained by event-level exchanges, while churn
+    // substitutes nodes every cycle and 20% of messages are lost. Both
+    // engines must still land on the true average. Loss scatters single
+    // runs (lost replies leak mass), so compare means over seeds.
+    let scenario = Scenario {
+        n: 300,
+        overlay: OverlaySpec::Newscast { c: 20 },
+        values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
+        failure: FailureModel::Churn { per_cycle: 2 },
+        comm: CommFailure::messages(0.2),
+        joiner_value: 5.0,
+        ..Scenario::default()
+    };
+    let seeds = 1u64..=6;
+    let reps = seeds.clone().count() as f64;
+    let (mut cycle_sum, mut event_sum) = (0.0, 0.0);
+    let mut view_traffic = 0usize;
+    for seed in seeds {
+        let cycle_est = ExperimentConfig {
+            scenario: scenario.clone(),
+            cycles: 30,
+            aggregate: AggregateSetup::Average,
+        }
+        .run(seed)
+        .mean_final_estimate();
+        let event_out = run_event(scenario.clone(), seed);
+        let event_est = event_out
+            .mean_epoch_estimate(0)
+            .expect("event engine completed no epoch");
+        view_traffic += event_out.view_messages_sent;
+        cycle_sum += cycle_est;
+        event_sum += event_est;
+    }
+    let (cycle_mean, event_mean) = (cycle_sum / reps, event_sum / reps);
+    let truth = 5.0; // mean of U[0, 10)
+    assert!(
+        (cycle_mean - truth).abs() < 0.5,
+        "cycle engine mean estimate {cycle_mean} vs truth {truth}"
+    );
+    assert!(
+        (event_mean - truth).abs() < 0.5,
+        "event engine mean estimate {event_mean} vs truth {truth}"
+    );
+    assert!(
+        (cycle_mean - event_mean).abs() < 0.5,
+        "engines disagree: cycle {cycle_mean} vs event {event_mean}"
+    );
+    // The event engine really gossiped membership (the conformance point
+    // of this suite: no silent fallback to live-set sampling).
+    assert!(view_traffic > 0, "no view exchanges simulated");
+}
+
+#[test]
+fn event_engine_is_deterministic_with_membership_gossip() {
+    // Same seed ⇒ identical estimates, with view gossip, churn, and loss
+    // all enabled at once.
+    let scenario = Scenario {
+        n: 200,
+        overlay: OverlaySpec::Newscast { c: 20 },
+        values: ValueInit::Uniform { lo: 0.0, hi: 10.0 },
+        failure: FailureModel::Churn { per_cycle: 3 },
+        comm: CommFailure::messages(0.2),
+        joiner_value: 5.0,
+        ..Scenario::default()
+    };
+    let a = run_event(scenario.clone(), 23);
+    let b = run_event(scenario, 23);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.view_messages_sent, b.view_messages_sent);
+    assert_eq!(a.view_messages_lost, b.view_messages_lost);
+    assert_eq!(a.epoch_entries, b.epoch_entries);
+    assert_eq!(a.final_alive, b.final_alive);
+    assert_eq!(a.epoch_estimates(0), b.epoch_estimates(0));
+    assert_eq!(a.epoch_estimates(1), b.epoch_estimates(1));
+    assert!(
+        a.view_messages_sent > 0,
+        "membership gossip was not enabled"
+    );
 }

@@ -33,6 +33,7 @@ fn event_sim_produces_correct_averages_and_counts() {
         delay: (5, 40),
         drift: 0.01,
         duration: 100_000,
+        ..EventConfig::default()
     }
     .run(4);
     let truth = (n as f64 - 1.0) / 2.0;
@@ -123,6 +124,7 @@ fn message_loss_slows_but_epochs_still_complete() {
         delay: (5, 30),
         drift: 0.02,
         duration: 80_000,
+        ..EventConfig::default()
     }
     .run(8);
     assert!(out.messages_lost > 0);
