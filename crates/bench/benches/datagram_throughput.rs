@@ -1,0 +1,113 @@
+//! Thread-per-node vs multiplexed UDP runtime, head to head.
+//!
+//! Each iteration spawns a full localhost cluster, waits until every node
+//! has completed its first epoch (gamma cycles of real push-pull over
+//! real datagrams), and tears it down. The measured quantity is thus
+//! end-to-end wall clock per epoch wave — dominated by protocol cadence,
+//! socket I/O, and scheduler pressure, which is exactly the cost model
+//! the mux runtime changes: `threads` burns one OS thread + one socket
+//! per node, `mux` a fixed `4 + 2` threads and one socket total.
+//!
+//! Results are recorded in BENCH_trajectory.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_aggregation::{InstanceSpec, NodeConfig};
+use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
+use epidemic_net::runtime::{ClusterConfig, UdpNode};
+use std::time::{Duration, Instant};
+
+const CYCLE_MS: u64 = 10;
+const GAMMA: u32 = 4;
+
+fn node_config() -> NodeConfig {
+    NodeConfig::builder()
+        .gamma(GAMMA)
+        .cycle_length(CYCLE_MS)
+        .timeout(CYCLE_MS / 2)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap()
+}
+
+/// Polls `harvest` every few milliseconds until every one of the `n`
+/// nodes has produced at least one epoch report (its first full epoch),
+/// or a hard cap passes. `harvest` marks completed node indices in the
+/// flag slice. Returns how many nodes completed.
+fn wait_for_epoch_wave(n: usize, mut harvest: impl FnMut(&mut [bool])) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut done = vec![false; n];
+    loop {
+        std::thread::sleep(Duration::from_millis(2));
+        harvest(&mut done);
+        let completed = done.iter().filter(|&&d| d).count();
+        if completed >= n || Instant::now() >= deadline {
+            return completed;
+        }
+    }
+}
+
+fn run_threads(n: usize, seed: u64) -> usize {
+    let cluster = ClusterConfig::loopback(n, node_config())
+        .expect("bind cluster")
+        .with_seed(seed);
+    let nodes: Vec<UdpNode> = (0..n)
+        .map(|i| UdpNode::spawn(cluster.node(i, i as f64)).expect("spawn node"))
+        .collect();
+    let seen = wait_for_epoch_wave(n, |done| {
+        for (i, node) in nodes.iter().enumerate() {
+            if !done[i] && !node.take_reports().is_empty() {
+                done[i] = true;
+            }
+        }
+    });
+    for node in nodes {
+        node.shutdown();
+    }
+    seen
+}
+
+fn run_mux(n: usize, seed: u64) -> usize {
+    let cluster = MuxCluster::spawn(
+        MuxClusterConfig::new(n, node_config())
+            .with_workers(4)
+            .with_seed(seed),
+        |i| i as f64,
+    )
+    .expect("spawn cluster");
+    let seen = wait_for_epoch_wave(n, |done| {
+        for (i, reports) in cluster.take_all_reports().iter().enumerate() {
+            if !reports.is_empty() {
+                done[i] = true;
+            }
+        }
+    });
+    cluster.shutdown();
+    seen
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/datagram_throughput");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        // One "element" = one node's completed epoch (gamma cycles).
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("threads", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_threads(n, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mux", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_mux(n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtimes);
+criterion_main!(benches);

@@ -245,6 +245,7 @@ pub fn ablation_membership(scale: Scale, seed: u64) -> FigureOutput {
     for &loss in &losses {
         let mut row = vec![loss];
         let mut overhead = 0.0;
+        let mut byte_overhead = 0.0;
         for membership in [MembershipModel::Idealized, MembershipModel::Gossip] {
             let config = EventConfig {
                 scenario: Scenario {
@@ -276,9 +277,18 @@ pub fn ablation_membership(scale: Scale, seed: u64) -> FigureOutput {
                     .map(|o| o.view_messages_sent as f64 / o.messages_sent as f64)
                     .collect();
                 overhead = epidemic_common::stats::mean(&ratios);
+                // The same overhead in wire bytes (codec-priced): what the
+                // bandwidth model actually charges per aggregation message.
+                let byte_ratios: Vec<f64> = outcomes
+                    .iter()
+                    .filter(|o| o.messages_sent > 0)
+                    .map(|o| o.view_bytes_sent as f64 / o.messages_sent as f64)
+                    .collect();
+                byte_overhead = epidemic_common::stats::mean(&byte_ratios);
             }
         }
         row.push(overhead);
+        row.push(byte_overhead);
         rows.push(row);
     }
     FigureOutput {
@@ -294,6 +304,7 @@ pub fn ablation_membership(scale: Scale, seed: u64) -> FigureOutput {
             "idealized_err",
             "gossiped_err",
             "view_msgs_per_agg_msg",
+            "view_bytes_per_agg_msg",
         ]
         .iter()
         .map(|s| s.to_string())

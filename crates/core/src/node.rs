@@ -235,6 +235,23 @@ impl GossipNode {
     /// crash masking: the exchange is simply skipped) and performs the
     /// scheduled epoch activation of a joiner.
     pub fn poll(&mut self, now: u64, peer: Option<NodeId>) -> Option<Outbound> {
+        self.poll_with(now, || peer)
+    }
+
+    /// [`poll`](Self::poll) with *lazy* peer selection: `choose_peer` is
+    /// invoked only when a cycle boundary actually fired and an exchange
+    /// will be initiated.
+    ///
+    /// This is the entry point for embeddings that drive many nodes as
+    /// continuation-style state machines (the multiplexed UDP runtime):
+    /// wake-ups triggered by timeouts or activations must not consume
+    /// `GETNEIGHBOR()` randomness, so that the sequence of peers a node
+    /// contacts is a deterministic function of its cycle count alone —
+    /// independent of how often the embedding polls.
+    pub fn poll_with<F>(&mut self, now: u64, choose_peer: F) -> Option<Outbound>
+    where
+        F: FnOnce() -> Option<NodeId>,
+    {
         if let Some(p) = self.pending {
             if p.expires_at <= now {
                 self.pending = None;
@@ -256,13 +273,14 @@ impl GossipNode {
         if !initiate || !self.active {
             return None;
         }
-        let peer = peer?;
-        if peer == self.id {
+        // One in-flight exchange at a time; while the previous one is
+        // awaiting its reply or timeout, do not even draw a peer (the
+        // draw sequence must stay a function of initiated exchanges).
+        if self.pending.is_some() {
             return None;
         }
-        // One in-flight exchange at a time; the previous one must complete
-        // or time out first.
-        if self.pending.is_some() {
+        let peer = choose_peer()?;
+        if peer == self.id {
             return None;
         }
         self.pending = Some(Pending {
@@ -526,6 +544,42 @@ mod tests {
         for t in 0..500 {
             assert!(a.poll(t, Some(NodeId::new(0))).is_none());
         }
+    }
+
+    #[test]
+    fn poll_with_draws_peer_only_on_initiation() {
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut draws = 0;
+        // Repolling the same instant must not re-draw: only the poll that
+        // crosses a cycle boundary (and has no pending exchange) consumes
+        // a peer.
+        let mut t = 0;
+        let mut initiations = 0;
+        while initiations == 0 {
+            t += 1;
+            for _ in 0..3 {
+                if a.poll_with(t, || {
+                    draws += 1;
+                    Some(NodeId::new(1))
+                })
+                .is_some()
+                {
+                    initiations += 1;
+                }
+            }
+        }
+        assert_eq!(draws, 1, "peer drawn {draws} times for 1 initiation");
+        // Driving through several more cycles with replies never arriving:
+        // exactly one draw per initiated exchange, none for the wake-ups
+        // that only expired timeouts.
+        for _ in 0..5 {
+            t += 100; // one cycle length; the previous exchange timed out
+            a.poll_with(t, || {
+                draws += 1;
+                Some(NodeId::new(1))
+            });
+        }
+        assert_eq!(draws, 6, "timeout wake-ups consumed peer draws");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!
 //! ```text
 //! u8  version (=1)
-//! u8  body tag: 0 request, 1 reply, 2 epoch notice, 3 refuse
+//! u8  body tag: 0 request, 1 reply, 2 epoch notice, 3 refuse,
+//!               4 view exchange, 5 view reply
+//! -- aggregation bodies (tags 0-3) --
 //! u64 sender id
 //! u64 epoch
 //! -- request/reply only --
@@ -13,16 +15,40 @@
 //!   per instance: u8 state tag (0 scalar, 1 map)
 //!     scalar: f64
 //!     map:    u16 entry count, then (u64 leader, f64 estimate)*
+//! -- membership bodies (tags 4-5) --
+//! u32 sender id
+//! u16 descriptor count, then (u32 node, u32 timestamp)*
 //! ```
+//!
+//! The multiplexed runtime ([`crate::mux`]) hosts many protocol nodes
+//! behind one socket, so its datagrams carry a routing prefix in front of
+//! the regular message ([`encode_mux_frame`]):
+//!
+//! ```text
+//! u8  mux version (=2)
+//! u64 destination virtual-node id
+//! ... the v1 message bytes ...
+//! ```
+//!
+//! Every encoder has an exact size twin (`*_len`) so traffic models can
+//! charge wire bytes without materializing buffers; the property suite in
+//! `tests/properties.rs` pins `encoded_len() == encode().len()`.
 
 use epidemic_aggregation::value::InstanceMap;
 use epidemic_aggregation::{InstanceState, Message, MessageBody};
 use epidemic_common::NodeId;
+use epidemic_newscast::node::ViewPayload;
+use epidemic_newscast::Descriptor;
 use std::error::Error;
 use std::fmt;
 
 /// Wire format version emitted by [`encode_message`].
 pub const WIRE_VERSION: u8 = 1;
+
+/// Wire version of the virtual-node-routed frames emitted by
+/// [`encode_mux_frame`]. Distinct from [`WIRE_VERSION`] so a mux socket
+/// and a plain socket can never misparse each other's datagrams.
+pub const MUX_WIRE_VERSION: u8 = 2;
 
 /// Error raised when a datagram cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +78,7 @@ impl Error for DecodeError {}
 trait WireWrite {
     fn put_u8(&mut self, v: u8);
     fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
     fn put_u64_le(&mut self, v: u64);
     fn put_f64_le(&mut self, v: f64);
 }
@@ -61,6 +88,9 @@ impl WireWrite for Vec<u8> {
         self.push(v);
     }
     fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
         self.extend_from_slice(&v.to_le_bytes());
     }
     fn put_u64_le(&mut self, v: u64) {
@@ -78,6 +108,7 @@ trait WireRead {
     fn remaining(&self) -> usize;
     fn get_u8(&mut self) -> u8;
     fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
     fn get_u64_le(&mut self) -> u64;
     fn get_f64_le(&mut self) -> f64;
 }
@@ -95,6 +126,11 @@ impl WireRead for &[u8] {
         let (head, rest) = self.split_at(2);
         *self = rest;
         u16::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
     }
     fn get_u64_le(&mut self) -> u64 {
         let (head, rest) = self.split_at(8);
@@ -208,6 +244,131 @@ pub fn decode_message(mut data: &[u8]) -> Result<Message, DecodeError> {
     Ok(Message { from, epoch, body })
 }
 
+/// Exact encoded size of [`encode_message`]'s output for `msg`, without
+/// allocating. Lets traffic models charge wire bytes per message.
+pub fn encoded_len(msg: &Message) -> usize {
+    let states: Option<&[InstanceState]> = match &msg.body {
+        MessageBody::Request(s) | MessageBody::Reply(s) => Some(s),
+        MessageBody::EpochNotice | MessageBody::Refuse => None,
+    };
+    // version + tag + sender + epoch
+    let mut len = 1 + 1 + 8 + 8;
+    if let Some(states) = states {
+        len += 2; // instance count
+        for state in states {
+            len += 1; // state tag
+            len += match state {
+                InstanceState::Scalar(_) => 8,
+                InstanceState::Map(map) => 2 + 16 * map.len(),
+            };
+        }
+    }
+    len
+}
+
+/// Encodes a NEWSCAST view-exchange payload. `reply` distinguishes the
+/// passive side's answer (absorbed without a response) from the
+/// initiator's opening message.
+pub fn encode_view_message(payload: &ViewPayload, reply: bool) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(view_encoded_len(payload));
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(if reply { 5 } else { 4 });
+    buf.put_u32_le(payload.from);
+    buf.put_u16_le(payload.descriptors.len() as u16);
+    for d in &payload.descriptors {
+        buf.put_u32_le(d.node);
+        buf.put_u32_le(d.timestamp);
+    }
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_view_message`], returning the
+/// payload and whether it was a reply.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version, or a tag
+/// that is not a view exchange.
+pub fn decode_view_message(mut data: &[u8]) -> Result<(ViewPayload, bool), DecodeError> {
+    if data.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let reply = match data.get_u8() {
+        4 => false,
+        5 => true,
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let from = data.get_u32_le();
+    let count = data.get_u16_le() as usize;
+    if data.remaining() < count * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut descriptors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = data.get_u32_le();
+        let timestamp = data.get_u32_le();
+        descriptors.push(Descriptor::new(node, timestamp));
+    }
+    Ok((ViewPayload { from, descriptors }, reply))
+}
+
+/// Exact encoded size of [`encode_view_message`]'s output for `payload`.
+pub fn view_encoded_len(payload: &ViewPayload) -> usize {
+    view_message_len(payload.descriptors.len())
+}
+
+/// Encoded size of a view message carrying `descriptors` descriptors.
+///
+/// A full NEWSCAST exchange over a view of size `c` costs
+/// `2 * view_message_len(c + 1)` wire bytes: each side sends its view plus
+/// a fresh self-descriptor.
+pub const fn view_message_len(descriptors: usize) -> usize {
+    // version + tag + sender(u32) + count(u16) + (node, timestamp) pairs
+    1 + 1 + 4 + 2 + 8 * descriptors
+}
+
+/// Wraps an encoded v1 message in a mux routing frame addressed to the
+/// virtual node `to`. The receiving process reads the prefix, routes the
+/// remainder to `to`'s state machine, and decodes it with
+/// [`decode_message`].
+pub fn encode_mux_frame(to: NodeId, msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(mux_frame_len(msg));
+    buf.put_u8(MUX_WIRE_VERSION);
+    buf.put_u64_le(to.as_u64());
+    let body = encode_message(msg);
+    buf.extend_from_slice(&body);
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_mux_frame`] into the
+/// destination virtual-node id and the carried message.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the routing prefix is truncated or has the
+/// wrong version, or if the carried message fails to decode.
+pub fn decode_mux_frame(mut data: &[u8]) -> Result<(NodeId, Message), DecodeError> {
+    if data.remaining() < 9 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != MUX_WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let to = NodeId::new(data.get_u64_le());
+    let msg = decode_message(data)?;
+    Ok((to, msg))
+}
+
+/// Exact encoded size of [`encode_mux_frame`]'s output for `msg`.
+pub fn mux_frame_len(msg: &Message) -> usize {
+    1 + 8 + encoded_len(msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +475,101 @@ mod tests {
         let msg = Message::request(NodeId::new(1), 5, vec![InstanceState::Map(map)]);
         let encoded = encode_message(&msg);
         assert!(encoded.len() < 350, "encoded size {}", encoded.len());
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let map = InstanceMap::from_entries([(3, 0.125), (900, 1.0)]);
+        for msg in [
+            Message::request(
+                NodeId::new(7),
+                42,
+                vec![InstanceState::Scalar(3.25), InstanceState::Map(map)],
+            ),
+            Message::reply(NodeId::new(1), 0, vec![]),
+            Message::epoch_notice(NodeId::new(0), 0),
+            Message::refuse(NodeId::new(1), 9),
+        ] {
+            assert_eq!(
+                encoded_len(&msg),
+                encode_message(&msg).len(),
+                "size mismatch for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_view_messages() {
+        for reply in [false, true] {
+            let payload = ViewPayload {
+                from: 0xDEAD_BEEF,
+                descriptors: vec![Descriptor::new(1, 9), Descriptor::new(u32::MAX, 0)],
+            };
+            let encoded = encode_view_message(&payload, reply);
+            assert_eq!(encoded.len(), view_encoded_len(&payload));
+            let (decoded, was_reply) = decode_view_message(&encoded).expect("decode");
+            assert_eq!(decoded, payload);
+            assert_eq!(was_reply, reply);
+        }
+    }
+
+    #[test]
+    fn view_decode_rejects_truncation_and_foreign_tags() {
+        let payload = ViewPayload {
+            from: 3,
+            descriptors: vec![Descriptor::new(4, 5), Descriptor::new(6, 7)],
+        };
+        let encoded = encode_view_message(&payload, false);
+        for len in 0..encoded.len() {
+            assert_eq!(
+                decode_view_message(&encoded[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {len}"
+            );
+        }
+        // An aggregation message is not a view message and vice versa.
+        let agg = encode_message(&Message::refuse(NodeId::new(1), 0));
+        assert_eq!(decode_view_message(&agg), Err(DecodeError::BadTag(3)));
+        assert_eq!(decode_message(&encoded), Err(DecodeError::BadTag(4)));
+    }
+
+    #[test]
+    fn round_trip_mux_frame() {
+        let msg = Message::request(NodeId::new(77), 3, vec![InstanceState::Scalar(1.5)]);
+        let frame = encode_mux_frame(NodeId::new(1023), &msg);
+        assert_eq!(frame.len(), mux_frame_len(&msg));
+        let (to, decoded) = decode_mux_frame(&frame).expect("decode");
+        assert_eq!(to, NodeId::new(1023));
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn mux_frame_rejects_plain_messages_and_truncation() {
+        let msg = Message::refuse(NodeId::new(1), 0);
+        // A v1 datagram hitting a mux socket must not decode.
+        assert_eq!(
+            decode_mux_frame(&encode_message(&msg)),
+            Err(DecodeError::BadVersion(WIRE_VERSION))
+        );
+        let frame = encode_mux_frame(NodeId::new(5), &msg);
+        for len in 0..frame.len() {
+            assert_eq!(
+                decode_mux_frame(&frame[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn view_exchange_size_arithmetic() {
+        // A c=30 view exchange: each side ships 31 descriptors.
+        assert_eq!(view_message_len(31), 1 + 1 + 4 + 2 + 31 * 8);
+        let payload = ViewPayload {
+            from: 0,
+            descriptors: (0..31).map(|i| Descriptor::new(i, i)).collect(),
+        };
+        assert_eq!(view_encoded_len(&payload), view_message_len(31));
     }
 
     #[test]

@@ -6,10 +6,17 @@
 //! [`epidemic_aggregation::GossipNode`]:
 //!
 //! * [`codec`] — a compact, versioned binary wire format for protocol
-//!   messages (hand-rolled little-endian framing, no codec dependency).
+//!   messages (hand-rolled little-endian framing, no codec dependency),
+//!   including NEWSCAST view exchanges, virtual-node-routed mux frames,
+//!   and exact `*_len` size twins for traffic accounting.
 //! * [`runtime`] — a UDP runtime: one OS thread per node runs the active
 //!   and passive loops over a non-blocking socket, with a static peer
 //!   table playing the role of the membership service.
+//! * [`mux`] — the multiplexed runtime: N virtual nodes behind **one**
+//!   socket and `workers + 2` threads, driven by a reader thread and a
+//!   hashed [`timer::TimerWheel`]; scales localhost experiments to
+//!   thousands of real-socket nodes per process.
+//! * [`timer`] — the hashed timer wheel backing [`mux`].
 //!
 //! # Examples
 //!
@@ -43,7 +50,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod mux;
 pub mod runtime;
+pub mod timer;
 
 pub use codec::{decode_message, encode_message, DecodeError};
+pub use mux::{MuxCluster, MuxClusterConfig};
 pub use runtime::{ClusterConfig, NodeHandleConfig, UdpNode};

@@ -1,0 +1,576 @@
+//! Multiplexed UDP cluster runtime: thousands of nodes, a handful of
+//! threads.
+//!
+//! [`crate::runtime`] realizes the paper's Figure 1 literally — one OS
+//! thread and one socket per node — which caps real-network experiments
+//! at a few hundred nodes per host. This module hosts N virtual nodes
+//! inside one process behind **one** socket and `workers + 2` OS threads:
+//!
+//! * a *reader* thread blocks on the shared socket and routes each
+//!   datagram by the virtual-node id in its mux frame
+//!   ([`crate::codec::encode_mux_frame`]);
+//! * a *timer* thread drives a hashed [`TimerWheel`] over every node's
+//!   self-reported deadline ([`GossipNode::next_deadline`]): cycle
+//!   boundaries, pending-exchange timeouts, joiner activations;
+//! * `workers` worker threads execute the per-node state machines. No
+//!   thread ever blocks on an exchange: a node that initiated one simply
+//!   parks a timeout deadline in the wheel and yields its worker — the
+//!   pending exchange is a timer-guarded continuation inside the sans-io
+//!   [`GossipNode`].
+//!
+//! Every datagram still crosses the kernel's UDP stack (loopback or
+//! otherwise), so the runtime exercises the real codec, real sockets, and
+//! real timing — only the thread-per-node cost model is gone. A node's
+//! protocol behavior is identical to [`crate::runtime::UdpNode`]'s by
+//! construction: same state machine, same seeds, and peer randomness
+//! drawn lazily per *initiated exchange* ([`GossipNode::poll_with`]), so
+//! a same-seed mux and thread-per-node cluster select the same peer
+//! sequence per node.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use epidemic_aggregation::{InstanceSpec, NodeConfig};
+//! use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
+//!
+//! let node_config = NodeConfig::builder()
+//!     .gamma(10)
+//!     .cycle_length(50)
+//!     .timeout(20)
+//!     .instance(InstanceSpec::AVERAGE)
+//!     .build()?;
+//! // 1024 gossip nodes, one socket, 4 + 2 OS threads.
+//! let cluster = MuxCluster::spawn(
+//!     MuxClusterConfig::new(1024, node_config).with_workers(4),
+//!     |i| i as f64,
+//! )?;
+//! std::thread::sleep(std::time::Duration::from_millis(1_200));
+//! let reports = cluster.take_all_reports();
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::codec::{decode_mux_frame, encode_mux_frame};
+use crate::runtime::uniform_peer;
+use crate::timer::TimerWheel;
+use epidemic_aggregation::node::GossipNode;
+use epidemic_aggregation::{EpochReport, NodeConfig};
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::NodeId;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a multiplexed cluster: the node count and protocol
+/// parameters (the mux twin of [`crate::runtime::ClusterConfig`]).
+#[derive(Debug, Clone)]
+pub struct MuxClusterConfig {
+    n: usize,
+    node_config: NodeConfig,
+    seed: u64,
+    workers: usize,
+}
+
+impl MuxClusterConfig {
+    /// Describes a cluster of `n` virtual nodes sharing one loopback
+    /// socket. Worker count defaults to `min(4, available_parallelism)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, node_config: NodeConfig) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        let default_workers = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(2)
+            .clamp(1, 4);
+        MuxClusterConfig {
+            n,
+            node_config,
+            seed: 0xC0FFEE,
+            workers: default_workers,
+        }
+    }
+
+    /// Overrides the randomness seed shared by the cluster (the same
+    /// meaning as [`crate::runtime::ClusterConfig::with_seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Number of virtual nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the cluster would be empty (never: `new` rejects
+    /// `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// One unit of protocol work, executed by whichever worker claims it.
+#[derive(Debug)]
+enum Work {
+    /// A timer deadline fired for the node.
+    Wake(u32),
+    /// A datagram arrived for the node.
+    Deliver(u32, epidemic_aggregation::Message),
+}
+
+/// FIFO work queue the reader and timer threads feed and the workers
+/// drain.
+#[derive(Debug, Default)]
+struct WorkQueue {
+    items: Mutex<VecDeque<Work>>,
+    available: Condvar,
+}
+
+impl WorkQueue {
+    fn push(&self, work: Work) {
+        self.items.lock().unwrap().push_back(work);
+        self.available.notify_one();
+    }
+
+    /// Pops the next item, blocking until one arrives or `stop` is set.
+    fn pop(&self, stop: &AtomicBool) -> Option<Work> {
+        let mut items = self.items.lock().unwrap();
+        loop {
+            if let Some(work) = items.pop_front() {
+                return Some(work);
+            }
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(items, Duration::from_millis(50))
+                .unwrap();
+            items = guard;
+        }
+    }
+}
+
+/// A virtual node: the sans-io state machine plus its peer-selection
+/// stream and the earliest timer deadline already parked for it.
+#[derive(Debug)]
+struct VNode {
+    gossip: GossipNode,
+    peer_rng: Xoshiro256,
+    /// Earliest deadline with a live wheel entry for this node, or
+    /// `u64::MAX` when none is known — lets workers skip redundant
+    /// schedule requests (stale extra wake-ups are harmless but cost
+    /// queue traffic).
+    next_wake: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    socket: UdpSocket,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    nodes: Vec<Mutex<VNode>>,
+    work: WorkQueue,
+    /// Schedule requests `(deadline_ms, node)` bound for the timer
+    /// thread's wheel.
+    timer_inbox: Mutex<Vec<(u64, u32)>>,
+    datagrams_in: AtomicUsize,
+    datagrams_out: AtomicUsize,
+    start: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn schedule(&self, deadline: u64, node: u32) {
+        self.timer_inbox.lock().unwrap().push((deadline, node));
+    }
+}
+
+/// Handle to a running multiplexed cluster.
+///
+/// Dropping the handle shuts the cluster down (all threads exit within
+/// one poll interval), mirroring [`crate::runtime::UdpNode`].
+#[derive(Debug)]
+pub struct MuxCluster {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MuxCluster {
+    /// Binds the shared socket, builds the `n` virtual nodes with local
+    /// values `values(i)`, and starts the reader, timer, and worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, timeout setup).
+    pub fn spawn(
+        config: MuxClusterConfig,
+        values: impl Fn(usize) -> f64,
+    ) -> io::Result<MuxCluster> {
+        let MuxClusterConfig {
+            n,
+            node_config,
+            seed,
+            workers,
+        } = config;
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let nodes: Vec<Mutex<VNode>> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u64);
+                Mutex::new(VNode {
+                    gossip: GossipNode::founder(id, node_config.clone(), values(i), seed),
+                    peer_rng: Xoshiro256::stream(seed ^ 0x5EED, id.as_u64()),
+                    next_wake: u64::MAX,
+                })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            socket,
+            addr,
+            stop: AtomicBool::new(false),
+            nodes,
+            work: WorkQueue::default(),
+            timer_inbox: Mutex::new(Vec::new()),
+            datagrams_in: AtomicUsize::new(0),
+            datagrams_out: AtomicUsize::new(0),
+            start: Instant::now(),
+        });
+        // Prime every node with an initial wake so its first deadline is
+        // computed and parked.
+        for i in 0..n {
+            shared.work.push(Work::Wake(i as u32));
+        }
+
+        let mut threads = Vec::with_capacity(workers + 2);
+        let cycle = node_config.cycle_length();
+        let spawned = (|| -> io::Result<()> {
+            let reader_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mux-reader".into())
+                    .spawn(move || reader_loop(&reader_shared))?,
+            );
+            let timer_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mux-timer".into())
+                    .spawn(move || timer_loop(&timer_shared, cycle))?,
+            );
+            for k in 0..workers {
+                let worker_shared = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("mux-worker-{k}"))
+                        .spawn(move || worker_loop(&worker_shared))?,
+                );
+            }
+            Ok(())
+        })();
+        if let Err(e) = spawned {
+            // A later spawn failed (e.g. thread exhaustion): stop and
+            // join whatever already started instead of leaking detached
+            // threads that would pin the socket and node state forever.
+            shared.stop.store(true, Ordering::Relaxed);
+            shared.work.available.notify_all();
+            for handle in threads {
+                let _ = handle.join();
+            }
+            return Err(e);
+        }
+        Ok(MuxCluster { shared, threads })
+    }
+
+    /// The shared socket address every virtual node receives on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Number of virtual nodes hosted.
+    pub fn len(&self) -> usize {
+        self.shared.nodes.len()
+    }
+
+    /// Returns `true` if the cluster hosts no nodes (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.shared.nodes.is_empty()
+    }
+
+    /// OS threads the cluster runs on: `workers + 2` (reader + timer).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Drains the epoch reports node `index` produced since the last
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn take_reports(&self, index: usize) -> Vec<EpochReport> {
+        self.shared.nodes[index]
+            .lock()
+            .unwrap()
+            .gossip
+            .take_reports()
+    }
+
+    /// Drains every node's epoch reports, indexed by node.
+    pub fn take_all_reports(&self) -> Vec<Vec<EpochReport>> {
+        (0..self.len()).map(|i| self.take_reports(i)).collect()
+    }
+
+    /// Updates node `index`'s local value (takes effect at its next
+    /// epoch, exactly like [`crate::runtime::UdpNode::set_local_value`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_local_value(&self, index: usize, value: f64) {
+        self.shared.nodes[index]
+            .lock()
+            .unwrap()
+            .gossip
+            .set_local_value(value);
+    }
+
+    /// Datagrams received and sent so far, cluster-wide.
+    pub fn datagram_counts(&self) -> (usize, usize) {
+        (
+            self.shared.datagrams_in.load(Ordering::Relaxed),
+            self.shared.datagrams_out.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops all threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.work.available.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MuxCluster {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Blocks on the shared socket and routes datagrams to state machines.
+fn reader_loop(shared: &Shared) {
+    let mut buf = [0u8; 64 * 1024];
+    while !shared.stop.load(Ordering::Relaxed) {
+        match shared.socket.recv_from(&mut buf) {
+            Ok((len, _src)) => {
+                shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                let Ok((to, msg)) = decode_mux_frame(&buf[..len]) else {
+                    continue; // corrupt datagram: drop, stay alive
+                };
+                let dst = to.index();
+                if dst < shared.nodes.len() {
+                    shared.work.push(Work::Deliver(dst as u32, msg));
+                }
+            }
+            // Read timeout (or spurious wake): re-check the stop flag.
+            Err(ref e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Owns the timer wheel: drains schedule requests, fires due deadlines as
+/// [`Work::Wake`] items.
+fn timer_loop(shared: &Shared, cycle_ms: u64) {
+    let mut wheel = TimerWheel::for_cycle(cycle_ms.max(1));
+    let mut inbox: Vec<(u64, u32)> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::mem::swap(&mut inbox, &mut shared.timer_inbox.lock().unwrap());
+        for (deadline, node) in inbox.drain(..) {
+            wheel.schedule(deadline, node);
+        }
+        wheel.advance(shared.now_ms(), |node| {
+            shared.work.push(Work::Wake(node));
+        });
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Executes per-node protocol steps until shutdown.
+fn worker_loop(shared: &Shared) {
+    let n = shared.nodes.len();
+    while let Some(work) = shared.work.pop(&shared.stop) {
+        let (index, is_wake) = match &work {
+            Work::Wake(i) => (*i as usize, true),
+            Work::Deliver(i, _) => (*i as usize, false),
+        };
+        let mut vnode = shared.nodes[index].lock().unwrap();
+        let now = shared.now_ms();
+        let outbound = match work {
+            Work::Wake(_) => {
+                // This wake consumed whatever wheel entry was parked.
+                vnode.next_wake = u64::MAX;
+                let VNode {
+                    gossip, peer_rng, ..
+                } = &mut *vnode;
+                gossip.poll_with(now, || uniform_peer(peer_rng, n, index))
+            }
+            Work::Deliver(_, msg) => vnode.gossip.handle(&msg, now),
+        };
+        // Park the node's next deadline unless an earlier (or equal)
+        // wheel entry is already live. After a wake we always re-park.
+        let deadline = vnode.gossip.next_deadline();
+        if is_wake || deadline < vnode.next_wake {
+            vnode.next_wake = deadline;
+            shared.schedule(deadline, index as u32);
+        }
+        drop(vnode);
+        if let Some(out) = outbound {
+            let frame = encode_mux_frame(out.to, &out.message);
+            if shared.socket.send_to(&frame, shared.addr).is_ok() {
+                shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_aggregation::InstanceSpec;
+
+    fn node_config(gamma: u32, cycle_ms: u64) -> NodeConfig {
+        NodeConfig::builder()
+            .gamma(gamma)
+            .cycle_length(cycle_ms)
+            .timeout(cycle_ms / 2)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn thread_budget_is_workers_plus_two() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(64, node_config(4, 40)).with_workers(3),
+            |_| 0.0,
+        )
+        .unwrap();
+        assert_eq!(cluster.len(), 64);
+        assert_eq!(cluster.thread_count(), 3 + 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pair_converges_to_average() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(2, node_config(8, 25)).with_workers(2),
+            |i| (i as f64 + 1.0) * 10.0, // 10, 20: average 15
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(900));
+        let reports = cluster.take_all_reports();
+        cluster.shutdown();
+        let mut estimates = Vec::new();
+        for node_reports in &reports {
+            for r in node_reports {
+                estimates.push(r.scalar(0).unwrap());
+            }
+        }
+        assert!(!estimates.is_empty(), "no epochs completed");
+        let last = *estimates.last().unwrap();
+        assert!((last - 15.0).abs() < 0.5, "final estimate {last}");
+    }
+
+    #[test]
+    fn single_node_completes_epochs_alone() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(1, node_config(2, 30)).with_workers(1),
+            |_| 7.0,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        let reports = cluster.take_reports(0);
+        cluster.shutdown();
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert_eq!(r.scalar(0), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn datagram_counters_move() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(4, node_config(30, 20)).with_workers(2),
+            |i| i as f64,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        let (rx, tx) = cluster.datagram_counts();
+        cluster.shutdown();
+        assert!(tx > 0, "cluster never sent");
+        assert!(rx > 0, "cluster never received");
+    }
+
+    #[test]
+    fn set_local_value_applies_next_epoch() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(1, node_config(2, 20)).with_workers(1),
+            |_| 1.0,
+        )
+        .unwrap();
+        cluster.set_local_value(0, 100.0);
+        std::thread::sleep(Duration::from_millis(400));
+        let reports = cluster.take_reports(0);
+        cluster.shutdown();
+        let last = reports.last().and_then(|r| r.scalar(0)).unwrap();
+        assert_eq!(last, 100.0, "local value update never took effect");
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(8, node_config(4, 30)).with_workers(2),
+            |_| 0.0,
+        )
+        .unwrap();
+        drop(cluster); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        MuxClusterConfig::new(0, node_config(2, 20));
+    }
+}

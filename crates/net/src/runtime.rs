@@ -202,6 +202,22 @@ impl Drop for UdpNode {
     }
 }
 
+/// Draws a uniformly random peer among `n` nodes, excluding `me`.
+/// Returns `None` when the node is alone.
+///
+/// Shared by the thread-per-node and multiplexed runtimes: combined with
+/// lazy selection ([`GossipNode::poll_with`]), a node's peer sequence is a
+/// deterministic function of `(seed, id, initiated-exchange count)` — the
+/// property the mux-vs-threads parity tests rely on.
+pub(crate) fn uniform_peer(rng: &mut Xoshiro256, n: usize, me: usize) -> Option<NodeId> {
+    if n <= 1 {
+        return None;
+    }
+    let raw = rng.index(n - 1);
+    let p = if raw >= me { raw + 1 } else { raw };
+    Some(NodeId::new(p as u64))
+}
+
 fn run_loop(
     socket: UdpSocket,
     id: NodeId,
@@ -222,15 +238,10 @@ fn run_loop(
             node.set_local_value(v);
         }
 
-        // Active behavior: tick the protocol; initiate when a cycle fires.
-        let peer = if n_peers > 1 {
-            let raw = rng.index(n_peers - 1);
-            let p = if raw >= id.index() { raw + 1 } else { raw };
-            Some(NodeId::new(p as u64))
-        } else {
-            None
-        };
-        if let Some(out) = node.poll(now_ms, peer) {
+        // Active behavior: tick the protocol; initiate when a cycle
+        // fires. The peer is drawn lazily — only for exchanges actually
+        // initiated — so the draw sequence matches the mux runtime's.
+        if let Some(out) = node.poll_with(now_ms, || uniform_peer(&mut rng, n_peers, id.index())) {
             let target = cluster.peers[out.to.index()];
             if socket
                 .send_to(&encode_message(&out.message), target)

@@ -1,0 +1,110 @@
+//! Property-based tests of the wire codec's size arithmetic and framing.
+//!
+//! The event engine charges view traffic against a bandwidth model using
+//! the `*_len` helpers instead of encoding real buffers, so the central
+//! invariant pinned here is `encoded_len() == encode().len()` over
+//! arbitrary messages — aggregation bodies, view exchanges, and mux
+//! frames alike — plus decode round-trips for everything generated.
+
+use epidemic_aggregation::value::InstanceMap;
+use epidemic_aggregation::{InstanceState, Message};
+use epidemic_common::NodeId;
+use epidemic_net::codec::{
+    decode_message, decode_mux_frame, decode_view_message, encode_message, encode_mux_frame,
+    encode_view_message, encoded_len, mux_frame_len, view_encoded_len,
+};
+use epidemic_newscast::node::ViewPayload;
+use epidemic_newscast::Descriptor;
+use proptest::prelude::*;
+
+/// Raw generated material for one instance state: `(is_map, scalar,
+/// map_entries)`.
+type StateRaw = (bool, f64, Vec<(u64, f64)>);
+
+/// Builds one of the four message bodies from generated raw material.
+fn message(from: u64, epoch: u64, tag: u8, states_raw: Vec<StateRaw>) -> Message {
+    let states: Vec<InstanceState> = states_raw
+        .into_iter()
+        .map(|(is_map, scalar, entries)| {
+            if is_map {
+                InstanceState::Map(InstanceMap::from_entries(entries))
+            } else {
+                InstanceState::Scalar(scalar)
+            }
+        })
+        .collect();
+    let from = NodeId::new(from);
+    match tag % 4 {
+        0 => Message::request(from, epoch, states),
+        1 => Message::reply(from, epoch, states),
+        2 => Message::epoch_notice(from, epoch),
+        _ => Message::refuse(from, epoch),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encoded_len_matches_encode_for_aggregation_messages(
+        from in any::<u64>(),
+        epoch in any::<u64>(),
+        tag in 0u8..4,
+        states_raw in prop::collection::vec(
+            (any::<bool>(), -1e12f64..1e12, prop::collection::vec((any::<u64>(), 0.0f64..1.0), 0..8)),
+            0..5,
+        ),
+    ) {
+        let msg = message(from, epoch, tag, states_raw);
+        let encoded = encode_message(&msg);
+        prop_assert_eq!(encoded_len(&msg), encoded.len(), "encoded_len mismatch for {:?}", msg);
+        let decoded = decode_message(&encoded).expect("round trip");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_view_messages(
+        from in any::<u32>(),
+        reply in any::<bool>(),
+        raw in prop::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let payload = ViewPayload {
+            from,
+            descriptors: raw.iter().map(|&(n, t)| Descriptor::new(n, t)).collect(),
+        };
+        let encoded = encode_view_message(&payload, reply);
+        prop_assert_eq!(view_encoded_len(&payload), encoded.len());
+        let (decoded, was_reply) = decode_view_message(&encoded).expect("round trip");
+        prop_assert_eq!(decoded, payload);
+        prop_assert_eq!(was_reply, reply);
+    }
+
+    #[test]
+    fn mux_frame_len_matches_and_routes(
+        to in any::<u64>(),
+        from in any::<u64>(),
+        epoch in any::<u64>(),
+        tag in 0u8..4,
+        states_raw in prop::collection::vec(
+            (any::<bool>(), -1e6f64..1e6, prop::collection::vec((any::<u64>(), 0.0f64..1.0), 0..4)),
+            0..3,
+        ),
+    ) {
+        let msg = message(from, epoch, tag, states_raw);
+        let frame = encode_mux_frame(NodeId::new(to), &msg);
+        prop_assert_eq!(mux_frame_len(&msg), frame.len());
+        let (dst, decoded) = decode_mux_frame(&frame).expect("round trip");
+        prop_assert_eq!(dst, NodeId::new(to));
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(
+        raw in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Arbitrary bytes: decoders must reject or decode, never panic.
+        let _ = decode_message(&raw);
+        let _ = decode_view_message(&raw);
+        let _ = decode_mux_frame(&raw);
+    }
+}

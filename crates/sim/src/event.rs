@@ -139,6 +139,11 @@ pub struct EventOutcome {
     /// Membership view-exchange messages transmitted (gossiped NEWSCAST
     /// only; the cost the idealized model hides).
     pub view_messages_sent: usize,
+    /// Wire bytes of the transmitted view exchanges, priced by the real
+    /// codec ([`epidemic_net::codec::view_message_len`]): each message
+    /// carries the sender's view plus a fresh self-descriptor, so a
+    /// `c`-descriptor view costs `view_message_len(c + 1)` per direction.
+    pub view_bytes_sent: usize,
     /// Membership view-exchange messages dropped by the loss model.
     pub view_messages_lost: usize,
     /// Health of the live population's partial views when the simulation
@@ -289,6 +294,7 @@ pub struct EventSim {
     messages_sent: usize,
     messages_lost: usize,
     view_messages_sent: usize,
+    view_bytes_sent: usize,
     view_messages_lost: usize,
     epoch_seen: Vec<u64>,
     entries: HashMap<u64, (u64, u64)>,
@@ -397,6 +403,7 @@ impl EventSim {
             messages_sent: 0,
             messages_lost: 0,
             view_messages_sent: 0,
+            view_bytes_sent: 0,
             view_messages_lost: 0,
             epoch_seen,
             entries,
@@ -590,6 +597,8 @@ impl EventSim {
     /// harmless for membership, since views carry no conserved mass.
     fn transmit_view(&mut self, at: u64, to: u32, payload: ViewPayload, reply: bool) {
         self.view_messages_sent += 1;
+        // Sender-side accounting: lost messages still cost uplink bytes.
+        self.view_bytes_sent += epidemic_net::codec::view_message_len(payload.descriptors.len());
         if !reply && self.link_failure > 0.0 && self.view_rng.next_bool(self.link_failure) {
             self.view_messages_lost += 1;
             return;
@@ -708,6 +717,7 @@ impl EventSim {
             messages_sent: self.messages_sent,
             messages_lost: self.messages_lost,
             view_messages_sent: self.view_messages_sent,
+            view_bytes_sent: self.view_bytes_sent,
             view_messages_lost: self.view_messages_lost,
             view_health,
             final_alive: self.live.len(),
@@ -856,6 +866,35 @@ mod tests {
     }
 
     #[test]
+    fn view_bytes_track_codec_sizes() {
+        let c = 15;
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c };
+        let out = cfg.run(5);
+        assert!(out.view_messages_sent > 0);
+        // Every view message carries between 1 (bare self-descriptor) and
+        // c + 1 descriptors; the byte total must price each message inside
+        // those codec bounds.
+        let lo = out.view_messages_sent * epidemic_net::codec::view_message_len(1);
+        let hi = out.view_messages_sent * epidemic_net::codec::view_message_len(c + 1);
+        assert!(
+            (lo..=hi).contains(&out.view_bytes_sent),
+            "view_bytes_sent {} outside [{lo}, {hi}]",
+            out.view_bytes_sent
+        );
+        // Once views are warm, most exchanges ship full views: the mean
+        // message must cost more than half the maximum.
+        assert!(
+            out.view_bytes_sent > hi / 2,
+            "view traffic suspiciously cheap: {} of max {hi}",
+            out.view_bytes_sent
+        );
+        // Idealized membership hides the entire bandwidth cost.
+        cfg.membership = MembershipModel::Idealized;
+        assert_eq!(cfg.run(5).view_bytes_sent, 0);
+    }
+
+    #[test]
     fn gossiped_membership_converges_like_idealized() {
         let mut cfg = base_config();
         cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
@@ -929,6 +968,7 @@ mod tests {
         let b = cfg.run(8);
         assert_eq!(a.messages_sent, b.messages_sent);
         assert_eq!(a.view_messages_sent, b.view_messages_sent);
+        assert_eq!(a.view_bytes_sent, b.view_bytes_sent);
         assert_eq!(a.view_messages_lost, b.view_messages_lost);
         assert_eq!(a.epoch_entries, b.epoch_entries);
         assert_eq!(a.epoch_estimates(0), b.epoch_estimates(0));

@@ -1,8 +1,9 @@
 //! End-to-end integration over real UDP sockets: the full stack —
-//! sans-io protocol node, binary codec, threaded runtime — computing
-//! aggregates on localhost.
+//! sans-io protocol node, binary codec, threaded and multiplexed
+//! runtimes — computing aggregates on localhost.
 
-use epidemic::aggregation::{InstanceSpec, LeaderPolicy, NodeConfig};
+use epidemic::aggregation::{theory, EpochReport, InstanceSpec, LeaderPolicy, NodeConfig};
+use epidemic::net::mux::{MuxCluster, MuxClusterConfig};
 use epidemic::net::runtime::{ClusterConfig, UdpNode};
 use std::time::Duration;
 
@@ -74,6 +75,162 @@ fn cluster_counts_itself() {
     assert!(
         mean > n as f64 * 0.5 && mean < n as f64 * 2.0,
         "mean count {mean} for {n} nodes"
+    );
+}
+
+#[test]
+fn mux_512_nodes_single_process_converge_within_theory_bounds() {
+    // 512 real-socket nodes in one process — far beyond what the
+    // thread-per-node runtime is meant for — multiplexed over one socket
+    // and 4 + 2 OS threads.
+    let n = 512usize;
+    let gamma = 20u32;
+    let config = NodeConfig::builder()
+        .gamma(gamma)
+        .cycle_length(40)
+        .timeout(16)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap();
+    let cluster = MuxCluster::spawn(
+        MuxClusterConfig::new(n, config)
+            .with_workers(4)
+            .with_seed(7),
+        |i| i as f64, // truth: (n - 1) / 2 = 255.5
+    )
+    .unwrap();
+    assert_eq!(cluster.thread_count(), 4 + 2);
+    std::thread::sleep(Duration::from_millis(2_300));
+    let reports = cluster.take_all_reports();
+    cluster.shutdown();
+
+    let truth = (n as f64 - 1.0) / 2.0;
+    // Section 3: each push-pull cycle contracts the estimate variance by
+    // rho = 1/(2 sqrt e). After gamma cycles the expected residual std is
+    // sigma_0 * rho^(gamma/2) — far below 1.0 here — so allowing 100x the
+    // theoretical residual (plus real-world delays, drops, and partial
+    // exchanges) is still a sub-1% relative bound.
+    let sigma0 = ((n as f64 * n as f64 - 1.0) / 12.0).sqrt();
+    let residual = sigma0 * theory::variance_after(gamma, theory::RHO_PUSH_PULL, 1.0).sqrt();
+    let bound = (residual * 100.0).max(truth * 0.01);
+    for node_reports in &reports {
+        for r in node_reports {
+            let est = r.scalar(0).unwrap();
+            assert!(
+                (est - truth).abs() < bound,
+                "epoch {} estimate {est} vs truth {truth} (bound {bound:.3})",
+                r.epoch
+            );
+        }
+    }
+    // The overwhelming majority of nodes must have completed epoch 0
+    // within the run (a few stragglers may still be mid-epoch).
+    let nodes_reporting = reports.iter().filter(|r| !r.is_empty()).count();
+    assert!(
+        nodes_reporting >= n * 3 / 4,
+        "only {nodes_reporting} of {n} nodes completed an epoch"
+    );
+}
+
+#[test]
+fn mux_matches_thread_per_node_runtime_on_same_seed() {
+    // Same seed, same protocol config, same values: the mux cluster and
+    // the thread-per-node cluster must produce identical EpochReport
+    // sequences. n = 2 makes the comparison exact: any completed exchange
+    // yields precisely the true average, independent of scheduling, so
+    // every epoch report of every node is bit-identical across runtimes.
+    let seed = 0xA11CE;
+    let make_config = || {
+        NodeConfig::builder()
+            .gamma(5)
+            .cycle_length(30)
+            .timeout(12)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap()
+    };
+    let values = |i: usize| (i as f64 + 1.0) * 10.0; // 10, 20 -> average 15
+
+    let mux = MuxCluster::spawn(
+        MuxClusterConfig::new(2, make_config()).with_seed(seed),
+        values,
+    )
+    .unwrap();
+    let threads_cluster = ClusterConfig::loopback(2, make_config())
+        .expect("bind cluster")
+        .with_seed(seed);
+    let thread_nodes: Vec<UdpNode> = (0..2)
+        .map(|i| UdpNode::spawn(threads_cluster.node(i, values(i))).unwrap())
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(1_400));
+    let mux_reports = mux.take_all_reports();
+    let thread_reports: Vec<Vec<EpochReport>> = thread_nodes
+        .iter()
+        .map(|node| node.take_reports())
+        .collect();
+    mux.shutdown();
+    for node in thread_nodes {
+        node.shutdown();
+    }
+
+    for (i, (m, t)) in mux_reports.iter().zip(&thread_reports).enumerate() {
+        let common = m.len().min(t.len());
+        assert!(
+            common >= 3,
+            "node {i}: too few comparable epochs (mux {}, threads {})",
+            m.len(),
+            t.len()
+        );
+        assert_eq!(
+            &m[..common],
+            &t[..common],
+            "node {i}: runtimes diverged on the same seed"
+        );
+    }
+}
+
+#[test]
+fn mux_1024_nodes_run_on_six_threads() {
+    // The headline capability: an n = 1024 localhost cluster in ONE
+    // process on workers + 2 = 6 OS threads (the thread-per-node runtime
+    // would need 1024).
+    let n = 1024usize;
+    let config = NodeConfig::builder()
+        .gamma(8)
+        .cycle_length(60)
+        .timeout(25)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap();
+    let cluster = MuxCluster::spawn(
+        MuxClusterConfig::new(n, config)
+            .with_workers(4)
+            .with_seed(3),
+        |i| (i % 101) as f64, // truth ~ 49.76 (1024 = 10*101 + 14 slots of 0..13)
+    )
+    .unwrap();
+    assert_eq!(cluster.thread_count(), 6);
+    std::thread::sleep(Duration::from_millis(1_800));
+    let reports = cluster.take_all_reports();
+    let (rx, tx) = cluster.datagram_counts();
+    cluster.shutdown();
+    let truth = (0..n).map(|i| (i % 101) as f64).sum::<f64>() / n as f64;
+    let estimates: Vec<f64> = reports
+        .iter()
+        .flatten()
+        .filter_map(|r| r.scalar(0))
+        .collect();
+    assert!(
+        estimates.len() >= n / 2,
+        "only {} epoch reports from {n} nodes",
+        estimates.len()
+    );
+    assert!(tx > 0 && rx > 0, "no datagrams moved ({rx} in, {tx} out)");
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    assert!(
+        (mean - truth).abs() < truth * 0.05,
+        "mean estimate {mean} vs truth {truth}"
     );
 }
 

@@ -183,6 +183,12 @@ impl ArbitraryValue for u8 {
     }
 }
 
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
 impl ArbitraryValue for u64 {
     fn arbitrary(rng: &mut TestRng) -> u64 {
         rng.next_u64()
