@@ -1,4 +1,5 @@
-//! Thread-per-node vs multiplexed UDP runtime, head to head.
+//! Runtimes head to head through the unified `Cluster` seam:
+//! thread-per-node vs multiplexed, and static vs gossiped membership.
 //!
 //! Each iteration spawns a full localhost cluster, waits until every node
 //! has completed its first epoch (gamma cycles of real push-pull over
@@ -8,12 +9,20 @@
 //! the mux runtime changes: `threads` burns one OS thread + one socket
 //! per node, `mux` a fixed `4 + 2` threads and one socket total.
 //!
+//! `mux_gossip` runs the same epoch wave with NO static peer table:
+//! NEWSCAST membership bootstraps from vnode 0 and serves
+//! `GETNEIGHBOR()` from live views, so the delta against `mux` prices
+//! gossiped membership (the wire-byte overhead is printed once per run
+//! from the per-plane traffic counters).
+//!
 //! Results are recorded in BENCH_trajectory.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use epidemic_aggregation::{InstanceSpec, NodeConfig};
+use epidemic_net::cluster::Cluster;
+use epidemic_net::directory::{DirectorySpec, GossipDirectoryConfig};
 use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
-use epidemic_net::runtime::{ClusterConfig, UdpNode};
+use epidemic_net::runtime::{ClusterConfig, ThreadCluster};
 use std::time::{Duration, Instant};
 
 const CYCLE_MS: u64 = 10;
@@ -29,60 +38,51 @@ fn node_config() -> NodeConfig {
         .unwrap()
 }
 
-/// Polls `harvest` every few milliseconds until every one of the `n`
-/// nodes has produced at least one epoch report (its first full epoch),
-/// or a hard cap passes. `harvest` marks completed node indices in the
-/// flag slice. Returns how many nodes completed.
-fn wait_for_epoch_wave(n: usize, mut harvest: impl FnMut(&mut [bool])) -> usize {
+/// Spawns `config`, waits until every one of the `n` nodes has produced
+/// at least one epoch report (its first full epoch) or a hard cap
+/// passes, and tears down. Returns how many nodes completed and the
+/// cluster-wide traffic totals.
+fn run_epoch_wave<C: Cluster>(
+    config: C::Config,
+    n: usize,
+) -> (usize, epidemic_net::cluster::TrafficCounts) {
+    let cluster = C::spawn_cluster(config, &|i| i as f64).expect("spawn cluster");
     let deadline = Instant::now() + Duration::from_secs(10);
     let mut done = vec![false; n];
-    loop {
+    let completed = loop {
         std::thread::sleep(Duration::from_millis(2));
-        harvest(&mut done);
+        for (i, flag) in done.iter_mut().enumerate() {
+            if !*flag && !cluster.take_reports(i).is_empty() {
+                *flag = true;
+            }
+        }
         let completed = done.iter().filter(|&&d| d).count();
         if completed >= n || Instant::now() >= deadline {
-            return completed;
+            break completed;
         }
-    }
-}
-
-fn run_threads(n: usize, seed: u64) -> usize {
-    let cluster = ClusterConfig::loopback(n, node_config())
-        .expect("bind cluster")
-        .with_seed(seed);
-    let nodes: Vec<UdpNode> = (0..n)
-        .map(|i| UdpNode::spawn(cluster.node(i, i as f64)).expect("spawn node"))
-        .collect();
-    let seen = wait_for_epoch_wave(n, |done| {
-        for (i, node) in nodes.iter().enumerate() {
-            if !done[i] && !node.take_reports().is_empty() {
-                done[i] = true;
-            }
-        }
-    });
-    for node in nodes {
-        node.shutdown();
-    }
-    seen
-}
-
-fn run_mux(n: usize, seed: u64) -> usize {
-    let cluster = MuxCluster::spawn(
-        MuxClusterConfig::new(n, node_config())
-            .with_workers(4)
-            .with_seed(seed),
-        |i| i as f64,
-    )
-    .expect("spawn cluster");
-    let seen = wait_for_epoch_wave(n, |done| {
-        for (i, reports) in cluster.take_all_reports().iter().enumerate() {
-            if !reports.is_empty() {
-                done[i] = true;
-            }
-        }
-    });
+    };
+    let totals = cluster.total_datagram_counts();
     cluster.shutdown();
-    seen
+    (completed, totals)
+}
+
+fn thread_config(n: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig::loopback(n, node_config())
+        .expect("bind cluster")
+        .with_seed(seed)
+}
+
+fn mux_config(n: usize, seed: u64, gossip: bool) -> MuxClusterConfig {
+    let mut config = MuxClusterConfig::new(n, node_config())
+        .with_workers(4)
+        .with_seed(seed);
+    if gossip {
+        config = config.with_directory(DirectorySpec::Gossip(
+            // Membership gossips at the aggregation cadence.
+            GossipDirectoryConfig::new(20, CYCLE_MS).with_introducer_node(0),
+        ));
+    }
+    config
 }
 
 fn bench_runtimes(c: &mut Criterion) {
@@ -95,17 +95,42 @@ fn bench_runtimes(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_threads(n, seed)
+                run_epoch_wave::<ThreadCluster>(thread_config(n, seed), n).0
             });
         });
         group.bench_with_input(BenchmarkId::new("mux", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_mux(n, seed)
+                run_epoch_wave::<MuxCluster>(mux_config(n, seed, false), n).0
             });
         });
     }
+    // Static vs gossiped membership at n = 256: same epoch wave, the
+    // directory is the only difference.
+    let n = 256usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("mux_gossip", n), &n, |b, &n| {
+        let mut seed = 0u64;
+        let mut printed = false;
+        b.iter(|| {
+            seed += 1;
+            let (completed, totals) = run_epoch_wave::<MuxCluster>(mux_config(n, seed, true), n);
+            if !printed {
+                printed = true;
+                eprintln!(
+                    "mux_gossip/{n}: membership {} msgs / {} bytes vs aggregation \
+                     {} msgs / {} bytes (byte overhead {:.3})",
+                    totals.membership_sent,
+                    totals.membership_bytes_sent,
+                    totals.aggregation_sent,
+                    totals.aggregation_bytes_sent,
+                    totals.membership_byte_overhead(),
+                );
+            }
+            completed
+        });
+    });
     group.finish();
 }
 

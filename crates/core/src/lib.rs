@@ -71,7 +71,7 @@ pub use config::{NodeConfig, NodeConfigBuilder};
 pub use error::ConfigError;
 pub use instance::{InitPolicy, InstanceSpec, InstanceState, LeaderPolicy};
 pub use message::{Message, MessageBody};
-pub use node::GossipNode;
+pub use node::{GossipNode, PeerSampler};
 pub use report::EpochReport;
 pub use rule::{Rule, UpdateRule};
 pub use value::InstanceMap;

@@ -37,6 +37,22 @@ pub struct Outbound {
     pub message: Message,
 }
 
+/// Object-safe source of gossip partners — the paper's `GETNEIGHBOR()`.
+///
+/// [`GossipNode::poll_with`] takes a closure, which is ideal for ad-hoc
+/// embeddings but cannot be stored behind a trait object. Membership
+/// services that live as long as the node (a static peer table, a
+/// NEWSCAST view, …) implement this trait instead and plug into
+/// [`GossipNode::poll_sampler`]; the node still draws lazily, exactly one
+/// draw per initiated exchange.
+pub trait PeerSampler {
+    /// Draws one exchange partner, or `None` when no peer is known.
+    ///
+    /// Called only when an exchange is actually initiated, so stateful
+    /// samplers may treat every call as consumed randomness.
+    fn draw_peer(&mut self) -> Option<NodeId>;
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     peer: NodeId,
@@ -292,6 +308,15 @@ impl GossipNode {
             to: peer,
             message: Message::request(self.id, self.epoch, self.states.clone()),
         })
+    }
+
+    /// [`poll_with`](Self::poll_with) over a long-lived [`PeerSampler`]
+    /// instead of a closure — the form used by runtimes whose
+    /// `GETNEIGHBOR()` is a pluggable membership service (see
+    /// `epidemic-net`'s `PeerDirectory`). Identical draw semantics: the
+    /// sampler is consulted exactly once per initiated exchange.
+    pub fn poll_sampler(&mut self, now: u64, sampler: &mut dyn PeerSampler) -> Option<Outbound> {
+        self.poll_with(now, || sampler.draw_peer())
     }
 
     /// Processes an incoming message, possibly producing a response.
@@ -580,6 +605,28 @@ mod tests {
             });
         }
         assert_eq!(draws, 6, "timeout wake-ups consumed peer draws");
+    }
+
+    #[test]
+    fn poll_sampler_matches_poll_with() {
+        struct Fixed(u64, usize);
+        impl PeerSampler for Fixed {
+            fn draw_peer(&mut self) -> Option<NodeId> {
+                self.1 += 1;
+                Some(NodeId::new(self.0))
+            }
+        }
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut b = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        let mut sampler = Fixed(1, 0);
+        for t in 0..500 {
+            let via_sampler = a.poll_sampler(t, &mut sampler);
+            let via_closure = b.poll_with(t, || Some(NodeId::new(1)));
+            assert_eq!(via_sampler, via_closure);
+        }
+        // Lazy draws survive the indirection: one draw per initiation.
+        let initiated = 500 / 100; // cycle length 100
+        assert!(sampler.1 <= initiated + 1, "drew {} times", sampler.1);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The operator seam: one `Cluster` API over every runtime.
+//!
+//! A cluster of real-network aggregation nodes is operated the same way
+//! whether each node owns an OS thread and a socket
+//! ([`crate::runtime::ThreadCluster`]), thousands of virtual nodes share
+//! one socket ([`crate::mux::MuxCluster`]), or the virtual nodes are
+//! sharded across processes and hosts. The [`Cluster`] trait captures
+//! that surface — spawn, addresses, report draining, local-value
+//! updates, traffic accounting, shutdown — so tests, benches, and
+//! examples are written once and run against every runtime.
+//!
+//! Traffic is accounted per node and per plane in [`TrafficCounts`]:
+//! aggregation datagrams (the paper's push-pull exchanges) separately
+//! from membership datagrams (NEWSCAST views, join/introduce bootstrap),
+//! so the overhead of gossiped membership is directly measurable.
+
+use epidemic_aggregation::EpochReport;
+use epidemic_common::NodeId;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral-port
+/// sockets, recording their addresses, and releasing them only after all
+/// `n` ports are chosen. Shared by every loopback address plan
+/// ([`crate::runtime::ClusterConfig::loopback`],
+/// [`crate::mux::PeerTable::loopback_split`]).
+pub(crate) fn reserve_loopback_addrs(n: usize) -> io::Result<Vec<SocketAddr>> {
+    let mut addrs = Vec::with_capacity(n);
+    let mut held = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sock = UdpSocket::bind(("127.0.0.1", 0))?;
+        addrs.push(sock.local_addr()?);
+        held.push(sock); // hold all sockets until every port is chosen
+    }
+    drop(held);
+    Ok(addrs)
+}
+
+/// Per-node datagram accounting, split by protocol plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounts {
+    /// Aggregation-plane datagrams sent (requests, replies, notices).
+    pub aggregation_sent: u64,
+    /// Aggregation-plane datagrams received.
+    pub aggregation_received: u64,
+    /// Membership-plane datagrams sent (views, joins, introductions).
+    pub membership_sent: u64,
+    /// Membership-plane datagrams received.
+    pub membership_received: u64,
+    /// Wire bytes of the aggregation datagrams sent.
+    pub aggregation_bytes_sent: u64,
+    /// Wire bytes of the membership datagrams sent.
+    pub membership_bytes_sent: u64,
+}
+
+impl TrafficCounts {
+    /// Total datagrams sent across both planes.
+    pub fn sent(&self) -> u64 {
+        self.aggregation_sent + self.membership_sent
+    }
+
+    /// Total datagrams received across both planes.
+    pub fn received(&self) -> u64 {
+        self.aggregation_received + self.membership_received
+    }
+
+    /// Membership bytes sent per aggregation byte sent — the wire
+    /// overhead of gossiped membership (0 for a static directory).
+    pub fn membership_byte_overhead(&self) -> f64 {
+        if self.aggregation_bytes_sent == 0 {
+            return 0.0;
+        }
+        self.membership_bytes_sent as f64 / self.aggregation_bytes_sent as f64
+    }
+}
+
+impl Add for TrafficCounts {
+    type Output = TrafficCounts;
+
+    fn add(mut self, rhs: TrafficCounts) -> TrafficCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for TrafficCounts {
+    fn add_assign(&mut self, rhs: TrafficCounts) {
+        self.aggregation_sent += rhs.aggregation_sent;
+        self.aggregation_received += rhs.aggregation_received;
+        self.membership_sent += rhs.membership_sent;
+        self.membership_received += rhs.membership_received;
+        self.aggregation_bytes_sent += rhs.aggregation_bytes_sent;
+        self.membership_bytes_sent += rhs.membership_bytes_sent;
+    }
+}
+
+/// Lock-free mutable twin of [`TrafficCounts`], shared between the
+/// threads of a runtime (one cell per hosted node).
+#[derive(Debug, Default)]
+pub(crate) struct TrafficCell {
+    aggregation_sent: AtomicU64,
+    aggregation_received: AtomicU64,
+    membership_sent: AtomicU64,
+    membership_received: AtomicU64,
+    aggregation_bytes_sent: AtomicU64,
+    membership_bytes_sent: AtomicU64,
+}
+
+impl TrafficCell {
+    pub(crate) fn count_sent(&self, membership: bool, bytes: usize) {
+        if membership {
+            self.membership_sent.fetch_add(1, Ordering::Relaxed);
+            self.membership_bytes_sent
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.aggregation_sent.fetch_add(1, Ordering::Relaxed);
+            self.aggregation_bytes_sent
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn count_received(&self, membership: bool) {
+        if membership {
+            self.membership_received.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.aggregation_received.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> TrafficCounts {
+        TrafficCounts {
+            aggregation_sent: self.aggregation_sent.load(Ordering::Relaxed),
+            aggregation_received: self.aggregation_received.load(Ordering::Relaxed),
+            membership_sent: self.membership_sent.load(Ordering::Relaxed),
+            membership_received: self.membership_received.load(Ordering::Relaxed),
+            aggregation_bytes_sent: self.aggregation_bytes_sent.load(Ordering::Relaxed),
+            membership_bytes_sent: self.membership_bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running cluster of real-network aggregation nodes.
+///
+/// Node indices are *local*: `0..node_count()` addresses the nodes this
+/// handle hosts. In a sharded deployment those map to a contiguous range
+/// of cluster-wide identifiers, exposed by [`Cluster::node_id`].
+pub trait Cluster: Sized {
+    /// Everything needed to spawn this runtime.
+    type Config;
+
+    /// Spawns the cluster. `values(id)` supplies the initial local value
+    /// of the node with *cluster-wide* identifier `id` (in an unsharded
+    /// cluster, identifiers and local indices coincide).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn errors.
+    fn spawn_cluster(config: Self::Config, values: &dyn Fn(usize) -> f64) -> io::Result<Self>;
+
+    /// Number of nodes hosted by this handle.
+    fn node_count(&self) -> usize;
+
+    /// Cluster-wide identifier of local node `index`.
+    fn node_id(&self, index: usize) -> NodeId;
+
+    /// The socket addresses this handle receives on (one per node for
+    /// thread-per-node, a single shared socket for a mux shard).
+    fn addrs(&self) -> Vec<SocketAddr>;
+
+    /// Drains the epoch reports local node `index` produced since the
+    /// last call.
+    fn take_reports(&self, index: usize) -> Vec<EpochReport>;
+
+    /// Updates local node `index`'s local value (takes effect at its
+    /// next epoch).
+    fn set_local_value(&self, index: usize, value: f64);
+
+    /// Datagram counts for local node `index`, split by plane.
+    fn datagram_counts(&self, index: usize) -> TrafficCounts;
+
+    /// Stops every node and waits for the runtime's threads to exit.
+    fn shutdown(self);
+
+    /// Drains every local node's epoch reports, indexed by local node.
+    fn take_all_reports(&self) -> Vec<Vec<EpochReport>> {
+        (0..self.node_count())
+            .map(|i| self.take_reports(i))
+            .collect()
+    }
+
+    /// Sum of every local node's [`TrafficCounts`].
+    fn total_datagram_counts(&self) -> TrafficCounts {
+        (0..self.node_count())
+            .map(|i| self.datagram_counts(i))
+            .fold(TrafficCounts::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_counts_sum_and_overhead() {
+        let a = TrafficCounts {
+            aggregation_sent: 10,
+            aggregation_received: 8,
+            membership_sent: 2,
+            membership_received: 1,
+            aggregation_bytes_sent: 1_000,
+            membership_bytes_sent: 250,
+        };
+        let b = TrafficCounts {
+            aggregation_sent: 1,
+            aggregation_received: 2,
+            membership_sent: 3,
+            membership_received: 4,
+            aggregation_bytes_sent: 100,
+            membership_bytes_sent: 50,
+        };
+        let sum = a + b;
+        assert_eq!(sum.sent(), 16);
+        assert_eq!(sum.received(), 15);
+        assert!((sum.membership_byte_overhead() - 300.0 / 1_100.0).abs() < 1e-12);
+        assert_eq!(TrafficCounts::default().membership_byte_overhead(), 0.0);
+    }
+
+    #[test]
+    fn traffic_cell_snapshot_reflects_counting() {
+        let cell = TrafficCell::default();
+        cell.count_sent(false, 40);
+        cell.count_sent(false, 60);
+        cell.count_sent(true, 8);
+        cell.count_received(false);
+        cell.count_received(true);
+        let snap = cell.snapshot();
+        assert_eq!(snap.aggregation_sent, 2);
+        assert_eq!(snap.aggregation_bytes_sent, 100);
+        assert_eq!(snap.membership_sent, 1);
+        assert_eq!(snap.membership_bytes_sent, 8);
+        assert_eq!(snap.aggregation_received, 1);
+        assert_eq!(snap.membership_received, 1);
+    }
+}

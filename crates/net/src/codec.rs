@@ -6,7 +6,7 @@
 //! ```text
 //! u8  version (=1)
 //! u8  body tag: 0 request, 1 reply, 2 epoch notice, 3 refuse,
-//!               4 view exchange, 5 view reply
+//!               4 view exchange, 5 view reply, 6 join, 7 introduce
 //! -- aggregation bodies (tags 0-3) --
 //! u64 sender id
 //! u64 epoch
@@ -18,6 +18,12 @@
 //! -- membership bodies (tags 4-5) --
 //! u32 sender id
 //! u16 descriptor count, then (u32 node, u32 timestamp)*
+//! -- bootstrap bodies (tags 6-7) --
+//! u32 sender id
+//! -- introduce (tag 7) only --
+//! u16 entry count, then per entry:
+//!   u32 node, u32 timestamp,
+//!   u8 addr kind (0 none, 4 IPv4, 6 IPv6), [ip bytes, u16 port]
 //! ```
 //!
 //! The multiplexed runtime ([`crate::mux`]) hosts many protocol nodes
@@ -34,6 +40,7 @@
 //! charge wire bytes without materializing buffers; the property suite in
 //! `tests/properties.rs` pins `encoded_len() == encode().len()`.
 
+use crate::directory::{DirectoryPayload, IntroduceEntry};
 use epidemic_aggregation::value::InstanceMap;
 use epidemic_aggregation::{InstanceState, Message, MessageBody};
 use epidemic_common::NodeId;
@@ -41,6 +48,7 @@ use epidemic_newscast::node::ViewPayload;
 use epidemic_newscast::Descriptor;
 use std::error::Error;
 use std::fmt;
+use std::net::{IpAddr, SocketAddr};
 
 /// Wire format version emitted by [`encode_message`].
 pub const WIRE_VERSION: u8 = 1;
@@ -331,17 +339,239 @@ pub const fn view_message_len(descriptors: usize) -> usize {
     1 + 1 + 4 + 2 + 8 * descriptors
 }
 
+/// Encodes a bootstrap join request (tag 6): "introduce me, `from`".
+pub fn encode_join_message(from: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(join_message_len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(6);
+    buf.put_u32_le(from);
+    buf
+}
+
+/// Exact encoded size of a join message.
+pub const fn join_message_len() -> usize {
+    1 + 1 + 4 // version + tag + sender
+}
+
+/// Encodes a bootstrap introduction (tag 7): a snapshot of the
+/// introducer's view with optional peer addresses.
+pub fn encode_introduce_message(from: u32, peers: &[IntroduceEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(introduce_message_len(peers));
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(7);
+    buf.put_u32_le(from);
+    buf.put_u16_le(peers.len() as u16);
+    for entry in peers {
+        buf.put_u32_le(entry.node);
+        buf.put_u32_le(entry.timestamp);
+        match entry.addr {
+            None => buf.put_u8(0),
+            Some(SocketAddr::V4(a)) => {
+                buf.put_u8(4);
+                buf.extend_from_slice(&a.ip().octets());
+                buf.put_u16_le(a.port());
+            }
+            Some(SocketAddr::V6(a)) => {
+                buf.put_u8(6);
+                buf.extend_from_slice(&a.ip().octets());
+                buf.put_u16_le(a.port());
+            }
+        }
+    }
+    buf
+}
+
+/// Exact encoded size of [`encode_introduce_message`]'s output.
+pub fn introduce_message_len(peers: &[IntroduceEntry]) -> usize {
+    // version + tag + sender + entry count
+    let mut len = 1 + 1 + 4 + 2;
+    for entry in peers {
+        len += 4 + 4 + 1; // node + timestamp + addr kind
+        len += match entry.addr {
+            None => 0,
+            Some(SocketAddr::V4(_)) => 4 + 2,
+            Some(SocketAddr::V6(_)) => 16 + 2,
+        };
+    }
+    len
+}
+
+/// Encodes any membership-plane payload (tags 4–7).
+pub fn encode_directory_message(payload: &DirectoryPayload) -> Vec<u8> {
+    match payload {
+        DirectoryPayload::View { view, reply } => encode_view_message(view, *reply),
+        DirectoryPayload::Join { from } => encode_join_message(*from),
+        DirectoryPayload::Introduce { from, peers } => encode_introduce_message(*from, peers),
+    }
+}
+
+/// Exact encoded size of [`encode_directory_message`]'s output.
+pub fn directory_encoded_len(payload: &DirectoryPayload) -> usize {
+    match payload {
+        DirectoryPayload::View { view, .. } => view_encoded_len(view),
+        DirectoryPayload::Join { .. } => join_message_len(),
+        DirectoryPayload::Introduce { peers, .. } => introduce_message_len(peers),
+    }
+}
+
+/// Decodes a membership-plane datagram (tags 4–7).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version, or a tag
+/// outside the membership plane.
+pub fn decode_directory_message(data: &[u8]) -> Result<DirectoryPayload, DecodeError> {
+    if data.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    match data[1] {
+        6 | 7 => {
+            let mut data = data;
+            if data.remaining() < join_message_len() {
+                return Err(DecodeError::Truncated);
+            }
+            let version = data.get_u8();
+            if version != WIRE_VERSION {
+                return Err(DecodeError::BadVersion(version));
+            }
+            let tag = data.get_u8();
+            let from = data.get_u32_le();
+            if tag == 6 {
+                return Ok(DirectoryPayload::Join { from });
+            }
+            if data.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let count = data.get_u16_le() as usize;
+            let mut peers = Vec::with_capacity(count.min(256));
+            for _ in 0..count {
+                if data.remaining() < 9 {
+                    return Err(DecodeError::Truncated);
+                }
+                let node = data.get_u32_le();
+                let timestamp = data.get_u32_le();
+                let addr = match data.get_u8() {
+                    0 => None,
+                    4 => {
+                        if data.remaining() < 6 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let mut octets = [0u8; 4];
+                        for b in &mut octets {
+                            *b = data.get_u8();
+                        }
+                        let port = data.get_u16_le();
+                        Some(SocketAddr::new(IpAddr::from(octets), port))
+                    }
+                    6 => {
+                        if data.remaining() < 18 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let mut octets = [0u8; 16];
+                        for b in &mut octets {
+                            *b = data.get_u8();
+                        }
+                        let port = data.get_u16_le();
+                        Some(SocketAddr::new(IpAddr::from(octets), port))
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                peers.push(IntroduceEntry {
+                    node,
+                    timestamp,
+                    addr,
+                });
+            }
+            Ok(DirectoryPayload::Introduce { from, peers })
+        }
+        _ => {
+            // Tags 4/5, plus version/tag error reporting for the rest.
+            let (view, reply) = decode_view_message(data)?;
+            Ok(DirectoryPayload::View { view, reply })
+        }
+    }
+}
+
+/// Any decodable v1 datagram body: an aggregation-plane [`Message`]
+/// (tags 0–3) or a membership-plane [`DirectoryPayload`] (tags 4–7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePayload {
+    /// Aggregation protocol traffic.
+    Aggregation(Message),
+    /// Membership / bootstrap traffic.
+    Directory(DirectoryPayload),
+}
+
+/// Decodes any v1 datagram, routing by plane (tags 0–3 vs 4–7).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the datagram is truncated, has an unknown
+/// version, or carries an unknown tag.
+pub fn decode_datagram(data: &[u8]) -> Result<WirePayload, DecodeError> {
+    if data.len() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    if data[0] != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(data[0]));
+    }
+    match data[1] {
+        0..=3 => Ok(WirePayload::Aggregation(decode_message(data)?)),
+        4..=7 => Ok(WirePayload::Directory(decode_directory_message(data)?)),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
 /// Wraps an encoded v1 message in a mux routing frame addressed to the
 /// virtual node `to`. The receiving process reads the prefix, routes the
 /// remainder to `to`'s state machine, and decodes it with
 /// [`decode_message`].
 pub fn encode_mux_frame(to: NodeId, msg: &Message) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(mux_frame_len(msg));
+    mux_wrap(to, &encode_message(msg), mux_frame_len(msg))
+}
+
+/// Wraps an encoded membership payload in a mux routing frame addressed
+/// to the virtual node `to` (the membership twin of
+/// [`encode_mux_frame`]).
+pub fn encode_mux_directory_frame(to: NodeId, payload: &DirectoryPayload) -> Vec<u8> {
+    mux_wrap(
+        to,
+        &encode_directory_message(payload),
+        mux_directory_frame_len(payload),
+    )
+}
+
+/// Exact encoded size of [`encode_mux_directory_frame`]'s output.
+pub fn mux_directory_frame_len(payload: &DirectoryPayload) -> usize {
+    1 + 8 + directory_encoded_len(payload)
+}
+
+fn mux_wrap(to: NodeId, body: &[u8], capacity: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(capacity);
     buf.put_u8(MUX_WIRE_VERSION);
     buf.put_u64_le(to.as_u64());
-    let body = encode_message(msg);
-    buf.extend_from_slice(&body);
+    buf.extend_from_slice(body);
     buf
+}
+
+/// Decodes a mux-framed datagram into the destination virtual-node id
+/// and the carried payload, whichever plane it belongs to.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the routing prefix is truncated or has
+/// the wrong version, or if the carried payload fails to decode.
+pub fn decode_mux_datagram(mut data: &[u8]) -> Result<(NodeId, WirePayload), DecodeError> {
+    if data.remaining() < 9 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != MUX_WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let to = NodeId::new(data.get_u64_le());
+    let payload = decode_datagram(data)?;
+    Ok((to, payload))
 }
 
 /// Decodes a datagram produced by [`encode_mux_frame`] into the
@@ -570,6 +800,128 @@ mod tests {
             descriptors: (0..31).map(|i| Descriptor::new(i, i)).collect(),
         };
         assert_eq!(view_encoded_len(&payload), view_message_len(31));
+    }
+
+    #[test]
+    fn round_trip_join_and_introduce() {
+        let join = DirectoryPayload::Join { from: 0xBEEF };
+        let encoded = encode_directory_message(&join);
+        assert_eq!(encoded.len(), directory_encoded_len(&join));
+        assert_eq!(decode_directory_message(&encoded), Ok(join));
+
+        let intro = DirectoryPayload::Introduce {
+            from: 7,
+            peers: vec![
+                IntroduceEntry {
+                    node: 1,
+                    timestamp: 99,
+                    addr: None,
+                },
+                IntroduceEntry {
+                    node: 2,
+                    timestamp: 0,
+                    addr: Some("127.0.0.1:4040".parse().unwrap()),
+                },
+                IntroduceEntry {
+                    node: u32::MAX,
+                    timestamp: u32::MAX,
+                    addr: Some("[2001:db8::1]:65535".parse().unwrap()),
+                },
+            ],
+        };
+        let encoded = encode_directory_message(&intro);
+        assert_eq!(encoded.len(), directory_encoded_len(&intro));
+        assert_eq!(decode_directory_message(&encoded), Ok(intro));
+    }
+
+    #[test]
+    fn join_and_introduce_reject_truncation() {
+        let intro = DirectoryPayload::Introduce {
+            from: 3,
+            peers: vec![
+                IntroduceEntry {
+                    node: 1,
+                    timestamp: 2,
+                    addr: Some("10.0.0.1:9".parse().unwrap()),
+                },
+                IntroduceEntry {
+                    node: 4,
+                    timestamp: 5,
+                    addr: None,
+                },
+            ],
+        };
+        let encoded = encode_directory_message(&intro);
+        for len in 0..encoded.len() {
+            assert_eq!(
+                decode_directory_message(&encoded[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {len}"
+            );
+        }
+        let join = encode_join_message(9);
+        for len in 0..join.len() {
+            assert_eq!(
+                decode_directory_message(&join[..len]),
+                Err(DecodeError::Truncated)
+            );
+        }
+    }
+
+    #[test]
+    fn decode_datagram_routes_both_planes() {
+        let agg = Message::request(NodeId::new(1), 2, vec![InstanceState::Scalar(0.5)]);
+        assert_eq!(
+            decode_datagram(&encode_message(&agg)),
+            Ok(WirePayload::Aggregation(agg))
+        );
+        let view = DirectoryPayload::View {
+            view: ViewPayload {
+                from: 3,
+                descriptors: vec![Descriptor::new(4, 5)],
+            },
+            reply: true,
+        };
+        assert_eq!(
+            decode_datagram(&encode_directory_message(&view)),
+            Ok(WirePayload::Directory(view))
+        );
+        let join = DirectoryPayload::Join { from: 11 };
+        assert_eq!(
+            decode_datagram(&encode_directory_message(&join)),
+            Ok(WirePayload::Directory(join))
+        );
+        assert_eq!(
+            decode_datagram(&[WIRE_VERSION, 9, 0, 0]),
+            Err(DecodeError::BadTag(9))
+        );
+        assert_eq!(
+            decode_datagram(&[77, 0, 0, 0]),
+            Err(DecodeError::BadVersion(77))
+        );
+    }
+
+    #[test]
+    fn mux_directory_frames_round_trip() {
+        let payload = DirectoryPayload::Introduce {
+            from: 2,
+            peers: vec![IntroduceEntry {
+                node: 3,
+                timestamp: 4,
+                addr: Some("127.0.0.1:5555".parse().unwrap()),
+            }],
+        };
+        let frame = encode_mux_directory_frame(NodeId::new(900), &payload);
+        assert_eq!(frame.len(), mux_directory_frame_len(&payload));
+        let (to, decoded) = decode_mux_datagram(&frame).expect("decode");
+        assert_eq!(to, NodeId::new(900));
+        assert_eq!(decoded, WirePayload::Directory(payload));
+
+        // Aggregation frames route through the same decoder.
+        let msg = Message::refuse(NodeId::new(1), 0);
+        let (to, decoded) = decode_mux_datagram(&encode_mux_frame(NodeId::new(5), &msg)).unwrap();
+        assert_eq!(to, NodeId::new(5));
+        assert_eq!(decoded, WirePayload::Aggregation(msg));
     }
 
     #[test]

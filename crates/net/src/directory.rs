@@ -1,0 +1,741 @@
+//! The `GETNEIGHBOR()` seam: pluggable peer directories.
+//!
+//! The paper's aggregation protocol is overlay-agnostic — it only ever
+//! asks the membership layer for *one random neighbor per exchange*. This
+//! module makes that seam explicit for the real-network runtimes: a
+//! [`PeerDirectory`] answers `GETNEIGHBOR()` ([`PeerSampler::draw_peer`]),
+//! resolves peer addresses, and — when the membership itself is gossiped —
+//! emits and consumes its own wire traffic through the same socket and
+//! timer path as the aggregation protocol.
+//!
+//! Two implementations ship:
+//!
+//! * [`StaticDirectory`] — the classic static peer table. Draws are the
+//!   deterministic `(seed, id, initiated-exchange count)` stream the
+//!   mux-vs-threads parity tests rely on.
+//! * [`GossipDirectory`] — one NEWSCAST [`MembershipNode`] per node.
+//!   Views travel as codec tags 4/5, bootstrap as [`DirectoryPayload::Join`]
+//!   (tag 6) / [`DirectoryPayload::Introduce`] (tag 7): a joiner contacts
+//!   an *introducer*, which answers with a snapshot of its view (plus the
+//!   addresses it knows, when the embedding routes by address). No static
+//!   peer table exists anywhere; `GETNEIGHBOR()` is served from the live
+//!   partial view.
+//!
+//! Directories are sans-io: the embedding (thread-per-node runtime or mux
+//! runtime) owns sockets and clocks, calls [`PeerDirectory::poll`] on
+//! timer wake-ups, feeds incoming membership datagrams to
+//! [`PeerDirectory::handle`], and transmits whatever [`DirectoryMessage`]s
+//! come back.
+
+use epidemic_aggregation::node::PeerSampler;
+use epidemic_common::rng::Xoshiro256;
+use epidemic_common::NodeId;
+use epidemic_newscast::node::{MembershipConfig, MembershipNode, ViewPayload};
+use epidemic_newscast::Descriptor;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Salt decorrelating membership randomness from aggregation randomness
+/// (both streams are derived from the cluster seed and the node id).
+const GOSSIP_SEED_SALT: u64 = 0x4E45_5753; // "NEWS"
+
+/// Salt for the static directory's peer-draw stream. Shared by every
+/// runtime so that a same-seed cluster draws the same peer sequence
+/// regardless of which runtime hosts it.
+const DRAW_SEED_SALT: u64 = 0x5EED;
+
+/// Where a directory wants a message delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// A node known by identifier; the embedding resolves the address
+    /// (mux: peer table; threads: [`PeerDirectory::addr_of`]).
+    Node(NodeId),
+    /// An explicit socket address (introducer bootstrap before any
+    /// identifier is known).
+    Addr(SocketAddr),
+}
+
+/// One membership datagram to transmit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectoryMessage {
+    /// Where to send it.
+    pub to: Destination,
+    /// What to send.
+    pub payload: DirectoryPayload,
+}
+
+/// The membership-plane wire payloads (codec tags 4–7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirectoryPayload {
+    /// A NEWSCAST view exchange (tags 4/5): the sender's view plus a
+    /// fresh self-descriptor. `reply` distinguishes the passive answer.
+    View {
+        /// Exchanged view contents.
+        view: ViewPayload,
+        /// `true` for the passive side's answer.
+        reply: bool,
+    },
+    /// Bootstrap request (tag 6): "introduce me to the overlay".
+    Join {
+        /// The joiner's identifier.
+        from: u32,
+    },
+    /// Bootstrap response (tag 7): a snapshot of the introducer's view,
+    /// with addresses where the introducer knows them.
+    Introduce {
+        /// The introducer's identifier.
+        from: u32,
+        /// Snapshot entries (the introducer's view + itself).
+        peers: Vec<IntroduceEntry>,
+    },
+}
+
+/// One entry of an [`DirectoryPayload::Introduce`] snapshot: a membership
+/// descriptor plus the peer's socket address, when known. Address-routed
+/// embeddings use the address to seed their books; id-routed embeddings
+/// (the mux runtime, which resolves addresses through its peer table)
+/// leave it `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntroduceEntry {
+    /// Described node.
+    pub node: u32,
+    /// Freshness timestamp of the descriptor.
+    pub timestamp: u32,
+    /// The node's socket address, if the introducer knows it.
+    pub addr: Option<SocketAddr>,
+}
+
+/// A membership service below the aggregation plane.
+///
+/// Extends [`PeerSampler`] — `draw_peer` *is* `GETNEIGHBOR()` — with the
+/// machinery a real network needs: address resolution, its own timers,
+/// and its own wire traffic.
+pub trait PeerDirectory: PeerSampler + Send + fmt::Debug {
+    /// Earliest tick at which [`poll`](Self::poll) wants to run again
+    /// (`u64::MAX` when the directory is purely passive).
+    fn next_deadline(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Advances the directory's timers to `now`, pushing any membership
+    /// datagrams to transmit into `out`.
+    fn poll(&mut self, now: u64, out: &mut Vec<DirectoryMessage>) {
+        let _ = (now, out);
+    }
+
+    /// Processes an incoming membership datagram. `src` is the datagram's
+    /// source address when the embedding knows it (thread-per-node
+    /// runtime); responses are pushed into `out`.
+    fn handle(
+        &mut self,
+        payload: &DirectoryPayload,
+        src: Option<SocketAddr>,
+        now: u64,
+        out: &mut Vec<DirectoryMessage>,
+    );
+
+    /// Resolves a peer's socket address, or `None` when the embedding
+    /// routes by identifier (the mux runtime's peer table) or the address
+    /// is simply unknown.
+    fn addr_of(&self, peer: NodeId) -> Option<SocketAddr> {
+        let _ = peer;
+        None
+    }
+
+    /// Records that a datagram from `from` arrived from `src` — passive
+    /// address learning, the UDP equivalent of reading the envelope.
+    fn observe(&mut self, from: NodeId, src: SocketAddr) {
+        let _ = (from, src);
+    }
+}
+
+/// `Box<dyn PeerDirectory>` is itself a sampler (stand-in for `dyn`
+/// upcasting, unavailable at this crate's MSRV), so runtimes can pass
+/// their boxed directory straight to `GossipNode::poll_sampler`.
+impl PeerSampler for Box<dyn PeerDirectory> {
+    fn draw_peer(&mut self) -> Option<NodeId> {
+        (**self).draw_peer()
+    }
+}
+
+/// Draws a uniformly random peer among `n` nodes, excluding `me`.
+/// Returns `None` when the node is alone.
+///
+/// Shared by every runtime through [`StaticDirectory`]: combined with
+/// lazy selection (`GossipNode::poll_with`), a node's peer sequence is a
+/// deterministic function of `(seed, id, initiated-exchange count)` — the
+/// property the cross-runtime parity tests rely on.
+pub(crate) fn uniform_peer(rng: &mut Xoshiro256, n: usize, me: usize) -> Option<NodeId> {
+    if n <= 1 {
+        return None;
+    }
+    let raw = rng.index(n - 1);
+    let p = if raw >= me { raw + 1 } else { raw };
+    Some(NodeId::new(p as u64))
+}
+
+/// The classic static peer table: every node knows every other node out
+/// of band, `GETNEIGHBOR()` draws uniformly from the table.
+#[derive(Debug)]
+pub struct StaticDirectory {
+    me: usize,
+    n: usize,
+    rng: Xoshiro256,
+    /// Peer addresses in id order; `None` in id-routed embeddings.
+    addrs: Option<Arc<Vec<SocketAddr>>>,
+}
+
+impl StaticDirectory {
+    /// A static directory for an id-routed embedding (the mux runtime):
+    /// draws over `0..n`, never resolves addresses.
+    pub fn id_routed(n: usize, me: NodeId, seed: u64) -> Self {
+        StaticDirectory {
+            me: me.index(),
+            n,
+            rng: Xoshiro256::stream(seed ^ DRAW_SEED_SALT, me.as_u64()),
+            addrs: None,
+        }
+    }
+
+    /// A static directory over an explicit address table (the
+    /// thread-per-node runtime): node `i`'s address is `peers[i]`.
+    pub fn addr_routed(peers: Arc<Vec<SocketAddr>>, me: NodeId, seed: u64) -> Self {
+        StaticDirectory {
+            me: me.index(),
+            n: peers.len(),
+            rng: Xoshiro256::stream(seed ^ DRAW_SEED_SALT, me.as_u64()),
+            addrs: Some(peers),
+        }
+    }
+}
+
+impl PeerSampler for StaticDirectory {
+    fn draw_peer(&mut self) -> Option<NodeId> {
+        uniform_peer(&mut self.rng, self.n, self.me)
+    }
+}
+
+impl PeerDirectory for StaticDirectory {
+    fn handle(
+        &mut self,
+        _payload: &DirectoryPayload,
+        _src: Option<SocketAddr>,
+        _now: u64,
+        _out: &mut Vec<DirectoryMessage>,
+    ) {
+        // A static table has no membership plane; stray view traffic
+        // (e.g. from a misconfigured peer) is dropped.
+    }
+
+    fn addr_of(&self, peer: NodeId) -> Option<SocketAddr> {
+        self.addrs
+            .as_ref()
+            .and_then(|a| a.get(peer.index()).copied())
+    }
+}
+
+/// How a [`GossipDirectory`] finds the running overlay at start-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Introducer {
+    /// An introducer known by node id (resolvable via the mux peer
+    /// table, or via a thread-runtime address plan at build time).
+    Node(u64),
+    /// An introducer known only by socket address (true out-of-band
+    /// bootstrap).
+    Addr(SocketAddr),
+}
+
+/// Configuration of a [`GossipDirectory`].
+#[derive(Debug, Clone)]
+pub struct GossipDirectoryConfig {
+    /// NEWSCAST view size `c`.
+    pub view_size: usize,
+    /// Membership gossip period in milliseconds.
+    pub cycle_length: u64,
+    /// Bootstrap contacts. Nodes that are themselves introducers simply
+    /// wait to be joined.
+    pub introducers: Vec<Introducer>,
+}
+
+impl GossipDirectoryConfig {
+    /// A config with the given view size and gossip period and no
+    /// introducers yet.
+    pub fn new(view_size: usize, cycle_length: u64) -> Self {
+        GossipDirectoryConfig {
+            view_size,
+            cycle_length,
+            introducers: Vec::new(),
+        }
+    }
+
+    /// Adds an introducer known by node id.
+    pub fn with_introducer_node(mut self, id: u64) -> Self {
+        self.introducers.push(Introducer::Node(id));
+        self
+    }
+
+    /// Adds an introducer known by socket address.
+    pub fn with_introducer_addr(mut self, addr: SocketAddr) -> Self {
+        self.introducers.push(Introducer::Addr(addr));
+        self
+    }
+}
+
+/// NEWSCAST-gossiped membership: `GETNEIGHBOR()` from a live partial
+/// view, no static peer table anywhere.
+#[derive(Debug)]
+pub struct GossipDirectory {
+    me: u32,
+    membership: MembershipNode,
+    /// Bootstrap contacts (self already filtered out).
+    introducers: Vec<Destination>,
+    /// Learned id → address book; `None` in id-routed embeddings.
+    addrs: Option<HashMap<u32, SocketAddr>>,
+    /// Our own address, included in introduction snapshots we hand out
+    /// (address-routed embeddings only).
+    my_addr: Option<SocketAddr>,
+    /// Next tick at which an (re-)join may fire.
+    next_join_at: u64,
+    join_interval: u64,
+}
+
+impl GossipDirectory {
+    /// A gossip directory for an id-routed embedding (the mux runtime):
+    /// all peers are reachable by id, no address book is kept.
+    pub fn id_routed(me: NodeId, config: &GossipDirectoryConfig, seed: u64) -> Self {
+        Self::build(me, config, seed, None)
+    }
+
+    /// A gossip directory that learns peer addresses itself (the
+    /// thread-per-node runtime): from join sources, introduction
+    /// snapshots, and passively from every incoming datagram.
+    pub fn addr_routed(
+        me: NodeId,
+        my_addr: SocketAddr,
+        config: &GossipDirectoryConfig,
+        seed: u64,
+    ) -> Self {
+        Self::build(me, config, seed, Some(my_addr))
+    }
+
+    fn build(
+        me: NodeId,
+        config: &GossipDirectoryConfig,
+        seed: u64,
+        my_addr: Option<SocketAddr>,
+    ) -> Self {
+        let id = me.as_u64() as u32;
+        let membership = MembershipNode::new(
+            id,
+            MembershipConfig {
+                view_size: config.view_size,
+                cycle_length: config.cycle_length,
+            },
+            seed ^ GOSSIP_SEED_SALT,
+        );
+        let introducers = config
+            .introducers
+            .iter()
+            .filter_map(|intro| match *intro {
+                Introducer::Node(n) if n == me.as_u64() => None,
+                Introducer::Node(n) => Some(Destination::Node(NodeId::new(n))),
+                Introducer::Addr(a) if Some(a) == my_addr => None,
+                Introducer::Addr(a) => Some(Destination::Addr(a)),
+            })
+            .collect();
+        GossipDirectory {
+            me: id,
+            membership,
+            introducers,
+            addrs: my_addr.map(|_| HashMap::new()),
+            my_addr,
+            next_join_at: 0,
+            join_interval: config.cycle_length.max(1),
+        }
+    }
+
+    /// The live partial view (for tests and metrics).
+    pub fn view(&self) -> &epidemic_newscast::View {
+        self.membership.view()
+    }
+
+    fn learn(&mut self, peer: u32, addr: SocketAddr) {
+        if peer == self.me {
+            return;
+        }
+        if let Some(book) = &mut self.addrs {
+            book.insert(peer, addr);
+        }
+    }
+
+    fn lookup(&self, peer: u32) -> Option<SocketAddr> {
+        if peer == self.me {
+            return self.my_addr;
+        }
+        self.addrs
+            .as_ref()
+            .and_then(|book| book.get(&peer).copied())
+    }
+
+    /// `true` while the node should (re-)contact an introducer: its view
+    /// is empty, or (address-routed only) it holds view entries whose
+    /// address it cannot resolve yet.
+    fn wants_join(&self) -> bool {
+        if self.introducers.is_empty() {
+            return false;
+        }
+        if self.membership.view().is_empty() {
+            return true;
+        }
+        match &self.addrs {
+            Some(book) => self
+                .membership
+                .view()
+                .entries()
+                .iter()
+                .any(|d| !book.contains_key(&d.node)),
+            None => false,
+        }
+    }
+
+    /// The destination to answer `from` at: the datagram's source address
+    /// when we route by address, the sender id otherwise.
+    fn reply_dest(&self, src: Option<SocketAddr>, from: u32) -> Destination {
+        match (self.addrs.is_some(), src) {
+            (true, Some(addr)) => Destination::Addr(addr),
+            _ => Destination::Node(NodeId::new(u64::from(from))),
+        }
+    }
+}
+
+impl PeerSampler for GossipDirectory {
+    fn draw_peer(&mut self) -> Option<NodeId> {
+        // In address-routed mode a view entry learned by gossip may not
+        // have a resolvable address yet; skip those (bounded retries so a
+        // draw never loops). Re-joins refresh the book over time.
+        let attempts = self.membership.view().len().max(1);
+        for _ in 0..attempts {
+            let peer = self.membership.sample_peer()?;
+            if self.addrs.is_none() || self.lookup(peer).is_some() {
+                return Some(NodeId::new(u64::from(peer)));
+            }
+        }
+        None
+    }
+}
+
+impl PeerDirectory for GossipDirectory {
+    fn next_deadline(&self) -> u64 {
+        let mut deadline = self.membership.next_cycle_at();
+        if self.wants_join() {
+            deadline = deadline.min(self.next_join_at);
+        }
+        deadline
+    }
+
+    fn poll(&mut self, now: u64, out: &mut Vec<DirectoryMessage>) {
+        if self.wants_join() && now >= self.next_join_at {
+            self.next_join_at = now + self.join_interval;
+            for dest in &self.introducers {
+                out.push(DirectoryMessage {
+                    to: *dest,
+                    payload: DirectoryPayload::Join { from: self.me },
+                });
+            }
+        }
+        if let Some((peer, view)) = self.membership.poll(now) {
+            // An unreachable partner would waste the cycle; prefer a
+            // reachable one when routing by address.
+            let reachable = self.addrs.is_none() || self.lookup(peer).is_some();
+            if reachable {
+                out.push(DirectoryMessage {
+                    to: Destination::Node(NodeId::new(u64::from(peer))),
+                    payload: DirectoryPayload::View { view, reply: false },
+                });
+            }
+        }
+    }
+
+    fn handle(
+        &mut self,
+        payload: &DirectoryPayload,
+        src: Option<SocketAddr>,
+        now: u64,
+        out: &mut Vec<DirectoryMessage>,
+    ) {
+        match payload {
+            DirectoryPayload::Join { from } => {
+                if *from == self.me {
+                    return;
+                }
+                if let Some(addr) = src {
+                    self.learn(*from, addr);
+                }
+                // The joiner becomes part of the overlay immediately…
+                self.membership.add_seed(*from, now);
+                // …and receives a snapshot of our view (plus ourselves).
+                let snapshot = self.membership.view_payload(now);
+                let peers = snapshot
+                    .descriptors
+                    .iter()
+                    .map(|d| IntroduceEntry {
+                        node: d.node,
+                        timestamp: d.timestamp,
+                        addr: self.lookup(d.node),
+                    })
+                    .collect();
+                out.push(DirectoryMessage {
+                    to: self.reply_dest(src, *from),
+                    payload: DirectoryPayload::Introduce {
+                        from: self.me,
+                        peers,
+                    },
+                });
+            }
+            DirectoryPayload::Introduce { from, peers } => {
+                if let Some(addr) = src {
+                    self.learn(*from, addr);
+                }
+                let mut descriptors = Vec::with_capacity(peers.len());
+                for entry in peers {
+                    if let Some(addr) = entry.addr {
+                        self.learn(entry.node, addr);
+                    }
+                    descriptors.push(Descriptor::new(entry.node, entry.timestamp));
+                }
+                self.membership.bootstrap(&descriptors);
+            }
+            DirectoryPayload::View { view, reply } => {
+                if let Some(addr) = src {
+                    self.learn(view.from, addr);
+                }
+                if *reply {
+                    self.membership.absorb_reply(view, now);
+                } else {
+                    let answer = self.membership.handle_exchange(view, now);
+                    out.push(DirectoryMessage {
+                        to: self.reply_dest(src, view.from),
+                        payload: DirectoryPayload::View {
+                            view: answer,
+                            reply: true,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn addr_of(&self, peer: NodeId) -> Option<SocketAddr> {
+        self.lookup(peer.as_u64() as u32)
+    }
+
+    fn observe(&mut self, from: NodeId, src: SocketAddr) {
+        self.learn(from.as_u64() as u32, src);
+    }
+}
+
+/// Which [`PeerDirectory`] a cluster config builds for each of its nodes.
+#[derive(Debug, Clone, Default)]
+pub enum DirectorySpec {
+    /// A [`StaticDirectory`] over the cluster's peer table.
+    #[default]
+    Static,
+    /// A [`GossipDirectory`] per node.
+    Gossip(GossipDirectoryConfig),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gossip_config(introducer: u64) -> GossipDirectoryConfig {
+        GossipDirectoryConfig::new(8, 50).with_introducer_node(introducer)
+    }
+
+    /// Drives `msg` into the addressed directory (out of `dirs`, indexed
+    /// by id), returning any responses.
+    fn deliver(
+        dirs: &mut [GossipDirectory],
+        msg: &DirectoryMessage,
+        now: u64,
+    ) -> Vec<DirectoryMessage> {
+        let Destination::Node(to) = msg.to else {
+            panic!("id-routed test sent to an address: {msg:?}");
+        };
+        let mut out = Vec::new();
+        dirs[to.index()].handle(&msg.payload, None, now, &mut out);
+        out
+    }
+
+    #[test]
+    fn static_directory_draws_the_shared_uniform_stream() {
+        let seed = 42;
+        let mut dir = StaticDirectory::id_routed(16, NodeId::new(3), seed);
+        let mut rng = Xoshiro256::stream(seed ^ DRAW_SEED_SALT, 3);
+        for _ in 0..64 {
+            assert_eq!(dir.draw_peer(), uniform_peer(&mut rng, 16, 3));
+        }
+    }
+
+    #[test]
+    fn static_directory_alone_draws_none() {
+        let mut dir = StaticDirectory::id_routed(1, NodeId::new(0), 1);
+        assert_eq!(dir.draw_peer(), None);
+    }
+
+    #[test]
+    fn static_directory_resolves_table_addresses() {
+        let peers: Arc<Vec<SocketAddr>> = Arc::new(vec![
+            "127.0.0.1:9001".parse().unwrap(),
+            "127.0.0.1:9002".parse().unwrap(),
+        ]);
+        let dir = StaticDirectory::addr_routed(Arc::clone(&peers), NodeId::new(0), 1);
+        assert_eq!(dir.addr_of(NodeId::new(1)), Some(peers[1]));
+        assert_eq!(dir.addr_of(NodeId::new(7)), None);
+
+        let id_routed = StaticDirectory::id_routed(2, NodeId::new(0), 1);
+        assert_eq!(id_routed.addr_of(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn join_introduce_bootstraps_an_id_routed_pair() {
+        let mut dirs = vec![
+            GossipDirectory::id_routed(NodeId::new(0), &gossip_config(0), 7),
+            GossipDirectory::id_routed(NodeId::new(1), &gossip_config(0), 7),
+        ];
+        // Node 1 wants to join (empty view, knows introducer 0); node 0
+        // is the introducer and never joins.
+        assert!(dirs[1].wants_join());
+        assert!(!dirs[0].wants_join());
+
+        let mut out = Vec::new();
+        dirs[1].poll(0, &mut out);
+        let join = out
+            .iter()
+            .find(|m| matches!(m.payload, DirectoryPayload::Join { .. }))
+            .expect("join sent")
+            .clone();
+        assert_eq!(join.to, Destination::Node(NodeId::new(0)));
+
+        // Introducer absorbs the joiner and answers with a snapshot.
+        let responses = deliver(&mut dirs, &join, 1);
+        assert!(dirs[0].view().contains(1));
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(
+            responses[0].payload,
+            DirectoryPayload::Introduce { from: 0, .. }
+        ));
+
+        // The joiner bootstraps from the snapshot: it now knows node 0.
+        deliver(&mut dirs, &responses[0], 2);
+        assert!(dirs[1].view().contains(0));
+        assert!(!dirs[1].wants_join(), "bootstrapped node keeps joining");
+        assert_eq!(dirs[1].draw_peer(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn view_gossip_flows_between_bootstrapped_directories() {
+        let mut dirs = vec![
+            GossipDirectory::id_routed(NodeId::new(0), &gossip_config(0), 3),
+            GossipDirectory::id_routed(NodeId::new(1), &gossip_config(0), 3),
+            GossipDirectory::id_routed(NodeId::new(2), &gossip_config(0), 3),
+        ];
+        // Bootstrap 1 and 2 through the introducer, then gossip for a
+        // few cycles; everyone ends up knowing everyone.
+        let mut inflight: Vec<DirectoryMessage> = Vec::new();
+        for t in 0..40u64 {
+            let now = t * 25;
+            for dir in dirs.iter_mut() {
+                dir.poll(now, &mut inflight);
+            }
+            while let Some(msg) = inflight.pop() {
+                let responses = deliver(&mut dirs, &msg, now);
+                inflight.extend(responses);
+            }
+        }
+        for dir in &dirs {
+            assert_eq!(dir.view().len(), 2, "node {} view incomplete", dir.me);
+        }
+    }
+
+    #[test]
+    fn addr_routed_directory_learns_and_serves_addresses() {
+        let intro_addr: SocketAddr = "127.0.0.1:7000".parse().unwrap();
+        let joiner_addr: SocketAddr = "127.0.0.1:7001".parse().unwrap();
+        let config = GossipDirectoryConfig::new(8, 50).with_introducer_addr(intro_addr);
+        let mut introducer = GossipDirectory::addr_routed(NodeId::new(0), intro_addr, &config, 5);
+        let mut joiner = GossipDirectory::addr_routed(NodeId::new(1), joiner_addr, &config, 5);
+
+        let mut out = Vec::new();
+        joiner.poll(0, &mut out);
+        let join = out.pop().expect("join sent");
+        assert_eq!(join.to, Destination::Addr(intro_addr));
+
+        // The introducer learns the joiner's address from the datagram
+        // source and answers at that source.
+        let mut responses = Vec::new();
+        introducer.handle(&join.payload, Some(joiner_addr), 1, &mut responses);
+        assert_eq!(introducer.addr_of(NodeId::new(1)), Some(joiner_addr));
+        assert_eq!(responses[0].to, Destination::Addr(joiner_addr));
+
+        // The snapshot carries the introducer's own address.
+        joiner.handle(&responses[0].payload, Some(intro_addr), 2, &mut Vec::new());
+        assert_eq!(joiner.addr_of(NodeId::new(0)), Some(intro_addr));
+        assert_eq!(joiner.draw_peer(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn draw_peer_skips_unresolvable_entries() {
+        let my_addr: SocketAddr = "127.0.0.1:7002".parse().unwrap();
+        let config = GossipDirectoryConfig::new(8, 50);
+        let mut dir = GossipDirectory::addr_routed(NodeId::new(9), my_addr, &config, 1);
+        // A view entry learned by gossip, address unknown.
+        dir.handle(
+            &DirectoryPayload::Introduce {
+                from: 3,
+                peers: vec![IntroduceEntry {
+                    node: 4,
+                    timestamp: 10,
+                    addr: None,
+                }],
+            },
+            None,
+            0,
+            &mut Vec::new(),
+        );
+        assert!(dir.view().contains(4));
+        assert_eq!(dir.draw_peer(), None, "drew an unreachable peer");
+        // Resolving the address makes the peer drawable.
+        dir.observe(NodeId::new(4), "127.0.0.1:7003".parse().unwrap());
+        assert_eq!(dir.draw_peer(), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn join_retry_is_paced_by_the_deadline() {
+        let config = gossip_config(0);
+        let mut dir = GossipDirectory::id_routed(NodeId::new(5), &config, 2);
+        assert_eq!(dir.next_deadline(), 0, "initial join not scheduled");
+        let mut out = Vec::new();
+        dir.poll(0, &mut out);
+        assert_eq!(out.len(), 1);
+        // Still unbootstrapped: the retry waits one join interval.
+        assert!(dir.next_deadline() >= 1);
+        out.clear();
+        dir.poll(10, &mut out);
+        assert!(out.is_empty(), "re-joined before the interval elapsed");
+        dir.poll(60, &mut out); // one join interval (50 ms) later
+        assert!(!out.is_empty(), "retry never fired");
+    }
+
+    #[test]
+    fn introducer_with_no_contacts_is_quiet() {
+        let config = GossipDirectoryConfig::new(8, 50).with_introducer_node(5);
+        let mut dir = GossipDirectory::id_routed(NodeId::new(5), &config, 2);
+        let mut out = Vec::new();
+        dir.poll(0, &mut out);
+        dir.poll(1_000, &mut out);
+        assert!(out.is_empty(), "self-introducer produced traffic: {out:?}");
+    }
+}

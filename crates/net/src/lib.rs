@@ -2,29 +2,44 @@
 //!
 //! The paper presents the aggregation protocol as a deployable system
 //! (Figure 1: an active thread gossiping every δ and a passive thread
-//! answering). This crate provides exactly that embedding for the sans-io
-//! [`epidemic_aggregation::GossipNode`]:
+//! answering) over an overlay-agnostic membership service — all the
+//! protocol ever asks of it is `GETNEIGHBOR()`. This crate provides
+//! exactly that embedding for the sans-io
+//! [`epidemic_aggregation::GossipNode`], factored along two seams:
 //!
+//! * [`directory`] — the **membership seam**: [`directory::PeerDirectory`]
+//!   answers `GETNEIGHBOR()` and resolves peer addresses. Implementations:
+//!   [`directory::StaticDirectory`] (a static table, the out-of-band
+//!   discovery the paper assumes) and [`directory::GossipDirectory`]
+//!   (NEWSCAST membership gossiped over the same sockets, bootstrapped
+//!   from introducers — no static table anywhere).
+//! * [`cluster`] — the **operator seam**: the [`cluster::Cluster`] trait
+//!   (spawn, addresses, reports, local values, per-node
+//!   [`cluster::TrafficCounts`], shutdown), implemented by both runtimes
+//!   so tests, benches, and examples are written once.
 //! * [`codec`] — a compact, versioned binary wire format for protocol
-//!   messages (hand-rolled little-endian framing, no codec dependency),
-//!   including NEWSCAST view exchanges, virtual-node-routed mux frames,
-//!   and exact `*_len` size twins for traffic accounting.
-//! * [`runtime`] — a UDP runtime: one OS thread per node runs the active
-//!   and passive loops over a non-blocking socket, with a static peer
-//!   table playing the role of the membership service.
-//! * [`mux`] — the multiplexed runtime: N virtual nodes behind **one**
-//!   socket and `workers + 2` threads, driven by a reader thread and a
-//!   hashed [`timer::TimerWheel`]; scales localhost experiments to
-//!   thousands of real-socket nodes per process.
+//!   messages (hand-rolled little-endian framing, no codec dependency):
+//!   aggregation exchanges, NEWSCAST view exchanges, join/introduce
+//!   bootstrap, virtual-node-routed mux frames, and exact `*_len` size
+//!   twins for traffic accounting.
+//! * [`runtime`] — the thread-per-node UDP runtime
+//!   ([`runtime::ThreadCluster`]): one OS thread and socket per node.
+//! * [`mux`] — the multiplexed runtime ([`mux::MuxCluster`]): N virtual
+//!   nodes behind **one** socket and `workers + 2` threads, driven by a
+//!   reader thread and a hashed [`timer::TimerWheel`] — and shardable
+//!   across sockets, processes, and hosts via a [`mux::PeerTable`]
+//!   mapping vnode-id ranges to shard addresses.
 //! * [`timer`] — the hashed timer wheel backing [`mux`].
 //!
 //! # Examples
 //!
-//! A two-node loopback cluster computing an average:
+//! A two-node loopback cluster computing an average, driven through the
+//! operator seam:
 //!
 //! ```no_run
 //! use epidemic_aggregation::{InstanceSpec, NodeConfig};
-//! use epidemic_net::runtime::{ClusterConfig, UdpNode};
+//! use epidemic_net::cluster::Cluster;
+//! use epidemic_net::runtime::{ClusterConfig, ThreadCluster};
 //!
 //! let node_config = NodeConfig::builder()
 //!     .gamma(10)
@@ -32,28 +47,58 @@
 //!     .timeout(20)
 //!     .instance(InstanceSpec::AVERAGE)
 //!     .build()?;
-//! let cluster = ClusterConfig::loopback(2, node_config)?;
-//! let mut nodes: Vec<UdpNode> = Vec::new();
-//! for i in 0..2 {
-//!     nodes.push(UdpNode::spawn(cluster.node(i, (i * 10) as f64))?);
-//! }
+//! let config = ClusterConfig::loopback(2, node_config)?;
+//! let cluster = ThreadCluster::spawn(config, |i| (i * 10) as f64)?;
 //! std::thread::sleep(std::time::Duration::from_millis(1200));
-//! for node in &nodes {
-//!     for report in node.take_reports() {
-//!         println!("epoch {} -> {:?}", report.epoch, report.scalar(0));
+//! for (node, reports) in cluster.take_all_reports().into_iter().enumerate() {
+//!     for report in reports {
+//!         println!("node {node} epoch {} -> {:?}", report.epoch, report.scalar(0));
 //!     }
 //! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The same protocol with **no static peer table**: membership is
+//! NEWSCAST gossip bootstrapped from one introducer, riding the same
+//! socket as the aggregation traffic:
+//!
+//! ```no_run
+//! use epidemic_aggregation::{InstanceSpec, NodeConfig};
+//! use epidemic_net::cluster::Cluster;
+//! use epidemic_net::directory::{DirectorySpec, GossipDirectoryConfig};
+//! use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
+//!
+//! let node_config = NodeConfig::builder()
+//!     .gamma(10)
+//!     .cycle_length(50)
+//!     .timeout(20)
+//!     .instance(InstanceSpec::AVERAGE)
+//!     .build()?;
+//! let directory = DirectorySpec::Gossip(
+//!     GossipDirectoryConfig::new(20, 40).with_introducer_node(0),
+//! );
+//! let cluster = MuxCluster::spawn(
+//!     MuxClusterConfig::new(256, node_config).with_directory(directory),
+//!     |i| i as f64,
+//! )?;
+//! # cluster.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod codec;
+pub mod directory;
 pub mod mux;
 pub mod runtime;
 pub mod timer;
 
+pub use cluster::{Cluster, TrafficCounts};
 pub use codec::{decode_message, encode_message, DecodeError};
-pub use mux::{MuxCluster, MuxClusterConfig};
-pub use runtime::{ClusterConfig, NodeHandleConfig, UdpNode};
+pub use directory::{
+    DirectorySpec, GossipDirectory, GossipDirectoryConfig, PeerDirectory, StaticDirectory,
+};
+pub use mux::{MuxCluster, MuxClusterConfig, PeerTable};
+pub use runtime::{ClusterConfig, NodeHandleConfig, ThreadCluster, UdpNode};

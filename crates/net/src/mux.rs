@@ -1,5 +1,5 @@
 //! Multiplexed UDP cluster runtime: thousands of nodes, a handful of
-//! threads.
+//! threads — optionally sharded across sockets, processes, and hosts.
 //!
 //! [`crate::runtime`] realizes the paper's Figure 1 literally — one OS
 //! thread and one socket per node — which caps real-network experiments
@@ -8,29 +8,52 @@
 //!
 //! * a *reader* thread blocks on the shared socket and routes each
 //!   datagram by the virtual-node id in its mux frame
-//!   ([`crate::codec::encode_mux_frame`]);
+//!   ([`crate::codec::decode_mux_datagram`]);
 //! * a *timer* thread drives a hashed [`TimerWheel`] over every node's
-//!   self-reported deadline ([`GossipNode::next_deadline`]): cycle
-//!   boundaries, pending-exchange timeouts, joiner activations;
+//!   self-reported deadline ([`GossipNode::next_deadline`] merged with
+//!   its directory's [`PeerDirectory::next_deadline`]): cycle boundaries,
+//!   pending-exchange timeouts, joiner activations, membership gossip;
 //! * `workers` worker threads execute the per-node state machines. No
 //!   thread ever blocks on an exchange: a node that initiated one simply
 //!   parks a timeout deadline in the wheel and yields its worker — the
 //!   pending exchange is a timer-guarded continuation inside the sans-io
 //!   [`GossipNode`].
 //!
+//! # Cross-host sharding
+//!
+//! The mux wire frame is address-agnostic: it routes by *cluster-wide*
+//! virtual-node id. A [`PeerTable`] maps contiguous vnode-id ranges to
+//! shard socket addresses, so a cluster can be split over multiple
+//! sockets, processes, or hosts ([`MuxClusterConfig::sharded`]): each
+//! process hosts one range and transmits frames for foreign vnodes to
+//! the owning shard's socket. Same-seed determinism is preserved — node
+//! state is a function of the cluster-wide id, not of shard layout — so
+//! a sharded and an unsharded cluster draw identical peer sequences.
+//!
+//! # Membership
+//!
+//! `GETNEIGHBOR()` is served by a per-vnode [`PeerDirectory`]
+//! ([`MuxClusterConfig::with_directory`]): a [`DirectorySpec::Static`]
+//! table by default, or NEWSCAST gossip ([`DirectorySpec::Gossip`]) whose
+//! view exchanges and join/introduce bootstrap travel as mux frames
+//! through the same socket, timer wheel, and worker pool as the
+//! aggregation traffic. Gossip introducers must be named by node id
+//! ([`crate::directory::Introducer::Node`]) — mux frames route by id.
+//!
 //! Every datagram still crosses the kernel's UDP stack (loopback or
 //! otherwise), so the runtime exercises the real codec, real sockets, and
 //! real timing — only the thread-per-node cost model is gone. A node's
 //! protocol behavior is identical to [`crate::runtime::UdpNode`]'s by
 //! construction: same state machine, same seeds, and peer randomness
-//! drawn lazily per *initiated exchange* ([`GossipNode::poll_with`]), so
-//! a same-seed mux and thread-per-node cluster select the same peer
+//! drawn lazily per *initiated exchange* ([`GossipNode::poll_sampler`]),
+//! so a same-seed mux and thread-per-node cluster select the same peer
 //! sequence per node.
 //!
 //! # Examples
 //!
 //! ```no_run
 //! use epidemic_aggregation::{InstanceSpec, NodeConfig};
+//! use epidemic_net::cluster::Cluster;
 //! use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
 //!
 //! let node_config = NodeConfig::builder()
@@ -50,28 +73,151 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::codec::{decode_mux_frame, encode_mux_frame};
-use crate::runtime::uniform_peer;
+use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
+use crate::codec::{
+    decode_mux_datagram, encode_mux_directory_frame, encode_mux_frame, WirePayload,
+};
+use crate::directory::{
+    Destination, DirectoryMessage, DirectorySpec, GossipDirectory, Introducer, PeerDirectory,
+    StaticDirectory,
+};
 use crate::timer::TimerWheel;
 use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, NodeConfig};
-use epidemic_common::rng::Xoshiro256;
 use epidemic_common::NodeId;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Configuration of a multiplexed cluster: the node count and protocol
-/// parameters (the mux twin of [`crate::runtime::ClusterConfig`]).
+/// Maps cluster-wide virtual-node ids to shard socket addresses.
+///
+/// Shard `s` owns the contiguous id range [`PeerTable::shard_range`]; a
+/// frame for any vnode is transmitted to the owning shard's address. A
+/// single-shard table is the degenerate case every one-process cluster
+/// uses implicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerTable {
+    /// Range boundaries: shard `s` owns `starts[s]..starts[s + 1]`.
+    starts: Vec<usize>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl PeerTable {
+    /// One shard owning every vnode `0..total` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn single(total: usize, addr: SocketAddr) -> Self {
+        PeerTable::split(total, vec![addr])
+    }
+
+    /// Splits `0..total` into `addrs.len()` near-even contiguous ranges,
+    /// in shard order (earlier shards get the larger ranges when the
+    /// split is uneven).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or `total < addrs.len()`.
+    pub fn split(total: usize, addrs: Vec<SocketAddr>) -> Self {
+        assert!(!addrs.is_empty(), "peer table needs at least one shard");
+        assert!(
+            total >= addrs.len(),
+            "fewer vnodes ({total}) than shards ({})",
+            addrs.len()
+        );
+        let shards = addrs.len();
+        let base = total / shards;
+        let remainder = total % shards;
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut next = 0;
+        for s in 0..shards {
+            starts.push(next);
+            next += base + usize::from(s < remainder);
+        }
+        starts.push(next);
+        debug_assert_eq!(next, total);
+        PeerTable { starts, addrs }
+    }
+
+    /// Binds (and immediately releases) `shards` loopback sockets on
+    /// ephemeral ports and splits `0..total` across them — the
+    /// same-host convenience for multi-process experiments and tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn loopback_split(total: usize, shards: usize) -> io::Result<Self> {
+        Ok(PeerTable::split(
+            total,
+            crate::cluster::reserve_loopback_addrs(shards)?,
+        ))
+    }
+
+    /// Cluster-wide virtual-node count.
+    pub fn total(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The vnode-id range shard `shard` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_range(&self, shard: usize) -> Range<usize> {
+        self.starts[shard]..self.starts[shard + 1]
+    }
+
+    /// The socket address of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_addr(&self, shard: usize) -> SocketAddr {
+        self.addrs[shard]
+    }
+
+    /// The owning shard of `vnode`, or `None` for an out-of-range id.
+    pub fn shard_of(&self, vnode: usize) -> Option<usize> {
+        if vnode >= self.total() {
+            return None;
+        }
+        // starts is sorted; find the last boundary at or below vnode.
+        Some(match self.starts.binary_search(&vnode) {
+            Ok(s) => s,
+            Err(insertion) => insertion - 1,
+        })
+    }
+
+    /// The socket address owning `vnode`, or `None` for an out-of-range
+    /// id.
+    pub fn addr_of(&self, vnode: usize) -> Option<SocketAddr> {
+        self.shard_of(vnode).map(|s| self.addrs[s])
+    }
+}
+
+/// Configuration of a multiplexed cluster (or one shard of one): vnode
+/// count, protocol parameters, membership directory, and shard layout.
 #[derive(Debug, Clone)]
 pub struct MuxClusterConfig {
+    /// Cluster-wide vnode count.
     n: usize,
+    /// `(table, local shard)` for sharded deployments; `None` hosts all
+    /// of `0..n` behind one ephemeral loopback socket.
+    sharding: Option<(PeerTable, usize)>,
     node_config: NodeConfig,
     seed: u64,
     workers: usize,
+    directory: DirectorySpec,
 }
 
 impl MuxClusterConfig {
@@ -89,10 +235,32 @@ impl MuxClusterConfig {
             .clamp(1, 4);
         MuxClusterConfig {
             n,
+            sharding: None,
             node_config,
             seed: 0xC0FFEE,
             workers: default_workers,
+            directory: DirectorySpec::Static,
         }
+    }
+
+    /// Describes ONE shard of a cross-socket cluster: this process hosts
+    /// `table.shard_range(local_shard)` and binds
+    /// `table.shard_addr(local_shard)`; frames for foreign vnodes go to
+    /// the owning shard's address. Every shard must be spawned with the
+    /// same table, protocol config, and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_shard` is out of range.
+    pub fn sharded(table: PeerTable, local_shard: usize, node_config: NodeConfig) -> Self {
+        assert!(
+            local_shard < table.shard_count(),
+            "shard {local_shard} out of range ({} shards)",
+            table.shard_count()
+        );
+        let mut config = MuxClusterConfig::new(table.total(), node_config);
+        config.sharding = Some((table, local_shard));
+        config
     }
 
     /// Overrides the randomness seed shared by the cluster (the same
@@ -113,7 +281,14 @@ impl MuxClusterConfig {
         self
     }
 
-    /// Number of virtual nodes.
+    /// Selects the membership directory every vnode runs (default:
+    /// [`DirectorySpec::Static`]).
+    pub fn with_directory(mut self, directory: DirectorySpec) -> Self {
+        self.directory = directory;
+        self
+    }
+
+    /// Cluster-wide number of virtual nodes.
     pub fn len(&self) -> usize {
         self.n
     }
@@ -126,12 +301,13 @@ impl MuxClusterConfig {
 }
 
 /// One unit of protocol work, executed by whichever worker claims it.
+/// Node indices are local (shard-relative).
 #[derive(Debug)]
 enum Work {
     /// A timer deadline fired for the node.
     Wake(u32),
     /// A datagram arrived for the node.
-    Deliver(u32, epidemic_aggregation::Message),
+    Deliver(u32, WirePayload),
 }
 
 /// FIFO work queue the reader and timer threads feed and the workers
@@ -167,12 +343,12 @@ impl WorkQueue {
     }
 }
 
-/// A virtual node: the sans-io state machine plus its peer-selection
-/// stream and the earliest timer deadline already parked for it.
+/// A virtual node: the sans-io state machine, its membership directory,
+/// and the earliest timer deadline already parked for it.
 #[derive(Debug)]
 struct VNode {
     gossip: GossipNode,
-    peer_rng: Xoshiro256,
+    directory: Box<dyn PeerDirectory>,
     /// Earliest deadline with a live wheel entry for this node, or
     /// `u64::MAX` when none is known — lets workers skip redundant
     /// schedule requests (stale extra wake-ups are harmless but cost
@@ -180,18 +356,30 @@ struct VNode {
     next_wake: u64,
 }
 
+impl VNode {
+    /// The earliest tick either plane needs a wake-up at.
+    fn deadline(&self) -> u64 {
+        self.gossip
+            .next_deadline()
+            .min(self.directory.next_deadline())
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     socket: UdpSocket,
     addr: SocketAddr,
     stop: AtomicBool,
+    /// Cluster-wide id of local node 0.
+    base: usize,
+    table: PeerTable,
     nodes: Vec<Mutex<VNode>>,
     work: WorkQueue,
-    /// Schedule requests `(deadline_ms, node)` bound for the timer
+    /// Schedule requests `(deadline_ms, local node)` bound for the timer
     /// thread's wheel.
     timer_inbox: Mutex<Vec<(u64, u32)>>,
-    datagrams_in: AtomicUsize,
-    datagrams_out: AtomicUsize,
+    /// Per-local-node traffic accounting.
+    traffic: Vec<TrafficCell>,
     start: Instant,
 }
 
@@ -205,7 +393,7 @@ impl Shared {
     }
 }
 
-/// Handle to a running multiplexed cluster.
+/// Handle to a running multiplexed cluster (or one shard of one).
 ///
 /// Dropping the handle shuts the cluster down (all threads exit within
 /// one poll interval), mirroring [`crate::runtime::UdpNode`].
@@ -216,9 +404,9 @@ pub struct MuxCluster {
 }
 
 impl MuxCluster {
-    /// Binds the shared socket, builds the `n` virtual nodes with local
-    /// values `values(i)`, and starts the reader, timer, and worker
-    /// threads.
+    /// Binds the shard's socket, builds its virtual nodes with local
+    /// values `values(id)` (`id` is the *cluster-wide* vnode id), and
+    /// starts the reader, timer, and worker threads.
     ///
     /// # Errors
     ///
@@ -229,37 +417,90 @@ impl MuxCluster {
     ) -> io::Result<MuxCluster> {
         let MuxClusterConfig {
             n,
+            sharding,
             node_config,
             seed,
             workers,
+            directory,
         } = config;
-        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        // Mux membership is id-routed: a join aimed at an address (or at
+        // a vnode outside the cluster) could never be framed, and with no
+        // introducers at all nobody ever joins anybody — either way the
+        // cluster silently fails to bootstrap. Reject it up front.
+        if let DirectorySpec::Gossip(g) = &directory {
+            if g.introducers.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "gossip directory needs at least one introducer",
+                ));
+            }
+            for intro in &g.introducers {
+                match *intro {
+                    Introducer::Node(id) if (id as usize) < n => {}
+                    Introducer::Node(id) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("introducer vnode {id} outside the cluster (n = {n})"),
+                        ))
+                    }
+                    Introducer::Addr(addr) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!(
+                                "mux introducers must be vnode ids (frames route by id), \
+                                 got address {addr}"
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        let (socket, table, local_range) = match sharding {
+            None => {
+                let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+                let addr = socket.local_addr()?;
+                (socket, PeerTable::single(n, addr), 0..n)
+            }
+            Some((table, shard)) => {
+                let socket = UdpSocket::bind(table.shard_addr(shard))?;
+                let range = table.shard_range(shard);
+                (socket, table, range)
+            }
+        };
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let addr = socket.local_addr()?;
-        let nodes: Vec<Mutex<VNode>> = (0..n)
-            .map(|i| {
-                let id = NodeId::new(i as u64);
+        let base = local_range.start;
+        let nodes: Vec<Mutex<VNode>> = local_range
+            .clone()
+            .map(|global| {
+                let id = NodeId::new(global as u64);
+                let dir: Box<dyn PeerDirectory> = match &directory {
+                    DirectorySpec::Static => Box::new(StaticDirectory::id_routed(n, id, seed)),
+                    DirectorySpec::Gossip(g) => Box::new(GossipDirectory::id_routed(id, g, seed)),
+                };
                 Mutex::new(VNode {
-                    gossip: GossipNode::founder(id, node_config.clone(), values(i), seed),
-                    peer_rng: Xoshiro256::stream(seed ^ 0x5EED, id.as_u64()),
+                    gossip: GossipNode::founder(id, node_config.clone(), values(global), seed),
+                    directory: dir,
                     next_wake: u64::MAX,
                 })
             })
             .collect();
+        let local_n = nodes.len();
         let shared = Arc::new(Shared {
             socket,
             addr,
             stop: AtomicBool::new(false),
+            base,
+            table,
             nodes,
             work: WorkQueue::default(),
             timer_inbox: Mutex::new(Vec::new()),
-            datagrams_in: AtomicUsize::new(0),
-            datagrams_out: AtomicUsize::new(0),
+            traffic: (0..local_n).map(|_| TrafficCell::default()).collect(),
             start: Instant::now(),
         });
         // Prime every node with an initial wake so its first deadline is
-        // computed and parked.
-        for i in 0..n {
+        // computed and parked (and gossip directories send their joins).
+        for i in 0..local_n {
             shared.work.push(Work::Wake(i as u32));
         }
 
@@ -302,20 +543,25 @@ impl MuxCluster {
         Ok(MuxCluster { shared, threads })
     }
 
-    /// The shared socket address every virtual node receives on.
+    /// The shard's socket address (every local vnode receives here).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
     }
 
-    /// Number of virtual nodes hosted.
+    /// Number of virtual nodes hosted by THIS handle (the local shard).
     pub fn len(&self) -> usize {
         self.shared.nodes.len()
     }
 
-    /// Returns `true` if the cluster hosts no nodes (never, by
+    /// Returns `true` if this handle hosts no nodes (never, by
     /// construction).
     pub fn is_empty(&self) -> bool {
         self.shared.nodes.is_empty()
+    }
+
+    /// Cluster-wide virtual-node count (across all shards).
+    pub fn total_len(&self) -> usize {
+        self.shared.table.total()
     }
 
     /// OS threads the cluster runs on: `workers + 2` (reader + timer).
@@ -323,8 +569,8 @@ impl MuxCluster {
         self.threads.len()
     }
 
-    /// Drains the epoch reports node `index` produced since the last
-    /// call.
+    /// Drains the epoch reports local node `index` produced since the
+    /// last call.
     ///
     /// # Panics
     ///
@@ -337,12 +583,7 @@ impl MuxCluster {
             .take_reports()
     }
 
-    /// Drains every node's epoch reports, indexed by node.
-    pub fn take_all_reports(&self) -> Vec<Vec<EpochReport>> {
-        (0..self.len()).map(|i| self.take_reports(i)).collect()
-    }
-
-    /// Updates node `index`'s local value (takes effect at its next
+    /// Updates local node `index`'s local value (takes effect at its next
     /// epoch, exactly like [`crate::runtime::UdpNode::set_local_value`]).
     ///
     /// # Panics
@@ -356,12 +597,13 @@ impl MuxCluster {
             .set_local_value(value);
     }
 
-    /// Datagrams received and sent so far, cluster-wide.
-    pub fn datagram_counts(&self) -> (usize, usize) {
-        (
-            self.shared.datagrams_in.load(Ordering::Relaxed),
-            self.shared.datagrams_out.load(Ordering::Relaxed),
-        )
+    /// Datagram counts of local node `index`, split by plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn datagram_counts(&self, index: usize) -> TrafficCounts {
+        self.shared.traffic[index].snapshot()
     }
 
     /// Stops all threads and waits for them to exit.
@@ -378,25 +620,74 @@ impl MuxCluster {
     }
 }
 
+impl Cluster for MuxCluster {
+    type Config = MuxClusterConfig;
+
+    fn spawn_cluster(config: MuxClusterConfig, values: &dyn Fn(usize) -> f64) -> io::Result<Self> {
+        MuxCluster::spawn(config, values)
+    }
+
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn node_id(&self, index: usize) -> NodeId {
+        assert!(index < self.len(), "node index out of range");
+        NodeId::new((self.shared.base + index) as u64)
+    }
+
+    fn addrs(&self) -> Vec<SocketAddr> {
+        vec![self.addr()]
+    }
+
+    fn take_reports(&self, index: usize) -> Vec<EpochReport> {
+        MuxCluster::take_reports(self, index)
+    }
+
+    fn set_local_value(&self, index: usize, value: f64) {
+        MuxCluster::set_local_value(self, index, value);
+    }
+
+    fn datagram_counts(&self, index: usize) -> TrafficCounts {
+        MuxCluster::datagram_counts(self, index)
+    }
+
+    fn shutdown(self) {
+        MuxCluster::shutdown(self);
+    }
+}
+
+/// The trait's provided methods, also reachable without importing
+/// [`Cluster`] (existing call sites predate the trait).
+impl MuxCluster {
+    /// Drains every local node's epoch reports, indexed by local node.
+    pub fn take_all_reports(&self) -> Vec<Vec<EpochReport>> {
+        (0..self.len()).map(|i| self.take_reports(i)).collect()
+    }
+}
+
 impl Drop for MuxCluster {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
-/// Blocks on the shared socket and routes datagrams to state machines.
+/// Blocks on the shard socket and routes datagrams to state machines.
 fn reader_loop(shared: &Shared) {
     let mut buf = [0u8; 64 * 1024];
     while !shared.stop.load(Ordering::Relaxed) {
         match shared.socket.recv_from(&mut buf) {
             Ok((len, _src)) => {
-                shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
-                let Ok((to, msg)) = decode_mux_frame(&buf[..len]) else {
+                let Ok((to, payload)) = decode_mux_datagram(&buf[..len]) else {
                     continue; // corrupt datagram: drop, stay alive
                 };
-                let dst = to.index();
-                if dst < shared.nodes.len() {
-                    shared.work.push(Work::Deliver(dst as u32, msg));
+                let Some(local) = to.index().checked_sub(shared.base) else {
+                    continue; // foreign shard's vnode: misrouted, drop
+                };
+                if local < shared.nodes.len() {
+                    let membership = matches!(payload, WirePayload::Directory(_));
+                    shared.traffic[local].count_received(membership);
+                    shared.work.push(Work::Deliver(local as u32, payload));
                 }
             }
             // Read timeout (or spurious wake): re-check the stop flag.
@@ -429,7 +720,7 @@ fn timer_loop(shared: &Shared, cycle_ms: u64) {
 
 /// Executes per-node protocol steps until shutdown.
 fn worker_loop(shared: &Shared) {
-    let n = shared.nodes.len();
+    let mut dir_out: Vec<DirectoryMessage> = Vec::new();
     while let Some(work) = shared.work.pop(&shared.stop) {
         let (index, is_wake) = match &work {
             Work::Wake(i) => (*i as usize, true),
@@ -442,24 +733,46 @@ fn worker_loop(shared: &Shared) {
                 // This wake consumed whatever wheel entry was parked.
                 vnode.next_wake = u64::MAX;
                 let VNode {
-                    gossip, peer_rng, ..
+                    gossip, directory, ..
                 } = &mut *vnode;
-                gossip.poll_with(now, || uniform_peer(peer_rng, n, index))
+                let out = gossip.poll_sampler(now, directory);
+                directory.poll(now, &mut dir_out);
+                out
             }
-            Work::Deliver(_, msg) => vnode.gossip.handle(&msg, now),
+            Work::Deliver(_, WirePayload::Aggregation(msg)) => vnode.gossip.handle(&msg, now),
+            Work::Deliver(_, WirePayload::Directory(payload)) => {
+                vnode.directory.handle(&payload, None, now, &mut dir_out);
+                None
+            }
         };
         // Park the node's next deadline unless an earlier (or equal)
         // wheel entry is already live. After a wake we always re-park.
-        let deadline = vnode.gossip.next_deadline();
+        let deadline = vnode.deadline();
         if is_wake || deadline < vnode.next_wake {
             vnode.next_wake = deadline;
             shared.schedule(deadline, index as u32);
         }
         drop(vnode);
         if let Some(out) = outbound {
-            let frame = encode_mux_frame(out.to, &out.message);
-            if shared.socket.send_to(&frame, shared.addr).is_ok() {
-                shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(target) = shared.table.addr_of(out.to.index()) {
+                let frame = encode_mux_frame(out.to, &out.message);
+                if shared.socket.send_to(&frame, target).is_ok() {
+                    shared.traffic[index].count_sent(false, frame.len());
+                }
+            }
+        }
+        for msg in dir_out.drain(..) {
+            // Mux membership is id-routed; address destinations cannot be
+            // framed (no vnode id to route by) and are dropped.
+            let Destination::Node(to) = msg.to else {
+                continue;
+            };
+            let Some(target) = shared.table.addr_of(to.index()) else {
+                continue;
+            };
+            let frame = encode_mux_directory_frame(to, &msg.payload);
+            if shared.socket.send_to(&frame, target).is_ok() {
+                shared.traffic[index].count_sent(true, frame.len());
             }
         }
     }
@@ -468,6 +781,7 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::directory::GossipDirectoryConfig;
     use epidemic_aggregation::InstanceSpec;
 
     fn node_config(gamma: u32, cycle_ms: u64) -> NodeConfig {
@@ -481,6 +795,32 @@ mod tests {
     }
 
     #[test]
+    fn peer_table_splits_evenly_and_routes() {
+        let addrs: Vec<SocketAddr> = (0..3)
+            .map(|i| format!("127.0.0.1:{}", 9100 + i).parse().unwrap())
+            .collect();
+        let table = PeerTable::split(10, addrs.clone());
+        assert_eq!(table.total(), 10);
+        assert_eq!(table.shard_count(), 3);
+        assert_eq!(table.shard_range(0), 0..4);
+        assert_eq!(table.shard_range(1), 4..7);
+        assert_eq!(table.shard_range(2), 7..10);
+        assert_eq!(table.shard_of(0), Some(0));
+        assert_eq!(table.shard_of(3), Some(0));
+        assert_eq!(table.shard_of(4), Some(1));
+        assert_eq!(table.shard_of(9), Some(2));
+        assert_eq!(table.shard_of(10), None);
+        assert_eq!(table.addr_of(8), Some(addrs[2]));
+        assert_eq!(table.addr_of(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn peer_table_rejects_no_shards() {
+        PeerTable::split(4, Vec::new());
+    }
+
+    #[test]
     fn thread_budget_is_workers_plus_two() {
         let cluster = MuxCluster::spawn(
             MuxClusterConfig::new(64, node_config(4, 40)).with_workers(3),
@@ -488,6 +828,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cluster.len(), 64);
+        assert_eq!(cluster.total_len(), 64);
         assert_eq!(cluster.thread_count(), 3 + 2);
         cluster.shutdown();
     }
@@ -514,6 +855,74 @@ mod tests {
     }
 
     #[test]
+    fn sharded_pair_converges_across_two_sockets() {
+        // The smallest cross-socket cluster: vnode 0 on shard 0, vnode 1
+        // on shard 1, every exchange crossing between the two sockets.
+        let table = PeerTable::loopback_split(2, 2).unwrap();
+        let config = node_config(8, 25);
+        let shard0 = MuxCluster::spawn(
+            MuxClusterConfig::sharded(table.clone(), 0, config.clone()).with_workers(1),
+            |i| (i as f64 + 1.0) * 10.0,
+        )
+        .unwrap();
+        let shard1 = MuxCluster::spawn(
+            MuxClusterConfig::sharded(table, 1, config).with_workers(1),
+            |i| (i as f64 + 1.0) * 10.0,
+        )
+        .unwrap();
+        assert_eq!(shard0.len(), 1);
+        assert_eq!(shard1.len(), 1);
+        assert_eq!(shard0.total_len(), 2);
+        assert_ne!(shard0.addr(), shard1.addr());
+        std::thread::sleep(Duration::from_millis(900));
+        let mut estimates = Vec::new();
+        for shard in [&shard0, &shard1] {
+            for r in shard.take_reports(0) {
+                estimates.push(r.scalar(0).unwrap());
+            }
+        }
+        let counts = shard0.datagram_counts(0);
+        shard0.shutdown();
+        shard1.shutdown();
+        assert!(!estimates.is_empty(), "no epochs completed");
+        let last = *estimates.last().unwrap();
+        assert!((last - 15.0).abs() < 0.5, "final estimate {last}");
+        assert!(counts.aggregation_sent > 0 && counts.aggregation_received > 0);
+    }
+
+    #[test]
+    fn gossip_directory_cluster_converges_without_static_table() {
+        // No static peer table anywhere: vnode 0 introduces, everyone
+        // else bootstraps over the wire and gossips views as mux frames.
+        let spec = DirectorySpec::Gossip(GossipDirectoryConfig::new(8, 20).with_introducer_node(0));
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(6, node_config(8, 30))
+                .with_workers(2)
+                .with_directory(spec),
+            |i| i as f64, // truth 2.5
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(1_500));
+        let reports = cluster.take_all_reports();
+        let totals = cluster.total_datagram_counts();
+        cluster.shutdown();
+        let mut finals = Vec::new();
+        for node_reports in &reports {
+            if let Some(r) = node_reports.last() {
+                if r.epoch >= 1 {
+                    finals.push(r.scalar(0).unwrap());
+                }
+            }
+        }
+        assert!(finals.len() >= 4, "only {} nodes reported", finals.len());
+        for est in finals {
+            assert!((est - 2.5).abs() < 0.75, "estimate {est} (truth 2.5)");
+        }
+        assert!(totals.membership_sent > 0, "no membership traffic");
+        assert!(totals.membership_received > 0);
+    }
+
+    #[test]
     fn single_node_completes_epochs_alone() {
         let cluster = MuxCluster::spawn(
             MuxClusterConfig::new(1, node_config(2, 30)).with_workers(1),
@@ -530,17 +939,32 @@ mod tests {
     }
 
     #[test]
-    fn datagram_counters_move() {
-        let cluster = MuxCluster::spawn(
+    fn datagram_counters_move_per_node() {
+        let mut cluster = MuxCluster::spawn(
             MuxClusterConfig::new(4, node_config(30, 20)).with_workers(2),
             |i| i as f64,
         )
         .unwrap();
         std::thread::sleep(Duration::from_millis(400));
-        let (rx, tx) = cluster.datagram_counts();
-        cluster.shutdown();
-        assert!(tx > 0, "cluster never sent");
-        assert!(rx > 0, "cluster never received");
+        // Quiesce before snapshotting: the per-node/cluster-wide equality
+        // below is only sound once no worker is mid-send.
+        cluster.stop_and_join();
+        let totals = cluster.total_datagram_counts();
+        let per_node: Vec<TrafficCounts> = (0..cluster.len())
+            .map(|i| cluster.datagram_counts(i))
+            .collect();
+        drop(cluster);
+        assert!(totals.sent() > 0, "cluster never sent");
+        assert!(totals.received() > 0, "cluster never received");
+        assert_eq!(
+            per_node.iter().map(TrafficCounts::sent).sum::<u64>(),
+            totals.sent(),
+            "per-node counts disagree with the cluster-wide sum"
+        );
+        assert!(
+            per_node.iter().filter(|c| c.sent() > 0).count() >= 3,
+            "sends not attributed per node"
+        );
     }
 
     #[test]
@@ -572,5 +996,30 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_rejected() {
         MuxClusterConfig::new(0, node_config(2, 20));
+    }
+
+    #[test]
+    fn misconfigured_gossip_introducers_fail_spawn() {
+        // Address-named introducer: unframeable in the id-routed mux.
+        let by_addr = DirectorySpec::Gossip(
+            GossipDirectoryConfig::new(8, 20)
+                .with_introducer_addr("127.0.0.1:9999".parse().unwrap()),
+        );
+        let err = MuxCluster::spawn(
+            MuxClusterConfig::new(4, node_config(4, 30)).with_directory(by_addr),
+            |_| 0.0,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // Introducer id outside the cluster.
+        let out_of_range =
+            DirectorySpec::Gossip(GossipDirectoryConfig::new(8, 20).with_introducer_node(99));
+        let err = MuxCluster::spawn(
+            MuxClusterConfig::new(4, node_config(4, 30)).with_directory(out_of_range),
+            |_| 0.0,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -1,19 +1,30 @@
-//! UDP node runtime.
+//! Thread-per-node UDP runtime.
 //!
 //! One OS thread per node realizes the paper's Figure 1: the *active*
-//! behavior initiates one exchange per cycle with a random peer from the
-//! peer table, the *passive* behavior answers incoming datagrams. Both run
-//! in a single event loop over a non-blocking socket, driving the sans-io
-//! [`GossipNode`] with wall-clock milliseconds.
+//! behavior initiates one exchange per cycle with a random peer from its
+//! [`PeerDirectory`], the *passive* behavior answers incoming datagrams.
+//! Both run in a single event loop over a non-blocking socket, driving the
+//! sans-io [`GossipNode`] with wall-clock milliseconds.
 //!
-//! Membership is provided by a static peer table ([`ClusterConfig`]), which
-//! stands in for the out-of-band discovery service the paper assumes; the
-//! NEWSCAST crate provides the dynamic alternative in simulations.
+//! Membership is pluggable (the `GETNEIGHBOR()` seam of
+//! [`crate::directory`]): a [`StaticDirectory`] over the cluster's address
+//! table by default, or a NEWSCAST [`GossipDirectory`] whose view gossip
+//! and join/introduce bootstrap ride the same socket as the aggregation
+//! traffic — the node then knows nothing but its introducers at start-up
+//! and learns peer addresses from the wire.
+//!
+//! [`ThreadCluster`] wraps the per-node handles behind the
+//! [`Cluster`](crate::cluster::Cluster) operator seam shared with the
+//! multiplexed runtime ([`crate::mux`]).
 
-use crate::codec::{decode_message, encode_message};
+use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
+use crate::codec::{decode_datagram, encode_directory_message, encode_message, WirePayload};
+use crate::directory::{
+    Destination, DirectoryMessage, DirectorySpec, GossipDirectory, GossipDirectoryConfig,
+    Introducer, PeerDirectory, StaticDirectory,
+};
 use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, NodeConfig};
-use epidemic_common::rng::Xoshiro256;
 use epidemic_common::NodeId;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -22,13 +33,15 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Shared description of a cluster: the peer table mapping dense node ids
-/// to socket addresses, plus the common protocol configuration.
+/// Shared description of a cluster: the address table mapping dense node
+/// ids to socket addresses, the common protocol configuration, and the
+/// membership directory every node builds.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    peers: Vec<SocketAddr>,
+    peers: Arc<Vec<SocketAddr>>,
     node_config: NodeConfig,
     seed: u64,
+    directory: DirectorySpec,
 }
 
 impl ClusterConfig {
@@ -39,27 +52,19 @@ impl ClusterConfig {
     ///
     /// Propagates socket binding errors.
     pub fn loopback(n: usize, node_config: NodeConfig) -> io::Result<Self> {
-        let mut peers = Vec::with_capacity(n);
-        let mut held = Vec::with_capacity(n);
-        for _ in 0..n {
-            let sock = UdpSocket::bind(("127.0.0.1", 0))?;
-            peers.push(sock.local_addr()?);
-            held.push(sock); // hold all sockets until every port is chosen
-        }
-        drop(held);
-        Ok(ClusterConfig {
-            peers,
+        Ok(Self::from_peers(
+            crate::cluster::reserve_loopback_addrs(n)?,
             node_config,
-            seed: 0xC0FFEE,
-        })
+        ))
     }
 
-    /// Creates a cluster from an explicit peer table.
+    /// Creates a cluster from an explicit address table.
     pub fn from_peers(peers: Vec<SocketAddr>, node_config: NodeConfig) -> Self {
         ClusterConfig {
-            peers,
+            peers: Arc::new(peers),
             node_config,
             seed: 0xC0FFEE,
+            directory: DirectorySpec::Static,
         }
     }
 
@@ -69,7 +74,19 @@ impl ClusterConfig {
         self
     }
 
-    /// The peer table.
+    /// Selects the membership directory every node runs (default:
+    /// [`DirectorySpec::Static`] over the address table).
+    ///
+    /// With [`DirectorySpec::Gossip`], the address table is used only as
+    /// the *bind plan* (node `i` binds `peers[i]`) and to resolve
+    /// [`Introducer::Node`] entries to addresses; peers are otherwise
+    /// discovered exclusively over the wire.
+    pub fn with_directory(mut self, directory: DirectorySpec) -> Self {
+        self.directory = directory;
+        self
+    }
+
+    /// The address table.
     pub fn peers(&self) -> &[SocketAddr] {
         &self.peers
     }
@@ -85,6 +102,64 @@ impl ClusterConfig {
             index,
             local_value,
             cluster: self.clone(),
+        }
+    }
+
+    /// Builds node `index`'s directory per the configured spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects gossip configs naming an introducer outside the cluster
+    /// (the error surfaces from `spawn`, not from inside the node's
+    /// thread where a panic would be silently swallowed by `join`).
+    fn build_directory(&self, id: NodeId) -> io::Result<Box<dyn PeerDirectory>> {
+        match &self.directory {
+            DirectorySpec::Static => Ok(Box::new(StaticDirectory::addr_routed(
+                Arc::clone(&self.peers),
+                id,
+                self.seed,
+            ))),
+            DirectorySpec::Gossip(config) => {
+                // With no introducers nobody ever joins anybody and the
+                // cluster silently never exchanges; reject up front.
+                if config.introducers.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "gossip directory needs at least one introducer",
+                    ));
+                }
+                // Resolve id-named introducers through the bind plan; the
+                // directory itself never sees the address table.
+                let mut introducers = Vec::with_capacity(config.introducers.len());
+                for intro in &config.introducers {
+                    introducers.push(match *intro {
+                        Introducer::Node(n) if (n as usize) < self.peers.len() => {
+                            Introducer::Addr(self.peers[n as usize])
+                        }
+                        Introducer::Node(n) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                format!(
+                                    "introducer node {n} outside the cluster (n = {})",
+                                    self.peers.len()
+                                ),
+                            ))
+                        }
+                        addr => addr,
+                    });
+                }
+                let resolved = GossipDirectoryConfig {
+                    view_size: config.view_size,
+                    cycle_length: config.cycle_length,
+                    introducers,
+                };
+                Ok(Box::new(GossipDirectory::addr_routed(
+                    id,
+                    self.peers[id.index()],
+                    &resolved,
+                    self.seed,
+                )))
+            }
         }
     }
 }
@@ -114,8 +189,7 @@ struct Shared {
     stop: AtomicBool,
     reports: Mutex<Vec<EpochReport>>,
     local_value: Mutex<Option<f64>>,
-    datagrams_in: std::sync::atomic::AtomicUsize,
-    datagrams_out: std::sync::atomic::AtomicUsize,
+    traffic: TrafficCell,
 }
 
 impl UdpNode {
@@ -134,18 +208,20 @@ impl UdpNode {
         let socket = UdpSocket::bind(addr)?;
         socket.set_nonblocking(true)?;
         let id = NodeId::new(index as u64);
+        // Built on the caller's thread so misconfiguration fails the
+        // spawn instead of killing the node thread silently.
+        let directory = cluster.build_directory(id)?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             reports: Mutex::new(Vec::new()),
             local_value: Mutex::new(None),
-            datagrams_in: std::sync::atomic::AtomicUsize::new(0),
-            datagrams_out: std::sync::atomic::AtomicUsize::new(0),
+            traffic: TrafficCell::default(),
         });
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name(format!("gossip-{index}"))
             .spawn(move || {
-                run_loop(socket, id, local_value, cluster, thread_shared);
+                run_loop(socket, id, local_value, cluster, directory, thread_shared);
             })?;
         Ok(UdpNode {
             addr,
@@ -160,7 +236,7 @@ impl UdpNode {
         self.addr
     }
 
-    /// The node's identifier (its index in the peer table).
+    /// The node's identifier (its index in the address table).
     pub fn id(&self) -> NodeId {
         self.id
     }
@@ -175,12 +251,9 @@ impl UdpNode {
         *self.shared.local_value.lock().unwrap() = Some(value);
     }
 
-    /// Datagrams received and sent so far.
-    pub fn datagram_counts(&self) -> (usize, usize) {
-        (
-            self.shared.datagrams_in.load(Ordering::Relaxed),
-            self.shared.datagrams_out.load(Ordering::Relaxed),
-        )
+    /// Datagram counts so far, split by protocol plane.
+    pub fn datagram_counts(&self) -> TrafficCounts {
+        self.shared.traffic.snapshot()
     }
 
     /// Stops the gossip thread and waits for it to exit.
@@ -202,20 +275,36 @@ impl Drop for UdpNode {
     }
 }
 
-/// Draws a uniformly random peer among `n` nodes, excluding `me`.
-/// Returns `None` when the node is alone.
-///
-/// Shared by the thread-per-node and multiplexed runtimes: combined with
-/// lazy selection ([`GossipNode::poll_with`]), a node's peer sequence is a
-/// deterministic function of `(seed, id, initiated-exchange count)` — the
-/// property the mux-vs-threads parity tests rely on.
-pub(crate) fn uniform_peer(rng: &mut Xoshiro256, n: usize, me: usize) -> Option<NodeId> {
-    if n <= 1 {
-        return None;
+/// Sends an encoded datagram, charging the node's traffic cell.
+fn transmit(
+    socket: &UdpSocket,
+    shared: &Shared,
+    target: SocketAddr,
+    bytes: &[u8],
+    membership: bool,
+) {
+    if socket.send_to(bytes, target).is_ok() {
+        shared.traffic.count_sent(membership, bytes.len());
     }
-    let raw = rng.index(n - 1);
-    let p = if raw >= me { raw + 1 } else { raw };
-    Some(NodeId::new(p as u64))
+}
+
+/// Resolves and transmits the directory's pending messages.
+fn flush_directory(
+    socket: &UdpSocket,
+    shared: &Shared,
+    directory: &dyn PeerDirectory,
+    out: &mut Vec<DirectoryMessage>,
+) {
+    for msg in out.drain(..) {
+        let target = match msg.to {
+            Destination::Addr(addr) => Some(addr),
+            Destination::Node(id) => directory.addr_of(id),
+        };
+        if let Some(target) = target {
+            let bytes = encode_directory_message(&msg.payload);
+            transmit(socket, shared, target, &bytes, true);
+        }
+    }
 }
 
 fn run_loop(
@@ -223,13 +312,13 @@ fn run_loop(
     id: NodeId,
     local_value: f64,
     cluster: ClusterConfig,
+    mut directory: Box<dyn PeerDirectory>,
     shared: Arc<Shared>,
 ) {
     let mut node = GossipNode::founder(id, cluster.node_config.clone(), local_value, cluster.seed);
-    let mut rng = Xoshiro256::stream(cluster.seed ^ 0x5EED, id.as_u64());
     let start = Instant::now();
     let mut buf = [0u8; 64 * 1024];
-    let n_peers = cluster.peers.len();
+    let mut dir_out: Vec<DirectoryMessage> = Vec::new();
     while !shared.stop.load(Ordering::Relaxed) {
         let now_ms = start.elapsed().as_millis() as u64;
 
@@ -241,33 +330,52 @@ fn run_loop(
         // Active behavior: tick the protocol; initiate when a cycle
         // fires. The peer is drawn lazily — only for exchanges actually
         // initiated — so the draw sequence matches the mux runtime's.
-        if let Some(out) = node.poll_with(now_ms, || uniform_peer(&mut rng, n_peers, id.index())) {
-            let target = cluster.peers[out.to.index()];
-            if socket
-                .send_to(&encode_message(&out.message), target)
-                .is_ok()
-            {
-                shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+        if let Some(out) = node.poll_sampler(now_ms, &mut directory) {
+            if let Some(target) = directory.addr_of(out.to) {
+                transmit(
+                    &socket,
+                    &shared,
+                    target,
+                    &encode_message(&out.message),
+                    false,
+                );
             }
         }
+
+        // Membership behavior: view gossip and bootstrap ride the same
+        // socket and clock.
+        directory.poll(now_ms, &mut dir_out);
+        flush_directory(&socket, &shared, directory.as_ref(), &mut dir_out);
 
         // Passive behavior: drain the socket.
         loop {
             match socket.recv_from(&mut buf) {
-                Ok((len, _src)) => {
-                    shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
-                    let Ok(msg) = decode_message(&buf[..len]) else {
-                        continue; // corrupt datagram: drop, stay alive
-                    };
+                Ok((len, src)) => {
                     let now_ms = start.elapsed().as_millis() as u64;
-                    if let Some(response) = node.handle(&msg, now_ms) {
-                        let target = cluster.peers[response.to.index()];
-                        if socket
-                            .send_to(&encode_message(&response.message), target)
-                            .is_ok()
-                        {
-                            shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+                    match decode_datagram(&buf[..len]) {
+                        Ok(WirePayload::Aggregation(msg)) => {
+                            shared.traffic.count_received(false);
+                            // Every datagram names its sender: learn the
+                            // (id, addr) binding passively.
+                            directory.observe(msg.from, src);
+                            if let Some(response) = node.handle(&msg, now_ms) {
+                                if let Some(target) = directory.addr_of(response.to) {
+                                    transmit(
+                                        &socket,
+                                        &shared,
+                                        target,
+                                        &encode_message(&response.message),
+                                        false,
+                                    );
+                                }
+                            }
                         }
+                        Ok(WirePayload::Directory(payload)) => {
+                            shared.traffic.count_received(true);
+                            directory.handle(&payload, Some(src), now_ms, &mut dir_out);
+                            flush_directory(&socket, &shared, directory.as_ref(), &mut dir_out);
+                        }
+                        Err(_) => continue, // corrupt datagram: drop, stay alive
                     }
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -282,6 +390,74 @@ fn run_loop(
         }
 
         std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The thread-per-node runtime behind the [`Cluster`] operator seam: one
+/// [`UdpNode`] per cluster member, spawned and torn down together.
+#[derive(Debug)]
+pub struct ThreadCluster {
+    nodes: Vec<UdpNode>,
+}
+
+impl ThreadCluster {
+    /// Spawns one [`UdpNode`] per address-table entry; node `i` starts
+    /// with local value `values(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn errors (nodes already started
+    /// are shut down on failure).
+    pub fn spawn(config: ClusterConfig, values: impl Fn(usize) -> f64) -> io::Result<Self> {
+        let n = config.peers.len();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            nodes.push(UdpNode::spawn(config.node(i, values(i)))?);
+        }
+        Ok(ThreadCluster { nodes })
+    }
+
+    /// The per-node handles.
+    pub fn nodes(&self) -> &[UdpNode] {
+        &self.nodes
+    }
+}
+
+impl Cluster for ThreadCluster {
+    type Config = ClusterConfig;
+
+    fn spawn_cluster(config: ClusterConfig, values: &dyn Fn(usize) -> f64) -> io::Result<Self> {
+        ThreadCluster::spawn(config, values)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node_id(&self, index: usize) -> NodeId {
+        self.nodes[index].id()
+    }
+
+    fn addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(UdpNode::addr).collect()
+    }
+
+    fn take_reports(&self, index: usize) -> Vec<EpochReport> {
+        self.nodes[index].take_reports()
+    }
+
+    fn set_local_value(&self, index: usize, value: f64) {
+        self.nodes[index].set_local_value(value);
+    }
+
+    fn datagram_counts(&self, index: usize) -> TrafficCounts {
+        self.nodes[index].datagram_counts()
+    }
+
+    fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
     }
 }
 
@@ -351,16 +527,20 @@ mod tests {
     }
 
     #[test]
-    fn datagram_counters_move() {
+    fn datagram_counters_move_per_plane() {
         let cluster = ClusterConfig::loopback(2, node_config(30, 20)).unwrap();
         let a = UdpNode::spawn(cluster.node(0, 1.0)).unwrap();
         let b = UdpNode::spawn(cluster.node(1, 3.0)).unwrap();
         std::thread::sleep(Duration::from_millis(400));
-        let (in_a, out_a) = a.datagram_counts();
+        let counts = a.datagram_counts();
         a.shutdown();
         b.shutdown();
-        assert!(out_a > 0, "node never sent");
-        assert!(in_a > 0, "node never received");
+        assert!(counts.aggregation_sent > 0, "node never sent");
+        assert!(counts.aggregation_received > 0, "node never received");
+        assert!(counts.aggregation_bytes_sent > 0, "bytes uncharged");
+        // A static directory produces no membership traffic.
+        assert_eq!(counts.membership_sent, 0);
+        assert_eq!(counts.membership_received, 0);
     }
 
     #[test]
@@ -373,5 +553,60 @@ mod tests {
         node.shutdown();
         let last = reports.last().and_then(|r| r.scalar(0)).unwrap();
         assert_eq!(last, 100.0, "local value update never took effect");
+    }
+
+    #[test]
+    fn thread_cluster_implements_the_operator_seam() {
+        let config = ClusterConfig::loopback(3, node_config(6, 25)).unwrap();
+        let cluster = ThreadCluster::spawn(config, |i| i as f64).unwrap();
+        assert_eq!(cluster.node_count(), 3);
+        assert_eq!(cluster.node_id(2), NodeId::new(2));
+        assert_eq!(cluster.addrs().len(), 3);
+        std::thread::sleep(Duration::from_millis(700));
+        let reports = cluster.take_all_reports();
+        let totals = cluster.total_datagram_counts();
+        cluster.shutdown();
+        assert!(reports.iter().any(|r| !r.is_empty()), "no epochs anywhere");
+        assert!(totals.sent() > 0 && totals.received() > 0);
+    }
+
+    #[test]
+    fn out_of_range_introducer_fails_spawn() {
+        let spec = DirectorySpec::Gossip(GossipDirectoryConfig::new(8, 20).with_introducer_node(9));
+        let config = ClusterConfig::loopback(4, node_config(4, 30))
+            .unwrap()
+            .with_directory(spec);
+        let err = ThreadCluster::spawn(config, |_| 0.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn gossip_directory_cluster_converges_from_introducer_only() {
+        // NO static peer table: every node knows exactly one introducer
+        // address; membership is NEWSCAST over the same sockets.
+        let spec = DirectorySpec::Gossip(GossipDirectoryConfig::new(8, 20).with_introducer_node(0));
+        let config = ClusterConfig::loopback(4, node_config(10, 30))
+            .unwrap()
+            .with_directory(spec);
+        let cluster = ThreadCluster::spawn(config, |i| (i as f64 + 1.0) * 4.0).unwrap(); // avg 10
+        std::thread::sleep(Duration::from_millis(1_800));
+        let reports = cluster.take_all_reports();
+        let totals = cluster.total_datagram_counts();
+        cluster.shutdown();
+        let mut finals = Vec::new();
+        for node_reports in &reports {
+            // Epoch 0 may predate bootstrap; judge the latest epoch.
+            if let Some(r) = node_reports.last() {
+                if r.epoch >= 1 {
+                    finals.push(r.scalar(0).unwrap());
+                }
+            }
+        }
+        assert!(finals.len() >= 3, "only {} nodes reported", finals.len());
+        for est in finals {
+            assert!((est - 10.0).abs() < 1.0, "estimate {est} (truth 10)");
+        }
+        assert!(totals.membership_sent > 0, "no membership traffic");
+        assert!(totals.membership_bytes_sent > 0);
     }
 }

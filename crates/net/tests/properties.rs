@@ -10,12 +10,16 @@ use epidemic_aggregation::value::InstanceMap;
 use epidemic_aggregation::{InstanceState, Message};
 use epidemic_common::NodeId;
 use epidemic_net::codec::{
-    decode_message, decode_mux_frame, decode_view_message, encode_message, encode_mux_frame,
-    encode_view_message, encoded_len, mux_frame_len, view_encoded_len,
+    decode_datagram, decode_directory_message, decode_message, decode_mux_datagram,
+    decode_mux_frame, decode_view_message, directory_encoded_len, encode_directory_message,
+    encode_message, encode_mux_directory_frame, encode_mux_frame, encode_view_message, encoded_len,
+    mux_directory_frame_len, mux_frame_len, view_encoded_len,
 };
+use epidemic_net::directory::{DirectoryPayload, IntroduceEntry};
 use epidemic_newscast::node::ViewPayload;
 use epidemic_newscast::Descriptor;
 use proptest::prelude::*;
+use std::net::{IpAddr, SocketAddr};
 
 /// Raw generated material for one instance state: `(is_map, scalar,
 /// map_entries)`.
@@ -99,6 +103,72 @@ proptest! {
     }
 
     #[test]
+    fn encoded_len_matches_encode_for_join_and_introduce(
+        from in any::<u32>(),
+        is_join in any::<bool>(),
+        raw in prop::collection::vec(
+            // (node, timestamp, addr kind, ip material, port)
+            (any::<u32>(), any::<u32>(), 0u8..3, any::<u32>(), any::<u32>()),
+            0..24,
+        ),
+    ) {
+        let payload = if is_join {
+            DirectoryPayload::Join { from }
+        } else {
+            let peers = raw
+                .iter()
+                .map(|&(node, timestamp, kind, ip, port)| IntroduceEntry {
+                    node,
+                    timestamp,
+                    addr: match kind {
+                        0 => None,
+                        1 => Some(SocketAddr::new(
+                            IpAddr::from(ip.to_le_bytes()),
+                            port as u16,
+                        )),
+                        _ => {
+                            let mut octets = [0u8; 16];
+                            octets[..4].copy_from_slice(&ip.to_le_bytes());
+                            octets[12..].copy_from_slice(&port.to_le_bytes());
+                            Some(SocketAddr::new(IpAddr::from(octets), (port >> 16) as u16))
+                        }
+                    },
+                })
+                .collect();
+            DirectoryPayload::Introduce { from, peers }
+        };
+        let encoded = encode_directory_message(&payload);
+        prop_assert_eq!(directory_encoded_len(&payload), encoded.len());
+        let decoded = decode_directory_message(&encoded).expect("round trip");
+        prop_assert_eq!(&decoded, &payload);
+        // The plane router agrees with the dedicated decoder.
+        prop_assert_eq!(
+            decode_datagram(&encoded).expect("datagram"),
+            epidemic_net::codec::WirePayload::Directory(payload)
+        );
+    }
+
+    #[test]
+    fn mux_directory_frame_len_matches_and_routes(
+        to in any::<u64>(),
+        from in any::<u32>(),
+        raw in prop::collection::vec((any::<u32>(), any::<u32>()), 0..16),
+    ) {
+        let payload = DirectoryPayload::Introduce {
+            from,
+            peers: raw
+                .iter()
+                .map(|&(node, timestamp)| IntroduceEntry { node, timestamp, addr: None })
+                .collect(),
+        };
+        let frame = encode_mux_directory_frame(NodeId::new(to), &payload);
+        prop_assert_eq!(mux_directory_frame_len(&payload), frame.len());
+        let (dst, decoded) = decode_mux_datagram(&frame).expect("round trip");
+        prop_assert_eq!(dst, NodeId::new(to));
+        prop_assert_eq!(decoded, epidemic_net::codec::WirePayload::Directory(payload));
+    }
+
+    #[test]
     fn truncated_frames_never_panic(
         raw in prop::collection::vec(any::<u8>(), 0..64),
     ) {
@@ -106,5 +176,8 @@ proptest! {
         let _ = decode_message(&raw);
         let _ = decode_view_message(&raw);
         let _ = decode_mux_frame(&raw);
+        let _ = decode_directory_message(&raw);
+        let _ = decode_datagram(&raw);
+        let _ = decode_mux_datagram(&raw);
     }
 }

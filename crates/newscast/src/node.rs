@@ -159,6 +159,14 @@ impl MembershipNode {
         self.next_cycle_at
     }
 
+    /// The payload this node would ship in an exchange right now: its view
+    /// plus a fresh self-descriptor. Embeddings use it to answer join
+    /// requests with an introduction snapshot (the out-of-band bootstrap
+    /// of Section 4.2) without running a full exchange.
+    pub fn view_payload(&self, now: u64) -> ViewPayload {
+        self.payload(now)
+    }
+
     fn payload(&self, now: u64) -> ViewPayload {
         let mut descriptors: Vec<Descriptor> = self.view.entries().to_vec();
         descriptors.push(Descriptor::new(self.id, timestamp(now)));

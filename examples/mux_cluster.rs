@@ -1,4 +1,5 @@
-//! A thousand-node gossip cluster over real UDP — in one process.
+//! A thousand-node gossip cluster over real UDP — in one process, or
+//! sharded across processes and hosts.
 //!
 //! The `udp_cluster` example runs the paper's Figure 1 literally: one OS
 //! thread per node. This example runs the same protocol at a scale that
@@ -7,44 +8,148 @@
 //! exchange still crosses the kernel's UDP stack; only the per-node
 //! thread and socket are gone.
 //!
-//! Run with: `cargo run --release --example mux_cluster`
+//! The mux wire frame routes by cluster-wide virtual-node id, so the
+//! same cluster can be sharded over multiple sockets, processes, or
+//! hosts through a `PeerTable`:
+//!
+//! ```text
+//! # one process, 1024 vnodes (the default)
+//! cargo run --release --example mux_cluster
+//!
+//! # the same cluster split across two processes / hosts: run one shard
+//! # per process, all with the same --hosts list (shard order)
+//! cargo run --release --example mux_cluster -- --hosts 10.0.0.1:7000,10.0.0.2:7000 --shard 0/2
+//! cargo run --release --example mux_cluster -- --hosts 10.0.0.1:7000,10.0.0.2:7000 --shard 1/2
+//!
+//! # NEWSCAST membership instead of the static table (vnode 0 introduces)
+//! cargo run --release --example mux_cluster -- --gossip
+//!
+//! # CI smoke: a small 2-shard cluster over loopback in one process
+//! cargo run --release --example mux_cluster -- --smoke
+//! ```
 
 use epidemic::aggregation::{InstanceSpec, LeaderPolicy, NodeConfig};
-use epidemic::net::mux::{MuxCluster, MuxClusterConfig};
+use epidemic::net::cluster::Cluster;
+use epidemic::net::directory::{DirectorySpec, GossipDirectoryConfig};
+use epidemic::net::mux::{MuxCluster, MuxClusterConfig, PeerTable};
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 1024usize;
-    let workers = 4usize;
-    let node_config = NodeConfig::builder()
+#[derive(Debug)]
+struct Args {
+    n: usize,
+    workers: usize,
+    seed: u64,
+    secs: u64,
+    gossip: bool,
+    smoke: bool,
+    hosts: Vec<SocketAddr>,
+    shard: Option<(usize, usize)>, // (k, m): this process is shard k of m
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 1024,
+        workers: 4,
+        seed: 0xC0FFEE,
+        secs: 3,
+        gossip: false,
+        smoke: false,
+        hosts: Vec::new(),
+        shard: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--secs" => {
+                args.secs = value("--secs")?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}"))?
+            }
+            "--gossip" => args.gossip = true,
+            "--smoke" => args.smoke = true,
+            "--hosts" => {
+                for host in value("--hosts")?.split(',') {
+                    args.hosts
+                        .push(host.parse().map_err(|e| format!("--hosts {host}: {e}"))?);
+                }
+            }
+            "--shard" => {
+                let spec = value("--shard")?;
+                let (k, m) = spec
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard wants k/m, got {spec}"))?;
+                let k = k.parse().map_err(|e| format!("--shard: {e}"))?;
+                let m = m.parse().map_err(|e| format!("--shard: {e}"))?;
+                args.shard = Some((k, m));
+            }
+            other => return Err(format!("unknown flag {other} (see the example header)")),
+        }
+    }
+    if let Some((k, m)) = args.shard {
+        if args.hosts.len() != m {
+            return Err(format!(
+                "--shard {k}/{m} needs exactly {m} --hosts entries, got {}",
+                args.hosts.len()
+            ));
+        }
+        if k >= m {
+            return Err(format!("--shard {k}/{m}: shard index out of range"));
+        }
+    } else if !args.hosts.is_empty() {
+        return Err("--hosts without --shard k/m".into());
+    }
+    Ok(args)
+}
+
+fn node_config(n: usize, gossip: bool) -> Result<NodeConfig, Box<dyn std::error::Error>> {
+    let mut builder = NodeConfig::builder();
+    builder
         .gamma(10)
         .cycle_length(50) // δ = 50 ms
         .timeout(20)
         .instance(InstanceSpec::AVERAGE)
-        .instance(InstanceSpec::CountMap {
+        .initial_size_guess(n as f64);
+    if !gossip {
+        // COUNT leaders are elected per epoch; keep the demo focused on
+        // AVERAGE when membership itself is still bootstrapping.
+        builder.instance(InstanceSpec::CountMap {
             leader: LeaderPolicy::Probability { concurrency: 8.0 },
-        })
-        .initial_size_guess(n as f64)
-        .build()?;
+        });
+    }
+    Ok(builder.build()?)
+}
 
-    println!("spawning {n} virtual gossip nodes behind one UDP socket...");
-    let started = Instant::now();
-    // Local values 1..=1024: true average 512.5.
-    let cluster = MuxCluster::spawn(
-        MuxClusterConfig::new(n, node_config).with_workers(workers),
-        |i| (i + 1) as f64,
-    )?;
-    println!(
-        "up in {:?}: socket {}, {} OS threads (vs {n} for thread-per-node)",
-        started.elapsed(),
-        cluster.addr(),
-        cluster.thread_count(),
-    );
+fn directory_spec(gossip: bool) -> DirectorySpec {
+    if gossip {
+        // Vnode 0 is the introducer; everyone else bootstraps over the
+        // wire — no static peer table anywhere.
+        DirectorySpec::Gossip(GossipDirectoryConfig::new(20, 40).with_introducer_node(0))
+    } else {
+        DirectorySpec::Static
+    }
+}
 
-    std::thread::sleep(Duration::from_millis(2_500));
-
+/// Harvests every local node's latest report and prints shard-level
+/// aggregate estimates. Returns the mean AVERAGE estimate, if any.
+fn report(label: &str, cluster: &MuxCluster, truth_avg: f64, n: usize) -> Option<f64> {
     let reports = cluster.take_all_reports();
-    let (rx, tx) = cluster.datagram_counts();
+    let totals = cluster.total_datagram_counts();
     let mut epochs_seen = 0usize;
     let mut avg_sum = 0.0;
     let mut avg_count = 0usize;
@@ -63,19 +168,139 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("{epochs_seen} epoch reports from {avg_count} nodes; {rx} datagrams in / {tx} out");
-    if avg_count > 0 {
-        println!(
-            "mean AVERAGE estimate {:.3} (truth 512.5)",
-            avg_sum / avg_count as f64
-        );
+    println!(
+        "{label}: {epochs_seen} epoch reports from {avg_count} of {} local nodes; \
+         {} datagrams in / {} out \
+         (membership: {} in / {} out, byte overhead {:.3})",
+        cluster.len(),
+        totals.received(),
+        totals.sent(),
+        totals.membership_received,
+        totals.membership_sent,
+        totals.membership_byte_overhead(),
+    );
+    let mean = (avg_count > 0).then(|| avg_sum / avg_count as f64);
+    if let Some(mean) = mean {
+        println!("{label}: mean AVERAGE estimate {mean:.3} (truth {truth_avg})");
     }
     if size_count > 0 {
         println!(
-            "mean COUNT estimate {:.1} (truth {n})",
+            "{label}: mean COUNT estimate {:.1} (truth {n})",
             size_sum / size_count as f64
         );
     }
+    mean
+}
+
+/// `--smoke`: a small 2-shard cluster over loopback in one process; used
+/// by CI to keep the cross-socket sharding path from rotting. Exits with
+/// an error if the shards fail to converge.
+fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64usize;
+    let truth = (n as f64 + 1.0) / 2.0; // values 1..=n
+    let config = node_config(n, false)?;
+    let table = PeerTable::loopback_split(n, 2)?;
+    println!(
+        "smoke: {n} vnodes over 2 loopback shards ({} and {})",
+        table.shard_addr(0),
+        table.shard_addr(1)
+    );
+    let shards = [
+        MuxCluster::spawn(
+            MuxClusterConfig::sharded(table.clone(), 0, config.clone()).with_workers(2),
+            |i| (i + 1) as f64,
+        )?,
+        MuxCluster::spawn(
+            MuxClusterConfig::sharded(table, 1, config).with_workers(2),
+            |i| (i + 1) as f64,
+        )?,
+    ];
+    std::thread::sleep(Duration::from_millis(2_000));
+    let mut ok = true;
+    for (s, shard) in shards.iter().enumerate() {
+        match report(&format!("shard {s}"), shard, truth, n) {
+            Some(mean) if (mean - truth).abs() < truth * 0.05 => {}
+            Some(mean) => {
+                eprintln!("shard {s}: mean {mean} too far from truth {truth}");
+                ok = false;
+            }
+            None => {
+                eprintln!("shard {s}: no epoch reports");
+                ok = false;
+            }
+        }
+        let counts = shard.total_datagram_counts();
+        if counts.sent() == 0 || counts.received() == 0 {
+            eprintln!("shard {s}: no datagrams moved");
+            ok = false;
+        }
+    }
+    for shard in shards {
+        shard.shutdown();
+    }
+    if !ok {
+        return Err("smoke run failed to converge".into());
+    }
+    println!("smoke: both shards converged");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    if args.smoke {
+        return run_smoke();
+    }
+
+    let config = node_config(args.n, args.gossip)?;
+    let directory = directory_spec(args.gossip);
+    let truth = (args.n as f64 + 1.0) / 2.0; // values 1..=n
+    let started = Instant::now();
+    let cluster = match args.shard {
+        None => {
+            println!(
+                "spawning {} virtual gossip nodes behind one UDP socket...",
+                args.n
+            );
+            MuxCluster::spawn(
+                MuxClusterConfig::new(args.n, config)
+                    .with_workers(args.workers)
+                    .with_seed(args.seed)
+                    .with_directory(directory),
+                |i| (i + 1) as f64,
+            )?
+        }
+        Some((k, m)) => {
+            let table = PeerTable::split(args.n, args.hosts.clone());
+            println!(
+                "spawning shard {k}/{m}: vnodes {:?} on {}...",
+                table.shard_range(k),
+                table.shard_addr(k)
+            );
+            MuxCluster::spawn(
+                MuxClusterConfig::sharded(table, k, config)
+                    .with_workers(args.workers)
+                    .with_seed(args.seed)
+                    .with_directory(directory),
+                |i| (i + 1) as f64,
+            )?
+        }
+    };
+    println!(
+        "up in {:?}: socket {}, {} OS threads hosting {} of {} vnodes{}",
+        started.elapsed(),
+        cluster.addr(),
+        cluster.thread_count(),
+        cluster.len(),
+        cluster.total_len(),
+        if args.gossip {
+            " (NEWSCAST membership, introducer vnode 0)"
+        } else {
+            " (static directory)"
+        },
+    );
+
+    std::thread::sleep(Duration::from_secs(args.secs.max(1)));
+    report("cluster", &cluster, truth, args.n);
     cluster.shutdown();
     Ok(())
 }

@@ -2,14 +2,16 @@
 //!
 //! Spawns twelve OS processes' worth of protocol — one thread per node —
 //! each running the active/passive loops of the paper's Figure 1 over real
-//! datagrams. The nodes aggregate AVERAGE and COUNT simultaneously; after
-//! a few wall-clock epochs every node reports both the average of the
-//! local values and the cluster size, computed purely by gossip.
+//! datagrams, operated through the runtime-agnostic `Cluster` seam. The
+//! nodes aggregate AVERAGE and COUNT simultaneously; after a few
+//! wall-clock epochs every node reports both the average of the local
+//! values and the cluster size, computed purely by gossip.
 //!
 //! Run with: `cargo run --release --example udp_cluster`
 
 use epidemic::aggregation::{InstanceSpec, LeaderPolicy, NodeConfig};
-use epidemic::net::runtime::{ClusterConfig, UdpNode};
+use epidemic::net::cluster::Cluster;
+use epidemic::net::runtime::{ClusterConfig, ThreadCluster};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,36 +26,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .initial_size_guess(n as f64)
         .build()?;
-    let cluster = ClusterConfig::loopback(n, node_config)?;
 
     println!("spawning {n} UDP gossip nodes on localhost...");
-    let mut nodes: Vec<UdpNode> = Vec::with_capacity(n);
-    for i in 0..n {
-        // Local values 10, 20, ..., 120: true average 65.
-        nodes.push(UdpNode::spawn(cluster.node(i, (i + 1) as f64 * 10.0))?);
-    }
+    // Local values 10, 20, ..., 120: true average 65.
+    let cluster = ThreadCluster::spawn(ClusterConfig::loopback(n, node_config)?, |i| {
+        (i + 1) as f64 * 10.0
+    })?;
 
     std::thread::sleep(Duration::from_millis(2_500));
 
     let mut epochs_seen = 0;
-    for (i, node) in nodes.iter().enumerate() {
-        let reports = node.take_reports();
+    for i in 0..cluster.node_count() {
+        let reports = cluster.take_reports(i);
         let Some(last) = reports.last() else { continue };
         epochs_seen += reports.len();
         let avg = last.scalar(0).unwrap_or(f64::NAN);
         let size = last
             .count_estimate()
             .map_or("n/a".to_string(), |s| format!("{s:.1}"));
-        let (rx, tx) = node.datagram_counts();
+        let counts = cluster.datagram_counts(i);
         println!(
             "node {i:>2}: epoch {:>2} -> average {avg:>7.3} (truth 65), size {size} \
-             (truth {n}), {rx} in / {tx} out datagrams",
-            last.epoch
+             (truth {n}), {} in / {} out datagrams",
+            last.epoch,
+            counts.received(),
+            counts.sent(),
         );
     }
     println!("\n{epochs_seen} epoch reports collected; shutting down");
-    for node in nodes {
-        node.shutdown();
-    }
+    cluster.shutdown();
     Ok(())
 }
