@@ -1,24 +1,34 @@
 //! Runtimes head to head through the unified `Cluster` seam:
-//! thread-per-node vs multiplexed, and static vs gossiped membership.
+//! thread-per-node vs multiplexed — and the mux runtime's I/O grid:
+//! reader-socket counts × syscall backends.
 //!
 //! Each iteration spawns a full localhost cluster, waits until every node
 //! has completed its first epoch (gamma cycles of real push-pull over
 //! real datagrams), and tears it down. The measured quantity is thus
 //! end-to-end wall clock per epoch wave — dominated by protocol cadence,
 //! socket I/O, and scheduler pressure, which is exactly the cost model
-//! the mux runtime changes: `threads` burns one OS thread + one socket
-//! per node, `mux` a fixed `4 + 2` threads and one socket total.
+//! the reader-socket set and `recvmmsg`/`sendmmsg` batching change.
+//!
+//! The sweep: `mux_r{readers}_{io}` for readers ∈ {1, 2, 4} × io ∈
+//! {batched, portable} at n ∈ {256, 1024, 4096}. `mux_r1_portable` is
+//! the pre-batching baseline (one socket, one syscall per datagram);
+//! `threads` remains the thread-per-node reference. Alongside wall
+//! clock, each config prints its **syscalls-per-datagram** once — the
+//! machine-independent figure the batched backend exists to shrink
+//! (wall-clock deltas also depend on how many cores the host gives the
+//! reader/worker threads).
 //!
 //! `mux_gossip` runs the same epoch wave with NO static peer table:
 //! NEWSCAST membership bootstraps from vnode 0 and serves
-//! `GETNEIGHBOR()` from live views, so the delta against `mux` prices
-//! gossiped membership (the wire-byte overhead is printed once per run
-//! from the per-plane traffic counters).
+//! `GETNEIGHBOR()` from live views, so the delta against the static mux
+//! prices gossiped membership (the wire-byte overhead is printed once
+//! per run from the per-plane traffic counters).
 //!
 //! Results are recorded in BENCH_trajectory.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use epidemic_aggregation::{InstanceSpec, NodeConfig};
+use epidemic_net::batch::IoBackend;
 use epidemic_net::cluster::Cluster;
 use epidemic_net::directory::{DirectorySpec, GossipDirectoryConfig};
 use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
@@ -47,9 +57,34 @@ fn run_epoch_wave<C: Cluster>(
     n: usize,
 ) -> (usize, epidemic_net::cluster::TrafficCounts) {
     let cluster = C::spawn_cluster(config, &|i| i as f64).expect("spawn cluster");
+    let completed = wait_for_wave(&cluster, n);
+    let totals = cluster.total_datagram_counts();
+    cluster.shutdown();
+    (completed, totals)
+}
+
+/// The mux-specific wave runner: additionally snapshots the runtime's
+/// syscall counters so each config can report syscalls-per-datagram.
+fn run_mux_epoch_wave(
+    config: MuxClusterConfig,
+    n: usize,
+) -> (
+    usize,
+    epidemic_net::cluster::TrafficCounts,
+    epidemic_net::mux::SyscallCounts,
+) {
+    let cluster = MuxCluster::spawn(config, |i| i as f64).expect("spawn cluster");
+    let completed = wait_for_wave(&cluster, n);
+    let totals = cluster.total_datagram_counts();
+    let syscalls = cluster.syscall_counts();
+    cluster.shutdown();
+    (completed, totals, syscalls)
+}
+
+fn wait_for_wave<C: Cluster>(cluster: &C, n: usize) -> usize {
     let deadline = Instant::now() + Duration::from_secs(10);
     let mut done = vec![false; n];
-    let completed = loop {
+    loop {
         std::thread::sleep(Duration::from_millis(2));
         for (i, flag) in done.iter_mut().enumerate() {
             if !*flag && !cluster.take_reports(i).is_empty() {
@@ -60,10 +95,7 @@ fn run_epoch_wave<C: Cluster>(
         if completed >= n || Instant::now() >= deadline {
             break completed;
         }
-    };
-    let totals = cluster.total_datagram_counts();
-    cluster.shutdown();
-    (completed, totals)
+    }
 }
 
 fn thread_config(n: usize, seed: u64) -> ClusterConfig {
@@ -72,17 +104,26 @@ fn thread_config(n: usize, seed: u64) -> ClusterConfig {
         .with_seed(seed)
 }
 
-fn mux_config(n: usize, seed: u64, gossip: bool) -> MuxClusterConfig {
-    let mut config = MuxClusterConfig::new(n, node_config())
+fn mux_config(n: usize, seed: u64, readers: usize, io: IoBackend) -> MuxClusterConfig {
+    MuxClusterConfig::new(n, node_config())
         .with_workers(4)
-        .with_seed(seed);
-    if gossip {
-        config = config.with_directory(DirectorySpec::Gossip(
-            // Membership gossips at the aggregation cadence.
-            GossipDirectoryConfig::new(20, CYCLE_MS).with_introducer_node(0),
-        ));
+        .with_readers(readers)
+        .with_io(io)
+        .with_seed(seed)
+}
+
+fn gossip_config(n: usize, seed: u64) -> MuxClusterConfig {
+    mux_config(n, seed, 1, IoBackend::auto()).with_directory(DirectorySpec::Gossip(
+        // Membership gossips at the aggregation cadence.
+        GossipDirectoryConfig::new(20, CYCLE_MS).with_introducer_node(0),
+    ))
+}
+
+fn io_label(io: IoBackend) -> &'static str {
+    match io {
+        IoBackend::Batched => "batched",
+        IoBackend::Portable => "portable",
     }
-    config
 }
 
 fn bench_runtimes(c: &mut Criterion) {
@@ -98,14 +139,47 @@ fn bench_runtimes(c: &mut Criterion) {
                 run_epoch_wave::<ThreadCluster>(thread_config(n, seed), n).0
             });
         });
-        group.bench_with_input(BenchmarkId::new("mux", n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_epoch_wave::<MuxCluster>(mux_config(n, seed, false), n).0
-            });
-        });
     }
+
+    // The I/O grid: readers × backend × scale. On non-Linux hosts the
+    // batched column is skipped (it would silently run the portable
+    // path and mislabel the numbers).
+    for n in [256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        for readers in [1usize, 2, 4] {
+            for io in [IoBackend::Batched, IoBackend::Portable] {
+                if io == IoBackend::Batched && !io.is_batched() {
+                    continue;
+                }
+                let label = format!("mux_r{readers}_{}", io_label(io));
+                group.bench_with_input(BenchmarkId::new(&label, n), &n, |b, &n| {
+                    let mut seed = 0u64;
+                    let mut printed = false;
+                    b.iter(|| {
+                        seed += 1;
+                        let (completed, totals, syscalls) =
+                            run_mux_epoch_wave(mux_config(n, seed, readers, io), n);
+                        if !printed {
+                            printed = true;
+                            let datagrams = totals.sent() + totals.received();
+                            eprintln!(
+                                "{label}/{n}: {} recv + {} send syscalls for {datagrams} \
+                                 datagrams = {:.3} syscalls/datagram \
+                                 ({completed}/{n} nodes completed, {} send errors)",
+                                syscalls.recv_calls,
+                                syscalls.send_calls,
+                                (syscalls.recv_calls + syscalls.send_calls) as f64
+                                    / datagrams.max(1) as f64,
+                                totals.send_errors,
+                            );
+                        }
+                        completed
+                    });
+                });
+            }
+        }
+    }
+
     // Static vs gossiped membership at n = 256: same epoch wave, the
     // directory is the only difference.
     let n = 256usize;
@@ -115,7 +189,7 @@ fn bench_runtimes(c: &mut Criterion) {
         let mut printed = false;
         b.iter(|| {
             seed += 1;
-            let (completed, totals) = run_epoch_wave::<MuxCluster>(mux_config(n, seed, true), n);
+            let (completed, totals, _) = run_mux_epoch_wave(gossip_config(n, seed), n);
             if !printed {
                 printed = true;
                 eprintln!(

@@ -53,6 +53,11 @@ pub struct TrafficCounts {
     pub aggregation_bytes_sent: u64,
     /// Wire bytes of the membership datagrams sent.
     pub membership_bytes_sent: u64,
+    /// Datagrams (either plane) the kernel refused to send — the visible
+    /// face of outbound backpressure. A send that fails is NOT counted in
+    /// the per-plane `*_sent` fields, so at high load loss shows up here
+    /// instead of silently vanishing.
+    pub send_errors: u64,
 }
 
 impl TrafficCounts {
@@ -93,6 +98,7 @@ impl AddAssign for TrafficCounts {
         self.membership_received += rhs.membership_received;
         self.aggregation_bytes_sent += rhs.aggregation_bytes_sent;
         self.membership_bytes_sent += rhs.membership_bytes_sent;
+        self.send_errors += rhs.send_errors;
     }
 }
 
@@ -106,6 +112,7 @@ pub(crate) struct TrafficCell {
     membership_received: AtomicU64,
     aggregation_bytes_sent: AtomicU64,
     membership_bytes_sent: AtomicU64,
+    send_errors: AtomicU64,
 }
 
 impl TrafficCell {
@@ -129,6 +136,10 @@ impl TrafficCell {
         }
     }
 
+    pub(crate) fn count_send_error(&self) {
+        self.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> TrafficCounts {
         TrafficCounts {
             aggregation_sent: self.aggregation_sent.load(Ordering::Relaxed),
@@ -137,6 +148,7 @@ impl TrafficCell {
             membership_received: self.membership_received.load(Ordering::Relaxed),
             aggregation_bytes_sent: self.aggregation_bytes_sent.load(Ordering::Relaxed),
             membership_bytes_sent: self.membership_bytes_sent.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -166,7 +178,8 @@ pub trait Cluster: Sized {
     fn node_id(&self, index: usize) -> NodeId;
 
     /// The socket addresses this handle receives on (one per node for
-    /// thread-per-node, a single shared socket for a mux shard).
+    /// thread-per-node, a mux shard's reader socket set — its advertised
+    /// address first).
     fn addrs(&self) -> Vec<SocketAddr>;
 
     /// Drains the epoch reports local node `index` produced since the
@@ -211,6 +224,7 @@ mod tests {
             membership_received: 1,
             aggregation_bytes_sent: 1_000,
             membership_bytes_sent: 250,
+            send_errors: 1,
         };
         let b = TrafficCounts {
             aggregation_sent: 1,
@@ -219,10 +233,12 @@ mod tests {
             membership_received: 4,
             aggregation_bytes_sent: 100,
             membership_bytes_sent: 50,
+            send_errors: 2,
         };
         let sum = a + b;
         assert_eq!(sum.sent(), 16);
         assert_eq!(sum.received(), 15);
+        assert_eq!(sum.send_errors, 3);
         assert!((sum.membership_byte_overhead() - 300.0 / 1_100.0).abs() < 1e-12);
         assert_eq!(TrafficCounts::default().membership_byte_overhead(), 0.0);
     }
@@ -235,6 +251,8 @@ mod tests {
         cell.count_sent(true, 8);
         cell.count_received(false);
         cell.count_received(true);
+        cell.count_send_error();
+        cell.count_send_error();
         let snap = cell.snapshot();
         assert_eq!(snap.aggregation_sent, 2);
         assert_eq!(snap.aggregation_bytes_sent, 100);
@@ -242,5 +260,6 @@ mod tests {
         assert_eq!(snap.membership_bytes_sent, 8);
         assert_eq!(snap.aggregation_received, 1);
         assert_eq!(snap.membership_received, 1);
+        assert_eq!(snap.send_errors, 2);
     }
 }

@@ -25,10 +25,15 @@
 //! * [`runtime`] — the thread-per-node UDP runtime
 //!   ([`runtime::ThreadCluster`]): one OS thread and socket per node.
 //! * [`mux`] — the multiplexed runtime ([`mux::MuxCluster`]): N virtual
-//!   nodes behind **one** socket and `workers + 2` threads, driven by a
-//!   reader thread and a hashed [`timer::TimerWheel`] — and shardable
-//!   across sockets, processes, and hosts via a [`mux::PeerTable`]
-//!   mapping vnode-id ranges to shard addresses.
+//!   nodes behind a small **reader socket set** (vnode `i` homed on
+//!   socket `i % readers`) and `workers + readers + 1` threads, driven
+//!   by per-socket reader threads and a sharded hashed timer wheel
+//!   ([`timer::ShardedTimerWheel`]) — and shardable across sockets,
+//!   processes, and hosts via a [`mux::PeerTable`] mapping vnode-id
+//!   ranges to shard addresses.
+//! * [`batch`] — syscall-batched datagram I/O ([`batch::IoBackend`]):
+//!   `recvmmsg`/`sendmmsg` on Linux with a portable one-per-syscall
+//!   fallback, runtime-selectable for A/B measurement.
 //! * [`timer`] — the hashed timer wheel backing [`mux`].
 //!
 //! # Examples
@@ -88,6 +93,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod cluster;
 pub mod codec;
 pub mod directory;
@@ -95,10 +101,11 @@ pub mod mux;
 pub mod runtime;
 pub mod timer;
 
+pub use batch::IoBackend;
 pub use cluster::{Cluster, TrafficCounts};
 pub use codec::{decode_message, encode_message, DecodeError};
 pub use directory::{
     DirectorySpec, GossipDirectory, GossipDirectoryConfig, PeerDirectory, StaticDirectory,
 };
-pub use mux::{MuxCluster, MuxClusterConfig, PeerTable};
+pub use mux::{MuxCluster, MuxClusterConfig, PeerTable, SyscallCounts};
 pub use runtime::{ClusterConfig, NodeHandleConfig, ThreadCluster, UdpNode};

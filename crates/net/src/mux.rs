@@ -4,20 +4,33 @@
 //! [`crate::runtime`] realizes the paper's Figure 1 literally — one OS
 //! thread and one socket per node — which caps real-network experiments
 //! at a few hundred nodes per host. This module hosts N virtual nodes
-//! inside one process behind **one** socket and `workers + 2` OS threads:
+//! inside one process behind a small fixed **socket set** on
+//! `workers + readers + 1` OS threads:
 //!
-//! * a *reader* thread blocks on the shared socket and routes each
-//!   datagram by the virtual-node id in its mux frame
-//!   ([`crate::codec::decode_mux_datagram`]);
-//! * a *timer* thread drives a hashed [`TimerWheel`] over every node's
-//!   self-reported deadline ([`GossipNode::next_deadline`] merged with
-//!   its directory's [`PeerDirectory::next_deadline`]): cycle boundaries,
+//! * `readers` sockets, each owned by one *reader* thread
+//!   ([`MuxClusterConfig::with_readers`]; 1 reproduces the original
+//!   single-socket runtime exactly). Local vnode `i` is homed on socket
+//!   `i % readers`: its datagrams arrive there and its outbound frames
+//!   leave from there, preserving per-vnode datagram ordering. Each
+//!   reader routes by the virtual-node id in the mux frame
+//!   ([`crate::codec::decode_mux_datagram`]) and — on the batched I/O
+//!   backend ([`crate::batch::IoBackend`]) — drains up to
+//!   [`crate::batch::BATCH`] datagrams per `recvmmsg` syscall;
+//! * a *timer* thread drives one [`ShardedTimerWheel`] shard per reader
+//!   (each wheel holds only its socket's vnodes, and each shard has its
+//!   own schedule inbox, so the wheel path is never a single global
+//!   lock) over every node's self-reported deadline
+//!   ([`GossipNode::next_deadline`] merged with its directory's
+//!   [`PeerDirectory::next_deadline`]): cycle boundaries,
 //!   pending-exchange timeouts, joiner activations, membership gossip;
 //! * `workers` worker threads execute the per-node state machines. No
 //!   thread ever blocks on an exchange: a node that initiated one simply
 //!   parks a timeout deadline in the wheel and yields its worker — the
 //!   pending exchange is a timer-guarded continuation inside the sans-io
-//!   [`GossipNode`].
+//!   [`GossipNode`]. Outbound frames accumulate per home socket in a
+//!   [`crate::batch::SendBatch`] while the work queue is hot and flush
+//!   as one `sendmmsg` burst; kernel-refused sends are counted in
+//!   [`TrafficCounts::send_errors`] instead of being silently dropped.
 //!
 //! # Cross-host sharding
 //!
@@ -62,9 +75,11 @@
 //!     .timeout(20)
 //!     .instance(InstanceSpec::AVERAGE)
 //!     .build()?;
-//! // 1024 gossip nodes, one socket, 4 + 2 OS threads.
+//! // 1024 gossip nodes, two reader sockets, 4 + 2 + 1 OS threads.
 //! let cluster = MuxCluster::spawn(
-//!     MuxClusterConfig::new(1024, node_config).with_workers(4),
+//!     MuxClusterConfig::new(1024, node_config)
+//!         .with_workers(4)
+//!         .with_readers(2),
 //!     |i| i as f64,
 //! )?;
 //! std::thread::sleep(std::time::Duration::from_millis(1_200));
@@ -73,6 +88,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::batch::{IoBackend, RecvBatch, SendBatch, BATCH};
 use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
 use crate::codec::{
     decode_mux_datagram, encode_mux_directory_frame, encode_mux_frame, WirePayload,
@@ -81,7 +97,7 @@ use crate::directory::{
     Destination, DirectoryMessage, DirectorySpec, GossipDirectory, Introducer, PeerDirectory,
     StaticDirectory,
 };
-use crate::timer::TimerWheel;
+use crate::timer::ShardedTimerWheel;
 use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, NodeConfig};
 use epidemic_common::NodeId;
@@ -89,7 +105,7 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -206,39 +222,46 @@ impl PeerTable {
 }
 
 /// Configuration of a multiplexed cluster (or one shard of one): vnode
-/// count, protocol parameters, membership directory, and shard layout.
+/// count, protocol parameters, membership directory, I/O layout (reader
+/// sockets, syscall batching), and shard layout.
 #[derive(Debug, Clone)]
 pub struct MuxClusterConfig {
     /// Cluster-wide vnode count.
     n: usize,
     /// `(table, local shard)` for sharded deployments; `None` hosts all
-    /// of `0..n` behind one ephemeral loopback socket.
+    /// of `0..n` behind an ephemeral loopback socket set.
     sharding: Option<(PeerTable, usize)>,
     node_config: NodeConfig,
     seed: u64,
-    workers: usize,
+    /// Worker-thread count; `None` resolves core-aware at spawn.
+    workers: Option<usize>,
+    /// Reader socket/thread count; `None` resolves core-aware at spawn.
+    readers: Option<usize>,
+    io: IoBackend,
     directory: DirectorySpec,
 }
 
 impl MuxClusterConfig {
-    /// Describes a cluster of `n` virtual nodes sharing one loopback
-    /// socket. Worker count defaults to `min(4, available_parallelism)`.
+    /// Describes a cluster of `n` virtual nodes behind a loopback socket
+    /// set. Thread counts resolve core-aware at spawn unless overridden:
+    /// readers default to `(cores / 4).clamp(1, 4)` (so small machines
+    /// keep the original single-reader layout) and workers to
+    /// `(cores - readers - 1).clamp(1, 8)`. The I/O backend defaults to
+    /// [`IoBackend::auto`].
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, node_config: NodeConfig) -> Self {
         assert!(n > 0, "cluster needs at least one node");
-        let default_workers = std::thread::available_parallelism()
-            .map(usize::from)
-            .unwrap_or(2)
-            .clamp(1, 4);
         MuxClusterConfig {
             n,
             sharding: None,
             node_config,
             seed: 0xC0FFEE,
-            workers: default_workers,
+            workers: None,
+            readers: None,
+            io: IoBackend::auto(),
             directory: DirectorySpec::Static,
         }
     }
@@ -277,7 +300,28 @@ impl MuxClusterConfig {
     /// Panics if `workers == 0`.
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        self.workers = workers;
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Overrides the reader socket/thread count. `1` reproduces the
+    /// original single-socket runtime exactly; larger counts home local
+    /// vnode `i` on socket `i % readers` (clamped at spawn to the local
+    /// vnode count — extra sockets would never receive anything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readers == 0`.
+    pub fn with_readers(mut self, readers: usize) -> Self {
+        assert!(readers > 0, "need at least one reader");
+        self.readers = Some(readers);
+        self
+    }
+
+    /// Overrides the datagram I/O backend (default: [`IoBackend::auto`],
+    /// i.e. syscall batching wherever the platform supports it).
+    pub fn with_io(mut self, io: IoBackend) -> Self {
+        self.io = io;
         self
     }
 
@@ -324,6 +368,13 @@ impl WorkQueue {
         self.available.notify_one();
     }
 
+    /// Pops the next item if one is immediately available — lets a worker
+    /// keep filling its send batches while the queue is hot without ever
+    /// sleeping on frames it has not flushed yet.
+    fn try_pop(&self) -> Option<Work> {
+        self.items.lock().unwrap().pop_front()
+    }
+
     /// Pops the next item, blocking until one arrives or `stop` is set.
     fn pop(&self, stop: &AtomicBool) -> Option<Work> {
         let mut items = self.items.lock().unwrap();
@@ -365,10 +416,27 @@ impl VNode {
     }
 }
 
+/// Cumulative kernel-boundary crossings of a running cluster — the
+/// denominator of the syscalls-per-datagram metric the batch backends
+/// exist to shrink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyscallCounts {
+    /// Receive syscalls issued by the reader threads (`recvmmsg` or
+    /// `recv_from`, including calls that ended in a read timeout).
+    pub recv_calls: u64,
+    /// Send syscalls issued by the worker threads (`sendmmsg` or
+    /// `send_to`).
+    pub send_calls: u64,
+}
+
 #[derive(Debug)]
 struct Shared {
-    socket: UdpSocket,
-    addr: SocketAddr,
+    /// The reader socket set; local vnode `i` is homed on socket
+    /// `i % sockets.len()`. Socket 0 is the shard's advertised address.
+    sockets: Vec<UdpSocket>,
+    /// Local address of each reader socket, in socket order.
+    reader_addrs: Vec<SocketAddr>,
+    io: IoBackend,
     stop: AtomicBool,
     /// Cluster-wide id of local node 0.
     base: usize,
@@ -376,10 +444,14 @@ struct Shared {
     nodes: Vec<Mutex<VNode>>,
     work: WorkQueue,
     /// Schedule requests `(deadline_ms, local node)` bound for the timer
-    /// thread's wheel.
-    timer_inbox: Mutex<Vec<(u64, u32)>>,
+    /// thread's wheel, one inbox per reader shard (indexed like the
+    /// sockets, by `node % readers`) so workers on different shards never
+    /// contend on one lock.
+    timer_inboxes: Vec<Mutex<Vec<(u64, u32)>>>,
     /// Per-local-node traffic accounting.
     traffic: Vec<TrafficCell>,
+    recv_calls: AtomicU64,
+    send_calls: AtomicU64,
     start: Instant,
 }
 
@@ -389,7 +461,27 @@ impl Shared {
     }
 
     fn schedule(&self, deadline: u64, node: u32) {
-        self.timer_inbox.lock().unwrap().push((deadline, node));
+        let inbox = &self.timer_inboxes[node as usize % self.timer_inboxes.len()];
+        inbox.lock().unwrap().push((deadline, node));
+    }
+
+    /// Home socket of local vnode `local`.
+    fn socket_of(&self, local: usize) -> usize {
+        local % self.sockets.len()
+    }
+
+    /// Where a frame for cluster-wide vnode `vnode` must be sent: a local
+    /// vnode's home socket, a foreign vnode's shard address (its shard's
+    /// socket 0 — every reader routes by frame id, so landing on the
+    /// primary socket is always correct), or `None` for an out-of-range
+    /// id.
+    fn dest_addr(&self, vnode: usize) -> Option<SocketAddr> {
+        if let Some(local) = vnode.checked_sub(self.base) {
+            if local < self.nodes.len() {
+                return Some(self.reader_addrs[self.socket_of(local)]);
+            }
+        }
+        self.table.addr_of(vnode)
     }
 }
 
@@ -404,7 +496,7 @@ pub struct MuxCluster {
 }
 
 impl MuxCluster {
-    /// Binds the shard's socket, builds its virtual nodes with local
+    /// Binds the shard's socket set, builds its virtual nodes with local
     /// values `values(id)` (`id` is the *cluster-wide* vnode id), and
     /// starts the reader, timer, and worker threads.
     ///
@@ -421,6 +513,8 @@ impl MuxCluster {
             node_config,
             seed,
             workers,
+            readers,
+            io,
             directory,
         } = config;
         // Mux membership is id-routed: a join aimed at an address (or at
@@ -455,7 +549,7 @@ impl MuxCluster {
                 }
             }
         }
-        let (socket, table, local_range) = match sharding {
+        let (primary, table, local_range) = match sharding {
             None => {
                 let socket = UdpSocket::bind(("127.0.0.1", 0))?;
                 let addr = socket.local_addr()?;
@@ -467,9 +561,28 @@ impl MuxCluster {
                 (socket, table, range)
             }
         };
-        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
-        let addr = socket.local_addr()?;
         let base = local_range.start;
+        // Core-aware thread-count resolution; explicit overrides win.
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(2);
+        let readers = readers
+            .unwrap_or((cores / 4).clamp(1, 4))
+            .clamp(1, local_range.len());
+        let workers = workers.unwrap_or(cores.saturating_sub(readers + 1).clamp(1, 8));
+        // Extra readers bind ephemeral ports on the shard's advertised IP;
+        // only socket 0 is published in the peer table, so cross-shard
+        // frames always land there (readers route by frame id, so that is
+        // correct — just unspread; see ROADMAP follow-ups).
+        let mut sockets = vec![primary];
+        for _ in 1..readers {
+            sockets.push(UdpSocket::bind((sockets[0].local_addr()?.ip(), 0))?);
+        }
+        let mut reader_addrs = Vec::with_capacity(readers);
+        for socket in &sockets {
+            socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+            reader_addrs.push(socket.local_addr()?);
+        }
         let nodes: Vec<Mutex<VNode>> = local_range
             .clone()
             .map(|global| {
@@ -487,15 +600,18 @@ impl MuxCluster {
             .collect();
         let local_n = nodes.len();
         let shared = Arc::new(Shared {
-            socket,
-            addr,
+            sockets,
+            reader_addrs,
+            io,
             stop: AtomicBool::new(false),
             base,
             table,
             nodes,
             work: WorkQueue::default(),
-            timer_inbox: Mutex::new(Vec::new()),
+            timer_inboxes: (0..readers).map(|_| Mutex::new(Vec::new())).collect(),
             traffic: (0..local_n).map(|_| TrafficCell::default()).collect(),
+            recv_calls: AtomicU64::new(0),
+            send_calls: AtomicU64::new(0),
             start: Instant::now(),
         });
         // Prime every node with an initial wake so its first deadline is
@@ -504,15 +620,17 @@ impl MuxCluster {
             shared.work.push(Work::Wake(i as u32));
         }
 
-        let mut threads = Vec::with_capacity(workers + 2);
+        let mut threads = Vec::with_capacity(workers + readers + 1);
         let cycle = node_config.cycle_length();
         let spawned = (|| -> io::Result<()> {
-            let reader_shared = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("mux-reader".into())
-                    .spawn(move || reader_loop(&reader_shared))?,
-            );
+            for k in 0..readers {
+                let reader_shared = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("mux-reader-{k}"))
+                        .spawn(move || reader_loop(&reader_shared, k))?,
+                );
+            }
             let timer_shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
@@ -543,9 +661,30 @@ impl MuxCluster {
         Ok(MuxCluster { shared, threads })
     }
 
-    /// The shard's socket address (every local vnode receives here).
+    /// The shard's advertised socket address (socket 0 of the reader set
+    /// — the one the peer table publishes to other shards).
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.shared.reader_addrs[0]
+    }
+
+    /// Number of reader sockets (and reader threads) this shard runs.
+    pub fn reader_count(&self) -> usize {
+        self.shared.sockets.len()
+    }
+
+    /// The datagram I/O backend the cluster is moving bytes with.
+    pub fn io_backend(&self) -> IoBackend {
+        self.shared.io
+    }
+
+    /// Cumulative send/receive syscall counts across all threads since
+    /// spawn — divide by [`TrafficCounts`] datagram totals for the
+    /// syscalls-per-datagram figure the batched backend exists to shrink.
+    pub fn syscall_counts(&self) -> SyscallCounts {
+        SyscallCounts {
+            recv_calls: self.shared.recv_calls.load(Ordering::Relaxed),
+            send_calls: self.shared.send_calls.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of virtual nodes hosted by THIS handle (the local shard).
@@ -564,7 +703,8 @@ impl MuxCluster {
         self.shared.table.total()
     }
 
-    /// OS threads the cluster runs on: `workers + 2` (reader + timer).
+    /// OS threads the cluster runs on: `workers + readers + 1` (the
+    /// reader set plus one timer thread).
     pub fn thread_count(&self) -> usize {
         self.threads.len()
     }
@@ -637,7 +777,7 @@ impl Cluster for MuxCluster {
     }
 
     fn addrs(&self) -> Vec<SocketAddr> {
-        vec![self.addr()]
+        self.shared.reader_addrs.clone()
     }
 
     fn take_reports(&self, index: usize) -> Vec<EpochReport> {
@@ -672,44 +812,54 @@ impl Drop for MuxCluster {
     }
 }
 
-/// Blocks on the shard socket and routes datagrams to state machines.
-fn reader_loop(shared: &Shared) {
-    let mut buf = [0u8; 64 * 1024];
+/// Blocks on reader socket `reader` and routes datagrams to state
+/// machines, draining up to [`BATCH`] per syscall on the batched backend.
+fn reader_loop(shared: &Shared, reader: usize) {
+    let socket = &shared.sockets[reader];
+    let mut batch = RecvBatch::new();
     while !shared.stop.load(Ordering::Relaxed) {
-        match shared.socket.recv_from(&mut buf) {
-            Ok((len, _src)) => {
-                let Ok((to, payload)) = decode_mux_datagram(&buf[..len]) else {
-                    continue; // corrupt datagram: drop, stay alive
-                };
-                let Some(local) = to.index().checked_sub(shared.base) else {
-                    continue; // foreign shard's vnode: misrouted, drop
-                };
-                if local < shared.nodes.len() {
-                    let membership = matches!(payload, WirePayload::Directory(_));
-                    shared.traffic[local].count_received(membership);
-                    shared.work.push(Work::Deliver(local as u32, payload));
+        match batch.recv(socket, shared.io) {
+            Ok(count) => {
+                shared.recv_calls.fetch_add(1, Ordering::Relaxed);
+                for i in 0..count {
+                    let Ok((to, payload)) = decode_mux_datagram(batch.datagram(i)) else {
+                        continue; // corrupt datagram: drop, stay alive
+                    };
+                    let Some(local) = to.index().checked_sub(shared.base) else {
+                        continue; // foreign shard's vnode: misrouted, drop
+                    };
+                    if local < shared.nodes.len() {
+                        let membership = matches!(payload, WirePayload::Directory(_));
+                        shared.traffic[local].count_received(membership);
+                        shared.work.push(Work::Deliver(local as u32, payload));
+                    }
                 }
             }
             // Read timeout (or spurious wake): re-check the stop flag.
             Err(ref e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                continue
+                shared.recv_calls.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
             Err(_) => continue,
         }
     }
 }
 
-/// Owns the timer wheel: drains schedule requests, fires due deadlines as
-/// [`Work::Wake`] items.
+/// Owns the timer wheels (one shard per reader): drains each shard's
+/// schedule inbox, fires due deadlines as [`Work::Wake`] items.
 fn timer_loop(shared: &Shared, cycle_ms: u64) {
-    let mut wheel = TimerWheel::for_cycle(cycle_ms.max(1));
-    let mut inbox: Vec<(u64, u32)> = Vec::new();
+    let mut wheel = ShardedTimerWheel::for_cycle(shared.timer_inboxes.len(), cycle_ms.max(1));
+    let mut scratch: Vec<(u64, u32)> = Vec::new();
     while !shared.stop.load(Ordering::Relaxed) {
-        std::mem::swap(&mut inbox, &mut shared.timer_inbox.lock().unwrap());
-        for (deadline, node) in inbox.drain(..) {
-            wheel.schedule(deadline, node);
+        for inbox in &shared.timer_inboxes {
+            std::mem::swap(&mut scratch, &mut inbox.lock().unwrap());
+            // Tokens route to wheel shard `node % shards` — the same
+            // shard whose inbox they arrived through.
+            for (deadline, node) in scratch.drain(..) {
+                wheel.schedule(deadline, node);
+            }
         }
         wheel.advance(shared.now_ms(), |node| {
             shared.work.push(Work::Wake(node));
@@ -718,63 +868,113 @@ fn timer_loop(shared: &Shared, cycle_ms: u64) {
     }
 }
 
-/// Executes per-node protocol steps until shutdown.
+/// Executes per-node protocol steps until shutdown. Outbound frames are
+/// queued per home socket and flushed as one burst (`sendmmsg` on the
+/// batched backend) once the work queue runs dry or [`BATCH`] frames have
+/// accumulated — frames never wait on a sleeping worker.
 fn worker_loop(shared: &Shared) {
     let mut dir_out: Vec<DirectoryMessage> = Vec::new();
-    while let Some(work) = shared.work.pop(&shared.stop) {
-        let (index, is_wake) = match &work {
-            Work::Wake(i) => (*i as usize, true),
-            Work::Deliver(i, _) => (*i as usize, false),
-        };
-        let mut vnode = shared.nodes[index].lock().unwrap();
-        let now = shared.now_ms();
-        let outbound = match work {
-            Work::Wake(_) => {
-                // This wake consumed whatever wheel entry was parked.
-                vnode.next_wake = u64::MAX;
-                let VNode {
-                    gossip, directory, ..
-                } = &mut *vnode;
-                let out = gossip.poll_sampler(now, directory);
-                directory.poll(now, &mut dir_out);
-                out
+    // One send batch per reader socket; meta = (local node, membership).
+    let mut pending: Vec<SendBatch<(u32, bool)>> = (0..shared.sockets.len())
+        .map(|_| SendBatch::new())
+        .collect();
+    while let Some(mut work) = shared.work.pop(&shared.stop) {
+        let mut queued = 0usize;
+        loop {
+            queued += step_vnode(shared, work, &mut dir_out, &mut pending);
+            if queued >= BATCH {
+                break;
             }
-            Work::Deliver(_, WirePayload::Aggregation(msg)) => vnode.gossip.handle(&msg, now),
-            Work::Deliver(_, WirePayload::Directory(payload)) => {
-                vnode.directory.handle(&payload, None, now, &mut dir_out);
-                None
+            match shared.work.try_pop() {
+                Some(next) => work = next,
+                None => break,
             }
-        };
-        // Park the node's next deadline unless an earlier (or equal)
-        // wheel entry is already live. After a wake we always re-park.
-        let deadline = vnode.deadline();
-        if is_wake || deadline < vnode.next_wake {
-            vnode.next_wake = deadline;
-            shared.schedule(deadline, index as u32);
         }
-        drop(vnode);
-        if let Some(out) = outbound {
-            if let Some(target) = shared.table.addr_of(out.to.index()) {
-                let frame = encode_mux_frame(out.to, &out.message);
-                if shared.socket.send_to(&frame, target).is_ok() {
-                    shared.traffic[index].count_sent(false, frame.len());
+        flush_pending(shared, &mut pending);
+    }
+}
+
+/// Runs one unit of work against its vnode, queueing outbound frames on
+/// the vnode's home-socket batch. Returns how many frames were queued.
+fn step_vnode(
+    shared: &Shared,
+    work: Work,
+    dir_out: &mut Vec<DirectoryMessage>,
+    pending: &mut [SendBatch<(u32, bool)>],
+) -> usize {
+    let (index, is_wake) = match &work {
+        Work::Wake(i) => (*i as usize, true),
+        Work::Deliver(i, _) => (*i as usize, false),
+    };
+    let mut vnode = shared.nodes[index].lock().unwrap();
+    let now = shared.now_ms();
+    let outbound = match work {
+        Work::Wake(_) => {
+            // This wake consumed whatever wheel entry was parked.
+            vnode.next_wake = u64::MAX;
+            let VNode {
+                gossip, directory, ..
+            } = &mut *vnode;
+            let out = gossip.poll_sampler(now, directory);
+            directory.poll(now, dir_out);
+            out
+        }
+        Work::Deliver(_, WirePayload::Aggregation(msg)) => vnode.gossip.handle(&msg, now),
+        Work::Deliver(_, WirePayload::Directory(payload)) => {
+            vnode.directory.handle(&payload, None, now, dir_out);
+            None
+        }
+    };
+    // Park the node's next deadline unless an earlier (or equal)
+    // wheel entry is already live. After a wake we always re-park.
+    let deadline = vnode.deadline();
+    if is_wake || deadline < vnode.next_wake {
+        vnode.next_wake = deadline;
+        shared.schedule(deadline, index as u32);
+    }
+    drop(vnode);
+    let batch = &mut pending[shared.socket_of(index)];
+    let before = batch.len();
+    if let Some(out) = outbound {
+        if let Some(target) = shared.dest_addr(out.to.index()) {
+            let frame = encode_mux_frame(out.to, &out.message);
+            batch.push(frame, target, (index as u32, false));
+        }
+    }
+    for msg in dir_out.drain(..) {
+        // Mux membership is id-routed; address destinations cannot be
+        // framed (no vnode id to route by) and are dropped.
+        let Destination::Node(to) = msg.to else {
+            continue;
+        };
+        let Some(target) = shared.dest_addr(to.index()) else {
+            continue;
+        };
+        let frame = encode_mux_directory_frame(to, &msg.payload);
+        batch.push(frame, target, (index as u32, true));
+    }
+    batch.len() - before
+}
+
+/// Transmits every queued frame, charging each sender's traffic cell on
+/// success and its `send_errors` on kernel refusal.
+fn flush_pending(shared: &Shared, pending: &mut [SendBatch<(u32, bool)>]) {
+    for (s, batch) in pending.iter_mut().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        let syscalls = batch.flush(
+            &shared.sockets[s],
+            shared.io,
+            |&(node, membership), len, ok| {
+                if ok {
+                    shared.traffic[node as usize].count_sent(membership, len);
+                } else {
+                    shared.traffic[node as usize].count_send_error();
                 }
-            }
-        }
-        for msg in dir_out.drain(..) {
-            // Mux membership is id-routed; address destinations cannot be
-            // framed (no vnode id to route by) and are dropped.
-            let Destination::Node(to) = msg.to else {
-                continue;
-            };
-            let Some(target) = shared.table.addr_of(to.index()) else {
-                continue;
-            };
-            let frame = encode_mux_directory_frame(to, &msg.payload);
-            if shared.socket.send_to(&frame, target).is_ok() {
-                shared.traffic[index].count_sent(true, frame.len());
-            }
-        }
+            },
+        );
+        shared.send_calls.fetch_add(syscalls, Ordering::Relaxed);
     }
 }
 
@@ -821,16 +1021,110 @@ mod tests {
     }
 
     #[test]
-    fn thread_budget_is_workers_plus_two() {
+    fn thread_budget_is_workers_plus_readers_plus_one() {
         let cluster = MuxCluster::spawn(
-            MuxClusterConfig::new(64, node_config(4, 40)).with_workers(3),
+            MuxClusterConfig::new(64, node_config(4, 40))
+                .with_workers(3)
+                .with_readers(1),
             |_| 0.0,
         )
         .unwrap();
         assert_eq!(cluster.len(), 64);
         assert_eq!(cluster.total_len(), 64);
+        assert_eq!(cluster.reader_count(), 1);
+        // readers = 1 keeps the original workers + 2 budget.
         assert_eq!(cluster.thread_count(), 3 + 2);
+        assert_eq!(cluster.addrs(), vec![cluster.addr()]);
         cluster.shutdown();
+
+        let wide = MuxCluster::spawn(
+            MuxClusterConfig::new(64, node_config(4, 40))
+                .with_workers(3)
+                .with_readers(4),
+            |_| 0.0,
+        )
+        .unwrap();
+        assert_eq!(wide.reader_count(), 4);
+        assert_eq!(wide.thread_count(), 3 + 4 + 1);
+        let addrs = Cluster::addrs(&wide);
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(addrs[0], wide.addr());
+        assert_eq!(
+            addrs.iter().collect::<std::collections::HashSet<_>>().len(),
+            4,
+            "reader sockets must have distinct addresses"
+        );
+        wide.shutdown();
+    }
+
+    #[test]
+    fn readers_clamp_to_local_node_count() {
+        // One vnode cannot use four sockets: three would never receive.
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(1, node_config(2, 30))
+                .with_workers(1)
+                .with_readers(4),
+            |_| 0.0,
+        )
+        .unwrap();
+        assert_eq!(cluster.reader_count(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_reader_cluster_converges_and_counts_syscalls() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(8, node_config(8, 25))
+                .with_workers(2)
+                .with_readers(2),
+            |i| i as f64, // truth 3.5
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(900));
+        let reports = cluster.take_all_reports();
+        let counts = cluster.syscall_counts();
+        let totals = cluster.total_datagram_counts();
+        cluster.shutdown();
+        let finals: Vec<f64> = reports
+            .iter()
+            .filter_map(|r| r.last())
+            .map(|r| r.scalar(0).unwrap())
+            .collect();
+        assert!(finals.len() >= 6, "only {} nodes reported", finals.len());
+        for est in finals {
+            assert!((est - 3.5).abs() < 0.5, "estimate {est} (truth 3.5)");
+        }
+        assert!(counts.recv_calls > 0, "no recv syscalls counted");
+        assert!(counts.send_calls > 0, "no send syscalls counted");
+        assert!(
+            counts.send_calls <= totals.sent() + totals.send_errors,
+            "send syscalls ({}) exceed datagrams attempted ({})",
+            counts.send_calls,
+            totals.sent() + totals.send_errors,
+        );
+    }
+
+    #[test]
+    fn portable_backend_converges_like_batched() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(2, node_config(8, 25))
+                .with_workers(1)
+                .with_readers(1)
+                .with_io(IoBackend::Portable),
+            |i| (i as f64 + 1.0) * 10.0, // 10, 20: average 15
+        )
+        .unwrap();
+        assert_eq!(cluster.io_backend(), IoBackend::Portable);
+        std::thread::sleep(Duration::from_millis(900));
+        let reports = cluster.take_all_reports();
+        cluster.shutdown();
+        let last = reports
+            .iter()
+            .flatten()
+            .last()
+            .and_then(|r| r.scalar(0))
+            .expect("no epochs completed");
+        assert!((last - 15.0).abs() < 0.5, "final estimate {last}");
     }
 
     #[test]

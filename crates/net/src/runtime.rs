@@ -275,7 +275,9 @@ impl Drop for UdpNode {
     }
 }
 
-/// Sends an encoded datagram, charging the node's traffic cell.
+/// Sends an encoded datagram, charging the node's traffic cell — or its
+/// `send_errors` counter when the kernel refuses, so outbound
+/// backpressure is visible instead of silent loss.
 fn transmit(
     socket: &UdpSocket,
     shared: &Shared,
@@ -285,6 +287,8 @@ fn transmit(
 ) {
     if socket.send_to(bytes, target).is_ok() {
         shared.traffic.count_sent(membership, bytes.len());
+    } else {
+        shared.traffic.count_send_error();
     }
 }
 

@@ -158,6 +158,88 @@ impl TimerWheel {
     }
 }
 
+/// A set of [`TimerWheel`]s, one per reader shard of the mux runtime:
+/// token `t` always lives in wheel `t % shards`, so each wheel holds only
+/// its socket's virtual nodes and no single wheel (or the lock guarding
+/// its inbox) serializes the whole cluster.
+///
+/// Firing behavior is equivalent to one unsharded wheel: for any schedule
+/// sequence, each `advance` fires exactly the same `(deadline, token)`
+/// multiset (order within a call is unspecified either way) — pinned by
+/// the property suite in `tests/timer_shards.rs`.
+#[derive(Debug)]
+pub struct ShardedTimerWheel {
+    shards: Vec<TimerWheel>,
+}
+
+impl ShardedTimerWheel {
+    /// Creates `shards` wheels of `slots` buckets of `tick_ms`
+    /// milliseconds each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `tick_ms == 0`, or `slots == 0`.
+    pub fn new(shards: usize, tick_ms: u64, slots: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedTimerWheel {
+            shards: (0..shards)
+                .map(|_| TimerWheel::new(tick_ms, slots))
+                .collect(),
+        }
+    }
+
+    /// `shards` wheels each sized by [`TimerWheel::for_cycle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn for_cycle(shards: usize, cycle_ms: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedTimerWheel {
+            shards: (0..shards)
+                .map(|_| TimerWheel::for_cycle(cycle_ms))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total parked entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(TimerWheel::len).sum()
+    }
+
+    /// Returns `true` if no entries are parked anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(TimerWheel::is_empty)
+    }
+
+    /// Parks `token` in its home shard (`token % shard_count`).
+    pub fn schedule(&mut self, deadline_ms: u64, token: u32) {
+        let shard = token as usize % self.shards.len();
+        self.shards[shard].schedule(deadline_ms, token);
+    }
+
+    /// Advances every shard to `now_ms`, invoking `fire` for each due
+    /// entry (shard-major order; within a shard, slot order).
+    pub fn advance<F: FnMut(u32)>(&mut self, now_ms: u64, mut fire: F) {
+        for shard in &mut self.shards {
+            shard.advance(now_ms, &mut fire);
+        }
+    }
+
+    /// Earliest parked deadline across all shards, or `None` when empty.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(TimerWheel::next_deadline)
+            .min()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +344,73 @@ mod tests {
     #[should_panic(expected = "tick must be positive")]
     fn zero_tick_rejected() {
         TimerWheel::new(0, 8);
+    }
+
+    fn drain_sharded(wheel: &mut ShardedTimerWheel, now: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        wheel.advance(now, |t| out.push(t));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn sharded_wheel_routes_tokens_to_home_shards() {
+        let mut wheel = ShardedTimerWheel::new(4, 1, 64);
+        assert_eq!(wheel.shard_count(), 4);
+        for token in 0..16 {
+            wheel.schedule(10 + u64::from(token), token);
+        }
+        assert_eq!(wheel.len(), 16);
+        for (s, shard) in wheel.shards.iter().enumerate() {
+            assert_eq!(shard.len(), 4, "shard {s} holds the wrong tokens");
+        }
+        assert_eq!(wheel.next_deadline(), Some(10));
+        assert_eq!(
+            drain_sharded(&mut wheel, 100),
+            (0..16).collect::<Vec<u32>>()
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn sharded_wheel_matches_unsharded_firing() {
+        // A fixed mixed sequence including overdue-lane entries: both
+        // wheels must fire the same token set at every advance.
+        for shards in [1usize, 2, 3, 5] {
+            let mut single = TimerWheel::new(2, 16);
+            let mut sharded = ShardedTimerWheel::new(shards, 2, 16);
+            let schedules = [(5u64, 0u32), (7, 1), (40, 2), (3, 3), (200, 4)];
+            for &(deadline, token) in &schedules {
+                single.schedule(deadline, token);
+                sharded.schedule(deadline, token);
+            }
+            for now in [4u64, 6, 8, 50] {
+                assert_eq!(
+                    drain(&mut single, now),
+                    drain_sharded(&mut sharded, now),
+                    "{shards} shards diverged at {now}"
+                );
+            }
+            // Past-cursor schedules land in the overdue lane of whichever
+            // wheel owns them; both sides must still agree.
+            single.schedule(10, 5);
+            sharded.schedule(10, 5);
+            single.schedule(45, 6);
+            sharded.schedule(45, 6);
+            for now in [44u64, 45, 300] {
+                assert_eq!(
+                    drain(&mut single, now),
+                    drain_sharded(&mut sharded, now),
+                    "{shards} shards diverged at {now} (overdue lane)"
+                );
+            }
+            assert!(single.is_empty() && sharded.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedTimerWheel::for_cycle(0, 50);
     }
 }

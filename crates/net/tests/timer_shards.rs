@@ -1,0 +1,121 @@
+//! Property-based tests pinning [`ShardedTimerWheel`] to the unsharded
+//! [`TimerWheel`]'s firing behavior.
+//!
+//! The mux runtime shards its timer wheel per reader socket purely for
+//! lock locality — sharding must not change WHAT fires WHEN. The central
+//! property: for any interleaving of schedules and advances (including
+//! schedules that land behind the cursor and take the overdue lane), a
+//! k-sharded wheel fires exactly the same `(deadline, token)` multiset at
+//! every advance as a single wheel fed the same sequence. Token order
+//! within one advance is unspecified on both sides, so comparisons sort.
+
+use epidemic_net::timer::{ShardedTimerWheel, TimerWheel};
+use proptest::prelude::*;
+
+/// Fired tokens of one advance, sorted for multiset comparison (tokens
+/// can repeat: the same vnode may have several deadlines parked).
+fn drain_single(wheel: &mut TimerWheel, now: u64) -> Vec<u32> {
+    let mut fired = Vec::new();
+    wheel.advance(now, |t| fired.push(t));
+    fired.sort_unstable();
+    fired
+}
+
+fn drain_sharded(wheel: &mut ShardedTimerWheel, now: u64) -> Vec<u32> {
+    let mut fired = Vec::new();
+    wheel.advance(now, |t| fired.push(t));
+    fired.sort_unstable();
+    fired
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sharded_wheel_fires_exactly_like_unsharded(
+        shards in 1usize..7,
+        tick in 1u64..5,
+        slots in 8usize..65,
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..400, 0u32..64),
+            1..80,
+        ),
+    ) {
+        let mut single = TimerWheel::new(tick, slots);
+        let mut sharded = ShardedTimerWheel::new(shards, tick, slots);
+        for (is_advance, time, token) in ops {
+            if is_advance {
+                prop_assert_eq!(
+                    drain_single(&mut single, time),
+                    drain_sharded(&mut sharded, time),
+                    "diverged advancing to {} with {} shards", time, shards
+                );
+            } else {
+                single.schedule(time, token);
+                sharded.schedule(time, token);
+            }
+            prop_assert_eq!(single.len(), sharded.len());
+            prop_assert_eq!(single.is_empty(), sharded.is_empty());
+            prop_assert_eq!(single.next_deadline(), sharded.next_deadline());
+        }
+        // Drain everything: nothing may be left behind on either side.
+        prop_assert_eq!(
+            drain_single(&mut single, u64::MAX),
+            drain_sharded(&mut sharded, u64::MAX),
+            "final drain diverged with {} shards", shards
+        );
+        prop_assert!(single.is_empty() && sharded.is_empty());
+    }
+
+    #[test]
+    fn overdue_lane_matches_across_sharding(
+        shards in 1usize..6,
+        advance_to in 20u64..200,
+        late in prop::collection::vec((0u64..200, 0u32..32), 1..20),
+    ) {
+        // Force the overdue path explicitly: advance first, then schedule
+        // deadlines at or behind the cursor. Both wheels must still agree
+        // at every subsequent advance.
+        let mut single = TimerWheel::new(2, 16);
+        let mut sharded = ShardedTimerWheel::new(shards, 2, 16);
+        prop_assert_eq!(
+            drain_single(&mut single, advance_to),
+            drain_sharded(&mut sharded, advance_to)
+        );
+        for &(deadline, token) in &late {
+            single.schedule(deadline, token);
+            sharded.schedule(deadline, token);
+        }
+        prop_assert_eq!(single.len(), late.len());
+        prop_assert_eq!(sharded.len(), late.len());
+        for now in [advance_to, advance_to + 50, 400] {
+            prop_assert_eq!(
+                drain_single(&mut single, now),
+                drain_sharded(&mut sharded, now),
+                "overdue drain diverged at {} with {} shards", now, shards
+            );
+        }
+        prop_assert!(single.is_empty() && sharded.is_empty());
+    }
+
+    #[test]
+    fn tokens_always_fire_in_their_home_shard(
+        shards in 1usize..7,
+        entries in prop::collection::vec((0u64..100, 0u32..64), 1..40),
+    ) {
+        // Advance one shard's worth of wheels individually by scheduling
+        // into a fresh sharded wheel and draining: every token must come
+        // back exactly once regardless of which shard owned it.
+        let mut sharded = ShardedTimerWheel::new(shards, 1, 32);
+        for &(deadline, token) in &entries {
+            sharded.schedule(deadline, token);
+        }
+        prop_assert_eq!(sharded.shard_count(), shards);
+        let mut fired = Vec::new();
+        sharded.advance(u64::MAX, |t| fired.push(t));
+        fired.sort_unstable();
+        let mut want: Vec<u32> = entries.iter().map(|&(_, t)| t).collect();
+        want.sort_unstable();
+        prop_assert_eq!(fired, want);
+    }
+}

@@ -3,10 +3,12 @@
 //!
 //! The `udp_cluster` example runs the paper's Figure 1 literally: one OS
 //! thread per node. This example runs the same protocol at a scale that
-//! architecture cannot reach on a laptop: 1024 virtual nodes multiplexed
-//! behind ONE socket and `workers + 2` OS threads (`net::mux`). Every
-//! exchange still crosses the kernel's UDP stack; only the per-node
-//! thread and socket are gone.
+//! architecture cannot reach on a laptop: 1024 virtual nodes (or far
+//! more — see `--n`) multiplexed behind a small reader socket set and
+//! `workers + readers + 1` OS threads (`net::mux`), with
+//! `recvmmsg`/`sendmmsg` syscall batching on Linux. Every exchange still
+//! crosses the kernel's UDP stack; only the per-node thread and socket
+//! are gone.
 //!
 //! The mux wire frame routes by cluster-wide virtual-node id, so the
 //! same cluster can be sharded over multiple sockets, processes, or
@@ -15,6 +17,13 @@
 //! ```text
 //! # one process, 1024 vnodes (the default)
 //! cargo run --release --example mux_cluster
+//!
+//! # four reader sockets, forced portable (one-syscall-per-datagram) I/O
+//! cargo run --release --example mux_cluster -- --readers 4 --io portable
+//!
+//! # 100k vnodes: slow the cycle down and keep the protocol AVERAGE-only
+//! cargo run --release --example mux_cluster -- \
+//!     --n 100000 --readers 4 --cycle-ms 2000 --gamma 10 --average --secs 30
 //!
 //! # the same cluster split across two processes / hosts: run one shard
 //! # per process, all with the same --hosts list (shard order)
@@ -25,10 +34,12 @@
 //! cargo run --release --example mux_cluster -- --gossip
 //!
 //! # CI smoke: a small 2-shard cluster over loopback in one process
+//! # (combines with --readers / --io to smoke those paths)
 //! cargo run --release --example mux_cluster -- --smoke
 //! ```
 
 use epidemic::aggregation::{InstanceSpec, LeaderPolicy, NodeConfig};
+use epidemic::net::batch::IoBackend;
 use epidemic::net::cluster::Cluster;
 use epidemic::net::directory::{DirectorySpec, GossipDirectoryConfig};
 use epidemic::net::mux::{MuxCluster, MuxClusterConfig, PeerTable};
@@ -38,7 +49,12 @@ use std::time::{Duration, Instant};
 #[derive(Debug)]
 struct Args {
     n: usize,
-    workers: usize,
+    workers: Option<usize>,
+    readers: Option<usize>,
+    io: Option<IoBackend>,
+    cycle_ms: u64,
+    gamma: u32,
+    average: bool,
     seed: u64,
     secs: u64,
     gossip: bool,
@@ -50,7 +66,12 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: 1024,
-        workers: 4,
+        workers: None,
+        readers: None,
+        io: None,
+        cycle_ms: 50,
+        gamma: 10,
+        average: false,
         seed: 0xC0FFEE,
         secs: 3,
         gossip: false,
@@ -67,10 +88,37 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
             "--workers" => {
-                args.workers = value("--workers")?
-                    .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
             }
+            "--readers" => {
+                args.readers = Some(
+                    value("--readers")?
+                        .parse()
+                        .map_err(|e| format!("--readers: {e}"))?,
+                )
+            }
+            "--io" => {
+                let spec = value("--io")?;
+                args.io = Some(
+                    IoBackend::from_override(&spec)
+                        .ok_or_else(|| format!("--io wants batched|portable, got {spec}"))?,
+                );
+            }
+            "--cycle-ms" => {
+                args.cycle_ms = value("--cycle-ms")?
+                    .parse()
+                    .map_err(|e| format!("--cycle-ms: {e}"))?
+            }
+            "--gamma" => {
+                args.gamma = value("--gamma")?
+                    .parse()
+                    .map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--average" => args.average = true,
             "--seed" => {
                 args.seed = value("--seed")?
                     .parse()
@@ -117,22 +165,39 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn node_config(n: usize, gossip: bool) -> Result<NodeConfig, Box<dyn std::error::Error>> {
+fn node_config(args: &Args) -> Result<NodeConfig, Box<dyn std::error::Error>> {
     let mut builder = NodeConfig::builder();
     builder
-        .gamma(10)
-        .cycle_length(50) // δ = 50 ms
-        .timeout(20)
+        .gamma(args.gamma)
+        .cycle_length(args.cycle_ms) // δ
+        .timeout((args.cycle_ms * 2 / 5).max(1))
         .instance(InstanceSpec::AVERAGE)
-        .initial_size_guess(n as f64);
-    if !gossip {
+        .initial_size_guess(args.n as f64);
+    if !args.gossip && !args.average {
         // COUNT leaders are elected per epoch; keep the demo focused on
-        // AVERAGE when membership itself is still bootstrapping.
+        // AVERAGE when membership itself is still bootstrapping — and
+        // when --average asks for the cheapest possible protocol (the
+        // 10^5-vnode runs).
         builder.instance(InstanceSpec::CountMap {
             leader: LeaderPolicy::Probability { concurrency: 8.0 },
         });
     }
     Ok(builder.build()?)
+}
+
+/// Applies the I/O-layout flags (`--workers`, `--readers`, `--io`) to a
+/// cluster config; unset flags keep the core-aware spawn defaults.
+fn with_io_layout(mut config: MuxClusterConfig, args: &Args) -> MuxClusterConfig {
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+    if let Some(readers) = args.readers {
+        config = config.with_readers(readers);
+    }
+    if let Some(io) = args.io {
+        config = config.with_io(io);
+    }
+    config
 }
 
 fn directory_spec(gossip: bool) -> DirectorySpec {
@@ -170,15 +235,29 @@ fn report(label: &str, cluster: &MuxCluster, truth_avg: f64, n: usize) -> Option
     }
     println!(
         "{label}: {epochs_seen} epoch reports from {avg_count} of {} local nodes; \
-         {} datagrams in / {} out \
+         {} datagrams in / {} out, {} send errors \
          (membership: {} in / {} out, byte overhead {:.3})",
         cluster.len(),
         totals.received(),
         totals.sent(),
+        totals.send_errors,
         totals.membership_received,
         totals.membership_sent,
         totals.membership_byte_overhead(),
     );
+    let syscalls = cluster.syscall_counts();
+    let moved = totals.received() + totals.sent();
+    if moved > 0 {
+        println!(
+            "{label}: {} recv + {} send syscalls for {moved} datagrams \
+             ({:.3} syscalls/datagram, {:?} backend, {} readers)",
+            syscalls.recv_calls,
+            syscalls.send_calls,
+            (syscalls.recv_calls + syscalls.send_calls) as f64 / moved as f64,
+            cluster.io_backend(),
+            cluster.reader_count(),
+        );
+    }
     let mean = (avg_count > 0).then(|| avg_sum / avg_count as f64);
     if let Some(mean) = mean {
         println!("{label}: mean AVERAGE estimate {mean:.3} (truth {truth_avg})");
@@ -193,12 +272,29 @@ fn report(label: &str, cluster: &MuxCluster, truth_avg: f64, n: usize) -> Option
 }
 
 /// `--smoke`: a small 2-shard cluster over loopback in one process; used
-/// by CI to keep the cross-socket sharding path from rotting. Exits with
-/// an error if the shards fail to converge.
-fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 64usize;
+/// by CI to keep the cross-socket sharding path from rotting (combined
+/// with `--readers` / `--io` it smokes the multi-reader socket set and
+/// the portable fallback too). Exits with an error if the shards fail to
+/// converge.
+fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let smoke_args = Args {
+        n: 64,
+        workers: Some(args.workers.unwrap_or(2)),
+        readers: args.readers,
+        io: args.io,
+        cycle_ms: args.cycle_ms,
+        gamma: args.gamma,
+        average: args.average,
+        seed: args.seed,
+        secs: args.secs,
+        gossip: false,
+        smoke: true,
+        hosts: Vec::new(),
+        shard: None,
+    };
+    let n = smoke_args.n;
     let truth = (n as f64 + 1.0) / 2.0; // values 1..=n
-    let config = node_config(n, false)?;
+    let config = node_config(&smoke_args)?;
     let table = PeerTable::loopback_split(n, 2)?;
     println!(
         "smoke: {n} vnodes over 2 loopback shards ({} and {})",
@@ -207,14 +303,22 @@ fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
     );
     let shards = [
         MuxCluster::spawn(
-            MuxClusterConfig::sharded(table.clone(), 0, config.clone()).with_workers(2),
+            with_io_layout(
+                MuxClusterConfig::sharded(table.clone(), 0, config.clone()),
+                &smoke_args,
+            ),
             |i| (i + 1) as f64,
         )?,
         MuxCluster::spawn(
-            MuxClusterConfig::sharded(table, 1, config).with_workers(2),
+            with_io_layout(MuxClusterConfig::sharded(table, 1, config), &smoke_args),
             |i| (i + 1) as f64,
         )?,
     ];
+    println!(
+        "smoke: {} readers per shard, {:?} backend",
+        shards[0].reader_count(),
+        shards[0].io_backend()
+    );
     std::thread::sleep(Duration::from_millis(2_000));
     let mut ok = true;
     for (s, shard) in shards.iter().enumerate() {
@@ -248,24 +352,26 @@ fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     if args.smoke {
-        return run_smoke();
+        return run_smoke(&args);
     }
 
-    let config = node_config(args.n, args.gossip)?;
+    let config = node_config(&args)?;
     let directory = directory_spec(args.gossip);
     let truth = (args.n as f64 + 1.0) / 2.0; // values 1..=n
     let started = Instant::now();
     let cluster = match args.shard {
         None => {
             println!(
-                "spawning {} virtual gossip nodes behind one UDP socket...",
+                "spawning {} virtual gossip nodes behind a reader socket set...",
                 args.n
             );
             MuxCluster::spawn(
-                MuxClusterConfig::new(args.n, config)
-                    .with_workers(args.workers)
-                    .with_seed(args.seed)
-                    .with_directory(directory),
+                with_io_layout(
+                    MuxClusterConfig::new(args.n, config)
+                        .with_seed(args.seed)
+                        .with_directory(directory),
+                    &args,
+                ),
                 |i| (i + 1) as f64,
             )?
         }
@@ -277,19 +383,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 table.shard_addr(k)
             );
             MuxCluster::spawn(
-                MuxClusterConfig::sharded(table, k, config)
-                    .with_workers(args.workers)
-                    .with_seed(args.seed)
-                    .with_directory(directory),
+                with_io_layout(
+                    MuxClusterConfig::sharded(table, k, config)
+                        .with_seed(args.seed)
+                        .with_directory(directory),
+                    &args,
+                ),
                 |i| (i + 1) as f64,
             )?
         }
     };
     println!(
-        "up in {:?}: socket {}, {} OS threads hosting {} of {} vnodes{}",
+        "up in {:?}: socket {}, {} OS threads ({} readers, {:?} backend) \
+         hosting {} of {} vnodes{}",
         started.elapsed(),
         cluster.addr(),
         cluster.thread_count(),
+        cluster.reader_count(),
+        cluster.io_backend(),
         cluster.len(),
         cluster.total_len(),
         if args.gossip {

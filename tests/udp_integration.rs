@@ -4,20 +4,26 @@
 //! on localhost.
 //!
 //! The cross-runtime conformance suite holds the thread-per-node runtime,
-//! the single-socket mux runtime, and a 2-socket sharded mux cluster to
-//! the same answers: identical n = 2 epoch-report sequences on the same
-//! seed, and agreeing convergence within paper theory bounds at n = 256.
+//! the mux runtime in every I/O configuration (single- and multi-reader
+//! socket sets, syscall-batched and portable backends), and a 2-socket
+//! sharded mux cluster to the same answers: identical n = 2 epoch-report
+//! sequences on the same seed, and agreeing convergence within paper
+//! theory bounds at n = 256 (and n = 1024 for the multi-reader set).
 
 use epidemic::aggregation::{theory, EpochReport, InstanceSpec, LeaderPolicy, NodeConfig};
+use epidemic::net::batch::IoBackend;
 use epidemic::net::cluster::Cluster;
 use epidemic::net::directory::{DirectorySpec, GossipDirectoryConfig};
 use epidemic::net::mux::{MuxCluster, MuxClusterConfig, PeerTable};
 use epidemic::net::runtime::{ClusterConfig, ThreadCluster};
 use std::time::Duration;
 
+/// Per-node report streams keyed by cluster-wide node id.
+type NodeReports = Vec<(u64, Vec<EpochReport>)>;
+
 /// Drains every node's reports, keyed by cluster-wide node id so shards
 /// of one cluster can be merged and compared across runtimes.
-fn reports_by_id<C: Cluster>(cluster: &C) -> Vec<(u64, Vec<EpochReport>)> {
+fn reports_by_id<C: Cluster>(cluster: &C) -> NodeReports {
     (0..cluster.node_count())
         .map(|i| (cluster.node_id(i).as_u64(), cluster.take_reports(i)))
         .collect()
@@ -122,10 +128,12 @@ fn mux_512_nodes_single_process_converge_within_theory_bounds() {
     let cluster = MuxCluster::spawn(
         MuxClusterConfig::new(n, config)
             .with_workers(4)
+            .with_readers(1)
             .with_seed(7),
         |i| i as f64, // truth: (n - 1) / 2 = 255.5
     )
     .unwrap();
+    // readers = 1 preserves the original workers + 2 thread budget.
     assert_eq!(cluster.thread_count(), 4 + 2);
     std::thread::sleep(Duration::from_millis(2_300));
     let reports = cluster.take_all_reports();
@@ -153,13 +161,90 @@ fn mux_512_nodes_single_process_converge_within_theory_bounds() {
 }
 
 #[test]
+fn mux_1024_nodes_multi_reader_converge_within_theory_bounds() {
+    // The multi-reader socket set at scale: 1024 vnodes spread over 4
+    // reader sockets (vnode i homed on socket i % 4), frames flushed in
+    // sendmmsg bursts on the default backend. Convergence must sit
+    // within the same paper bound as the single-reader runtime.
+    let n = 1024usize;
+    let gamma = 20u32;
+    let config = NodeConfig::builder()
+        .gamma(gamma)
+        .cycle_length(60)
+        .timeout(24)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap();
+    let cluster = MuxCluster::spawn(
+        MuxClusterConfig::new(n, config)
+            .with_workers(4)
+            .with_readers(4)
+            .with_seed(7),
+        |i| i as f64, // truth: (n - 1) / 2 = 511.5
+    )
+    .unwrap();
+    assert_eq!(cluster.reader_count(), 4);
+    assert_eq!(cluster.thread_count(), 4 + 4 + 1);
+    assert_eq!(cluster.addrs().len(), 4);
+    std::thread::sleep(Duration::from_millis(3_400));
+    let reports = cluster.take_all_reports();
+    let syscalls = cluster.syscall_counts();
+    let totals = cluster.total_datagram_counts();
+    cluster.shutdown();
+
+    let truth = (n as f64 - 1.0) / 2.0;
+    let bound = theory_bound(n, gamma, 100.0);
+    for node_reports in &reports {
+        for r in node_reports {
+            let est = r.scalar(0).unwrap();
+            assert!(
+                (est - truth).abs() < bound,
+                "epoch {} estimate {est} vs truth {truth} (bound {bound:.3})",
+                r.epoch
+            );
+        }
+    }
+    let nodes_reporting = reports.iter().filter(|r| !r.is_empty()).count();
+    assert!(
+        nodes_reporting >= n * 3 / 4,
+        "only {nodes_reporting} of {n} nodes completed an epoch"
+    );
+    // Syscall accounting runs on every backend; on the batched one the
+    // send side must do strictly better than one syscall per datagram.
+    assert!(syscalls.recv_calls > 0 && syscalls.send_calls > 0);
+    let attempted = totals.sent() + totals.send_errors;
+    assert!(
+        syscalls.send_calls <= attempted,
+        "send syscalls ({}) exceed datagrams attempted ({attempted})",
+        syscalls.send_calls
+    );
+    if cluster_io_is_batched() {
+        assert!(
+            syscalls.send_calls < attempted,
+            "batched backend never coalesced a send burst \
+             ({} syscalls for {attempted} datagrams)",
+            syscalls.send_calls
+        );
+    }
+}
+
+/// Whether the default-selected backend actually batches here (Linux,
+/// barring an `EPIDEMIC_NET_IO` override — the CI fallback leg sets it).
+fn cluster_io_is_batched() -> bool {
+    IoBackend::auto().is_batched()
+}
+
+#[test]
 fn runtimes_agree_on_same_seed() {
     // Same seed, same protocol config, same values: the thread-per-node
-    // cluster, the single-socket mux cluster, AND a mux cluster sharded
-    // over two sockets must produce identical EpochReport sequences.
-    // n = 2 makes the comparison exact: any completed exchange yields
-    // precisely the true average, independent of scheduling, so every
-    // epoch report of every node is bit-identical across runtimes.
+    // cluster, the mux cluster in every I/O configuration (readers 1 and
+    // 2, syscall-batched and portable backends), AND a mux cluster
+    // sharded over two sockets must produce identical EpochReport
+    // sequences. n = 2 makes the comparison exact: any completed
+    // exchange yields precisely the true average, independent of
+    // scheduling, so every epoch report of every node is bit-identical
+    // across runtimes — the reader-set refactor must be invisible to the
+    // protocol.
     let seed = 0xA11CE;
     let make_config = || {
         NodeConfig::builder()
@@ -179,11 +264,26 @@ fn runtimes_agree_on_same_seed() {
         values,
     )
     .expect("spawn thread cluster");
-    let mux = MuxCluster::spawn(
-        MuxClusterConfig::new(2, make_config()).with_seed(seed),
-        values,
-    )
-    .unwrap();
+    let mux_variants: Vec<(&str, MuxCluster)> = [
+        ("mux r1 auto", 1, IoBackend::auto()),
+        ("mux r1 portable", 1, IoBackend::Portable),
+        ("mux r2 auto", 2, IoBackend::auto()),
+        ("mux r2 portable", 2, IoBackend::Portable),
+    ]
+    .into_iter()
+    .map(|(label, readers, io)| {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(2, make_config())
+                .with_seed(seed)
+                .with_readers(readers)
+                .with_io(io),
+            values,
+        )
+        .unwrap();
+        assert_eq!(cluster.reader_count(), readers, "{label}");
+        (label, cluster)
+    })
+    .collect();
     // One vnode per socket: every exchange crosses between two sockets,
     // exercising the cross-host frame path.
     let table = PeerTable::loopback_split(2, 2).unwrap();
@@ -206,32 +306,55 @@ fn runtimes_agree_on_same_seed() {
 
     std::thread::sleep(Duration::from_millis(1_400));
     let mut thread_reports = reports_by_id(&threads);
-    let mut mux_reports = reports_by_id(&mux);
-    let mut sharded_reports: Vec<(u64, Vec<EpochReport>)> =
-        shards.iter().flat_map(reports_by_id).collect();
+    let mut variant_reports: Vec<(&str, NodeReports)> = mux_variants
+        .iter()
+        .map(|(label, cluster)| (*label, reports_by_id(cluster)))
+        .collect();
+    let mut sharded_reports: NodeReports = shards.iter().flat_map(reports_by_id).collect();
     threads.shutdown();
-    mux.shutdown();
+    for (_, cluster) in mux_variants {
+        cluster.shutdown();
+    }
     for shard in shards {
         shard.shutdown();
     }
     thread_reports.sort_by_key(|(id, _)| *id);
-    mux_reports.sort_by_key(|(id, _)| *id);
+    for (_, reports) in &mut variant_reports {
+        reports.sort_by_key(|(id, _)| *id);
+    }
     sharded_reports.sort_by_key(|(id, _)| *id);
 
-    for (label, other) in [("mux", &mux_reports), ("2-shard mux", &sharded_reports)] {
+    let mut comparisons: Vec<(&str, &NodeReports)> = variant_reports
+        .iter()
+        .map(|(label, reports)| (*label, reports))
+        .collect();
+    comparisons.push(("2-shard mux", &sharded_reports));
+    for (label, other) in comparisons {
         for ((id, t), (other_id, o)) in thread_reports.iter().zip(other) {
             assert_eq!(id, other_id);
-            let common = t.len().min(o.len());
+            // Join by epoch number: under CPU contention a starved
+            // cluster may skip a cycle boundary and miss an epoch
+            // entirely, but every epoch BOTH runtimes completed must
+            // carry a bit-identical report.
+            let by_epoch: std::collections::BTreeMap<u64, &EpochReport> =
+                o.iter().map(|r| (r.epoch, r)).collect();
+            let mut common = 0usize;
+            for report in t {
+                if let Some(other_report) = by_epoch.get(&report.epoch) {
+                    assert_eq!(
+                        &report, other_report,
+                        "node {id}: {label} diverged from threads on the same seed \
+                         at epoch {}",
+                        report.epoch
+                    );
+                    common += 1;
+                }
+            }
             assert!(
                 common >= 3,
                 "node {id}: too few comparable epochs vs {label} (threads {}, {label} {})",
                 t.len(),
                 o.len()
-            );
-            assert_eq!(
-                &t[..common],
-                &o[..common],
-                "node {id}: {label} diverged from threads on the same seed"
             );
         }
     }
