@@ -21,8 +21,15 @@
 //! `mux_gossip` runs the same epoch wave with NO static peer table:
 //! NEWSCAST membership bootstraps from vnode 0 and serves
 //! `GETNEIGHBOR()` from live views, so the delta against the static mux
-//! prices gossiped membership (the wire-byte overhead is printed once
-//! per run from the per-plane traffic counters).
+//! prices gossiped membership. `mux_gossip_full` is the pre-delta
+//! baseline (every exchange ships the full view, no piggybacking
+//! savings); `mux_gossip` gossips view *deltas* and piggybacks
+//! membership trailers on aggregation datagrams. Each prints a
+//! **bytes-per-converged-epoch** line — membership and aggregation wire
+//! bytes divided by the nodes that completed the epoch wave, plus their
+//! ratio (the headline number delta gossip exists to shrink) and the
+//! mean absolute estimate error (the fidelity gate: cheaper membership
+//! must not cost convergence).
 //!
 //! Results are recorded in BENCH_trajectory.md.
 
@@ -57,7 +64,7 @@ fn run_epoch_wave<C: Cluster>(
     n: usize,
 ) -> (usize, epidemic_net::cluster::TrafficCounts) {
     let cluster = C::spawn_cluster(config, &|i| i as f64).expect("spawn cluster");
-    let completed = wait_for_wave(&cluster, n);
+    let completed = wait_for_wave(&cluster, n).0;
     let totals = cluster.total_datagram_counts();
     cluster.shutdown();
     (completed, totals)
@@ -74,26 +81,84 @@ fn run_mux_epoch_wave(
     epidemic_net::mux::SyscallCounts,
 ) {
     let cluster = MuxCluster::spawn(config, |i| i as f64).expect("spawn cluster");
-    let completed = wait_for_wave(&cluster, n);
+    let completed = wait_for_wave(&cluster, n).0;
     let totals = cluster.total_datagram_counts();
     let syscalls = cluster.syscall_counts();
     cluster.shutdown();
     (completed, totals, syscalls)
 }
 
-fn wait_for_wave<C: Cluster>(cluster: &C, n: usize) -> usize {
+/// How deep the gossip wave runs: waiting for several epochs per node
+/// (instead of the first) lets the one-time bootstrap traffic — joins,
+/// introduces, the initial full-view fills — amortize, so the
+/// bytes-per-converged-epoch column prices the steady state the delta +
+/// piggyback path targets, not the cold start. (At a 4-epoch wave the
+/// join/introduce bootstrap is still ~40% of the dedicated membership
+/// messages; at 8 it fades into the noise.)
+const GOSSIP_EPOCHS: usize = 8;
+
+/// The gossip wave runner: waits for [`GOSSIP_EPOCHS`] epoch reports per
+/// node, then reports (total converged epochs, nodes that finished all
+/// of them, traffic totals, mean absolute error of each node's latest
+/// estimate — the fidelity gate for membership-cost optimizations).
+fn run_gossip_epoch_wave(
+    config: MuxClusterConfig,
+    n: usize,
+) -> (usize, usize, epidemic_net::cluster::TrafficCounts, f64) {
+    let cluster = MuxCluster::spawn(config, |i| i as f64).expect("spawn cluster");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut epochs = vec![0usize; n];
+    let mut latest = vec![f64::NAN; n];
+    loop {
+        std::thread::sleep(Duration::from_millis(2));
+        for (i, count) in epochs.iter_mut().enumerate() {
+            for report in cluster.take_reports(i) {
+                *count += 1;
+                if let Some(est) = report.scalar(0) {
+                    latest[i] = est;
+                }
+            }
+        }
+        let done = epochs.iter().filter(|&&e| e >= GOSSIP_EPOCHS).count();
+        if done >= n || Instant::now() >= deadline {
+            break;
+        }
+    }
+    let totals = cluster.total_datagram_counts();
+    cluster.shutdown();
+    let total_epochs = epochs.iter().map(|&e| e.min(GOSSIP_EPOCHS)).sum();
+    let nodes_done = epochs.iter().filter(|&&e| e >= GOSSIP_EPOCHS).count();
+    let truth = (n as f64 - 1.0) / 2.0;
+    let estimates: Vec<f64> = latest.iter().copied().filter(|e| e.is_finite()).collect();
+    let mean_abs_error = if estimates.is_empty() {
+        f64::NAN
+    } else {
+        estimates.iter().map(|e| (e - truth).abs()).sum::<f64>() / estimates.len() as f64
+    };
+    (total_epochs, nodes_done, totals, mean_abs_error)
+}
+
+fn wait_for_wave<C: Cluster>(cluster: &C, n: usize) -> (usize, Vec<f64>) {
     let deadline = Instant::now() + Duration::from_secs(10);
     let mut done = vec![false; n];
+    let mut estimates = Vec::new();
     loop {
         std::thread::sleep(Duration::from_millis(2));
         for (i, flag) in done.iter_mut().enumerate() {
-            if !*flag && !cluster.take_reports(i).is_empty() {
+            if *flag {
+                continue;
+            }
+            let reports = cluster.take_reports(i);
+            if let Some(r) = reports.first() {
                 *flag = true;
+                if let Some(est) = r.scalar(0) {
+                    estimates.push(est);
+                }
             }
         }
         let completed = done.iter().filter(|&&d| d).count();
         if completed >= n || Instant::now() >= deadline {
-            break completed;
+            break (completed, estimates);
         }
     }
 }
@@ -112,11 +177,21 @@ fn mux_config(n: usize, seed: u64, readers: usize, io: IoBackend) -> MuxClusterC
         .with_seed(seed)
 }
 
-fn gossip_config(n: usize, seed: u64) -> MuxClusterConfig {
-    mux_config(n, seed, 1, IoBackend::auto()).with_directory(DirectorySpec::Gossip(
-        // Membership gossips at the aggregation cadence.
-        GossipDirectoryConfig::new(20, CYCLE_MS).with_introducer_node(0),
-    ))
+fn gossip_config(n: usize, seed: u64, full_views: bool) -> MuxClusterConfig {
+    // The full-view baseline reproduces PR 5: no piggybacking, so the
+    // dedicated membership plane must gossip at the aggregation cadence
+    // to keep views fresh. The delta leg slows the dedicated plane to
+    // once per two aggregation epochs (piggybacked trailers carry fresh
+    // descriptors in between) and sizes the delta-knowledge LRU to the
+    // overlay so deltas stay deltas — the fidelity gate (mean estimate
+    // error) checks that nothing was lost.
+    let mut gossip = if full_views {
+        GossipDirectoryConfig::new(20, CYCLE_MS).with_full_views()
+    } else {
+        GossipDirectoryConfig::new(20, 2 * CYCLE_MS * GAMMA as u64).with_knowledge_peers(n)
+    };
+    gossip = gossip.with_introducer_node(0);
+    mux_config(n, seed, 1, IoBackend::auto()).with_directory(DirectorySpec::Gossip(gossip))
 }
 
 fn io_label(io: IoBackend) -> &'static str {
@@ -181,30 +256,41 @@ fn bench_runtimes(c: &mut Criterion) {
     }
 
     // Static vs gossiped membership at n = 256: same epoch wave, the
-    // directory is the only difference.
+    // directory is the only difference. `mux_gossip` is the delta +
+    // piggyback path; `mux_gossip_full` the pre-delta full-view baseline.
     let n = 256usize;
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_with_input(BenchmarkId::new("mux_gossip", n), &n, |b, &n| {
-        let mut seed = 0u64;
-        let mut printed = false;
-        b.iter(|| {
-            seed += 1;
-            let (completed, totals, _) = run_mux_epoch_wave(gossip_config(n, seed), n);
-            if !printed {
-                printed = true;
-                eprintln!(
-                    "mux_gossip/{n}: membership {} msgs / {} bytes vs aggregation \
-                     {} msgs / {} bytes (byte overhead {:.3})",
-                    totals.membership_sent,
-                    totals.membership_bytes_sent,
-                    totals.aggregation_sent,
-                    totals.aggregation_bytes_sent,
-                    totals.membership_byte_overhead(),
-                );
-            }
-            completed
+    for (label, full_views) in [("mux_gossip", false), ("mux_gossip_full", true)] {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            let mut seed = 0u64;
+            let mut printed = false;
+            b.iter(|| {
+                seed += 1;
+                let (total_epochs, nodes_done, totals, err) =
+                    run_gossip_epoch_wave(gossip_config(n, seed, full_views), n);
+                if !printed {
+                    printed = true;
+                    let per_epoch = |bytes: u64| bytes as f64 / total_epochs.max(1) as f64;
+                    eprintln!(
+                        "{label}/{n}: membership {} msgs / {} bytes vs aggregation \
+                         {} msgs / {} bytes | per converged epoch: {:.1} membership B, \
+                         {:.1} aggregation B, ratio {:.3} | mean |err| {err:.3} \
+                         ({total_epochs} epochs, {nodes_done}/{n} nodes finished \
+                         {GOSSIP_EPOCHS}, {} join retries)",
+                        totals.membership_sent,
+                        totals.membership_bytes_sent,
+                        totals.aggregation_sent,
+                        totals.aggregation_bytes_sent,
+                        per_epoch(totals.membership_bytes_sent),
+                        per_epoch(totals.aggregation_bytes_sent),
+                        totals.membership_byte_overhead(),
+                        totals.join_retries,
+                    );
+                }
+                total_epochs
+            });
         });
-    });
+    }
     group.finish();
 }
 

@@ -84,6 +84,9 @@ pub struct RecvBatch {
     bufs: Box<[u8]>,
     /// Received length per slot (valid for `0..count` of the last call).
     lens: [usize; BATCH],
+    /// Source address per slot (valid for `0..count` of the last call);
+    /// `None` when the kernel reported an address family we don't parse.
+    srcs: [Option<SocketAddr>; BATCH],
 }
 
 impl Default for RecvBatch {
@@ -99,6 +102,7 @@ impl RecvBatch {
         RecvBatch {
             bufs: vec![0u8; BATCH * MAX_DATAGRAM].into_boxed_slice(),
             lens: [0; BATCH],
+            srcs: [None; BATCH],
         }
     }
 
@@ -117,8 +121,9 @@ impl RecvBatch {
             return self.recv_batched(socket);
         }
         let _ = backend;
-        let (len, _src) = socket.recv_from(&mut self.bufs[..MAX_DATAGRAM])?;
+        let (len, src) = socket.recv_from(&mut self.bufs[..MAX_DATAGRAM])?;
         self.lens[0] = len;
+        self.srcs[0] = Some(src);
         Ok(1)
     }
 
@@ -131,6 +136,17 @@ impl RecvBatch {
         &self.bufs[i * MAX_DATAGRAM..i * MAX_DATAGRAM + self.lens[i]]
     }
 
+    /// The source address of datagram `i` of the last
+    /// [`RecvBatch::recv`] call — the sender's socket, as reported by the
+    /// kernel. `None` only for an unparseable address family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BATCH` (callers index `0..count`).
+    pub fn src(&self, i: usize) -> Option<SocketAddr> {
+        self.srcs[i]
+    }
+
     #[cfg(target_os = "linux")]
     fn recv_batched(&mut self, socket: &UdpSocket) -> io::Result<usize> {
         use std::os::fd::AsRawFd;
@@ -139,17 +155,19 @@ impl RecvBatch {
             iov_len: 0,
         }; BATCH];
         let mut hdrs = [sys::MmsgHdr::zeroed(); BATCH];
+        let mut names = [sys::SockaddrStorage::zeroed(); BATCH];
         for (slot, (iov, hdr)) in iovecs.iter_mut().zip(hdrs.iter_mut()).enumerate() {
             iov.iov_base = self.bufs[slot * MAX_DATAGRAM..].as_mut_ptr().cast();
             iov.iov_len = MAX_DATAGRAM;
             hdr.msg_hdr.msg_iov = iov;
             hdr.msg_hdr.msg_iovlen = 1;
-            // msg_name stays null: the mux runtime routes by the vnode id
-            // inside the frame and never reads the source address.
+            hdr.msg_hdr.msg_name = names[slot].bytes.as_mut_ptr().cast();
+            hdr.msg_hdr.msg_namelen = sys::SockaddrStorage::LEN;
         }
-        // SAFETY: every header points at a distinct live slot of `bufs`
-        // and at its own iovec; both arrays outlive the call. The socket
-        // fd is valid for the borrow's duration.
+        // SAFETY: every header points at a distinct live slot of `bufs`,
+        // at its own iovec, and at its own sockaddr storage; all three
+        // arrays outlive the call. The socket fd is valid for the
+        // borrow's duration.
         let got = unsafe {
             sys::recvmmsg(
                 socket.as_raw_fd(),
@@ -162,8 +180,9 @@ impl RecvBatch {
         if got < 0 {
             return Err(io::Error::last_os_error());
         }
-        for (len, hdr) in self.lens.iter_mut().zip(&hdrs).take(got as usize) {
-            *len = hdr.msg_len as usize;
+        for (i, hdr) in hdrs.iter().enumerate().take(got as usize) {
+            self.lens[i] = hdr.msg_len as usize;
+            self.srcs[i] = names[i].decode();
         }
         Ok(got as usize)
     }
@@ -355,8 +374,31 @@ mod sys {
     }
 
     impl SockaddrStorage {
+        /// Byte size of the storage (room for a `sockaddr_in6`).
+        pub const LEN: u32 = 28;
+
         pub fn zeroed() -> Self {
             SockaddrStorage { bytes: [0; 28] }
+        }
+
+        /// Parses the kernel-written `sockaddr_in`/`sockaddr_in6` back
+        /// into a [`SocketAddr`] (`None` for any other family).
+        pub fn decode(&self) -> Option<SocketAddr> {
+            let family = u16::from_ne_bytes([self.bytes[0], self.bytes[1]]);
+            let port = u16::from_be_bytes([self.bytes[2], self.bytes[3]]);
+            match family {
+                AF_INET => {
+                    let mut ip = [0u8; 4];
+                    ip.copy_from_slice(&self.bytes[4..8]);
+                    Some(SocketAddr::from((ip, port)))
+                }
+                AF_INET6 => {
+                    let mut ip = [0u8; 16];
+                    ip.copy_from_slice(&self.bytes[8..24]);
+                    Some(SocketAddr::from((ip, port)))
+                }
+                _ => None,
+            }
         }
 
         /// Writes `addr` as a kernel `sockaddr_in`/`sockaddr_in6`,
@@ -460,6 +502,7 @@ mod tests {
                 assert_eq!(syscalls, total as u64);
             }
 
+            let from = tx.local_addr().unwrap();
             let mut recv = RecvBatch::new();
             let mut got = Vec::new();
             let mut recv_syscalls = 0u64;
@@ -468,6 +511,7 @@ mod tests {
                 recv_syscalls += 1;
                 for d in 0..count {
                     got.push(String::from_utf8(recv.datagram(d).to_vec()).unwrap());
+                    assert_eq!(recv.src(d), Some(from), "{backend:?}: wrong source");
                 }
             }
             got.sort();

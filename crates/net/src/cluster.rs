@@ -58,6 +58,10 @@ pub struct TrafficCounts {
     /// the per-plane `*_sent` fields, so at high load loss shows up here
     /// instead of silently vanishing.
     pub send_errors: u64,
+    /// Bootstrap `Join` datagrams re-sent after the first went unanswered
+    /// (counted inside `membership_sent`). Non-zero means the introducer
+    /// path lost datagrams — visible here instead of as a silent hang.
+    pub join_retries: u64,
 }
 
 impl TrafficCounts {
@@ -99,6 +103,7 @@ impl AddAssign for TrafficCounts {
         self.aggregation_bytes_sent += rhs.aggregation_bytes_sent;
         self.membership_bytes_sent += rhs.membership_bytes_sent;
         self.send_errors += rhs.send_errors;
+        self.join_retries += rhs.join_retries;
     }
 }
 
@@ -113,6 +118,7 @@ pub(crate) struct TrafficCell {
     aggregation_bytes_sent: AtomicU64,
     membership_bytes_sent: AtomicU64,
     send_errors: AtomicU64,
+    join_retries: AtomicU64,
 }
 
 impl TrafficCell {
@@ -126,6 +132,24 @@ impl TrafficCell {
             self.aggregation_bytes_sent
                 .fetch_add(bytes as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Counts one piggybacked datagram: an aggregation datagram whose
+    /// last `trailer_bytes` are a membership trailer. The datagram itself
+    /// is aggregation traffic; the trailer bytes are charged to the
+    /// membership plane so the byte-overhead ratio stays honest.
+    pub(crate) fn count_piggybacked_sent(&self, total_bytes: usize, trailer_bytes: usize) {
+        self.aggregation_sent.fetch_add(1, Ordering::Relaxed);
+        self.aggregation_bytes_sent
+            .fetch_add((total_bytes - trailer_bytes) as u64, Ordering::Relaxed);
+        self.membership_bytes_sent
+            .fetch_add(trailer_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Publishes the directory's current join-retry count (a level, not a
+    /// delta — the directory owns the counter).
+    pub(crate) fn set_join_retries(&self, retries: u64) {
+        self.join_retries.store(retries, Ordering::Relaxed);
     }
 
     pub(crate) fn count_received(&self, membership: bool) {
@@ -149,6 +173,7 @@ impl TrafficCell {
             aggregation_bytes_sent: self.aggregation_bytes_sent.load(Ordering::Relaxed),
             membership_bytes_sent: self.membership_bytes_sent.load(Ordering::Relaxed),
             send_errors: self.send_errors.load(Ordering::Relaxed),
+            join_retries: self.join_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +250,7 @@ mod tests {
             aggregation_bytes_sent: 1_000,
             membership_bytes_sent: 250,
             send_errors: 1,
+            join_retries: 2,
         };
         let b = TrafficCounts {
             aggregation_sent: 1,
@@ -234,11 +260,13 @@ mod tests {
             aggregation_bytes_sent: 100,
             membership_bytes_sent: 50,
             send_errors: 2,
+            join_retries: 1,
         };
         let sum = a + b;
         assert_eq!(sum.sent(), 16);
         assert_eq!(sum.received(), 15);
         assert_eq!(sum.send_errors, 3);
+        assert_eq!(sum.join_retries, 3);
         assert!((sum.membership_byte_overhead() - 300.0 / 1_100.0).abs() < 1e-12);
         assert_eq!(TrafficCounts::default().membership_byte_overhead(), 0.0);
     }
@@ -253,6 +281,7 @@ mod tests {
         cell.count_received(true);
         cell.count_send_error();
         cell.count_send_error();
+        cell.set_join_retries(4);
         let snap = cell.snapshot();
         assert_eq!(snap.aggregation_sent, 2);
         assert_eq!(snap.aggregation_bytes_sent, 100);
@@ -261,5 +290,20 @@ mod tests {
         assert_eq!(snap.aggregation_received, 1);
         assert_eq!(snap.membership_received, 1);
         assert_eq!(snap.send_errors, 2);
+        assert_eq!(snap.join_retries, 4);
+    }
+
+    #[test]
+    fn piggybacked_sends_split_bytes_across_planes() {
+        let cell = TrafficCell::default();
+        cell.count_piggybacked_sent(100, 30);
+        cell.count_piggybacked_sent(50, 0);
+        let snap = cell.snapshot();
+        // Two datagrams, both on the aggregation plane…
+        assert_eq!(snap.aggregation_sent, 2);
+        assert_eq!(snap.membership_sent, 0);
+        // …but the trailer bytes land on the membership ledger.
+        assert_eq!(snap.aggregation_bytes_sent, 120);
+        assert_eq!(snap.membership_bytes_sent, 30);
     }
 }

@@ -4,9 +4,11 @@
 //! versioned, and deliberately simple:
 //!
 //! ```text
-//! u8  version (=1)
+//! u8  version (=3; 2 is reserved for the mux routing prefix below)
 //! u8  body tag: 0 request, 1 reply, 2 epoch notice, 3 refuse,
-//!               4 view exchange, 5 view reply, 6 join, 7 introduce
+//!               4 view exchange, 5 view reply, 6 join, 7 introduce,
+//!               8 delta view exchange, 9 delta view reply,
+//!               10 piggybacked aggregation
 //! -- aggregation bodies (tags 0-3) --
 //! u64 sender id
 //! u64 epoch
@@ -15,7 +17,7 @@
 //!   per instance: u8 state tag (0 scalar, 1 map)
 //!     scalar: f64
 //!     map:    u16 entry count, then (u64 leader, f64 estimate)*
-//! -- membership bodies (tags 4-5) --
+//! -- membership bodies (tags 4-5 full view, 8-9 delta view) --
 //! u32 sender id
 //! u16 descriptor count, then (u32 node, u32 timestamp)*
 //! -- bootstrap bodies (tags 6-7) --
@@ -24,7 +26,21 @@
 //! u16 entry count, then per entry:
 //!   u32 node, u32 timestamp,
 //!   u8 addr kind (0 none, 4 IPv4, 6 IPv6), [ip bytes, u16 port]
+//! -- piggybacked aggregation (tag 10) --
+//! u32 sender membership id
+//! u8 descriptor count, then (u32 node, u32 timestamp)*
+//! u8 address count, then per entry:
+//!   u32 node, u8 addr kind (4 IPv4, 6 IPv6), ip bytes, u16 port
+//! ... then one complete aggregation message (version + tag 0-3) ...
 //! ```
+//!
+//! Delta view messages (tags 8/9) share the full-view body layout; the
+//! tag alone tells the receiver whether the payload is the sender's whole
+//! view (replace your record of what it holds) or only the descriptors
+//! you were not known to hold (extend it). Tag 10 lets a membership
+//! trailer ride on an aggregation datagram already leaving the socket —
+//! descriptors keep views fresh between gossip cycles and the optional
+//! addresses spread the address book without introducer round trips.
 //!
 //! The multiplexed runtime ([`crate::mux`]) hosts many protocol nodes
 //! behind one socket, so its datagrams carry a routing prefix in front of
@@ -40,7 +56,7 @@
 //! charge wire bytes without materializing buffers; the property suite in
 //! `tests/properties.rs` pins `encoded_len() == encode().len()`.
 
-use crate::directory::{DirectoryPayload, IntroduceEntry};
+use crate::directory::{DirectoryPayload, IntroduceEntry, Piggyback};
 use epidemic_aggregation::value::InstanceMap;
 use epidemic_aggregation::{InstanceState, Message, MessageBody};
 use epidemic_common::NodeId;
@@ -50,8 +66,10 @@ use std::error::Error;
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 
-/// Wire format version emitted by [`encode_message`].
-pub const WIRE_VERSION: u8 = 1;
+/// Wire format version emitted by [`encode_message`]. Version 1 lacked
+/// the delta view and piggyback tags; version 2 is permanently reserved
+/// for the mux routing prefix so the two framings can never be confused.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Wire version of the virtual-node-routed frames emitted by
 /// [`encode_mux_frame`]. Distinct from [`WIRE_VERSION`] so a mux socket
@@ -276,11 +294,18 @@ pub fn encoded_len(msg: &Message) -> usize {
 
 /// Encodes a NEWSCAST view-exchange payload. `reply` distinguishes the
 /// passive side's answer (absorbed without a response) from the
-/// initiator's opening message.
-pub fn encode_view_message(payload: &ViewPayload, reply: bool) -> Vec<u8> {
+/// initiator's opening message; `delta` marks a payload carrying only the
+/// descriptors the partner was not known to hold (tags 8/9) instead of
+/// the sender's full view (tags 4/5).
+pub fn encode_view_message(payload: &ViewPayload, reply: bool, delta: bool) -> Vec<u8> {
     let mut buf = Vec::with_capacity(view_encoded_len(payload));
     buf.put_u8(WIRE_VERSION);
-    buf.put_u8(if reply { 5 } else { 4 });
+    buf.put_u8(match (delta, reply) {
+        (false, false) => 4,
+        (false, true) => 5,
+        (true, false) => 8,
+        (true, true) => 9,
+    });
     buf.put_u32_le(payload.from);
     buf.put_u16_le(payload.descriptors.len() as u16);
     for d in &payload.descriptors {
@@ -291,13 +316,13 @@ pub fn encode_view_message(payload: &ViewPayload, reply: bool) -> Vec<u8> {
 }
 
 /// Decodes a datagram produced by [`encode_view_message`], returning the
-/// payload and whether it was a reply.
+/// payload plus the `(reply, delta)` flags carried by the tag.
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] on truncation, an unknown version, or a tag
 /// that is not a view exchange.
-pub fn decode_view_message(mut data: &[u8]) -> Result<(ViewPayload, bool), DecodeError> {
+pub fn decode_view_message(mut data: &[u8]) -> Result<(ViewPayload, bool, bool), DecodeError> {
     if data.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
@@ -305,9 +330,11 @@ pub fn decode_view_message(mut data: &[u8]) -> Result<(ViewPayload, bool), Decod
     if version != WIRE_VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let reply = match data.get_u8() {
-        4 => false,
-        5 => true,
+    let (reply, delta) = match data.get_u8() {
+        4 => (false, false),
+        5 => (true, false),
+        8 => (false, true),
+        9 => (true, true),
         t => return Err(DecodeError::BadTag(t)),
     };
     let from = data.get_u32_le();
@@ -321,7 +348,7 @@ pub fn decode_view_message(mut data: &[u8]) -> Result<(ViewPayload, bool), Decod
         let timestamp = data.get_u32_le();
         descriptors.push(Descriptor::new(node, timestamp));
     }
-    Ok((ViewPayload { from, descriptors }, reply))
+    Ok((ViewPayload { from, descriptors }, reply, delta))
 }
 
 /// Exact encoded size of [`encode_view_message`]'s output for `payload`.
@@ -396,10 +423,10 @@ pub fn introduce_message_len(peers: &[IntroduceEntry]) -> usize {
     len
 }
 
-/// Encodes any membership-plane payload (tags 4–7).
+/// Encodes any membership-plane payload (tags 4–9).
 pub fn encode_directory_message(payload: &DirectoryPayload) -> Vec<u8> {
     match payload {
-        DirectoryPayload::View { view, reply } => encode_view_message(view, *reply),
+        DirectoryPayload::View { view, reply, delta } => encode_view_message(view, *reply, *delta),
         DirectoryPayload::Join { from } => encode_join_message(*from),
         DirectoryPayload::Introduce { from, peers } => encode_introduce_message(*from, peers),
     }
@@ -414,7 +441,7 @@ pub fn directory_encoded_len(payload: &DirectoryPayload) -> usize {
     }
 }
 
-/// Decodes a membership-plane datagram (tags 4–7).
+/// Decodes a membership-plane datagram (tags 4–9).
 ///
 /// # Errors
 ///
@@ -485,24 +512,155 @@ pub fn decode_directory_message(data: &[u8]) -> Result<DirectoryPayload, DecodeE
             Ok(DirectoryPayload::Introduce { from, peers })
         }
         _ => {
-            // Tags 4/5, plus version/tag error reporting for the rest.
-            let (view, reply) = decode_view_message(data)?;
-            Ok(DirectoryPayload::View { view, reply })
+            // Tags 4/5/8/9, plus version/tag error reporting for the rest.
+            let (view, reply, delta) = decode_view_message(data)?;
+            Ok(DirectoryPayload::View { view, reply, delta })
         }
     }
 }
 
-/// Any decodable v1 datagram body: an aggregation-plane [`Message`]
-/// (tags 0–3) or a membership-plane [`DirectoryPayload`] (tags 4–7).
+/// Encodes an aggregation message with a piggybacked membership trailer
+/// (tag 10): a few descriptors (and optionally their addresses) riding on
+/// a datagram that was leaving the socket anyway.
+pub fn encode_piggyback_message(msg: &Message, piggyback: &Piggyback) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(piggyback_message_len(msg, piggyback));
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(10);
+    buf.put_u32_le(piggyback.from);
+    buf.put_u8(piggyback.descriptors.len() as u8);
+    for d in &piggyback.descriptors {
+        buf.put_u32_le(d.node);
+        buf.put_u32_le(d.timestamp);
+    }
+    buf.put_u8(piggyback.addrs.len() as u8);
+    for &(node, addr) in &piggyback.addrs {
+        buf.put_u32_le(node);
+        match addr {
+            SocketAddr::V4(a) => {
+                buf.put_u8(4);
+                buf.extend_from_slice(&a.ip().octets());
+                buf.put_u16_le(a.port());
+            }
+            SocketAddr::V6(a) => {
+                buf.put_u8(6);
+                buf.extend_from_slice(&a.ip().octets());
+                buf.put_u16_le(a.port());
+            }
+        }
+    }
+    buf.extend_from_slice(&encode_message(msg));
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_piggyback_message`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version or tag, or
+/// when the carried aggregation message fails to decode.
+pub fn decode_piggyback_message(mut data: &[u8]) -> Result<(Message, Piggyback), DecodeError> {
+    if data.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let tag = data.get_u8();
+    if tag != 10 {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let from = data.get_u32_le();
+    let ndesc = data.get_u8() as usize;
+    if data.remaining() < ndesc * 8 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut descriptors = Vec::with_capacity(ndesc);
+    for _ in 0..ndesc {
+        let node = data.get_u32_le();
+        let timestamp = data.get_u32_le();
+        descriptors.push(Descriptor::new(node, timestamp));
+    }
+    let naddr = data.get_u8() as usize;
+    let mut addrs = Vec::with_capacity(naddr);
+    for _ in 0..naddr {
+        if data.remaining() < 5 {
+            return Err(DecodeError::Truncated);
+        }
+        let node = data.get_u32_le();
+        let addr = match data.get_u8() {
+            4 => {
+                if data.remaining() < 6 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut octets = [0u8; 4];
+                for b in &mut octets {
+                    *b = data.get_u8();
+                }
+                let port = data.get_u16_le();
+                SocketAddr::new(IpAddr::from(octets), port)
+            }
+            6 => {
+                if data.remaining() < 18 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut octets = [0u8; 16];
+                for b in &mut octets {
+                    *b = data.get_u8();
+                }
+                let port = data.get_u16_le();
+                SocketAddr::new(IpAddr::from(octets), port)
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        addrs.push((node, addr));
+    }
+    let message = decode_message(data)?;
+    Ok((
+        message,
+        Piggyback {
+            from,
+            descriptors,
+            addrs,
+        },
+    ))
+}
+
+/// Exact encoded size of [`encode_piggyback_message`]'s output.
+pub fn piggyback_message_len(msg: &Message, piggyback: &Piggyback) -> usize {
+    piggyback_trailer_len(piggyback) + encoded_len(msg)
+}
+
+/// Wire bytes the membership trailer adds on top of the plain aggregation
+/// message — the share traffic accounting charges to the membership
+/// plane.
+pub fn piggyback_trailer_len(piggyback: &Piggyback) -> usize {
+    // version + tag + sender + descriptor count + descriptors + addr count
+    let mut len = 1 + 1 + 4 + 1 + 8 * piggyback.descriptors.len() + 1;
+    for &(_, addr) in &piggyback.addrs {
+        len += 4 + 1; // node + addr kind
+        len += match addr {
+            SocketAddr::V4(_) => 4 + 2,
+            SocketAddr::V6(_) => 16 + 2,
+        };
+    }
+    len
+}
+
+/// Any decodable datagram body: an aggregation-plane [`Message`]
+/// (tags 0–3), a membership-plane [`DirectoryPayload`] (tags 4–9), or an
+/// aggregation message with a piggybacked membership trailer (tag 10).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WirePayload {
     /// Aggregation protocol traffic.
     Aggregation(Message),
     /// Membership / bootstrap traffic.
     Directory(DirectoryPayload),
+    /// Aggregation traffic with a membership trailer riding along.
+    Piggybacked(Message, Piggyback),
 }
 
-/// Decodes any v1 datagram, routing by plane (tags 0–3 vs 4–7).
+/// Decodes any datagram, routing by plane (tags 0–3 vs 4–9 vs 10).
 ///
 /// # Errors
 ///
@@ -517,7 +675,11 @@ pub fn decode_datagram(data: &[u8]) -> Result<WirePayload, DecodeError> {
     }
     match data[1] {
         0..=3 => Ok(WirePayload::Aggregation(decode_message(data)?)),
-        4..=7 => Ok(WirePayload::Directory(decode_directory_message(data)?)),
+        4..=9 => Ok(WirePayload::Directory(decode_directory_message(data)?)),
+        10 => {
+            let (message, piggyback) = decode_piggyback_message(data)?;
+            Ok(WirePayload::Piggybacked(message, piggyback))
+        }
         t => Err(DecodeError::BadTag(t)),
     }
 }
@@ -544,6 +706,21 @@ pub fn encode_mux_directory_frame(to: NodeId, payload: &DirectoryPayload) -> Vec
 /// Exact encoded size of [`encode_mux_directory_frame`]'s output.
 pub fn mux_directory_frame_len(payload: &DirectoryPayload) -> usize {
     1 + 8 + directory_encoded_len(payload)
+}
+
+/// Wraps a piggybacked aggregation message (tag 10) in a mux routing
+/// frame addressed to the virtual node `to`.
+pub fn encode_mux_piggyback_frame(to: NodeId, msg: &Message, piggyback: &Piggyback) -> Vec<u8> {
+    mux_wrap(
+        to,
+        &encode_piggyback_message(msg, piggyback),
+        mux_piggyback_frame_len(msg, piggyback),
+    )
+}
+
+/// Exact encoded size of [`encode_mux_piggyback_frame`]'s output.
+pub fn mux_piggyback_frame_len(msg: &Message, piggyback: &Piggyback) -> usize {
+    1 + 8 + piggyback_message_len(msg, piggyback)
 }
 
 fn mux_wrap(to: NodeId, body: &[u8], capacity: usize) -> Vec<u8> {
@@ -730,17 +907,37 @@ mod tests {
 
     #[test]
     fn round_trip_view_messages() {
-        for reply in [false, true] {
-            let payload = ViewPayload {
-                from: 0xDEAD_BEEF,
-                descriptors: vec![Descriptor::new(1, 9), Descriptor::new(u32::MAX, 0)],
-            };
-            let encoded = encode_view_message(&payload, reply);
-            assert_eq!(encoded.len(), view_encoded_len(&payload));
-            let (decoded, was_reply) = decode_view_message(&encoded).expect("decode");
-            assert_eq!(decoded, payload);
-            assert_eq!(was_reply, reply);
+        for delta in [false, true] {
+            for reply in [false, true] {
+                let payload = ViewPayload {
+                    from: 0xDEAD_BEEF,
+                    descriptors: vec![Descriptor::new(1, 9), Descriptor::new(u32::MAX, 0)],
+                };
+                let encoded = encode_view_message(&payload, reply, delta);
+                assert_eq!(encoded.len(), view_encoded_len(&payload));
+                let (decoded, was_reply, was_delta) =
+                    decode_view_message(&encoded).expect("decode");
+                assert_eq!(decoded, payload);
+                assert_eq!(was_reply, reply);
+                assert_eq!(was_delta, delta);
+            }
         }
+    }
+
+    #[test]
+    fn delta_and_full_views_use_distinct_tags() {
+        let payload = ViewPayload {
+            from: 1,
+            descriptors: vec![Descriptor::new(2, 3)],
+        };
+        assert_eq!(encode_view_message(&payload, false, false)[1], 4);
+        assert_eq!(encode_view_message(&payload, true, false)[1], 5);
+        assert_eq!(encode_view_message(&payload, false, true)[1], 8);
+        assert_eq!(encode_view_message(&payload, true, true)[1], 9);
+        // Same body layout: only the tag byte differs.
+        let full = encode_view_message(&payload, false, false);
+        let delta = encode_view_message(&payload, false, true);
+        assert_eq!(full[2..], delta[2..]);
     }
 
     #[test]
@@ -749,18 +946,23 @@ mod tests {
             from: 3,
             descriptors: vec![Descriptor::new(4, 5), Descriptor::new(6, 7)],
         };
-        let encoded = encode_view_message(&payload, false);
-        for len in 0..encoded.len() {
+        for delta in [false, true] {
+            let encoded = encode_view_message(&payload, false, delta);
+            for len in 0..encoded.len() {
+                assert_eq!(
+                    decode_view_message(&encoded[..len]),
+                    Err(DecodeError::Truncated),
+                    "prefix of length {len} (delta={delta})"
+                );
+            }
             assert_eq!(
-                decode_view_message(&encoded[..len]),
-                Err(DecodeError::Truncated),
-                "prefix of length {len}"
+                decode_message(&encoded),
+                Err(DecodeError::BadTag(if delta { 8 } else { 4 }))
             );
         }
         // An aggregation message is not a view message and vice versa.
         let agg = encode_message(&Message::refuse(NodeId::new(1), 0));
         assert_eq!(decode_view_message(&agg), Err(DecodeError::BadTag(3)));
-        assert_eq!(decode_message(&encoded), Err(DecodeError::BadTag(4)));
     }
 
     #[test]
@@ -875,30 +1077,116 @@ mod tests {
             decode_datagram(&encode_message(&agg)),
             Ok(WirePayload::Aggregation(agg))
         );
-        let view = DirectoryPayload::View {
-            view: ViewPayload {
-                from: 3,
-                descriptors: vec![Descriptor::new(4, 5)],
-            },
-            reply: true,
-        };
-        assert_eq!(
-            decode_datagram(&encode_directory_message(&view)),
-            Ok(WirePayload::Directory(view))
-        );
+        for delta in [false, true] {
+            let view = DirectoryPayload::View {
+                view: ViewPayload {
+                    from: 3,
+                    descriptors: vec![Descriptor::new(4, 5)],
+                },
+                reply: true,
+                delta,
+            };
+            assert_eq!(
+                decode_datagram(&encode_directory_message(&view)),
+                Ok(WirePayload::Directory(view))
+            );
+        }
         let join = DirectoryPayload::Join { from: 11 };
         assert_eq!(
             decode_datagram(&encode_directory_message(&join)),
             Ok(WirePayload::Directory(join))
         );
+        let pb = Piggyback {
+            from: 9,
+            descriptors: vec![Descriptor::new(1, 2)],
+            addrs: vec![],
+        };
+        let inner = Message::refuse(NodeId::new(4), 7);
         assert_eq!(
-            decode_datagram(&[WIRE_VERSION, 9, 0, 0]),
-            Err(DecodeError::BadTag(9))
+            decode_datagram(&encode_piggyback_message(&inner, &pb)),
+            Ok(WirePayload::Piggybacked(inner, pb))
+        );
+        assert_eq!(
+            decode_datagram(&[WIRE_VERSION, 11, 0, 0]),
+            Err(DecodeError::BadTag(11))
         );
         assert_eq!(
             decode_datagram(&[77, 0, 0, 0]),
             Err(DecodeError::BadVersion(77))
         );
+    }
+
+    #[test]
+    fn round_trip_piggyback_messages() {
+        let msg = Message::request(
+            NodeId::new(77),
+            3,
+            vec![InstanceState::Scalar(1.5), InstanceState::Scalar(-0.25)],
+        );
+        for pb in [
+            Piggyback {
+                from: 12,
+                descriptors: vec![],
+                addrs: vec![],
+            },
+            Piggyback {
+                from: u32::MAX,
+                descriptors: vec![Descriptor::new(1, 9), Descriptor::new(2, u32::MAX)],
+                addrs: vec![
+                    (1, "10.1.2.3:7001".parse().unwrap()),
+                    (2, "[2001:db8::9]:65535".parse().unwrap()),
+                ],
+            },
+        ] {
+            let encoded = encode_piggyback_message(&msg, &pb);
+            assert_eq!(encoded.len(), piggyback_message_len(&msg, &pb));
+            assert_eq!(
+                encoded.len(),
+                piggyback_trailer_len(&pb) + encoded_len(&msg),
+                "trailer arithmetic"
+            );
+            let (decoded, decoded_pb) = decode_piggyback_message(&encoded).expect("decode");
+            assert_eq!(decoded, msg);
+            assert_eq!(decoded_pb, pb);
+        }
+    }
+
+    #[test]
+    fn piggyback_rejects_truncation_and_foreign_tags() {
+        let msg = Message::request(NodeId::new(1), 2, vec![InstanceState::Scalar(0.5)]);
+        let pb = Piggyback {
+            from: 3,
+            descriptors: vec![Descriptor::new(4, 5)],
+            addrs: vec![(4, "127.0.0.1:9000".parse().unwrap())],
+        };
+        let encoded = encode_piggyback_message(&msg, &pb);
+        for len in 0..encoded.len() {
+            assert_eq!(
+                decode_piggyback_message(&encoded[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {len}"
+            );
+        }
+        let plain = encode_message(&msg);
+        assert_eq!(
+            decode_piggyback_message(&plain),
+            Err(DecodeError::BadTag(0))
+        );
+    }
+
+    #[test]
+    fn mux_piggyback_frames_round_trip() {
+        let msg = Message::reply(NodeId::new(8), 1, vec![InstanceState::Scalar(2.0)]);
+        let pb = Piggyback {
+            from: 8,
+            descriptors: vec![Descriptor::new(9, 10)],
+            addrs: vec![],
+        };
+        let frame = encode_mux_piggyback_frame(NodeId::new(31), &msg, &pb);
+        assert_eq!(frame.len(), mux_piggyback_frame_len(&msg, &pb));
+        let (to, decoded) = decode_mux_datagram(&frame).expect("decode");
+        assert_eq!(to, NodeId::new(31));
+        assert_eq!(decoded, WirePayload::Piggybacked(msg, pb));
     }
 
     #[test]

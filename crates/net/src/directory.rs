@@ -14,12 +14,25 @@
 //!   deterministic `(seed, id, initiated-exchange count)` stream the
 //!   mux-vs-threads parity tests rely on.
 //! * [`GossipDirectory`] — one NEWSCAST [`MembershipNode`] per node.
-//!   Views travel as codec tags 4/5, bootstrap as [`DirectoryPayload::Join`]
-//!   (tag 6) / [`DirectoryPayload::Introduce`] (tag 7): a joiner contacts
-//!   an *introducer*, which answers with a snapshot of its view (plus the
-//!   addresses it knows, when the embedding routes by address). No static
+//!   Views travel as codec tags 4/5 (full) or 8/9 (deltas: only the
+//!   descriptors the partner is believed to lack, with a periodic
+//!   full-view anti-entropy fallback), bootstrap as
+//!   [`DirectoryPayload::Join`] (tag 6) / [`DirectoryPayload::Introduce`]
+//!   (tag 7): a joiner contacts an *introducer*, which answers with a
+//!   snapshot of its view (plus the addresses it knows, when the
+//!   embedding routes by address). Join datagrams are retried with
+//!   exponential backoff, rotating across introducers, so a lost tag-6
+//!   datagram delays bootstrap instead of stranding the node. No static
 //!   peer table exists anywhere; `GETNEIGHBOR()` is served from the live
 //!   partial view.
+//!
+//! Directories may additionally *piggyback* membership on aggregation
+//! datagrams already leaving the socket: the embedding asks
+//! [`PeerDirectory::piggyback`] for a small [`Piggyback`] trailer
+//! (descriptors plus peer addresses) when encoding an aggregation
+//! message, and feeds received trailers to
+//! [`PeerDirectory::absorb_piggyback`]. This spreads both views and
+//! address books without dedicated datagrams.
 //!
 //! Directories are sans-io: the embedding (thread-per-node runtime or mux
 //! runtime) owns sockets and clocks, calls [`PeerDirectory::poll`] on
@@ -66,16 +79,20 @@ pub struct DirectoryMessage {
     pub payload: DirectoryPayload,
 }
 
-/// The membership-plane wire payloads (codec tags 4–7).
+/// The membership-plane wire payloads (codec tags 4–9).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DirectoryPayload {
-    /// A NEWSCAST view exchange (tags 4/5): the sender's view plus a
+    /// A NEWSCAST view exchange (tags 4/5 full, 8/9 delta): the sender's
+    /// view — or just the part the partner is believed to lack — plus a
     /// fresh self-descriptor. `reply` distinguishes the passive answer.
     View {
         /// Exchanged view contents.
         view: ViewPayload,
         /// `true` for the passive side's answer.
         reply: bool,
+        /// `true` when the payload is a delta (tags 8/9): the receiver
+        /// merges it into its record of the sender instead of replacing.
+        delta: bool,
     },
     /// Bootstrap request (tag 6): "introduce me to the overlay".
     Join {
@@ -105,6 +122,26 @@ pub struct IntroduceEntry {
     pub timestamp: u32,
     /// The node's socket address, if the introducer knows it.
     pub addr: Option<SocketAddr>,
+}
+
+/// How many descriptors a directory will piggyback per aggregation
+/// datagram. Small on purpose: the trailer rides traffic that is already
+/// paying a header, so a few descriptors per datagram compound quickly
+/// without ever doubling a datagram's size.
+pub const PIGGYBACK_BUDGET: usize = 3;
+
+/// A membership trailer attached to an aggregation datagram (codec tag
+/// 10): a few descriptors the destination is believed to lack, plus the
+/// senders' addresses for them where known (address-routed embeddings
+/// only — this is how address books spread without introducer re-joins).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Piggyback {
+    /// The sending node's membership identifier.
+    pub from: u32,
+    /// Descriptors worth forwarding to this destination.
+    pub descriptors: Vec<Descriptor>,
+    /// Socket addresses for a subset of the descriptors' nodes.
+    pub addrs: Vec<(u32, SocketAddr)>,
 }
 
 /// A membership service below the aggregation plane.
@@ -148,6 +185,29 @@ pub trait PeerDirectory: PeerSampler + Send + fmt::Debug {
     /// address learning, the UDP equivalent of reading the envelope.
     fn observe(&mut self, from: NodeId, src: SocketAddr) {
         let _ = (from, src);
+    }
+
+    /// A membership trailer worth attaching to an aggregation datagram
+    /// headed to `to` right now, or `None` when the destination already
+    /// knows everything worth telling (the common steady-state case — the
+    /// embedding then sends a plain aggregation frame).
+    fn piggyback(&mut self, to: NodeId, now: u64) -> Option<Piggyback> {
+        let _ = (to, now);
+        None
+    }
+
+    /// Absorbs a piggybacked membership trailer received alongside an
+    /// aggregation message.
+    fn absorb_piggyback(&mut self, piggyback: &Piggyback, src: Option<SocketAddr>, now: u64) {
+        let _ = (piggyback, src, now);
+    }
+
+    /// How many times this directory re-sent its bootstrap `Join` after
+    /// the first attempt went unanswered (0 for directories that never
+    /// join). Surfaced in `TrafficCounts` so a lossy bootstrap path shows
+    /// up in metrics instead of as a silent hang.
+    fn join_retries(&self) -> u64 {
+        0
     }
 }
 
@@ -257,17 +317,43 @@ pub struct GossipDirectoryConfig {
     /// Bootstrap contacts. Nodes that are themselves introducers simply
     /// wait to be joined.
     pub introducers: Vec<Introducer>,
+    /// Gossip view deltas (tags 8/9) instead of full views every cycle.
+    /// On by default; [`GossipDirectoryConfig::with_full_views`] restores
+    /// the always-full-view wire behavior for A/B comparison.
+    pub delta_views: bool,
+    /// Delta-knowledge LRU capacity: how many recent partners each node
+    /// remembers what it told. Deltas degrade to full views for partners
+    /// outside this horizon, so size it near the expected overlay size
+    /// when memory allows (~350 B per tracked partner).
+    pub knowledge_peers: usize,
 }
 
 impl GossipDirectoryConfig {
     /// A config with the given view size and gossip period and no
-    /// introducers yet.
+    /// introducers yet. Delta view gossip is on.
     pub fn new(view_size: usize, cycle_length: u64) -> Self {
         GossipDirectoryConfig {
             view_size,
             cycle_length,
             introducers: Vec::new(),
+            delta_views: true,
+            knowledge_peers: MembershipConfig::new(view_size, cycle_length).knowledge_peers,
         }
+    }
+
+    /// Ships full views every exchange (tags 4/5 only, no piggybacked
+    /// trailers) — the pre-delta wire behavior, kept for byte-overhead
+    /// A/B measurements.
+    pub fn with_full_views(mut self) -> Self {
+        self.delta_views = false;
+        self
+    }
+
+    /// Sets the delta-knowledge LRU capacity (see
+    /// [`GossipDirectoryConfig::knowledge_peers`]).
+    pub fn with_knowledge_peers(mut self, peers: usize) -> Self {
+        self.knowledge_peers = peers;
+        self
     }
 
     /// Adds an introducer known by node id.
@@ -299,7 +385,20 @@ pub struct GossipDirectory {
     /// Next tick at which an (re-)join may fire.
     next_join_at: u64,
     join_interval: u64,
+    /// Join datagrams sent so far (0 until the first fires). Attempt `k`
+    /// targets introducer `(k-1) / JOIN_ROTATE_EVERY` (mod the list), so
+    /// a dead or partitioned first introducer is routed around instead of
+    /// retried forever.
+    join_attempts: u64,
 }
+
+/// Consecutive join attempts aimed at one introducer before rotating to
+/// the next (second-introducer fallback for lossy or dead introducers).
+const JOIN_ROTATE_EVERY: u64 = 3;
+
+/// Cap on the join backoff exponent: retries back off `1×, 2×, 4×, 8×`
+/// the join interval and then stay at `8×`.
+const JOIN_BACKOFF_CAP: u32 = 3;
 
 impl GossipDirectory {
     /// A gossip directory for an id-routed embedding (the mux runtime):
@@ -332,6 +431,8 @@ impl GossipDirectory {
             MembershipConfig {
                 view_size: config.view_size,
                 cycle_length: config.cycle_length,
+                delta_views: config.delta_views,
+                knowledge_peers: config.knowledge_peers,
             },
             seed ^ GOSSIP_SEED_SALT,
         );
@@ -353,6 +454,7 @@ impl GossipDirectory {
             my_addr,
             next_join_at: 0,
             join_interval: config.cycle_length.max(1),
+            join_attempts: 0,
         }
     }
 
@@ -437,22 +539,31 @@ impl PeerDirectory for GossipDirectory {
 
     fn poll(&mut self, now: u64, out: &mut Vec<DirectoryMessage>) {
         if self.wants_join() && now >= self.next_join_at {
-            self.next_join_at = now + self.join_interval;
-            for dest in &self.introducers {
-                out.push(DirectoryMessage {
-                    to: *dest,
-                    payload: DirectoryPayload::Join { from: self.me },
-                });
-            }
+            // One introducer per attempt, rotating every JOIN_ROTATE_EVERY
+            // tries, with exponential backoff: a lost Join datagram costs
+            // one interval, a dead introducer a few, and a stable overlay
+            // is never spammed with duplicate bootstrap traffic.
+            let pick = (self.join_attempts / JOIN_ROTATE_EVERY) as usize % self.introducers.len();
+            let backoff = self.join_attempts.min(u64::from(JOIN_BACKOFF_CAP));
+            self.join_attempts += 1;
+            self.next_join_at = now + (self.join_interval << backoff);
+            out.push(DirectoryMessage {
+                to: self.introducers[pick],
+                payload: DirectoryPayload::Join { from: self.me },
+            });
         }
-        if let Some((peer, view)) = self.membership.poll(now) {
+        if let Some((peer, view, full)) = self.membership.poll_exchange(now) {
             // An unreachable partner would waste the cycle; prefer a
             // reachable one when routing by address.
             let reachable = self.addrs.is_none() || self.lookup(peer).is_some();
             if reachable {
                 out.push(DirectoryMessage {
                     to: Destination::Node(NodeId::new(u64::from(peer))),
-                    payload: DirectoryPayload::View { view, reply: false },
+                    payload: DirectoryPayload::View {
+                        view,
+                        reply: false,
+                        delta: !full,
+                    },
                 });
             }
         }
@@ -507,19 +618,20 @@ impl PeerDirectory for GossipDirectory {
                 }
                 self.membership.bootstrap(&descriptors);
             }
-            DirectoryPayload::View { view, reply } => {
+            DirectoryPayload::View { view, reply, delta } => {
                 if let Some(addr) = src {
                     self.learn(view.from, addr);
                 }
                 if *reply {
-                    self.membership.absorb_reply(view, now);
+                    self.membership.absorb_reply_delta(view, !*delta, now);
                 } else {
-                    let answer = self.membership.handle_exchange(view, now);
+                    let (answer, full) = self.membership.handle_exchange_delta(view, !*delta, now);
                     out.push(DirectoryMessage {
                         to: self.reply_dest(src, view.from),
                         payload: DirectoryPayload::View {
                             view: answer,
                             reply: true,
+                            delta: !full,
                         },
                     });
                 }
@@ -533,6 +645,50 @@ impl PeerDirectory for GossipDirectory {
 
     fn observe(&mut self, from: NodeId, src: SocketAddr) {
         self.learn(from.as_u64() as u32, src);
+    }
+
+    fn piggyback(&mut self, to: NodeId, now: u64) -> Option<Piggyback> {
+        let peer = to.as_u64() as u32;
+        let descriptors = self
+            .membership
+            .piggyback_descriptors(peer, now, PIGGYBACK_BUDGET);
+        if descriptors.is_empty() {
+            return None;
+        }
+        // Address-routed embeddings attach the addresses they know for the
+        // picked nodes (lookup of our own id yields our own address, so a
+        // piggybacked self-descriptor spreads our address book entry too).
+        let addrs = if self.addrs.is_some() {
+            descriptors
+                .iter()
+                .filter_map(|d| self.lookup(d.node).map(|a| (d.node, a)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Some(Piggyback {
+            from: self.me,
+            descriptors,
+            addrs,
+        })
+    }
+
+    fn absorb_piggyback(&mut self, piggyback: &Piggyback, src: Option<SocketAddr>, now: u64) {
+        if piggyback.from == self.me {
+            return;
+        }
+        if let Some(addr) = src {
+            self.learn(piggyback.from, addr);
+        }
+        for &(node, addr) in &piggyback.addrs {
+            self.learn(node, addr);
+        }
+        self.membership
+            .absorb_descriptors(piggyback.from, &piggyback.descriptors, now);
+    }
+
+    fn join_retries(&self) -> u64 {
+        self.join_attempts.saturating_sub(1)
     }
 }
 
@@ -727,6 +883,168 @@ mod tests {
         assert!(out.is_empty(), "re-joined before the interval elapsed");
         dir.poll(60, &mut out); // one join interval (50 ms) later
         assert!(!out.is_empty(), "retry never fired");
+    }
+
+    #[test]
+    fn join_retry_backs_off_and_rotates_introducers() {
+        let config = GossipDirectoryConfig::new(8, 50)
+            .with_introducer_node(0)
+            .with_introducer_node(1);
+        let mut dir = GossipDirectory::id_routed(NodeId::new(5), &config, 2);
+        assert_eq!(dir.join_retries(), 0);
+
+        let joins_at = |dir: &mut GossipDirectory, now: u64| -> Vec<Destination> {
+            let mut out = Vec::new();
+            dir.poll(now, &mut out);
+            out.iter()
+                .filter(|m| matches!(m.payload, DirectoryPayload::Join { .. }))
+                .map(|m| m.to)
+                .collect()
+        };
+
+        // Attempts 1–3 target introducer 0 at backoffs 1×, 2×, 4× the
+        // join interval (t = 0, 50, 150, 350); attempt 4 rotates to
+        // introducer 1.
+        let mut dests = Vec::new();
+        for at in [0u64, 50, 150, 350] {
+            if at > 0 {
+                assert!(
+                    joins_at(&mut dir, at - 1).is_empty(),
+                    "joined before the backoff elapsed (t = {at})"
+                );
+            }
+            let joins = joins_at(&mut dir, at);
+            assert_eq!(joins.len(), 1, "one join per attempt (t = {at})");
+            dests.push(joins[0]);
+        }
+        let node = |id: u64| Destination::Node(NodeId::new(id));
+        assert_eq!(dests, vec![node(0), node(0), node(0), node(1)]);
+        assert_eq!(dir.join_retries(), 3);
+        // The backoff caps at 8×: attempts 5 and 6 fire 400 ms apart.
+        assert_eq!(joins_at(&mut dir, 750).len(), 1);
+        assert!(joins_at(&mut dir, 1_149).is_empty());
+        assert_eq!(joins_at(&mut dir, 1_150).len(), 1);
+        // A successful bootstrap stops the retries cold.
+        dir.handle(
+            &DirectoryPayload::Introduce {
+                from: 1,
+                peers: vec![IntroduceEntry {
+                    node: 1,
+                    timestamp: 9,
+                    addr: None,
+                }],
+            },
+            None,
+            1_200,
+            &mut Vec::new(),
+        );
+        assert!(!dir.wants_join());
+    }
+
+    /// Runs the id-routed gossip loop for `rounds` cycles, returning the
+    /// `(delta, descriptor_count)` of every view message that flowed.
+    fn run_gossip(dirs: &mut [GossipDirectory], rounds: u64) -> Vec<(bool, usize)> {
+        let mut flavors = Vec::new();
+        let mut inflight: Vec<DirectoryMessage> = Vec::new();
+        for t in 0..rounds {
+            let now = t * 25;
+            for dir in dirs.iter_mut() {
+                dir.poll(now, &mut inflight);
+            }
+            while let Some(msg) = inflight.pop() {
+                if let DirectoryPayload::View { view, delta, .. } = &msg.payload {
+                    flavors.push((*delta, view.descriptors.len()));
+                }
+                let responses = deliver(dirs, &msg, now);
+                inflight.extend(responses);
+            }
+        }
+        flavors
+    }
+
+    #[test]
+    fn delta_views_flow_once_partners_know_each_other() {
+        let mut dirs = vec![
+            GossipDirectory::id_routed(NodeId::new(0), &gossip_config(0), 3),
+            GossipDirectory::id_routed(NodeId::new(1), &gossip_config(0), 3),
+            GossipDirectory::id_routed(NodeId::new(2), &gossip_config(0), 3),
+        ];
+        let flavors = run_gossip(&mut dirs, 40);
+        let deltas = flavors.iter().filter(|(d, _)| *d).count();
+        let fulls = flavors.iter().filter(|(d, _)| !*d).count();
+        assert!(deltas > 0, "no delta views in {} messages", flavors.len());
+        assert!(fulls > 0, "anti-entropy full views never fired");
+        // Deltas still converge to complete views.
+        for dir in &dirs {
+            assert_eq!(dir.view().len(), 2, "node {} view incomplete", dir.me);
+        }
+    }
+
+    #[test]
+    fn full_view_config_never_ships_deltas() {
+        let config = gossip_config(0).with_full_views();
+        let mut dirs = vec![
+            GossipDirectory::id_routed(NodeId::new(0), &config, 3),
+            GossipDirectory::id_routed(NodeId::new(1), &config, 3),
+            GossipDirectory::id_routed(NodeId::new(2), &config, 3),
+        ];
+        let flavors = run_gossip(&mut dirs, 40);
+        assert!(!flavors.is_empty());
+        assert!(flavors.iter().all(|(delta, _)| !*delta));
+        for dir in &dirs {
+            assert_eq!(dir.view().len(), 2, "node {} view incomplete", dir.me);
+        }
+    }
+
+    #[test]
+    fn piggyback_spreads_descriptors_and_addresses_then_goes_quiet() {
+        let intro_addr: SocketAddr = "127.0.0.1:7100".parse().unwrap();
+        let a1: SocketAddr = "127.0.0.1:7101".parse().unwrap();
+        let a2: SocketAddr = "127.0.0.1:7102".parse().unwrap();
+        let config = GossipDirectoryConfig::new(8, 50).with_introducer_addr(intro_addr);
+        let mut introducer = GossipDirectory::addr_routed(NodeId::new(0), intro_addr, &config, 5);
+        let mut node1 = GossipDirectory::addr_routed(NodeId::new(1), a1, &config, 5);
+
+        // Nodes 1 and 2 join; the introducer now knows both by address.
+        let mut sink = Vec::new();
+        introducer.handle(&DirectoryPayload::Join { from: 1 }, Some(a1), 1, &mut sink);
+        introducer.handle(&DirectoryPayload::Join { from: 2 }, Some(a2), 2, &mut sink);
+
+        // An aggregation datagram to node 1 carries the introducer's own
+        // descriptor and node 2's — with addresses for both.
+        let pb = introducer
+            .piggyback(NodeId::new(1), 5)
+            .expect("first piggyback carries news");
+        let nodes: Vec<u32> = pb.descriptors.iter().map(|d| d.node).collect();
+        assert!(nodes.contains(&0) && nodes.contains(&2), "picked {nodes:?}");
+        assert!(!nodes.contains(&1), "told node 1 about itself");
+        assert!(pb.addrs.contains(&(0, intro_addr)));
+        assert!(pb.addrs.contains(&(2, a2)));
+
+        // Node 1 absorbs it: view and address book both grow, so node 2
+        // is immediately drawable without any introducer round-trip.
+        node1.absorb_piggyback(&pb, Some(intro_addr), 6);
+        assert!(node1.view().contains(2));
+        assert_eq!(node1.addr_of(NodeId::new(2)), Some(a2));
+        assert_eq!(node1.addr_of(NodeId::new(0)), Some(intro_addr));
+
+        // Nothing new to tell node 1 → no trailer at all.
+        assert!(introducer.piggyback(NodeId::new(1), 5).is_none());
+    }
+
+    #[test]
+    fn id_routed_piggyback_omits_addresses() {
+        let mut dirs = [
+            GossipDirectory::id_routed(NodeId::new(0), &gossip_config(0), 7),
+            GossipDirectory::id_routed(NodeId::new(1), &gossip_config(0), 7),
+        ];
+        let mut sink = Vec::new();
+        dirs[0].handle(&DirectoryPayload::Join { from: 2 }, None, 1, &mut sink);
+        let pb = dirs[0].piggyback(NodeId::new(1), 3).expect("news to share");
+        assert!(!pb.descriptors.is_empty());
+        assert!(pb.addrs.is_empty(), "id-routed trailer carried addresses");
+        dirs[1].absorb_piggyback(&pb, None, 4);
+        assert!(dirs[1].view().contains(2));
     }
 
     #[test]

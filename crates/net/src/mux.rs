@@ -91,7 +91,8 @@
 use crate::batch::{IoBackend, RecvBatch, SendBatch, BATCH};
 use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
 use crate::codec::{
-    decode_mux_datagram, encode_mux_directory_frame, encode_mux_frame, WirePayload,
+    decode_mux_datagram, encode_mux_directory_frame, encode_mux_frame, encode_mux_piggyback_frame,
+    piggyback_trailer_len, WirePayload,
 };
 use crate::directory::{
     Destination, DirectoryMessage, DirectorySpec, GossipDirectory, Introducer, PeerDirectory,
@@ -111,15 +112,21 @@ use std::time::{Duration, Instant};
 
 /// Maps cluster-wide virtual-node ids to shard socket addresses.
 ///
-/// Shard `s` owns the contiguous id range [`PeerTable::shard_range`]; a
-/// frame for any vnode is transmitted to the owning shard's address. A
-/// single-shard table is the degenerate case every one-process cluster
-/// uses implicitly.
+/// Shard `s` owns the contiguous id range [`PeerTable::shard_range`] and
+/// publishes its full reader socket *set* ([`PeerTable::shard_sockets`]);
+/// a frame for any vnode is transmitted to the destination vnode's home
+/// socket within the owning shard's set — `sets[s][(vnode - start) %
+/// sets[s].len()]`, the same `local % readers` homing rule the receiving
+/// shard uses — so cross-shard traffic fans across every reader instead
+/// of piling onto the first socket. A single-shard, single-socket table
+/// is the degenerate case every one-process cluster uses implicitly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeerTable {
     /// Range boundaries: shard `s` owns `starts[s]..starts[s + 1]`.
     starts: Vec<usize>,
-    addrs: Vec<SocketAddr>,
+    /// Reader socket set per shard; `sets[s][0]` is the shard's
+    /// advertised primary address.
+    sets: Vec<Vec<SocketAddr>>,
 }
 
 impl PeerTable {
@@ -134,19 +141,36 @@ impl PeerTable {
 
     /// Splits `0..total` into `addrs.len()` near-even contiguous ranges,
     /// in shard order (earlier shards get the larger ranges when the
-    /// split is uneven).
+    /// split is uneven). Each shard publishes a single socket; use
+    /// [`PeerTable::split_sets`] to publish multi-reader socket sets.
     ///
     /// # Panics
     ///
     /// Panics if `addrs` is empty or `total < addrs.len()`.
     pub fn split(total: usize, addrs: Vec<SocketAddr>) -> Self {
-        assert!(!addrs.is_empty(), "peer table needs at least one shard");
+        PeerTable::split_sets(total, addrs.into_iter().map(|a| vec![a]).collect())
+    }
+
+    /// Splits `0..total` into `sets.len()` near-even contiguous ranges,
+    /// publishing each shard's full reader socket set so senders can fan
+    /// cross-shard frames across it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty, any set is empty, or
+    /// `total < sets.len()`.
+    pub fn split_sets(total: usize, sets: Vec<Vec<SocketAddr>>) -> Self {
+        assert!(!sets.is_empty(), "peer table needs at least one shard");
         assert!(
-            total >= addrs.len(),
-            "fewer vnodes ({total}) than shards ({})",
-            addrs.len()
+            sets.iter().all(|set| !set.is_empty()),
+            "every shard needs at least one socket"
         );
-        let shards = addrs.len();
+        assert!(
+            total >= sets.len(),
+            "fewer vnodes ({total}) than shards ({})",
+            sets.len()
+        );
+        let shards = sets.len();
         let base = total / shards;
         let remainder = total % shards;
         let mut starts = Vec::with_capacity(shards + 1);
@@ -157,7 +181,7 @@ impl PeerTable {
         }
         starts.push(next);
         debug_assert_eq!(next, total);
-        PeerTable { starts, addrs }
+        PeerTable { starts, sets }
     }
 
     /// Binds (and immediately releases) `shards` loopback sockets on
@@ -174,6 +198,26 @@ impl PeerTable {
         ))
     }
 
+    /// Like [`PeerTable::loopback_split`], but publishes `readers`
+    /// loopback sockets per shard, so every shard spawns a multi-reader
+    /// socket set and cross-shard senders fan across it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readers == 0`.
+    pub fn loopback_split_readers(total: usize, shards: usize, readers: usize) -> io::Result<Self> {
+        assert!(readers > 0, "need at least one reader per shard");
+        let flat = crate::cluster::reserve_loopback_addrs(shards * readers)?;
+        Ok(PeerTable::split_sets(
+            total,
+            flat.chunks(readers).map(<[SocketAddr]>::to_vec).collect(),
+        ))
+    }
+
     /// Cluster-wide virtual-node count.
     pub fn total(&self) -> usize {
         *self.starts.last().unwrap()
@@ -181,7 +225,7 @@ impl PeerTable {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.addrs.len()
+        self.sets.len()
     }
 
     /// The vnode-id range shard `shard` owns.
@@ -193,13 +237,23 @@ impl PeerTable {
         self.starts[shard]..self.starts[shard + 1]
     }
 
-    /// The socket address of shard `shard`.
+    /// The advertised (primary) socket address of shard `shard`.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn shard_addr(&self, shard: usize) -> SocketAddr {
-        self.addrs[shard]
+        self.sets[shard][0]
+    }
+
+    /// The full published reader socket set of shard `shard`, primary
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_sockets(&self, shard: usize) -> &[SocketAddr] {
+        &self.sets[shard]
     }
 
     /// The owning shard of `vnode`, or `None` for an out-of-range id.
@@ -214,10 +268,13 @@ impl PeerTable {
         })
     }
 
-    /// The socket address owning `vnode`, or `None` for an out-of-range
-    /// id.
+    /// The socket address frames for `vnode` should be sent to — the
+    /// vnode's home socket within its shard's published set — or `None`
+    /// for an out-of-range id.
     pub fn addr_of(&self, vnode: usize) -> Option<SocketAddr> {
-        self.shard_of(vnode).map(|s| self.addrs[s])
+        let s = self.shard_of(vnode)?;
+        let set = &self.sets[s];
+        Some(set[(vnode - self.starts[s]) % set.len()])
     }
 }
 
@@ -344,6 +401,19 @@ impl MuxClusterConfig {
     }
 }
 
+/// What kind of frame a queued send is — decides which traffic-plane
+/// ledger its bytes land on at flush time.
+#[derive(Debug, Clone, Copy)]
+enum FrameKind {
+    Aggregation,
+    Membership,
+    /// An aggregation frame carrying a membership trailer of this many
+    /// bytes; the trailer bytes are charged to the membership plane.
+    Piggybacked {
+        trailer: u32,
+    },
+}
+
 /// One unit of protocol work, executed by whichever worker claims it.
 /// Node indices are local (shard-relative).
 #[derive(Debug)]
@@ -452,7 +522,28 @@ struct Shared {
     traffic: Vec<TrafficCell>,
     recv_calls: AtomicU64,
     send_calls: AtomicU64,
+    /// Per-reader-socket datagram arrivals (total, from-remote-shard) —
+    /// the observable proof that cross-shard senders fan across the whole
+    /// published socket set.
+    socket_recvs: Vec<SocketRecvCell>,
     start: Instant,
+}
+
+/// Atomic twin of [`SocketRecvCounts`], one per reader socket.
+#[derive(Debug, Default)]
+struct SocketRecvCell {
+    datagrams: AtomicU64,
+    remote_datagrams: AtomicU64,
+}
+
+/// Datagram arrivals on one reader socket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketRecvCounts {
+    /// Every datagram this socket received.
+    pub datagrams: u64,
+    /// The subset whose source address was NOT one of this shard's own
+    /// sockets — i.e. cross-shard traffic.
+    pub remote_datagrams: u64,
 }
 
 impl Shared {
@@ -549,16 +640,16 @@ impl MuxCluster {
                 }
             }
         }
-        let (primary, table, local_range) = match sharding {
+        let (primary, table, local_range, local_shard) = match sharding {
             None => {
                 let socket = UdpSocket::bind(("127.0.0.1", 0))?;
                 let addr = socket.local_addr()?;
-                (socket, PeerTable::single(n, addr), 0..n)
+                (socket, PeerTable::single(n, addr), 0..n, 0)
             }
             Some((table, shard)) => {
                 let socket = UdpSocket::bind(table.shard_addr(shard))?;
                 let range = table.shard_range(shard);
-                (socket, table, range)
+                (socket, table, range, shard)
             }
         };
         let base = local_range.start;
@@ -566,16 +657,24 @@ impl MuxCluster {
         let cores = std::thread::available_parallelism()
             .map(usize::from)
             .unwrap_or(2);
+        // Every published shard socket MUST be bound — other shards fan
+        // cross-shard frames across the full advertised set — so the
+        // reader count can only grow past the published set, never below.
+        let published = table.shard_sockets(local_shard).to_vec();
         let readers = readers
             .unwrap_or((cores / 4).clamp(1, 4))
-            .clamp(1, local_range.len());
+            .clamp(1, local_range.len())
+            .max(published.len());
         let workers = workers.unwrap_or(cores.saturating_sub(readers + 1).clamp(1, 8));
-        // Extra readers bind ephemeral ports on the shard's advertised IP;
-        // only socket 0 is published in the peer table, so cross-shard
-        // frames always land there (readers route by frame id, so that is
-        // correct — just unspread; see ROADMAP follow-ups).
+        // Readers beyond the published set bind ephemeral ports on the
+        // shard's advertised IP; they receive only locally-homed traffic
+        // (cross-shard senders know nothing about them), which is
+        // correct — readers route by frame id.
         let mut sockets = vec![primary];
-        for _ in 1..readers {
+        for addr in &published[1..] {
+            sockets.push(UdpSocket::bind(*addr)?);
+        }
+        for _ in published.len()..readers {
             sockets.push(UdpSocket::bind((sockets[0].local_addr()?.ip(), 0))?);
         }
         let mut reader_addrs = Vec::with_capacity(readers);
@@ -612,6 +711,7 @@ impl MuxCluster {
             traffic: (0..local_n).map(|_| TrafficCell::default()).collect(),
             recv_calls: AtomicU64::new(0),
             send_calls: AtomicU64::new(0),
+            socket_recvs: (0..readers).map(|_| SocketRecvCell::default()).collect(),
             start: Instant::now(),
         });
         // Prime every node with an initial wake so its first deadline is
@@ -685,6 +785,21 @@ impl MuxCluster {
             recv_calls: self.shared.recv_calls.load(Ordering::Relaxed),
             send_calls: self.shared.send_calls.load(Ordering::Relaxed),
         }
+    }
+
+    /// Datagram arrivals per reader socket (indexed like
+    /// [`Cluster::addrs`]), with the cross-shard subset counted
+    /// separately — the receiver-side evidence that remote senders fan
+    /// across the whole published socket set.
+    pub fn socket_recv_counts(&self) -> Vec<SocketRecvCounts> {
+        self.shared
+            .socket_recvs
+            .iter()
+            .map(|cell| SocketRecvCounts {
+                datagrams: cell.datagrams.load(Ordering::Relaxed),
+                remote_datagrams: cell.remote_datagrams.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Number of virtual nodes hosted by THIS handle (the local shard).
@@ -821,7 +936,17 @@ fn reader_loop(shared: &Shared, reader: usize) {
         match batch.recv(socket, shared.io) {
             Ok(count) => {
                 shared.recv_calls.fetch_add(1, Ordering::Relaxed);
+                let socket_cell = &shared.socket_recvs[reader];
                 for i in 0..count {
+                    socket_cell.datagrams.fetch_add(1, Ordering::Relaxed);
+                    // A source address outside our own socket set means
+                    // another shard sent this — count it against this
+                    // socket so cross-shard fan-out is observable.
+                    if let Some(src) = batch.src(i) {
+                        if !shared.reader_addrs.contains(&src) {
+                            socket_cell.remote_datagrams.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     let Ok((to, payload)) = decode_mux_datagram(batch.datagram(i)) else {
                         continue; // corrupt datagram: drop, stay alive
                     };
@@ -829,6 +954,9 @@ fn reader_loop(shared: &Shared, reader: usize) {
                         continue; // foreign shard's vnode: misrouted, drop
                     };
                     if local < shared.nodes.len() {
+                        // A piggybacked frame is an aggregation datagram
+                        // (its membership trailer is charged in bytes on
+                        // the send side, not as a datagram).
                         let membership = matches!(payload, WirePayload::Directory(_));
                         shared.traffic[local].count_received(membership);
                         shared.work.push(Work::Deliver(local as u32, payload));
@@ -874,8 +1002,8 @@ fn timer_loop(shared: &Shared, cycle_ms: u64) {
 /// accumulated — frames never wait on a sleeping worker.
 fn worker_loop(shared: &Shared) {
     let mut dir_out: Vec<DirectoryMessage> = Vec::new();
-    // One send batch per reader socket; meta = (local node, membership).
-    let mut pending: Vec<SendBatch<(u32, bool)>> = (0..shared.sockets.len())
+    // One send batch per reader socket; meta = (local node, frame kind).
+    let mut pending: Vec<SendBatch<(u32, FrameKind)>> = (0..shared.sockets.len())
         .map(|_| SendBatch::new())
         .collect();
     while let Some(mut work) = shared.work.pop(&shared.stop) {
@@ -900,7 +1028,7 @@ fn step_vnode(
     shared: &Shared,
     work: Work,
     dir_out: &mut Vec<DirectoryMessage>,
-    pending: &mut [SendBatch<(u32, bool)>],
+    pending: &mut [SendBatch<(u32, FrameKind)>],
 ) -> usize {
     let (index, is_wake) = match &work {
         Work::Wake(i) => (*i as usize, true),
@@ -920,11 +1048,25 @@ fn step_vnode(
             out
         }
         Work::Deliver(_, WirePayload::Aggregation(msg)) => vnode.gossip.handle(&msg, now),
+        Work::Deliver(_, WirePayload::Piggybacked(msg, pb)) => {
+            let VNode {
+                gossip, directory, ..
+            } = &mut *vnode;
+            directory.absorb_piggyback(&pb, None, now);
+            gossip.handle(&msg, now)
+        }
         Work::Deliver(_, WirePayload::Directory(payload)) => {
             vnode.directory.handle(&payload, None, now, dir_out);
             None
         }
     };
+    // An outbound aggregation frame is a free ride for membership news:
+    // ask the directory for a trailer worth attaching (None in steady
+    // state, and always None for a static directory).
+    let piggyback = outbound
+        .as_ref()
+        .and_then(|out| vnode.directory.piggyback(out.to, now));
+    shared.traffic[index].set_join_retries(vnode.directory.join_retries());
     // Park the node's next deadline unless an earlier (or equal)
     // wheel entry is already live. After a wake we always re-park.
     let deadline = vnode.deadline();
@@ -937,8 +1079,19 @@ fn step_vnode(
     let before = batch.len();
     if let Some(out) = outbound {
         if let Some(target) = shared.dest_addr(out.to.index()) {
-            let frame = encode_mux_frame(out.to, &out.message);
-            batch.push(frame, target, (index as u32, false));
+            let (frame, kind) = match &piggyback {
+                Some(pb) => (
+                    encode_mux_piggyback_frame(out.to, &out.message, pb),
+                    FrameKind::Piggybacked {
+                        trailer: piggyback_trailer_len(pb) as u32,
+                    },
+                ),
+                None => (
+                    encode_mux_frame(out.to, &out.message),
+                    FrameKind::Aggregation,
+                ),
+            };
+            batch.push(frame, target, (index as u32, kind));
         }
     }
     for msg in dir_out.drain(..) {
@@ -951,29 +1104,32 @@ fn step_vnode(
             continue;
         };
         let frame = encode_mux_directory_frame(to, &msg.payload);
-        batch.push(frame, target, (index as u32, true));
+        batch.push(frame, target, (index as u32, FrameKind::Membership));
     }
     batch.len() - before
 }
 
 /// Transmits every queued frame, charging each sender's traffic cell on
 /// success and its `send_errors` on kernel refusal.
-fn flush_pending(shared: &Shared, pending: &mut [SendBatch<(u32, bool)>]) {
+fn flush_pending(shared: &Shared, pending: &mut [SendBatch<(u32, FrameKind)>]) {
     for (s, batch) in pending.iter_mut().enumerate() {
         if batch.is_empty() {
             continue;
         }
-        let syscalls = batch.flush(
-            &shared.sockets[s],
-            shared.io,
-            |&(node, membership), len, ok| {
-                if ok {
-                    shared.traffic[node as usize].count_sent(membership, len);
-                } else {
-                    shared.traffic[node as usize].count_send_error();
+        let syscalls = batch.flush(&shared.sockets[s], shared.io, |&(node, kind), len, ok| {
+            let cell = &shared.traffic[node as usize];
+            if !ok {
+                cell.count_send_error();
+                return;
+            }
+            match kind {
+                FrameKind::Aggregation => cell.count_sent(false, len),
+                FrameKind::Membership => cell.count_sent(true, len),
+                FrameKind::Piggybacked { trailer } => {
+                    cell.count_piggybacked_sent(len, trailer as usize)
                 }
-            },
-        );
+            }
+        });
         shared.send_calls.fetch_add(syscalls, Ordering::Relaxed);
     }
 }
@@ -1018,6 +1174,47 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn peer_table_rejects_no_shards() {
         PeerTable::split(4, Vec::new());
+    }
+
+    #[test]
+    fn peer_table_socket_sets_home_vnodes_across_readers() {
+        // Shard 0 publishes two reader sockets, shard 1 publishes one:
+        // frames for shard-0 vnodes alternate across its set by the same
+        // `local % readers` rule the receiving shard homes with.
+        let addr = |port: u16| -> SocketAddr { format!("127.0.0.1:{port}").parse().unwrap() };
+        let table = PeerTable::split_sets(5, vec![vec![addr(9200), addr(9201)], vec![addr(9210)]]);
+        assert_eq!(table.shard_range(0), 0..3);
+        assert_eq!(table.shard_range(1), 3..5);
+        assert_eq!(table.shard_addr(0), addr(9200));
+        assert_eq!(table.shard_sockets(0), &[addr(9200), addr(9201)]);
+        assert_eq!(table.addr_of(0), Some(addr(9200)));
+        assert_eq!(table.addr_of(1), Some(addr(9201)));
+        assert_eq!(table.addr_of(2), Some(addr(9200)));
+        assert_eq!(table.addr_of(3), Some(addr(9210)));
+        assert_eq!(table.addr_of(4), Some(addr(9210)));
+        assert_eq!(table.addr_of(5), None);
+    }
+
+    #[test]
+    fn loopback_split_readers_publishes_full_socket_sets() {
+        let table = PeerTable::loopback_split_readers(8, 2, 3).unwrap();
+        assert_eq!(table.shard_count(), 2);
+        let mut all = Vec::new();
+        for s in 0..2 {
+            let set = table.shard_sockets(s);
+            assert_eq!(set.len(), 3);
+            assert_eq!(set[0], table.shard_addr(s));
+            all.extend_from_slice(set);
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 6, "published sockets must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one socket")]
+    fn peer_table_rejects_empty_socket_set() {
+        PeerTable::split_sets(4, vec![vec!["127.0.0.1:9300".parse().unwrap()], vec![]]);
     }
 
     #[test]
@@ -1182,6 +1379,42 @@ mod tests {
         let last = *estimates.last().unwrap();
         assert!((last - 15.0).abs() < 0.5, "final estimate {last}");
         assert!(counts.aggregation_sent > 0 && counts.aggregation_received > 0);
+    }
+
+    #[test]
+    fn cross_shard_sends_fan_across_the_remote_socket_set() {
+        // Two shards of two vnodes each, two reader sockets per shard.
+        // Every shard-0 → shard-1 frame must land on the destination
+        // vnode's home socket, so BOTH shard-1 sockets see remote
+        // traffic — the old behavior piled everything onto the first.
+        let table = PeerTable::loopback_split_readers(4, 2, 2).unwrap();
+        let config = node_config(8, 25);
+        let spawn = |shard: usize| {
+            MuxCluster::spawn(
+                MuxClusterConfig::sharded(table.clone(), shard, config.clone())
+                    .with_workers(1)
+                    .with_readers(2),
+                |i| i as f64,
+            )
+            .unwrap()
+        };
+        let shard0 = spawn(0);
+        let shard1 = spawn(1);
+        assert_eq!(shard0.reader_count(), 2);
+        assert_eq!(shard1.reader_count(), 2);
+        assert_eq!(Cluster::addrs(&shard1), table.shard_sockets(1));
+        std::thread::sleep(Duration::from_millis(900));
+        let recvs = shard1.socket_recv_counts();
+        shard0.shutdown();
+        shard1.shutdown();
+        assert_eq!(recvs.len(), 2);
+        for (i, socket) in recvs.iter().enumerate() {
+            assert!(
+                socket.remote_datagrams > 0,
+                "socket {i} of shard 1 never saw cross-shard traffic: {recvs:?}"
+            );
+            assert!(socket.datagrams >= socket.remote_datagrams);
+        }
     }
 
     #[test]

@@ -18,13 +18,16 @@
 //! multiplexed runtime ([`crate::mux`]).
 
 use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
-use crate::codec::{decode_datagram, encode_directory_message, encode_message, WirePayload};
+use crate::codec::{
+    decode_datagram, encode_directory_message, encode_message, encode_piggyback_message,
+    piggyback_trailer_len, WirePayload,
+};
 use crate::directory::{
     Destination, DirectoryMessage, DirectorySpec, GossipDirectory, GossipDirectoryConfig,
     Introducer, PeerDirectory, StaticDirectory,
 };
 use epidemic_aggregation::node::GossipNode;
-use epidemic_aggregation::{EpochReport, NodeConfig};
+use epidemic_aggregation::{EpochReport, Message, NodeConfig};
 use epidemic_common::NodeId;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -149,9 +152,8 @@ impl ClusterConfig {
                     });
                 }
                 let resolved = GossipDirectoryConfig {
-                    view_size: config.view_size,
-                    cycle_length: config.cycle_length,
                     introducers,
+                    ..config.clone()
                 };
                 Ok(Box::new(GossipDirectory::addr_routed(
                     id,
@@ -292,6 +294,36 @@ fn transmit(
     }
 }
 
+/// Transmits an aggregation message to node `to`, piggybacking a
+/// membership trailer (descriptors + learned addresses) when the
+/// directory has one to offer. The datagram stays on the aggregation
+/// plane; only the trailer bytes are charged to the membership ledger.
+fn transmit_aggregation(
+    socket: &UdpSocket,
+    shared: &Shared,
+    directory: &mut dyn PeerDirectory,
+    to: NodeId,
+    msg: &Message,
+    now_ms: u64,
+) {
+    let Some(target) = directory.addr_of(to) else {
+        return;
+    };
+    match directory.piggyback(to, now_ms) {
+        Some(piggyback) => {
+            let bytes = encode_piggyback_message(msg, &piggyback);
+            if socket.send_to(&bytes, target).is_ok() {
+                shared
+                    .traffic
+                    .count_piggybacked_sent(bytes.len(), piggyback_trailer_len(&piggyback));
+            } else {
+                shared.traffic.count_send_error();
+            }
+        }
+        None => transmit(socket, shared, target, &encode_message(msg), false),
+    }
+}
+
 /// Resolves and transmits the directory's pending messages.
 fn flush_directory(
     socket: &UdpSocket,
@@ -335,21 +367,21 @@ fn run_loop(
         // fires. The peer is drawn lazily — only for exchanges actually
         // initiated — so the draw sequence matches the mux runtime's.
         if let Some(out) = node.poll_sampler(now_ms, &mut directory) {
-            if let Some(target) = directory.addr_of(out.to) {
-                transmit(
-                    &socket,
-                    &shared,
-                    target,
-                    &encode_message(&out.message),
-                    false,
-                );
-            }
+            transmit_aggregation(
+                &socket,
+                &shared,
+                directory.as_mut(),
+                out.to,
+                &out.message,
+                now_ms,
+            );
         }
 
         // Membership behavior: view gossip and bootstrap ride the same
         // socket and clock.
         directory.poll(now_ms, &mut dir_out);
         flush_directory(&socket, &shared, directory.as_ref(), &mut dir_out);
+        shared.traffic.set_join_retries(directory.join_retries());
 
         // Passive behavior: drain the socket.
         loop {
@@ -363,15 +395,29 @@ fn run_loop(
                             // (id, addr) binding passively.
                             directory.observe(msg.from, src);
                             if let Some(response) = node.handle(&msg, now_ms) {
-                                if let Some(target) = directory.addr_of(response.to) {
-                                    transmit(
-                                        &socket,
-                                        &shared,
-                                        target,
-                                        &encode_message(&response.message),
-                                        false,
-                                    );
-                                }
+                                transmit_aggregation(
+                                    &socket,
+                                    &shared,
+                                    directory.as_mut(),
+                                    response.to,
+                                    &response.message,
+                                    now_ms,
+                                );
+                            }
+                        }
+                        Ok(WirePayload::Piggybacked(msg, piggyback)) => {
+                            shared.traffic.count_received(false);
+                            directory.observe(msg.from, src);
+                            directory.absorb_piggyback(&piggyback, Some(src), now_ms);
+                            if let Some(response) = node.handle(&msg, now_ms) {
+                                transmit_aggregation(
+                                    &socket,
+                                    &shared,
+                                    directory.as_mut(),
+                                    response.to,
+                                    &response.message,
+                                    now_ms,
+                                );
                             }
                         }
                         Ok(WirePayload::Directory(payload)) => {

@@ -11,11 +11,13 @@ use epidemic_aggregation::{InstanceState, Message};
 use epidemic_common::NodeId;
 use epidemic_net::codec::{
     decode_datagram, decode_directory_message, decode_message, decode_mux_datagram,
-    decode_mux_frame, decode_view_message, directory_encoded_len, encode_directory_message,
-    encode_message, encode_mux_directory_frame, encode_mux_frame, encode_view_message, encoded_len,
-    mux_directory_frame_len, mux_frame_len, view_encoded_len,
+    decode_mux_frame, decode_piggyback_message, decode_view_message, directory_encoded_len,
+    encode_directory_message, encode_message, encode_mux_directory_frame, encode_mux_frame,
+    encode_mux_piggyback_frame, encode_piggyback_message, encode_view_message, encoded_len,
+    mux_directory_frame_len, mux_frame_len, mux_piggyback_frame_len, piggyback_message_len,
+    piggyback_trailer_len, view_encoded_len,
 };
-use epidemic_net::directory::{DirectoryPayload, IntroduceEntry};
+use epidemic_net::directory::{DirectoryPayload, IntroduceEntry, Piggyback};
 use epidemic_newscast::node::ViewPayload;
 use epidemic_newscast::Descriptor;
 use proptest::prelude::*;
@@ -70,17 +72,83 @@ proptest! {
     fn encoded_len_matches_encode_for_view_messages(
         from in any::<u32>(),
         reply in any::<bool>(),
+        delta in any::<bool>(),
         raw in prop::collection::vec((any::<u32>(), any::<u32>()), 0..40),
     ) {
         let payload = ViewPayload {
             from,
             descriptors: raw.iter().map(|&(n, t)| Descriptor::new(n, t)).collect(),
         };
-        let encoded = encode_view_message(&payload, reply);
+        // Full and delta view messages share one layout; the tag alone
+        // (4/5 vs 8/9) carries the full-vs-delta bit.
+        let encoded = encode_view_message(&payload, reply, delta);
         prop_assert_eq!(view_encoded_len(&payload), encoded.len());
-        let (decoded, was_reply) = decode_view_message(&encoded).expect("round trip");
+        let (decoded, was_reply, was_delta) =
+            decode_view_message(&encoded).expect("round trip");
         prop_assert_eq!(decoded, payload);
         prop_assert_eq!(was_reply, reply);
+        prop_assert_eq!(was_delta, delta);
+    }
+
+    #[test]
+    fn piggybacked_message_round_trips_and_sizes_match(
+        from in any::<u64>(),
+        epoch in any::<u64>(),
+        tag in 0u8..4,
+        states_raw in prop::collection::vec(
+            (any::<bool>(), -1e6f64..1e6, prop::collection::vec((any::<u64>(), 0.0f64..1.0), 0..4)),
+            0..3,
+        ),
+        pb_from in any::<u32>(),
+        descs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..8),
+        addrs in prop::collection::vec(
+            // (node, v6?, ip material, port material)
+            (any::<u32>(), any::<bool>(), any::<u32>(), any::<u32>()),
+            0..6,
+        ),
+        mux_to in any::<u64>(),
+    ) {
+        let msg = message(from, epoch, tag, states_raw);
+        let piggyback = Piggyback {
+            from: pb_from,
+            descriptors: descs.iter().map(|&(n, t)| Descriptor::new(n, t)).collect(),
+            addrs: addrs
+                .iter()
+                .map(|&(node, v6, ip, port)| {
+                    let port = port as u16;
+                    let addr = if v6 {
+                        let mut octets = [0u8; 16];
+                        octets[..4].copy_from_slice(&ip.to_le_bytes());
+                        SocketAddr::new(IpAddr::from(octets), port)
+                    } else {
+                        SocketAddr::new(IpAddr::from(ip.to_le_bytes()), port)
+                    };
+                    (node, addr)
+                })
+                .collect(),
+        };
+        let encoded = encode_piggyback_message(&msg, &piggyback);
+        prop_assert_eq!(piggyback_message_len(&msg, &piggyback), encoded.len());
+        // The trailer is what the membership ledger gets charged; it must
+        // never exceed the datagram it rides on.
+        prop_assert!(piggyback_trailer_len(&piggyback) < encoded.len());
+        let (dmsg, dpb) = decode_piggyback_message(&encoded).expect("round trip");
+        prop_assert_eq!(&dmsg, &msg);
+        prop_assert_eq!(&dpb, &piggyback);
+        // The plane router agrees with the dedicated decoder.
+        prop_assert_eq!(
+            decode_datagram(&encoded).expect("datagram"),
+            epidemic_net::codec::WirePayload::Piggybacked(msg.clone(), piggyback.clone())
+        );
+        // And the mux framing routes it by destination vnode.
+        let frame = encode_mux_piggyback_frame(NodeId::new(mux_to), &msg, &piggyback);
+        prop_assert_eq!(mux_piggyback_frame_len(&msg, &piggyback), frame.len());
+        let (dst, decoded) = decode_mux_datagram(&frame).expect("mux round trip");
+        prop_assert_eq!(dst, NodeId::new(mux_to));
+        prop_assert_eq!(
+            decoded,
+            epidemic_net::codec::WirePayload::Piggybacked(msg, piggyback)
+        );
     }
 
     #[test]
@@ -177,6 +245,7 @@ proptest! {
         let _ = decode_view_message(&raw);
         let _ = decode_mux_frame(&raw);
         let _ = decode_directory_message(&raw);
+        let _ = decode_piggyback_message(&raw);
         let _ = decode_datagram(&raw);
         let _ = decode_mux_datagram(&raw);
     }

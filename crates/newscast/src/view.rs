@@ -151,6 +151,19 @@ impl View {
         self.entries = pool;
     }
 
+    /// Like [`View::merge_with`], but clamps every incoming timestamp to
+    /// `max_timestamp` first. Merge boundaries use this so a peer whose
+    /// clock runs ahead can claim at most a bounded freshness head start:
+    /// without the clamp, one drifted node's far-future descriptors crowd
+    /// every honestly-stamped entry out of the views they touch.
+    pub fn merge_clamped(&mut self, received: &[Descriptor], self_node: u32, max_timestamp: u32) {
+        let clamped: Vec<Descriptor> = received
+            .iter()
+            .map(|d| Descriptor::new(d.node, d.timestamp.min(max_timestamp)))
+            .collect();
+        self.merge_with(&clamped, self_node);
+    }
+
     /// Removes the descriptor of `node`, if present. Returns whether an
     /// entry was removed. Used by deployments that evict unresponsive peers
     /// immediately instead of waiting for age-out.
@@ -271,6 +284,30 @@ mod tests {
         let once = a.clone();
         a.merge_with(&received, 0);
         assert_eq!(a, once);
+    }
+
+    #[test]
+    fn merge_clamped_leaves_honest_timestamps_alone() {
+        let mut v = View::new(3);
+        v.merge_clamped(&[Descriptor::new(1, 10), Descriptor::new(2, 99)], 0, 50);
+        let ts_of = |n| v.entries().iter().find(|d| d.node == n).unwrap().timestamp;
+        assert_eq!(ts_of(1), 10); // below the bound: untouched
+        assert_eq!(ts_of(2), 50); // future-stamped: clamped to the bound
+    }
+
+    #[test]
+    fn clamped_future_entries_age_out_normally() {
+        let mut v = view_of(2, &[(1, 18), (2, 19)]);
+        v.merge_clamped(&[Descriptor::new(8, 9_000)], 0, 20);
+        assert!(v.contains(8));
+        // The drifted stamp was clamped to "now", so honest later entries
+        // overtake it instead of losing to a far-future timestamp forever.
+        v.merge_with(&[Descriptor::new(3, 30), Descriptor::new(4, 31)], 0);
+        assert!(
+            !v.contains(8),
+            "clamped entry failed to age out: {:?}",
+            v.entries()
+        );
     }
 
     #[test]

@@ -56,9 +56,15 @@ use epidemic_topology::Graph;
 pub enum MembershipModel {
     /// Simulate NEWSCAST membership event by event: per-node partial
     /// views, view exchanges through the same delay/loss model as
-    /// aggregation traffic, peers drawn from the local view.
+    /// aggregation traffic, peers drawn from the local view. Exchanges
+    /// ship *delta* views — only the descriptors the partner has not
+    /// seen — with a periodic full-view anti-entropy fallback.
     #[default]
     Gossip,
+    /// Like [`MembershipModel::Gossip`] but every exchange ships the
+    /// full view, as the protocol did before delta gossip. Kept for
+    /// bandwidth ablations against the delta model.
+    FullViews,
     /// Idealize membership as uniform sampling over the global live set —
     /// the "sufficiently random" overlay NEWSCAST maintains, with the
     /// maintenance cost and staleness effects abstracted away. Kept for
@@ -140,9 +146,11 @@ pub struct EventOutcome {
     /// only; the cost the idealized model hides).
     pub view_messages_sent: usize,
     /// Wire bytes of the transmitted view exchanges, priced by the real
-    /// codec ([`epidemic_net::codec::view_message_len`]): each message
-    /// carries the sender's view plus a fresh self-descriptor, so a
-    /// `c`-descriptor view costs `view_message_len(c + 1)` per direction.
+    /// codec ([`epidemic_net::codec::view_message_len`]): a full view
+    /// carries the sender's `c` descriptors plus a fresh self-descriptor
+    /// (`view_message_len(c + 1)` per direction); a delta
+    /// ([`MembershipModel::Gossip`]) carries only the descriptors the
+    /// partner has not seen, and is priced accordingly.
     pub view_bytes_sent: usize,
     /// Membership view-exchange messages dropped by the loss model.
     pub view_messages_lost: usize,
@@ -208,10 +216,13 @@ enum EventKind {
     /// Poll node `i`'s membership timer (gossiped NEWSCAST only).
     WakeView(u32),
     /// Deliver a membership view exchange to node `to`. `reply` marks the
-    /// passive side's answer (absorbed without a response).
+    /// passive side's answer (absorbed without a response); `full` marks a
+    /// complete view rather than a delta (the wire tag's full-vs-delta
+    /// bit).
     DeliverView {
         to: u32,
         reply: bool,
+        full: bool,
         payload: ViewPayload,
     },
 }
@@ -339,11 +350,15 @@ impl EventSim {
                 kind.generate(n, &mut rng)
                     .expect("invalid topology parameters"),
             ),
-            (OverlaySpec::Newscast { c }, MembershipModel::Gossip) => {
+            (OverlaySpec::Newscast { c }, model) => {
                 assert!(c >= 1 && c < n, "view size must satisfy 1 <= c < n");
                 let mcfg = MembershipConfig {
                     view_size: c,
                     cycle_length: config.node.cycle_length(),
+                    delta_views: matches!(model, MembershipModel::Gossip),
+                    // The sim hosts every node in one process: track the
+                    // whole partner universe so deltas stay deltas.
+                    knowledge_peers: n,
                 };
                 membership_config = Some(mcfg);
                 let mut members: Vec<MembershipNode> = (0..n)
@@ -595,9 +610,12 @@ impl EventSim {
     /// model as aggregation traffic. A lost request kills the whole
     /// exchange; a lost reply leaves only the passive side updated —
     /// harmless for membership, since views carry no conserved mass.
-    fn transmit_view(&mut self, at: u64, to: u32, payload: ViewPayload, reply: bool) {
+    fn transmit_view(&mut self, at: u64, to: u32, payload: ViewPayload, reply: bool, full: bool) {
         self.view_messages_sent += 1;
         // Sender-side accounting: lost messages still cost uplink bytes.
+        // Full and delta messages share one wire layout, so the codec
+        // prices both by descriptor count — deltas are cheaper exactly
+        // because they carry fewer descriptors.
         self.view_bytes_sent += epidemic_net::codec::view_message_len(payload.descriptors.len());
         if !reply && self.link_failure > 0.0 && self.view_rng.next_bool(self.link_failure) {
             self.view_messages_lost += 1;
@@ -608,7 +626,15 @@ impl EventSim {
             return;
         }
         let delay = self.view_rng.range_u64(self.delay.0, self.delay.1);
-        self.push(at + delay, EventKind::DeliverView { to, reply, payload });
+        self.push(
+            at + delay,
+            EventKind::DeliverView {
+                to,
+                reply,
+                full,
+                payload,
+            },
+        );
     }
 
     /// Drives the event loop to `duration` and harvests the outcome.
@@ -630,17 +656,22 @@ impl EventSim {
                         let EventOverlay::Newscast { members } = &mut self.overlay else {
                             unreachable!("WakeView scheduled without a gossiped overlay");
                         };
-                        let out = members[i].poll(local_now);
+                        let out = members[i].poll_exchange(local_now);
                         let next = members[i].next_cycle_at();
                         let next_at = self.to_global(next, i).max(at + 1);
                         self.push(next_at, EventKind::WakeView(i as u32));
-                        if let Some((peer, payload)) = out {
-                            self.transmit_view(at, peer, payload, false);
+                        if let Some((peer, payload, full)) = out {
+                            self.transmit_view(at, peer, payload, false, full);
                         }
                     }
                     continue; // stale timer of a crashed node: chain ends
                 }
-                EventKind::DeliverView { to, reply, payload } => {
+                EventKind::DeliverView {
+                    to,
+                    reply,
+                    full,
+                    payload,
+                } => {
                     let to = to as usize;
                     if self.is_alive(to) {
                         let local_now = self.to_local(at, to);
@@ -650,10 +681,11 @@ impl EventSim {
                         if reply {
                             // Active side absorbs the responder's pre-merge
                             // view; the exchange is complete.
-                            members[to].absorb_reply(&payload, local_now);
+                            members[to].absorb_reply_delta(&payload, full, local_now);
                         } else {
-                            let response = members[to].handle_exchange(&payload, local_now);
-                            self.transmit_view(at, payload.from, response, true);
+                            let (response, resp_full) =
+                                members[to].handle_exchange_delta(&payload, full, local_now);
+                            self.transmit_view(at, payload.from, response, true, resp_full);
                         }
                     }
                     continue; // in-flight view exchange to a crashed node
@@ -870,28 +902,66 @@ mod tests {
         let c = 15;
         let mut cfg = base_config();
         cfg.scenario.overlay = OverlaySpec::Newscast { c };
-        let out = cfg.run(5);
-        assert!(out.view_messages_sent > 0);
-        // Every view message carries between 1 (bare self-descriptor) and
-        // c + 1 descriptors; the byte total must price each message inside
-        // those codec bounds.
-        let lo = out.view_messages_sent * epidemic_net::codec::view_message_len(1);
-        let hi = out.view_messages_sent * epidemic_net::codec::view_message_len(c + 1);
+        let bounds = |out: &EventOutcome| {
+            // Every view message carries between 0 (empty delta) and c + 1
+            // descriptors; the byte total must price each message inside
+            // those codec bounds.
+            let lo = out.view_messages_sent * epidemic_net::codec::view_message_len(0);
+            let hi = out.view_messages_sent * epidemic_net::codec::view_message_len(c + 1);
+            assert!(
+                (lo..=hi).contains(&out.view_bytes_sent),
+                "view_bytes_sent {} outside [{lo}, {hi}]",
+                out.view_bytes_sent
+            );
+            hi
+        };
+        let delta = cfg.run(5);
+        assert!(delta.view_messages_sent > 0);
+        bounds(&delta);
+        cfg.membership = MembershipModel::FullViews;
+        let full = cfg.run(5);
+        let full_hi = bounds(&full);
+        // With full views every warm exchange ships the whole view: the
+        // mean message must cost more than half the maximum…
         assert!(
-            (lo..=hi).contains(&out.view_bytes_sent),
-            "view_bytes_sent {} outside [{lo}, {hi}]",
-            out.view_bytes_sent
+            full.view_bytes_sent > full_hi / 2,
+            "full-view traffic suspiciously cheap: {} of max {full_hi}",
+            full.view_bytes_sent
         );
-        // Once views are warm, most exchanges ship full views: the mean
-        // message must cost more than half the maximum.
+        // …while delta gossip ships strictly less per message once
+        // partners know each other's entries.
+        let delta_mean = delta.view_bytes_sent as f64 / delta.view_messages_sent as f64;
+        let full_mean = full.view_bytes_sent as f64 / full.view_messages_sent as f64;
         assert!(
-            out.view_bytes_sent > hi / 2,
-            "view traffic suspiciously cheap: {} of max {hi}",
-            out.view_bytes_sent
+            delta_mean < 0.8 * full_mean,
+            "deltas not cheaper: {delta_mean:.1} vs {full_mean:.1} bytes/message"
         );
         // Idealized membership hides the entire bandwidth cost.
         cfg.membership = MembershipModel::Idealized;
         assert_eq!(cfg.run(5).view_bytes_sent, 0);
+    }
+
+    #[test]
+    fn delta_views_converge_like_full_views() {
+        // Conformance: the delta path must reach the same view health and
+        // aggregation fidelity as full-view gossip — it only saves bytes.
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        let delta = cfg.run(5);
+        cfg.membership = MembershipModel::FullViews;
+        let full = cfg.run(5);
+        let truth = 63.0 / 2.0;
+        for (label, out) in [("delta", &delta), ("full", &full)] {
+            let est = out.mean_epoch_estimate(0).expect("epoch 0 completed");
+            assert!((est - truth).abs() < 1.0, "{label} estimate {est}");
+            let health = out.view_health.as_ref().expect("gossiped membership");
+            assert_eq!(health.views, 64, "{label} lost views");
+            assert!(health.mean_size > 13.0, "{label} views starved: {health:?}");
+            assert_eq!(
+                health.dead_entry_fraction, 0.0,
+                "{label} holds dead entries with no churn"
+            );
+        }
     }
 
     #[test]

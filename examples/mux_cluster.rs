@@ -274,8 +274,9 @@ fn report(label: &str, cluster: &MuxCluster, truth_avg: f64, n: usize) -> Option
 /// `--smoke`: a small 2-shard cluster over loopback in one process; used
 /// by CI to keep the cross-socket sharding path from rotting (combined
 /// with `--readers` / `--io` it smokes the multi-reader socket set and
-/// the portable fallback too). Exits with an error if the shards fail to
-/// converge.
+/// the portable fallback too, and with `--gossip` the cross-shard
+/// join/delta-view/piggyback path). Exits with an error if the shards
+/// fail to converge.
 fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let smoke_args = Args {
         n: 64,
@@ -287,7 +288,7 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         average: args.average,
         seed: args.seed,
         secs: args.secs,
-        gossip: false,
+        gossip: args.gossip,
         smoke: true,
         hosts: Vec::new(),
         shard: None,
@@ -304,13 +305,18 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let shards = [
         MuxCluster::spawn(
             with_io_layout(
-                MuxClusterConfig::sharded(table.clone(), 0, config.clone()),
+                MuxClusterConfig::sharded(table.clone(), 0, config.clone())
+                    .with_directory(directory_spec(smoke_args.gossip)),
                 &smoke_args,
             ),
             |i| (i + 1) as f64,
         )?,
         MuxCluster::spawn(
-            with_io_layout(MuxClusterConfig::sharded(table, 1, config), &smoke_args),
+            with_io_layout(
+                MuxClusterConfig::sharded(table, 1, config)
+                    .with_directory(directory_spec(smoke_args.gossip)),
+                &smoke_args,
+            ),
             |i| (i + 1) as f64,
         )?,
     ];

@@ -540,6 +540,126 @@ fn gossip_directory_mux_converges_without_static_peer_table() {
 }
 
 #[test]
+fn delta_gossip_matches_full_view_gossip_over_the_wire() {
+    // Conformance: the delta view path (tags 8/9 + piggybacked trailers)
+    // must reach the same aggregation fidelity as full-view gossip on the
+    // same seed — while spending strictly fewer membership bytes.
+    let n = 64usize;
+    let gamma = 12u32;
+    let make_config = || {
+        NodeConfig::builder()
+            .gamma(gamma)
+            .cycle_length(40)
+            .timeout(16)
+            .instance(InstanceSpec::AVERAGE)
+            .build()
+            .unwrap()
+    };
+    let truth = (n as f64 - 1.0) / 2.0;
+    let bound = theory_bound(n, gamma, 200.0);
+    let run = |gossip: GossipDirectoryConfig| {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(n, make_config())
+                .with_workers(2)
+                .with_seed(17)
+                .with_directory(DirectorySpec::Gossip(gossip)),
+            |i| i as f64,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(2_200));
+        let reports = cluster.take_all_reports();
+        let totals = cluster.total_datagram_counts();
+        cluster.shutdown();
+        let mut finals = Vec::new();
+        for (id, node_reports) in reports.iter().enumerate() {
+            if let Some(r) = node_reports.iter().rev().find(|r| r.epoch >= 1) {
+                let est = r.scalar(0).unwrap();
+                assert!(
+                    (est - truth).abs() < bound,
+                    "node {id} epoch {} estimate {est} vs {truth} (bound {bound:.3})",
+                    r.epoch
+                );
+                finals.push(est);
+            }
+        }
+        assert!(
+            finals.len() >= n / 2,
+            "only {} of {n} nodes completed a post-bootstrap epoch",
+            finals.len()
+        );
+        totals
+    };
+
+    let base = || GossipDirectoryConfig::new(20, 25).with_introducer_node(0);
+    let delta = run(base());
+    let full = run(base().with_full_views());
+    assert!(delta.membership_bytes_sent > 0 && full.membership_bytes_sent > 0);
+    // Same cadence, same seed: deltas must beat full views per membership
+    // datagram on the wire, not just in the simulator.
+    let per_msg = |t: &epidemic::net::cluster::TrafficCounts| {
+        t.membership_bytes_sent as f64 / t.membership_sent.max(1) as f64
+    };
+    assert!(
+        per_msg(&delta) < per_msg(&full),
+        "delta gossip not cheaper per message: {:.1} vs {:.1} bytes",
+        per_msg(&delta),
+        per_msg(&full)
+    );
+}
+
+#[test]
+fn sharded_gossip_cluster_fans_frames_across_reader_sets() {
+    // Two shards, two reader sockets each, gossiped membership: joins,
+    // view deltas, piggybacked trailers, and aggregation frames all cross
+    // between the shards — and every reader socket of both shards must
+    // see remote traffic (the destination vnode's home socket, not just
+    // the shard's first address).
+    let n = 8usize;
+    let config = NodeConfig::builder()
+        .gamma(8)
+        .cycle_length(30)
+        .timeout(12)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap();
+    let table = PeerTable::loopback_split_readers(n, 2, 2).unwrap();
+    let directory =
+        || DirectorySpec::Gossip(GossipDirectoryConfig::new(6, 20).with_introducer_node(0));
+    let spawn = |shard: usize| {
+        MuxCluster::spawn(
+            MuxClusterConfig::sharded(table.clone(), shard, config.clone())
+                .with_workers(1)
+                .with_readers(2)
+                .with_seed(23)
+                .with_directory(directory()),
+            |i| i as f64,
+        )
+        .unwrap()
+    };
+    let shards = [spawn(0), spawn(1)];
+    std::thread::sleep(Duration::from_millis(1_500));
+    let recvs: Vec<_> = shards.iter().map(|s| s.socket_recv_counts()).collect();
+    let totals = shards[0].total_datagram_counts() + shards[1].total_datagram_counts();
+    for shard in shards {
+        shard.shutdown();
+    }
+    assert!(
+        totals.membership_sent > 0,
+        "membership never crossed shards"
+    );
+    assert!(totals.aggregation_sent > 0);
+    for (s, sockets) in recvs.iter().enumerate() {
+        assert_eq!(sockets.len(), 2, "shard {s} lost a reader socket");
+        for (i, socket) in sockets.iter().enumerate() {
+            assert!(
+                socket.remote_datagrams > 0,
+                "shard {s} socket {i} never saw cross-shard traffic: {recvs:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn node_survives_garbage_datagrams() {
     let config = NodeConfig::builder()
         .gamma(5)
