@@ -262,6 +262,7 @@ pub fn ablation_membership(scale: Scale, seed: u64) -> FigureOutput {
                 drift: 0.02,
                 duration: 30_000,
                 membership,
+                ..EventConfig::default()
             };
             let outcomes = run_many_events(&config, &seeds(seed, reps));
             let errors: Vec<f64> = outcomes

@@ -104,6 +104,16 @@ impl OnlineStats {
         self.max
     }
 
+    /// `max - min`; `0.0` if empty. The drift of a set of estimates that
+    /// should all agree — the telemetry plane's convergence-health gauge.
+    pub fn spread(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -274,6 +284,8 @@ mod tests {
         assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
+        assert_eq!(s.spread(), 7.0);
+        assert_eq!(OnlineStats::new().spread(), 0.0);
     }
 
     #[test]

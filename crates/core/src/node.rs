@@ -27,6 +27,7 @@ use crate::message::{Message, MessageBody};
 use crate::report::EpochReport;
 use epidemic_common::rng::Xoshiro256;
 use epidemic_common::NodeId;
+use epidemic_telemetry::{TraceEvent, TraceKind, TraceRing};
 
 /// A message together with its destination.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +110,11 @@ pub struct GossipNode {
     next_cycle_at: u64,
     pending: Option<Pending>,
     reports: Vec<EpochReport>,
+    /// Protocol event trace (disabled unless the embedding opts in via
+    /// [`GossipNode::set_trace_capacity`]). Events carry only logical
+    /// coordinates, so same-seed runs under different embeddings
+    /// produce identical traces.
+    trace: TraceRing,
 }
 
 impl GossipNode {
@@ -133,6 +139,7 @@ impl GossipNode {
             next_cycle_at: phase,
             pending: None,
             reports: Vec::new(),
+            trace: TraceRing::disabled(),
         };
         node.init_epoch_states();
         node
@@ -168,7 +175,35 @@ impl GossipNode {
             next_cycle_at: next_epoch_at + phase,
             pending: None,
             reports: Vec::new(),
+            trace: TraceRing::disabled(),
         }
+    }
+
+    /// Enables protocol event tracing with a ring of `capacity` events
+    /// (0 disables). See [`TraceRing`].
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Drains the traced protocol events recorded since the last call.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// Records one protocol event at the node's current logical
+    /// coordinates. A disabled ring makes this one branch.
+    fn record(&mut self, kind: TraceKind, peer: Option<NodeId>, detail: u64) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.record(TraceEvent {
+            node: self.id.as_u64(),
+            kind,
+            epoch: self.epoch,
+            cycle: u64::from(self.cycles_run),
+            peer: peer.map(|p| p.as_u64()),
+            detail,
+        });
     }
 
     /// Node identifier.
@@ -271,6 +306,7 @@ impl GossipNode {
         if let Some(p) = self.pending {
             if p.expires_at <= now {
                 self.pending = None;
+                self.record(TraceKind::ExchangeTimeout, Some(p.peer), 0);
             }
         }
         if let (false, Some(at)) = (self.active, self.activation_at) {
@@ -304,6 +340,7 @@ impl GossipNode {
             epoch: self.epoch,
             expires_at: now + self.config.timeout(),
         });
+        self.record(TraceKind::ExchangeInit, Some(peer), 0);
         Some(Outbound {
             to: peer,
             message: Message::request(self.id, self.epoch, self.states.clone()),
@@ -369,6 +406,7 @@ impl GossipNode {
         }
         let reply = Message::reply(self.id, self.epoch, self.states.clone());
         self.merge_states(remote);
+        self.record(TraceKind::ExchangeComplete, Some(msg.from), 2);
         Some(Outbound {
             to: msg.from,
             message: reply,
@@ -384,6 +422,7 @@ impl GossipNode {
         }
         self.pending = None;
         if msg.epoch > self.epoch {
+            self.record(TraceKind::ExchangeComplete, Some(msg.from), 0);
             self.maybe_jump(msg.epoch);
             return; // states belong to different epochs: no merge
         }
@@ -393,6 +432,9 @@ impl GossipNode {
             && self.states_compatible(remote)
         {
             self.merge_states(remote);
+            self.record(TraceKind::ExchangeComplete, Some(msg.from), 1);
+        } else {
+            self.record(TraceKind::ExchangeComplete, Some(msg.from), 0);
         }
     }
 
@@ -440,6 +482,7 @@ impl GossipNode {
             self.activation_at = None;
             self.init_epoch_states();
         }
+        self.record(TraceKind::EpochTransition, None, 0);
     }
 
     /// Counts one completed cycle; at γ the epoch's states are reported and
@@ -460,6 +503,7 @@ impl GossipNode {
             self.cycles_run = 0;
             self.pending = None;
             self.init_epoch_states();
+            self.record(TraceKind::EpochTransition, None, 1);
         }
     }
 
@@ -893,6 +937,58 @@ mod tests {
             t,
         );
         assert_eq!(a.scalar_estimate(0), before);
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_records_when_enabled() {
+        use epidemic_telemetry::TraceKind;
+        let mut a = GossipNode::founder(NodeId::new(0), config(2), 8.0, 1);
+        let mut b = GossipNode::founder(NodeId::new(1), config(2), 2.0, 2);
+        let mut t = 0;
+        drive_exchange(&mut a, &mut b, &mut t);
+        assert!(a.take_trace().is_empty(), "tracing must be opt-in");
+        a.set_trace_capacity(64);
+        b.set_trace_capacity(64);
+        for _ in 0..4 {
+            drive_exchange(&mut a, &mut b, &mut t);
+        }
+        let trace_a = a.take_trace();
+        let kinds: Vec<TraceKind> = trace_a.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::ExchangeInit));
+        assert!(kinds.contains(&TraceKind::ExchangeComplete));
+        assert!(kinds.contains(&TraceKind::EpochTransition));
+        // Initiator-side completions carry the merged detail and the peer.
+        let complete = trace_a
+            .iter()
+            .find(|e| e.kind == TraceKind::ExchangeComplete)
+            .unwrap();
+        assert_eq!(complete.peer, Some(1));
+        assert_eq!(complete.node, 0);
+        assert!(b
+            .take_trace()
+            .iter()
+            .any(|e| e.kind == TraceKind::ExchangeComplete && e.detail == 2));
+        // Draining empties the ring.
+        assert!(a.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_timeouts() {
+        use epidemic_telemetry::TraceKind;
+        let mut a = GossipNode::founder(NodeId::new(0), config(10), 1.0, 1);
+        a.set_trace_capacity(16);
+        let mut t = 0;
+        loop {
+            t += 1;
+            if a.poll(t, Some(NodeId::new(1))).is_some() {
+                break;
+            }
+        }
+        a.poll(t + 200, None); // no reply ever arrives
+        let trace = a.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.kind == TraceKind::ExchangeTimeout && e.peer == Some(1)));
     }
 
     #[test]

@@ -73,6 +73,15 @@ impl IoBackend {
     pub fn is_batched(self) -> bool {
         self == IoBackend::Batched && cfg!(target_os = "linux")
     }
+
+    /// The backend's name, in the same lowercase form
+    /// [`IoBackend::from_override`] parses — used as a metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoBackend::Batched => "batched",
+            IoBackend::Portable => "portable",
+        }
+    }
 }
 
 /// Reusable receive buffers for one socket: up to [`BATCH`] datagrams per

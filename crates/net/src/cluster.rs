@@ -218,6 +218,14 @@ pub trait Cluster: Sized {
     /// Datagram counts for local node `index`, split by plane.
     fn datagram_counts(&self, index: usize) -> TrafficCounts;
 
+    /// Drains the protocol trace events local node `index` recorded since
+    /// the last call. Empty unless the runtime was configured with
+    /// tracing enabled (see each runtime's config).
+    fn take_trace(&self, index: usize) -> Vec<epidemic_telemetry::TraceEvent> {
+        let _ = index;
+        Vec::new()
+    }
+
     /// Stops every node and waits for the runtime's threads to exit.
     fn shutdown(self);
 

@@ -45,6 +45,7 @@ use epidemic_common::rng::Xoshiro256;
 use epidemic_common::NodeId;
 use epidemic_newscast::node::{MembershipConfig, MembershipNode, ViewPayload};
 use epidemic_newscast::Descriptor;
+use epidemic_telemetry::{TraceEvent, TraceKind, TraceRing, ViewHealth};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::SocketAddr;
@@ -209,7 +210,36 @@ pub trait PeerDirectory: PeerSampler + Send + fmt::Debug {
     fn join_retries(&self) -> u64 {
         0
     }
+
+    /// Enables protocol event tracing on the membership plane (join
+    /// retries, piggyback emissions, view merges). Directories without a
+    /// membership plane ignore it.
+    fn set_trace_capacity(&mut self, capacity: usize) {
+        let _ = capacity;
+    }
+
+    /// Drains the directory's recorded trace events (empty unless tracing
+    /// was enabled via [`PeerDirectory::set_trace_capacity`]).
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// A snapshot of the partial view's health, or `None` for directories
+    /// without a membership plane. Descriptor freshness stands in for
+    /// liveness on the wire: an entry is counted dead when its timestamp
+    /// lags `now` by more than [`STALE_VIEW_CYCLES`] gossip periods.
+    fn view_health(&self, now: u64) -> Option<ViewHealth> {
+        let _ = now;
+        None
+    }
 }
+
+/// How many gossip periods a view descriptor may lag `now` before the
+/// wire-side health snapshot ([`PeerDirectory::view_health`]) counts it as
+/// dead. NEWSCAST refreshes every live node's descriptor once per cycle in
+/// expectation, so a lag of several periods marks a node that stopped
+/// gossiping rather than one that is merely unlucky.
+pub const STALE_VIEW_CYCLES: u64 = 8;
 
 /// `Box<dyn PeerDirectory>` is itself a sampler (stand-in for `dyn`
 /// upcasting, unavailable at this crate's MSRV), so runtimes can pass
@@ -390,6 +420,9 @@ pub struct GossipDirectory {
     /// a dead or partitioned first introducer is routed around instead of
     /// retried forever.
     join_attempts: u64,
+    /// Directory-plane trace ring (join retries, piggyback emissions);
+    /// disabled (capacity 0) unless the embedding opts in.
+    trace: TraceRing,
 }
 
 /// Consecutive join attempts aimed at one introducer before rotating to
@@ -455,6 +488,7 @@ impl GossipDirectory {
             next_join_at: 0,
             join_interval: config.cycle_length.max(1),
             join_attempts: 0,
+            trace: TraceRing::disabled(),
         }
     }
 
@@ -510,6 +544,20 @@ impl GossipDirectory {
             _ => Destination::Node(NodeId::new(u64::from(from))),
         }
     }
+
+    fn record(&mut self, kind: TraceKind, peer: Option<u64>, detail: u64) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.record(TraceEvent {
+            node: u64::from(self.me),
+            kind,
+            epoch: 0,
+            cycle: 0,
+            peer,
+            detail,
+        });
+    }
 }
 
 impl PeerSampler for GossipDirectory {
@@ -547,8 +595,16 @@ impl PeerDirectory for GossipDirectory {
             let backoff = self.join_attempts.min(u64::from(JOIN_BACKOFF_CAP));
             self.join_attempts += 1;
             self.next_join_at = now + (self.join_interval << backoff);
+            let to = self.introducers[pick];
+            if self.join_attempts > 1 {
+                let peer = match to {
+                    Destination::Node(n) => Some(n.as_u64()),
+                    Destination::Addr(_) => None,
+                };
+                self.record(TraceKind::JoinRetry, peer, self.join_attempts - 1);
+            }
             out.push(DirectoryMessage {
-                to: self.introducers[pick],
+                to,
                 payload: DirectoryPayload::Join { from: self.me },
             });
         }
@@ -666,6 +722,11 @@ impl PeerDirectory for GossipDirectory {
         } else {
             Vec::new()
         };
+        self.record(
+            TraceKind::PiggybackEmit,
+            Some(to.as_u64()),
+            descriptors.len() as u64,
+        );
         Some(Piggyback {
             from: self.me,
             descriptors,
@@ -689,6 +750,34 @@ impl PeerDirectory for GossipDirectory {
 
     fn join_retries(&self) -> u64 {
         self.join_attempts.saturating_sub(1)
+    }
+
+    fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+        self.membership.set_trace_capacity(capacity);
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events = self.trace.drain();
+        events.extend(self.membership.take_trace());
+        events
+    }
+
+    fn view_health(&self, now: u64) -> Option<ViewHealth> {
+        let entries = self.membership.view().entries();
+        let stale_bound = (now as u32).saturating_sub(
+            (STALE_VIEW_CYCLES * self.join_interval).min(u64::from(u32::MAX)) as u32,
+        );
+        let dead = entries.iter().filter(|d| d.timestamp < stale_bound).count();
+        Some(ViewHealth {
+            views: 1,
+            mean_size: entries.len() as f64,
+            dead_entry_fraction: if entries.is_empty() {
+                0.0
+            } else {
+                dead as f64 / entries.len() as f64
+            },
+        })
     }
 }
 

@@ -109,3 +109,9 @@ pub use directory::{
 };
 pub use mux::{MuxCluster, MuxClusterConfig, PeerTable, SyscallCounts};
 pub use runtime::{ClusterConfig, NodeHandleConfig, ThreadCluster, UdpNode};
+
+// The telemetry plane's vocabulary, re-exported so operators of this
+// crate need no direct `epidemic-telemetry` dependency.
+pub use epidemic_telemetry::{
+    write_jsonl, write_snapshot, MetricsServer, Registry, TraceEvent, TraceKind, ViewHealth,
+};

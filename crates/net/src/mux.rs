@@ -95,13 +95,15 @@ use crate::codec::{
     piggyback_trailer_len, WirePayload,
 };
 use crate::directory::{
-    Destination, DirectoryMessage, DirectorySpec, GossipDirectory, Introducer, PeerDirectory,
-    StaticDirectory,
+    Destination, DirectoryMessage, DirectoryPayload, DirectorySpec, GossipDirectory, Introducer,
+    PeerDirectory, StaticDirectory,
 };
 use crate::timer::ShardedTimerWheel;
 use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, NodeConfig};
+use epidemic_common::stats::OnlineStats;
 use epidemic_common::NodeId;
+use epidemic_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry, TraceEvent};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -296,6 +298,13 @@ pub struct MuxClusterConfig {
     readers: Option<usize>,
     io: IoBackend,
     directory: DirectorySpec,
+    /// Per-vnode protocol event ring capacity; 0 disables tracing.
+    trace_capacity: usize,
+    /// Address to serve the Prometheus-text `/metrics` endpoint on.
+    metrics_addr: Option<SocketAddr>,
+    /// `false` stubs the whole metrics registry out (disconnected
+    /// handles) — the A/B switch for measuring instrumentation overhead.
+    telemetry: bool,
 }
 
 impl MuxClusterConfig {
@@ -320,6 +329,9 @@ impl MuxClusterConfig {
             readers: None,
             io: IoBackend::auto(),
             directory: DirectorySpec::Static,
+            trace_capacity: 0,
+            metrics_addr: None,
+            telemetry: true,
         }
     }
 
@@ -389,6 +401,31 @@ impl MuxClusterConfig {
         self
     }
 
+    /// Enables protocol event tracing with a bounded ring of `capacity`
+    /// events per vnode (per plane); drain with
+    /// [`MuxCluster::take_trace`]. Default: disabled.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Serves the registry as a Prometheus-text `/metrics` endpoint on
+    /// `addr` for the cluster's lifetime (port 0 picks an ephemeral
+    /// port; read it back via [`MuxCluster::metrics_addr`]).
+    pub fn with_metrics_addr(mut self, addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
+        self
+    }
+
+    /// Stubs out the metrics registry entirely: every counter, gauge,
+    /// and histogram becomes a disconnected no-op handle. This is the
+    /// control leg for measuring instrumentation overhead;
+    /// [`MuxCluster::syscall_counts`] reads zero in this mode.
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry = false;
+        self
+    }
+
     /// Cluster-wide number of virtual nodes.
     pub fn len(&self) -> usize {
         self.n
@@ -430,11 +467,17 @@ enum Work {
 struct WorkQueue {
     items: Mutex<VecDeque<Work>>,
     available: Condvar,
+    /// `worker.queue_depth` — sampled on every push, so a scrape sees
+    /// how far the workers are falling behind the reader/timer threads.
+    depth: Gauge,
 }
 
 impl WorkQueue {
     fn push(&self, work: Work) {
-        self.items.lock().unwrap().push_back(work);
+        let mut items = self.items.lock().unwrap();
+        items.push_back(work);
+        self.depth.set(items.len() as f64);
+        drop(items);
         self.available.notify_one();
     }
 
@@ -488,7 +531,9 @@ impl VNode {
 
 /// Cumulative kernel-boundary crossings of a running cluster — the
 /// denominator of the syscalls-per-datagram metric the batch backends
-/// exist to shrink.
+/// exist to shrink. Backed by the `io.recv_syscalls` / `io.send_syscalls`
+/// registry counters, so both read zero under
+/// [`MuxClusterConfig::without_telemetry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SyscallCounts {
     /// Receive syscalls issued by the reader threads (`recvmmsg` or
@@ -520,13 +565,91 @@ struct Shared {
     timer_inboxes: Vec<Mutex<Vec<(u64, u32)>>>,
     /// Per-local-node traffic accounting.
     traffic: Vec<TrafficCell>,
-    recv_calls: AtomicU64,
-    send_calls: AtomicU64,
+    /// The unified metrics registry every handle below is connected to
+    /// (or [`Registry::disabled`] under `without_telemetry`).
+    registry: Registry,
+    /// `io.recv_syscalls{backend=…}` — reader-thread kernel crossings.
+    recv_calls: Counter,
+    /// `io.send_syscalls{backend=…}` — worker-thread kernel crossings.
+    send_calls: Counter,
+    /// `io.recv_timeouts` — the subset of recv syscalls that returned
+    /// empty-handed (read-timeout wakeups for the stop-flag check).
+    recv_timeouts: Counter,
+    /// `agg.exchanges` — push-pull exchanges initiated by local vnodes.
+    agg_exchanges: Counter,
+    /// `membership.delta_bytes` — wire bytes of delta-encoded view
+    /// frames plus piggybacked membership trailers.
+    delta_bytes: Counter,
+    /// `timer.fire_lag_us` — how late the wheel fired each deadline.
+    fire_lag: Histogram,
+    /// `io.syscalls_per_datagram` — refreshed by the timer thread's
+    /// maintenance tick.
+    syscalls_per_datagram: Gauge,
+    /// `membership.view_mean_size` — sampled round-robin over vnodes.
+    view_mean_size: Gauge,
+    /// `membership.view_dead_fraction` — stale-entry share of the same
+    /// sampled view.
+    view_dead_fraction: Gauge,
+    /// Derives `epoch.variance_reduction_rho` / `epoch.estimate_drift`
+    /// from the epoch reports passing through [`MuxCluster::take_reports`].
+    rho: Mutex<RhoTracker>,
     /// Per-reader-socket datagram arrivals (total, from-remote-shard) —
     /// the observable proof that cross-shard senders fan across the whole
     /// published socket set.
     socket_recvs: Vec<SocketRecvCell>,
     start: Instant,
+}
+
+/// Folds per-epoch estimate snapshots into the paper's convergence
+/// figure: the observed per-cycle variance reduction factor
+/// ρ = (var_E / var_0)^(1/γ) (Eq. (3) run backwards), published as the
+/// `epoch.variance_reduction_rho` gauge next to the theoretical
+/// 1/(2√e) ≈ 0.3033 bound in `epoch.rho_theory`.
+#[derive(Debug)]
+struct RhoTracker {
+    /// Variance of the spawn-time local values — the var_0 every epoch
+    /// restarts from (each epoch re-seeds estimates from local values).
+    var0: f64,
+    gamma: f64,
+    /// Per-epoch estimate accumulators, pruned to a recent window so a
+    /// long-running cluster holds O(1) state.
+    epochs: Vec<(u64, OnlineStats)>,
+    rho: Gauge,
+    drift: Gauge,
+}
+
+impl RhoTracker {
+    /// Number of recent epochs kept live in the window.
+    const WINDOW: u64 = 4;
+
+    fn observe(&mut self, epoch: u64, estimate: f64) {
+        let stats = match self.epochs.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, s)) => s,
+            None => {
+                self.epochs.push((epoch, OnlineStats::new()));
+                &mut self.epochs.last_mut().unwrap().1
+            }
+        };
+        stats.push(estimate);
+        // Publish from the newest epoch with at least two estimates —
+        // a single report has no variance to speak of.
+        if let Some((_, s)) = self
+            .epochs
+            .iter()
+            .filter(|(_, s)| s.count() >= 2)
+            .max_by_key(|(e, _)| *e)
+        {
+            let var_e = s.population_variance();
+            if self.var0 > 0.0 && var_e > 0.0 {
+                self.rho.set((var_e / self.var0).powf(1.0 / self.gamma));
+            }
+            self.drift.set(s.spread());
+        }
+        if let Some(newest) = self.epochs.iter().map(|(e, _)| *e).max() {
+            self.epochs
+                .retain(|(e, _)| *e + RhoTracker::WINDOW > newest);
+        }
+    }
 }
 
 /// Atomic twin of [`SocketRecvCounts`], one per reader socket.
@@ -584,6 +707,9 @@ impl Shared {
 pub struct MuxCluster {
     shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// The `/metrics` HTTP endpoint, when configured; shut down (and its
+    /// thread joined) when the cluster handle drops.
+    metrics: Option<MetricsServer>,
 }
 
 impl MuxCluster {
@@ -607,6 +733,9 @@ impl MuxCluster {
             readers,
             io,
             directory,
+            trace_capacity,
+            metrics_addr,
+            telemetry,
         } = config;
         // Mux membership is id-routed: a join aimed at an address (or at
         // a vnode outside the cluster) could never be framed, and with no
@@ -682,22 +811,49 @@ impl MuxCluster {
             socket.set_read_timeout(Some(Duration::from_millis(20)))?;
             reader_addrs.push(socket.local_addr()?);
         }
+        let registry = if telemetry {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        // Bind the scrape endpoint before the protocol threads start, so
+        // a bind failure leaks nothing.
+        let metrics = match metrics_addr {
+            Some(addr) => Some(MetricsServer::bind(addr, registry.clone())?),
+            None => None,
+        };
+        let mut spawn_stats = OnlineStats::new();
         let nodes: Vec<Mutex<VNode>> = local_range
             .clone()
             .map(|global| {
                 let id = NodeId::new(global as u64);
-                let dir: Box<dyn PeerDirectory> = match &directory {
+                let mut dir: Box<dyn PeerDirectory> = match &directory {
                     DirectorySpec::Static => Box::new(StaticDirectory::id_routed(n, id, seed)),
                     DirectorySpec::Gossip(g) => Box::new(GossipDirectory::id_routed(id, g, seed)),
                 };
+                let value = values(global);
+                spawn_stats.push(value);
+                let mut gossip = GossipNode::founder(id, node_config.clone(), value, seed);
+                if trace_capacity > 0 {
+                    gossip.set_trace_capacity(trace_capacity);
+                    dir.set_trace_capacity(trace_capacity);
+                }
                 Mutex::new(VNode {
-                    gossip: GossipNode::founder(id, node_config.clone(), values(global), seed),
+                    gossip,
                     directory: dir,
                     next_wake: u64::MAX,
                 })
             })
             .collect();
         let local_n = nodes.len();
+        let backend = &[("backend", io.as_str())];
+        registry
+            .gauge("epoch.rho_theory")
+            .set(0.5 / std::f64::consts::E.sqrt());
+        let work = WorkQueue {
+            depth: registry.gauge("worker.queue_depth"),
+            ..WorkQueue::default()
+        };
         let shared = Arc::new(Shared {
             sockets,
             reader_addrs,
@@ -706,11 +862,26 @@ impl MuxCluster {
             base,
             table,
             nodes,
-            work: WorkQueue::default(),
+            work,
             timer_inboxes: (0..readers).map(|_| Mutex::new(Vec::new())).collect(),
             traffic: (0..local_n).map(|_| TrafficCell::default()).collect(),
-            recv_calls: AtomicU64::new(0),
-            send_calls: AtomicU64::new(0),
+            recv_calls: registry.counter_with("io.recv_syscalls", backend),
+            send_calls: registry.counter_with("io.send_syscalls", backend),
+            recv_timeouts: registry.counter("io.recv_timeouts"),
+            agg_exchanges: registry.counter("agg.exchanges"),
+            delta_bytes: registry.counter("membership.delta_bytes"),
+            fire_lag: registry.histogram("timer.fire_lag_us"),
+            syscalls_per_datagram: registry.gauge("io.syscalls_per_datagram"),
+            view_mean_size: registry.gauge("membership.view_mean_size"),
+            view_dead_fraction: registry.gauge("membership.view_dead_fraction"),
+            rho: Mutex::new(RhoTracker {
+                var0: spawn_stats.population_variance(),
+                gamma: f64::from(node_config.gamma()),
+                epochs: Vec::new(),
+                rho: registry.gauge("epoch.variance_reduction_rho"),
+                drift: registry.gauge("epoch.estimate_drift"),
+            }),
+            registry,
             socket_recvs: (0..readers).map(|_| SocketRecvCell::default()).collect(),
             start: Instant::now(),
         });
@@ -758,7 +929,11 @@ impl MuxCluster {
             }
             return Err(e);
         }
-        Ok(MuxCluster { shared, threads })
+        Ok(MuxCluster {
+            shared,
+            threads,
+            metrics,
+        })
     }
 
     /// The shard's advertised socket address (socket 0 of the reader set
@@ -782,9 +957,36 @@ impl MuxCluster {
     /// syscalls-per-datagram figure the batched backend exists to shrink.
     pub fn syscall_counts(&self) -> SyscallCounts {
         SyscallCounts {
-            recv_calls: self.shared.recv_calls.load(Ordering::Relaxed),
-            send_calls: self.shared.send_calls.load(Ordering::Relaxed),
+            recv_calls: self.shared.recv_calls.get(),
+            send_calls: self.shared.send_calls.get(),
         }
+    }
+
+    /// The cluster's metrics registry — scrape it in-process with
+    /// [`Registry::render_prometheus`], or read individual series with
+    /// [`Registry::counter_value`] / [`Registry::gauge_value`].
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// The bound address of the `/metrics` HTTP endpoint, if one was
+    /// configured with [`MuxClusterConfig::with_metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::addr)
+    }
+
+    /// Drains the protocol event trace of local node `index` (both the
+    /// aggregation and the membership plane); empty unless the cluster
+    /// was spawned with [`MuxClusterConfig::with_trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn take_trace(&self, index: usize) -> Vec<TraceEvent> {
+        let mut vnode = self.shared.nodes[index].lock().unwrap();
+        let mut events = vnode.gossip.take_trace();
+        events.extend(vnode.directory.take_trace());
+        events
     }
 
     /// Datagram arrivals per reader socket (indexed like
@@ -831,11 +1033,24 @@ impl MuxCluster {
     ///
     /// Panics if `index` is out of range.
     pub fn take_reports(&self, index: usize) -> Vec<EpochReport> {
-        self.shared.nodes[index]
+        let reports = self.shared.nodes[index]
             .lock()
             .unwrap()
             .gossip
-            .take_reports()
+            .take_reports();
+        // Fold the drained estimates into the convergence-health gauges:
+        // every report is one node's end-of-epoch estimate, so the
+        // cross-node variance of one epoch's reports against the spawn
+        // variance yields the observed per-cycle ρ.
+        if self.shared.registry.is_enabled() && !reports.is_empty() {
+            let mut rho = self.shared.rho.lock().unwrap();
+            for r in &reports {
+                if let Some(est) = r.scalar(0) {
+                    rho.observe(r.epoch, est);
+                }
+            }
+        }
+        reports
     }
 
     /// Updates local node `index`'s local value (takes effect at its next
@@ -907,6 +1122,10 @@ impl Cluster for MuxCluster {
         MuxCluster::datagram_counts(self, index)
     }
 
+    fn take_trace(&self, index: usize) -> Vec<TraceEvent> {
+        MuxCluster::take_trace(self, index)
+    }
+
     fn shutdown(self) {
         MuxCluster::shutdown(self);
     }
@@ -935,7 +1154,7 @@ fn reader_loop(shared: &Shared, reader: usize) {
     while !shared.stop.load(Ordering::Relaxed) {
         match batch.recv(socket, shared.io) {
             Ok(count) => {
-                shared.recv_calls.fetch_add(1, Ordering::Relaxed);
+                shared.recv_calls.inc();
                 let socket_cell = &shared.socket_recvs[reader];
                 for i in 0..count {
                     socket_cell.datagrams.fetch_add(1, Ordering::Relaxed);
@@ -967,7 +1186,8 @@ fn reader_loop(shared: &Shared, reader: usize) {
             Err(ref e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                shared.recv_calls.fetch_add(1, Ordering::Relaxed);
+                shared.recv_calls.inc();
+                shared.recv_timeouts.inc();
                 continue;
             }
             Err(_) => continue,
@@ -980,6 +1200,8 @@ fn reader_loop(shared: &Shared, reader: usize) {
 fn timer_loop(shared: &Shared, cycle_ms: u64) {
     let mut wheel = ShardedTimerWheel::for_cycle(shared.timer_inboxes.len(), cycle_ms.max(1));
     let mut scratch: Vec<(u64, u32)> = Vec::new();
+    let mut ticks = 0u64;
+    let mut health_cursor = 0usize;
     while !shared.stop.load(Ordering::Relaxed) {
         for inbox in &shared.timer_inboxes {
             std::mem::swap(&mut scratch, &mut inbox.lock().unwrap());
@@ -989,10 +1211,56 @@ fn timer_loop(shared: &Shared, cycle_ms: u64) {
                 wheel.schedule(deadline, node);
             }
         }
-        wheel.advance(shared.now_ms(), |node| {
+        let now = shared.now_ms();
+        wheel.advance_entries(now, |deadline, node| {
+            shared.fire_lag.record(now.saturating_sub(deadline) * 1_000);
             shared.work.push(Work::Wake(node));
         });
+        ticks += 1;
+        // The wheel ticks every millisecond; derived gauges only need to
+        // move on scrape timescales, so refresh them every ~quarter
+        // second instead of on every tick.
+        if ticks % 256 == 0 {
+            refresh_derived_gauges(shared, now, &mut health_cursor);
+        }
         std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Recomputes the gauges that are ratios or samples over shared state:
+/// `io.syscalls_per_datagram` from the syscall counters and traffic
+/// cells, and the `membership.view_*` health pair from one vnode's
+/// directory per call (round-robin, skipping vnodes a worker holds
+/// locked — a gauge sample must never stall the protocol path).
+fn refresh_derived_gauges(shared: &Shared, now: u64, health_cursor: &mut usize) {
+    if !shared.registry.is_enabled() {
+        return;
+    }
+    let syscalls = shared.recv_calls.get() + shared.send_calls.get();
+    let datagrams: u64 = shared
+        .traffic
+        .iter()
+        .map(|cell| {
+            let counts = cell.snapshot();
+            counts.sent() + counts.received()
+        })
+        .sum();
+    if datagrams > 0 {
+        shared
+            .syscalls_per_datagram
+            .set(syscalls as f64 / datagrams as f64);
+    }
+    for _ in 0..shared.nodes.len().min(8) {
+        let index = *health_cursor % shared.nodes.len();
+        *health_cursor += 1;
+        let Ok(vnode) = shared.nodes[index].try_lock() else {
+            continue;
+        };
+        if let Some(health) = vnode.directory.view_health(now) {
+            shared.view_mean_size.set(health.mean_size);
+            shared.view_dead_fraction.set(health.dead_entry_fraction);
+        }
+        break;
     }
 }
 
@@ -1075,17 +1343,22 @@ fn step_vnode(
         shared.schedule(deadline, index as u32);
     }
     drop(vnode);
+    if is_wake && outbound.is_some() {
+        shared.agg_exchanges.inc();
+    }
     let batch = &mut pending[shared.socket_of(index)];
     let before = batch.len();
     if let Some(out) = outbound {
         if let Some(target) = shared.dest_addr(out.to.index()) {
             let (frame, kind) = match &piggyback {
-                Some(pb) => (
-                    encode_mux_piggyback_frame(out.to, &out.message, pb),
-                    FrameKind::Piggybacked {
-                        trailer: piggyback_trailer_len(pb) as u32,
-                    },
-                ),
+                Some(pb) => {
+                    let trailer = piggyback_trailer_len(pb) as u32;
+                    shared.delta_bytes.add(u64::from(trailer));
+                    (
+                        encode_mux_piggyback_frame(out.to, &out.message, pb),
+                        FrameKind::Piggybacked { trailer },
+                    )
+                }
                 None => (
                     encode_mux_frame(out.to, &out.message),
                     FrameKind::Aggregation,
@@ -1104,6 +1377,9 @@ fn step_vnode(
             continue;
         };
         let frame = encode_mux_directory_frame(to, &msg.payload);
+        if matches!(msg.payload, DirectoryPayload::View { delta: true, .. }) {
+            shared.delta_bytes.add(frame.len() as u64);
+        }
         batch.push(frame, target, (index as u32, FrameKind::Membership));
     }
     batch.len() - before
@@ -1130,7 +1406,7 @@ fn flush_pending(shared: &Shared, pending: &mut [SendBatch<(u32, FrameKind)>]) {
                 }
             }
         });
-        shared.send_calls.fetch_add(syscalls, Ordering::Relaxed);
+        shared.send_calls.add(syscalls);
     }
 }
 
@@ -1523,6 +1799,91 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_rejected() {
         MuxClusterConfig::new(0, node_config(2, 20));
+    }
+
+    #[test]
+    fn telemetry_registry_observes_running_cluster() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(4, node_config(4, 25))
+                .with_workers(2)
+                .with_trace(64)
+                .with_metrics_addr("127.0.0.1:0".parse().unwrap()),
+            |i| i as f64,
+        )
+        .unwrap();
+        let addr = cluster.metrics_addr().expect("metrics endpoint bound");
+        std::thread::sleep(Duration::from_millis(700));
+        // Draining reports feeds the convergence gauges.
+        let _ = cluster.take_all_reports();
+        let registry = cluster.registry();
+        assert!(registry.is_enabled());
+        assert!(registry.counter_value("agg.exchanges") > 0);
+        assert!(registry.counter_value("io.recv_syscalls") > 0);
+        assert!(registry.counter_value("io.send_syscalls") > 0);
+        let theory = registry.gauge_value("epoch.rho_theory").unwrap();
+        assert!((theory - 0.3033).abs() < 1e-3);
+        // Scrape over real HTTP and check the exposition mentions the
+        // counters by their sanitized names.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        use std::io::{Read, Write};
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("agg_exchanges"), "scrape missing counter");
+        assert!(body.contains("epoch_rho_theory"), "scrape missing gauge");
+        // Tracing was on: at least one vnode logged protocol events.
+        let events: usize = (0..cluster.len())
+            .map(|i| cluster.take_trace(i).len())
+            .sum();
+        assert!(events > 0, "no trace events recorded");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn without_telemetry_stubs_every_series() {
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(2, node_config(4, 25))
+                .with_workers(1)
+                .without_telemetry(),
+            |i| i as f64,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        let reports = cluster.take_all_reports();
+        assert!(!cluster.registry().is_enabled());
+        assert_eq!(cluster.syscall_counts(), SyscallCounts::default());
+        assert_eq!(cluster.registry().counter_value("agg.exchanges"), 0);
+        cluster.shutdown();
+        // The protocol itself must be unaffected by the stub.
+        assert!(reports.iter().any(|r| !r.is_empty()), "no epochs completed");
+    }
+
+    #[test]
+    fn gossip_cluster_moves_delta_bytes_and_view_health() {
+        let spec = DirectorySpec::Gossip(GossipDirectoryConfig::new(8, 20).with_introducer_node(0));
+        let cluster = MuxCluster::spawn(
+            MuxClusterConfig::new(6, node_config(8, 30))
+                .with_workers(2)
+                .with_directory(spec),
+            |i| i as f64,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(1_200));
+        let registry = cluster.registry();
+        assert!(
+            registry.counter_value("membership.delta_bytes") > 0,
+            "no delta/piggyback bytes counted"
+        );
+        assert!(
+            registry
+                .gauge_value("membership.view_mean_size")
+                .unwrap_or(0.0)
+                > 0.0,
+            "view health never sampled"
+        );
+        cluster.shutdown();
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::directory::{
 use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, Message, NodeConfig};
 use epidemic_common::NodeId;
+use epidemic_telemetry::{TraceEvent, ViewHealth};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +46,7 @@ pub struct ClusterConfig {
     node_config: NodeConfig,
     seed: u64,
     directory: DirectorySpec,
+    trace_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -68,12 +70,22 @@ impl ClusterConfig {
             node_config,
             seed: 0xC0FFEE,
             directory: DirectorySpec::Static,
+            trace_capacity: 0,
         }
     }
 
     /// Overrides the randomness seed shared by the cluster.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables protocol event tracing: every node keeps a bounded ring of
+    /// `capacity` structured events per plane (exchanges, timeouts, epoch
+    /// transitions, view merges…), drained via [`UdpNode::take_trace`].
+    /// Capacity 0 (the default) disables tracing entirely.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -192,6 +204,12 @@ struct Shared {
     reports: Mutex<Vec<EpochReport>>,
     local_value: Mutex<Option<f64>>,
     traffic: TrafficCell,
+    /// Trace events drained from the node's rings (empty when tracing is
+    /// disabled).
+    traces: Mutex<Vec<TraceEvent>>,
+    /// Latest membership view-health snapshot (`None` for directories
+    /// without a membership plane).
+    view_health: Mutex<Option<ViewHealth>>,
 }
 
 impl UdpNode {
@@ -218,6 +236,8 @@ impl UdpNode {
             reports: Mutex::new(Vec::new()),
             local_value: Mutex::new(None),
             traffic: TrafficCell::default(),
+            traces: Mutex::new(Vec::new()),
+            view_health: Mutex::new(None),
         });
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -256,6 +276,19 @@ impl UdpNode {
     /// Datagram counts so far, split by protocol plane.
     pub fn datagram_counts(&self) -> TrafficCounts {
         self.shared.traffic.snapshot()
+    }
+
+    /// Drains the protocol trace events recorded since the last call
+    /// (always empty unless the cluster was built with
+    /// [`ClusterConfig::with_trace`]).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.shared.traces.lock().unwrap())
+    }
+
+    /// The latest membership view-health snapshot, or `None` when the
+    /// node runs a static directory.
+    pub fn view_health(&self) -> Option<ViewHealth> {
+        *self.shared.view_health.lock().unwrap()
     }
 
     /// Stops the gossip thread and waits for it to exit.
@@ -352,6 +385,11 @@ fn run_loop(
     shared: Arc<Shared>,
 ) {
     let mut node = GossipNode::founder(id, cluster.node_config.clone(), local_value, cluster.seed);
+    let tracing = cluster.trace_capacity > 0;
+    if tracing {
+        node.set_trace_capacity(cluster.trace_capacity);
+        directory.set_trace_capacity(cluster.trace_capacity);
+    }
     let start = Instant::now();
     let mut buf = [0u8; 64 * 1024];
     let mut dir_out: Vec<DirectoryMessage> = Vec::new();
@@ -439,6 +477,18 @@ fn run_loop(
             shared.reports.lock().unwrap().extend(reports);
         }
 
+        // Publish trace events and the membership health snapshot.
+        if tracing {
+            let mut events = node.take_trace();
+            events.extend(directory.take_trace());
+            if !events.is_empty() {
+                shared.traces.lock().unwrap().extend(events);
+            }
+        }
+        if let Some(health) = directory.view_health(now_ms) {
+            *shared.view_health.lock().unwrap() = Some(health);
+        }
+
         std::thread::sleep(Duration::from_millis(1));
     }
 }
@@ -502,6 +552,10 @@ impl Cluster for ThreadCluster {
 
     fn datagram_counts(&self, index: usize) -> TrafficCounts {
         self.nodes[index].datagram_counts()
+    }
+
+    fn take_trace(&self, index: usize) -> Vec<TraceEvent> {
+        self.nodes[index].take_trace()
     }
 
     fn shutdown(self) {

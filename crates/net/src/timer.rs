@@ -108,12 +108,20 @@ impl TimerWheel {
     /// whose deadline has passed. Entries fire in slot order, not exact
     /// deadline order — within one tick's width, order is unspecified.
     pub fn advance<F: FnMut(u32)>(&mut self, now_ms: u64, mut fire: F) {
+        self.advance_entries(now_ms, |_, token| fire(token));
+    }
+
+    /// Like [`TimerWheel::advance`], but hands `fire` each entry's
+    /// scheduled deadline alongside its token, so embeddings can measure
+    /// fire lag (`now_ms - deadline`) without keeping a deadline table of
+    /// their own.
+    pub fn advance_entries<F: FnMut(u64, u32)>(&mut self, now_ms: u64, mut fire: F) {
         let mut i = 0;
         while i < self.overdue.len() {
             if self.overdue[i].0 <= now_ms {
-                let (_, token) = self.overdue.swap_remove(i);
+                let (deadline, token) = self.overdue.swap_remove(i);
                 self.len -= 1;
-                fire(token);
+                fire(deadline, token);
             } else {
                 i += 1;
             }
@@ -130,9 +138,9 @@ impl TimerWheel {
             let mut i = 0;
             while i < entries.len() {
                 if entries[i].0 <= now_ms {
-                    let (_, token) = entries.swap_remove(i);
+                    let (deadline, token) = entries.swap_remove(i);
                     self.len -= 1;
-                    fire(token);
+                    fire(deadline, token);
                 } else {
                     i += 1;
                 }
@@ -231,6 +239,15 @@ impl ShardedTimerWheel {
         }
     }
 
+    /// Like [`ShardedTimerWheel::advance`], but hands `fire` each entry's
+    /// scheduled deadline alongside its token (see
+    /// [`TimerWheel::advance_entries`]).
+    pub fn advance_entries<F: FnMut(u64, u32)>(&mut self, now_ms: u64, mut fire: F) {
+        for shard in &mut self.shards {
+            shard.advance_entries(now_ms, &mut fire);
+        }
+    }
+
     /// Earliest parked deadline across all shards, or `None` when empty.
     pub fn next_deadline(&self) -> Option<u64> {
         self.shards
@@ -320,6 +337,27 @@ mod tests {
         assert_eq!(wheel.next_deadline(), Some(8));
         assert_eq!(drain(&mut wheel, 7), Vec::<u32>::new(), "fired early");
         assert_eq!(drain(&mut wheel, 8), vec![7]);
+    }
+
+    #[test]
+    fn advance_entries_reports_scheduled_deadlines() {
+        let mut wheel = TimerWheel::new(1, 16);
+        wheel.schedule(5, 1);
+        wheel.schedule(7, 2);
+        wheel.advance(20, |_| {}); // move the cursor past both ticks
+        wheel.schedule(3, 9); // overdue lane
+        let mut fired = Vec::new();
+        wheel.advance_entries(30, |deadline, token| fired.push((deadline, token)));
+        fired.sort_unstable();
+        assert_eq!(fired, vec![(3, 9)]);
+
+        let mut sharded = ShardedTimerWheel::new(3, 1, 16);
+        sharded.schedule(5, 1);
+        sharded.schedule(7, 2);
+        let mut fired = Vec::new();
+        sharded.advance_entries(10, |deadline, token| fired.push((deadline, token)));
+        fired.sort_unstable();
+        assert_eq!(fired, vec![(5, 1), (7, 2)]);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::view::{Descriptor, View};
 use epidemic_common::rng::Xoshiro256;
+use epidemic_telemetry::{TraceEvent, TraceKind, TraceRing};
 
 /// Static parameters of a membership node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,9 @@ pub struct MembershipNode {
     pb_tokens: usize,
     /// When the piggyback budget next refills.
     pb_refill_at: u64,
+    /// Membership event trace (disabled unless the embedding opts in
+    /// via [`MembershipNode::set_trace_capacity`]).
+    trace: TraceRing,
 }
 
 /// The payload of a view exchange: the sender's view entries plus a fresh
@@ -137,7 +141,35 @@ impl MembershipNode {
             pb_cursor: 0,
             pb_tokens: 0,
             pb_refill_at: 0,
+            trace: TraceRing::disabled(),
         }
+    }
+
+    /// Enables membership event tracing with a ring of `capacity`
+    /// events (0 disables).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Drains the traced membership events recorded since the last call.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// Records one membership event. Epoch/cycle have no meaning on the
+    /// membership plane, so they stay zero.
+    fn record(&mut self, kind: TraceKind, peer: u32, detail: u64) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.record(TraceEvent {
+            node: u64::from(self.id),
+            kind,
+            epoch: 0,
+            cycle: 0,
+            peer: Some(u64::from(peer)),
+            detail,
+        });
     }
 
     /// Node identifier.
@@ -200,6 +232,11 @@ impl MembershipNode {
         let reply = self.payload(now);
         self.view
             .merge_clamped(&incoming.descriptors, self.id, self.clamp_bound(now));
+        self.record(
+            TraceKind::ViewMerge,
+            incoming.from,
+            incoming.descriptors.len() as u64,
+        );
         reply
     }
 
@@ -208,6 +245,11 @@ impl MembershipNode {
     pub fn absorb_reply(&mut self, reply: &ViewPayload, now: u64) {
         self.view
             .merge_clamped(&reply.descriptors, self.id, self.clamp_bound(now));
+        self.record(
+            TraceKind::ViewMerge,
+            reply.from,
+            reply.descriptors.len() as u64,
+        );
     }
 
     /// Timer tick of the delta-aware protocol: like
@@ -241,6 +283,11 @@ impl MembershipNode {
         let reply = self.outbound_for(incoming.from, now);
         self.view
             .merge_clamped(&incoming.descriptors, self.id, self.clamp_bound(now));
+        self.record(
+            TraceKind::ViewMerge,
+            incoming.from,
+            incoming.descriptors.len() as u64,
+        );
         reply
     }
 
@@ -250,6 +297,11 @@ impl MembershipNode {
         self.note_received(reply, full);
         self.view
             .merge_clamped(&reply.descriptors, self.id, self.clamp_bound(now));
+        self.record(
+            TraceKind::ViewMerge,
+            reply.from,
+            reply.descriptors.len() as u64,
+        );
     }
 
     /// Picks up to `max` descriptors worth piggybacking on a datagram
@@ -326,6 +378,7 @@ impl MembershipNode {
         note_seen(&mut k.seen, descriptors, bound);
         self.view
             .merge_clamped(descriptors, self.id, self.clamp_bound(now));
+        self.record(TraceKind::ViewMerge, from, descriptors.len() as u64);
     }
 
     /// Drops a peer that failed to answer (timeout eviction; optional

@@ -43,11 +43,14 @@ use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, InstanceSpec, Message, NodeConfig};
 use epidemic_common::rng::Xoshiro256;
 use epidemic_common::sample::NeighborSampling;
+use epidemic_common::stats::OnlineStats;
 use epidemic_common::NodeId;
 use epidemic_newscast::node::{MembershipConfig, MembershipNode, ViewPayload};
 use epidemic_newscast::Descriptor;
+use epidemic_telemetry::{write_snapshot, Counter, Gauge, Registry, TraceEvent};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::path::PathBuf;
 
 use epidemic_topology::Graph;
 
@@ -89,6 +92,24 @@ pub struct EventConfig {
     pub duration: u64,
     /// How `OverlaySpec::Newscast` is simulated (gossiped by default).
     pub membership: MembershipModel,
+    /// Per-node protocol event ring capacity; 0 disables tracing. When
+    /// enabled, the drained events come back in
+    /// [`EventOutcome::traces`].
+    pub trace_capacity: usize,
+    /// Periodic Prometheus-text snapshots of the sim's metrics registry
+    /// (the cycle-driven twin of the wire runtimes' `/metrics`
+    /// endpoint); `None` still populates [`EventOutcome::registry`].
+    pub snapshot: Option<SnapshotSpec>,
+}
+
+/// Where and how often [`EventConfig::snapshot`] writes the registry.
+#[derive(Debug, Clone)]
+pub struct SnapshotSpec {
+    /// Destination file, atomically replaced on every write.
+    pub path: PathBuf,
+    /// Global-tick interval between writes (a final snapshot is always
+    /// written when the run ends).
+    pub every_ticks: u64,
 }
 
 impl Default for EventConfig {
@@ -106,6 +127,8 @@ impl Default for EventConfig {
             drift: 0.0,
             duration: 40_000,
             membership: MembershipModel::Gossip,
+            trace_capacity: 0,
+            snapshot: None,
         }
     }
 }
@@ -159,6 +182,15 @@ pub struct EventOutcome {
     pub view_health: Option<crate::metrics::ViewHealth>,
     /// Nodes alive when the simulation ended.
     pub final_alive: usize,
+    /// Per-node protocol event traces (aggregation plane, then
+    /// membership plane); all empty unless
+    /// [`EventConfig::trace_capacity`] was set.
+    pub traces: Vec<Vec<TraceEvent>>,
+    /// The run's metrics registry: traffic counters plus the derived
+    /// convergence gauges (`epoch.variance_reduction_rho` vs the
+    /// `epoch.rho_theory` bound 1/(2√e), `epoch.estimate_drift`) — the
+    /// same namespace the wire runtimes expose over `/metrics`.
+    pub registry: Registry,
 }
 
 impl EventOutcome {
@@ -309,6 +341,28 @@ pub struct EventSim {
     view_messages_lost: usize,
     epoch_seen: Vec<u64>,
     entries: HashMap<u64, (u64, u64)>,
+
+    trace_capacity: usize,
+    snapshot: Option<SnapshotSpec>,
+    next_snapshot: u64,
+    registry: Registry,
+    /// `agg.exchanges` — push-pull exchanges initiated (request sends).
+    agg_exchanges: Counter,
+    /// `membership.delta_bytes` — wire bytes of delta view exchanges.
+    delta_bytes: Counter,
+    /// `sim.live_nodes` — population size after the failure schedule.
+    live_gauge: Gauge,
+    rho_gauge: Gauge,
+    drift_gauge: Gauge,
+    /// Variance of the initial local values — every epoch's var_0, since
+    /// epochs restart from fresh local values.
+    var0: f64,
+    /// Per-epoch estimate accumulators behind the convergence gauges.
+    rho_epochs: Vec<(u64, OnlineStats)>,
+    /// Epoch reports drained incrementally (at epoch transitions) so the
+    /// gauges move while the run is live; merged with the final drain
+    /// into [`EventOutcome::reports`].
+    collected: Vec<Vec<EpochReport>>,
 }
 
 impl std::fmt::Debug for EventSim {
@@ -377,7 +431,7 @@ impl EventSim {
         };
         let values = scenario.values.materialize(n, &mut rng);
         let joiner_seed = seed ^ 0xE7E7;
-        let nodes: Vec<GossipNode> = (0..n)
+        let mut nodes: Vec<GossipNode> = (0..n)
             .map(|i| {
                 GossipNode::founder(
                     NodeId::new(i as u64),
@@ -387,6 +441,17 @@ impl EventSim {
                 )
             })
             .collect();
+        if config.trace_capacity > 0 {
+            for node in &mut nodes {
+                node.set_trace_capacity(config.trace_capacity);
+            }
+        }
+        let spawn_stats: OnlineStats = values.iter().copied().collect();
+        let registry = Registry::new();
+        registry
+            .gauge("epoch.rho_theory")
+            .set(0.5 / std::f64::consts::E.sqrt());
+        registry.gauge("sim.live_nodes").set(n as f64);
         let drifts: Vec<f64> = (0..n)
             .map(|_| 1.0 + config.drift * (2.0 * rng.next_f64() - 1.0))
             .collect();
@@ -422,7 +487,30 @@ impl EventSim {
             view_messages_lost: 0,
             epoch_seen,
             entries,
+            trace_capacity: config.trace_capacity,
+            next_snapshot: config
+                .snapshot
+                .as_ref()
+                .map_or(u64::MAX, |s| s.every_ticks.max(1)),
+            snapshot: config.snapshot.clone(),
+            agg_exchanges: registry.counter("agg.exchanges"),
+            delta_bytes: registry.counter("membership.delta_bytes"),
+            live_gauge: registry.gauge("sim.live_nodes"),
+            rho_gauge: registry.gauge("epoch.variance_reduction_rho"),
+            drift_gauge: registry.gauge("epoch.estimate_drift"),
+            registry,
+            var0: spawn_stats.population_variance(),
+            rho_epochs: Vec::new(),
+            collected: (0..n).map(|_| Vec::new()).collect(),
         };
+        // The membership plane traces through the same per-node rings.
+        if config.trace_capacity > 0 {
+            if let EventOverlay::Newscast { members } = &mut sim.overlay {
+                for member in members.iter_mut() {
+                    member.set_trace_capacity(config.trace_capacity);
+                }
+            }
+        }
         // Failure schedule ticks at nominal cycle boundaries, starting
         // with cycle 0's failures before anything else happens.
         if !matches!(sim.failure, crate::failure::FailureModel::None) {
@@ -537,6 +625,7 @@ impl EventSim {
         if next_at <= self.duration {
             self.push(next_at, EventKind::FailureTick(k + 1));
         }
+        self.live_gauge.set(self.live.len() as f64);
     }
 
     /// Adds one joiner bootstrapped through `introducer` at global `at`
@@ -552,7 +641,7 @@ impl EventSim {
         let intro_epoch = intro.epoch();
         let remaining = u64::from(self.node_config.gamma().saturating_sub(intro.cycles_run()));
         let next_epoch_global = at + remaining * self.node_config.cycle_length();
-        let node = GossipNode::joiner(
+        let mut node = GossipNode::joiner(
             NodeId::new(idx as u64),
             self.node_config.clone(),
             self.joiner_value,
@@ -560,9 +649,13 @@ impl EventSim {
             intro_epoch,
             self.to_local(next_epoch_global, idx),
         );
+        if self.trace_capacity > 0 {
+            node.set_trace_capacity(self.trace_capacity);
+        }
         let wake_at = self.to_global(node.next_deadline(), idx);
         self.epoch_seen.push(node.epoch());
         self.nodes.push(node);
+        self.collected.push(Vec::new());
         self.live_pos.push(self.live.len());
         self.live.push(idx as u32);
         self.push(wake_at.max(at + 1), EventKind::Wake(idx as u32));
@@ -574,6 +667,9 @@ impl EventSim {
             let view_wake = match &mut self.overlay {
                 EventOverlay::Newscast { members } => {
                     let mut member = MembershipNode::new(idx as u32, mcfg, self.membership_seed);
+                    if self.trace_capacity > 0 {
+                        member.set_trace_capacity(self.trace_capacity);
+                    }
                     let snapshot: Vec<Descriptor> = members[introducer].view().entries().to_vec();
                     member.bootstrap(&snapshot);
                     member.add_seed(introducer as u32, local_at);
@@ -594,6 +690,9 @@ impl EventSim {
         self.messages_sent += 1;
         // Link failure drops the whole exchange, i.e. the request.
         let is_request = matches!(message.body, MessageBody::Request(_));
+        if is_request {
+            self.agg_exchanges.inc();
+        }
         if is_request && self.link_failure > 0.0 && self.rng.next_bool(self.link_failure) {
             self.messages_lost += 1;
             return;
@@ -616,7 +715,11 @@ impl EventSim {
         // Full and delta messages share one wire layout, so the codec
         // prices both by descriptor count — deltas are cheaper exactly
         // because they carry fewer descriptors.
-        self.view_bytes_sent += epidemic_net::codec::view_message_len(payload.descriptors.len());
+        let wire_len = epidemic_net::codec::view_message_len(payload.descriptors.len());
+        self.view_bytes_sent += wire_len;
+        if !full {
+            self.delta_bytes.add(wire_len as u64);
+        }
         if !reply && self.link_failure > 0.0 && self.view_rng.next_bool(self.link_failure) {
             self.view_messages_lost += 1;
             return;
@@ -637,12 +740,73 @@ impl EventSim {
         );
     }
 
+    /// Drains `node`'s freshly completed epoch reports into `collected`,
+    /// feeding each estimate into the convergence gauges so they track
+    /// the run live instead of only at the end.
+    fn harvest_reports(&mut self, node: usize) {
+        let fresh = self.nodes[node].take_reports();
+        if fresh.is_empty() {
+            return;
+        }
+        for r in &fresh {
+            if let Some(est) = r.scalar(0) {
+                self.observe_estimate(r.epoch, est);
+            }
+        }
+        self.collected[node].extend(fresh);
+    }
+
+    /// Folds one end-of-epoch estimate into the per-epoch accumulators
+    /// and republishes `epoch.variance_reduction_rho` (observed
+    /// ρ = (var_E / var_0)^(1/γ), to compare against the 1/(2√e) bound
+    /// in `epoch.rho_theory`) and `epoch.estimate_drift`.
+    fn observe_estimate(&mut self, epoch: u64, estimate: f64) {
+        let stats = match self.rho_epochs.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, s)) => s,
+            None => {
+                self.rho_epochs.push((epoch, OnlineStats::new()));
+                &mut self.rho_epochs.last_mut().unwrap().1
+            }
+        };
+        stats.push(estimate);
+        // Publish from the newest epoch with at least two estimates.
+        if let Some((_, s)) = self
+            .rho_epochs
+            .iter()
+            .filter(|(_, s)| s.count() >= 2)
+            .max_by_key(|(e, _)| *e)
+        {
+            let var_e = s.population_variance();
+            if self.var0 > 0.0 && var_e > 0.0 {
+                self.rho_gauge
+                    .set((var_e / self.var0).powf(1.0 / f64::from(self.node_config.gamma())));
+            }
+            self.drift_gauge.set(s.spread());
+        }
+        // Keep only a recent epoch window so long runs hold O(1) state.
+        if let Some(newest) = self.rho_epochs.iter().map(|(e, _)| *e).max() {
+            self.rho_epochs.retain(|(e, _)| *e + 4 > newest);
+        }
+    }
+
     /// Drives the event loop to `duration` and harvests the outcome.
     pub fn run(mut self) -> EventOutcome {
         while let Some(event) = self.queue.pop() {
             let at = event.at;
             if at > self.duration {
                 break;
+            }
+            // Periodic registry snapshot (next_snapshot is u64::MAX when
+            // no snapshot sink is configured).
+            while self.next_snapshot <= at {
+                if let Some(spec) = &self.snapshot {
+                    let _ = write_snapshot(&spec.path, &self.registry);
+                }
+                self.next_snapshot = self.next_snapshot.saturating_add(
+                    self.snapshot
+                        .as_ref()
+                        .map_or(u64::MAX, |s| s.every_ticks.max(1)),
+                );
             }
             let (node_idx, outbound) = match event.kind {
                 EventKind::FailureTick(k) => {
@@ -720,6 +884,9 @@ impl EventSim {
                 let entry = self.entries.entry(epoch_now).or_insert((at, at));
                 entry.0 = entry.0.min(at);
                 entry.1 = entry.1.max(at);
+                // A transition means the previous epoch's report just
+                // landed: fold it into the convergence gauges now.
+                self.harvest_reports(node_idx);
             }
             // Reschedule this node at its next deadline.
             let next = self.to_global(self.nodes[node_idx].next_deadline(), node_idx);
@@ -733,6 +900,34 @@ impl EventSim {
             )),
             _ => None,
         };
+        if let Some(health) = &view_health {
+            self.registry
+                .gauge("membership.view_mean_size")
+                .set(health.mean_size);
+            self.registry
+                .gauge("membership.view_dead_fraction")
+                .set(health.dead_entry_fraction);
+        }
+        // Drain the tail: reports whose epochs were still open at the end
+        // plus everything after the last observed transition.
+        for i in 0..self.nodes.len() {
+            self.harvest_reports(i);
+        }
+        self.live_gauge.set(self.live.len() as f64);
+        let traces: Vec<Vec<TraceEvent>> = (0..self.nodes.len())
+            .map(|i| {
+                let mut events = self.nodes[i].take_trace();
+                if let EventOverlay::Newscast { members } = &mut self.overlay {
+                    events.extend(members[i].take_trace());
+                }
+                events
+            })
+            .collect();
+        // Final snapshot so a configured sink always ends with the
+        // completed run's gauges.
+        if let Some(spec) = &self.snapshot {
+            let _ = write_snapshot(&spec.path, &self.registry);
+        }
         let mut epoch_entries: Vec<(u64, u64, u64)> = self
             .entries
             .into_iter()
@@ -740,11 +935,7 @@ impl EventSim {
             .collect();
         epoch_entries.sort_unstable();
         EventOutcome {
-            reports: self
-                .nodes
-                .iter_mut()
-                .map(GossipNode::take_reports)
-                .collect(),
+            reports: self.collected,
             epoch_entries,
             messages_sent: self.messages_sent,
             messages_lost: self.messages_lost,
@@ -753,6 +944,8 @@ impl EventSim {
             view_messages_lost: self.view_messages_lost,
             view_health,
             final_alive: self.live.len(),
+            traces,
+            registry: self.registry,
         }
     }
 }
@@ -786,6 +979,8 @@ mod tests {
             drift: 0.0,
             duration: 40_000,
             membership: MembershipModel::Gossip,
+            trace_capacity: 0,
+            snapshot: None,
         }
     }
 
@@ -1095,5 +1290,63 @@ mod tests {
         let mut cfg = base_config();
         cfg.delay = (10, 10);
         cfg.run(0);
+    }
+
+    #[test]
+    fn registry_tracks_convergence_and_traffic() {
+        let out = base_config().run(1);
+        assert!(out.registry.counter_value("agg.exchanges") > 0);
+        let rho = out
+            .registry
+            .gauge_value("epoch.variance_reduction_rho")
+            .expect("rho gauge never published");
+        // Observed per-cycle reduction should be in the ballpark of the
+        // theory bound 1/(2√e) ≈ 0.3033 — certainly below 1 (progress)
+        // and above 0 (the gauge guards against exact-zero variance).
+        assert!(rho > 0.0 && rho < 1.0, "implausible rho {rho}");
+        let theory = out.registry.gauge_value("epoch.rho_theory").unwrap();
+        assert!((theory - 0.5 / std::f64::consts::E.sqrt()).abs() < 1e-12);
+        assert!(out.registry.gauge_value("epoch.estimate_drift").is_some());
+        assert_eq!(out.registry.gauge_value("sim.live_nodes"), Some(64.0));
+    }
+
+    #[test]
+    fn tracing_captures_protocol_events_without_changing_the_run() {
+        let mut cfg = base_config();
+        cfg.scenario.overlay = OverlaySpec::Newscast { c: 15 };
+        let plain = cfg.run(5);
+        cfg.trace_capacity = 256;
+        let traced = cfg.run(5);
+        // Tracing is pure observation: the protocol run is identical.
+        assert_eq!(plain.messages_sent, traced.messages_sent);
+        assert_eq!(plain.epoch_entries, traced.epoch_entries);
+        assert!(plain.traces.iter().all(Vec::is_empty));
+        let events: usize = traced.traces.iter().map(Vec::len).sum();
+        assert!(events > 0, "tracing enabled but no events captured");
+        // Both planes show up: aggregation exchanges and view merges.
+        let kinds: std::collections::HashSet<&'static str> = traced
+            .traces
+            .iter()
+            .flatten()
+            .map(|e| e.kind.as_str())
+            .collect();
+        assert!(kinds.contains("exchange_complete"), "kinds: {kinds:?}");
+        assert!(kinds.contains("view_merge"), "kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn snapshot_sink_writes_prometheus_text() {
+        let path =
+            std::env::temp_dir().join(format!("epidemic-sim-snapshot-{}.prom", std::process::id()));
+        let mut cfg = base_config();
+        cfg.snapshot = Some(SnapshotSpec {
+            path: path.clone(),
+            every_ticks: 10_000,
+        });
+        cfg.run(1);
+        let text = std::fs::read_to_string(&path).expect("snapshot file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("agg_exchanges"), "snapshot:\n{text}");
+        assert!(text.contains("epoch_variance_reduction_rho"));
     }
 }

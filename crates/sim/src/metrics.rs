@@ -42,20 +42,10 @@ pub fn exchange_moments(tally: &[u32]) -> (f64, f64) {
     (stats.mean(), stats.variance())
 }
 
-/// Health snapshot of a population of NEWSCAST partial views: how full
-/// they are and how many entries still point at crashed peers (the
-/// self-healing signal of Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ViewHealth {
-    /// Number of views summarized (live nodes).
-    pub views: usize,
-    /// Mean view fill (entries per view).
-    pub mean_size: f64,
-    /// Fraction of descriptors whose target is no longer alive. Decays
-    /// toward zero after a crash wave as fresh descriptors displace the
-    /// stale ones.
-    pub dead_entry_fraction: f64,
-}
+// The [`ViewHealth`] snapshot shape now lives in the telemetry plane so
+// the sim and the wire runtimes report membership health in one
+// vocabulary; re-exported here for existing `crate::metrics` callers.
+pub use epidemic_telemetry::ViewHealth;
 
 /// Summarizes the views of the live population; `is_alive` classifies
 /// descriptor targets. Engine-agnostic: the event engine feeds it per-node

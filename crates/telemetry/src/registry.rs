@@ -1,0 +1,558 @@
+//! Lock-free metrics registry with Prometheus text exposition.
+//!
+//! A [`Registry`] hands out typed handles — [`Counter`], [`Gauge`],
+//! [`Histogram`] — registered under a dotted series name plus optional
+//! `(key, value)` labels. Recording through a handle is wait-free
+//! (`Relaxed` atomic operations only); the registry's `Mutex` is taken
+//! exclusively at registration and when enumerating series for a
+//! snapshot or render. Handles are cheap to clone and share freely
+//! across threads.
+//!
+//! A disabled registry ([`Registry::disabled`]) hands out disconnected
+//! handles whose record operations are a single branch — the stub leg
+//! of the telemetry-overhead A/B benchmark.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// (`[2^(i-1), 2^i)` for `i` in `1..=64`).
+pub const BUCKETS: usize = 65;
+
+/// The log₂ bucket a recorded value lands in: bucket 0 holds exactly 0,
+/// bucket `i ≥ 1` holds `[2^(i-1), 2^i - 1]`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// Monotone event counter. Disconnected (default / from a disabled
+/// registry) handles ignore all updates and read zero.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins floating-point gauge (stored as `f64` bits in an
+/// atomic, so reads never tear).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disconnected or never set).
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` samples (latencies in µs, sizes in
+/// bytes, …). The observation count is derived from the buckets at read
+/// time, so a snapshot's `count` always equals the sum of its buckets —
+/// no torn count/bucket pairs under concurrent recording.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        match &self.core {
+            Some(core) => std::array::from_fn(|i| core.buckets[i].load(Ordering::Relaxed)),
+            None => [0; BUCKETS],
+        }
+    }
+
+    /// Total observations (sum of the buckets).
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+#[derive(Debug)]
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+    kind: Kind,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    series: Mutex<Vec<Series>>,
+}
+
+/// A namespace of metric series. Clones share the same underlying store.
+///
+/// # Examples
+///
+/// ```
+/// use epidemic_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let exchanges = registry.counter("agg.exchanges");
+/// exchanges.add(3);
+/// assert_eq!(registry.counter_value("agg.exchanges"), 3);
+/// assert!(registry.render_prometheus().contains("agg_exchanges 3"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: every handle it hands out is disconnected
+    /// and records nothing (one branch per operation). This is the stub
+    /// leg of the overhead benchmark.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or retrieves) the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or retrieves) the counter `name` with `labels`.
+    /// Repeated registration of the same `(name, labels)` returns a
+    /// handle to the same cell.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let cell = self.register(
+            name,
+            labels,
+            |kind| match kind {
+                Some(Kind::Counter(c)) => Some(Arc::clone(c)),
+                Some(_) => None,
+                None => Some(Arc::new(AtomicU64::new(0))),
+            },
+            Kind::Counter,
+        );
+        Counter { cell }
+    }
+
+    /// Registers (or retrieves) the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or retrieves) the gauge `name` with `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let cell = self.register(
+            name,
+            labels,
+            |kind| match kind {
+                Some(Kind::Gauge(c)) => Some(Arc::clone(c)),
+                Some(_) => None,
+                None => Some(Arc::new(AtomicU64::new(0))),
+            },
+            Kind::Gauge,
+        );
+        Gauge { cell }
+    }
+
+    /// Registers (or retrieves) the unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Registers (or retrieves) the histogram `name` with `labels`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let core = self.register(
+            name,
+            labels,
+            |kind| match kind {
+                Some(Kind::Histogram(c)) => Some(Arc::clone(c)),
+                Some(_) => None,
+                None => Some(Arc::new(HistogramCore::new())),
+            },
+            Kind::Histogram,
+        );
+        Histogram { core }
+    }
+
+    /// Looks up or creates a series cell. Returns `None` (a disconnected
+    /// handle) when the registry is disabled or `name` already exists
+    /// with a different metric kind.
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        reuse_or_new: impl Fn(Option<&Kind>) -> Option<Arc<T>>,
+        wrap: impl Fn(Arc<T>) -> Kind,
+    ) -> Option<Arc<T>> {
+        let inner = self.inner.as_ref()?;
+        let mut series = inner.series.lock().unwrap();
+        if let Some(existing) = series
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+        {
+            return reuse_or_new(Some(&existing.kind));
+        }
+        let cell = reuse_or_new(None)?;
+        series.push(Series {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind: wrap(Arc::clone(&cell)),
+        });
+        Some(cell)
+    }
+
+    /// Sum of every counter registered under `name` (across labels);
+    /// 0 when absent. The compatibility accessor the runtimes use to
+    /// keep their legacy count structs' shapes.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let series = inner.series.lock().unwrap();
+        series
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match &s.kind {
+                Kind::Counter(c) => c.load(Ordering::Relaxed),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Value of the first gauge registered under `name`, or `None`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let series = inner.series.lock().unwrap();
+        series.iter().find_map(|s| match (&s.kind, s.name == name) {
+            (Kind::Gauge(c), true) => Some(f64::from_bits(c.load(Ordering::Relaxed))),
+            _ => None,
+        })
+    }
+
+    /// Renders every series as Prometheus text exposition (format
+    /// 0.0.4). Dots and dashes in series names become underscores
+    /// (`agg.exchanges` → `agg_exchanges`); histograms render as
+    /// cumulative `_bucket{le=…}` lines plus `_sum` / `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let Some(inner) = &self.inner else { return out };
+        let series = inner.series.lock().unwrap();
+        let mut order: Vec<usize> = (0..series.len()).collect();
+        order.sort_by(|&a, &b| {
+            (&series[a].name, &series[a].labels).cmp(&(&series[b].name, &series[b].labels))
+        });
+        let mut last_name: Option<&str> = None;
+        for idx in order {
+            let s = &series[idx];
+            let name = sanitize(&s.name);
+            if last_name != Some(s.name.as_str()) {
+                let kind = match s.kind {
+                    Kind::Counter(_) => "counter",
+                    Kind::Gauge(_) => "gauge",
+                    Kind::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_name = Some(s.name.as_str());
+            }
+            match &s.kind {
+                Kind::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(&s.labels, &[]),
+                        c.load(Ordering::Relaxed)
+                    );
+                }
+                Kind::Gauge(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(&s.labels, &[]),
+                        f64::from_bits(c.load(Ordering::Relaxed))
+                    );
+                }
+                Kind::Histogram(core) => {
+                    let counts: Vec<u64> = core
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let top = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in counts.iter().enumerate().take(top + 1) {
+                        cumulative += c;
+                        let le = bucket_bounds(i).1.to_string();
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            render_labels(&s.labels, &[("le", &le)]),
+                        );
+                    }
+                    let total: u64 = counts.iter().sum();
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {total}",
+                        render_labels(&s.labels, &[("le", "+Inf")]),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        render_labels(&s.labels, &[]),
+                        core.sum.load(Ordering::Relaxed)
+                    );
+                    let _ = writeln!(out, "{name}_count{} {total}", render_labels(&s.labels, &[]));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn labels_match(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let registry = Registry::new();
+        let c = registry.counter("agg.exchanges");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same cell.
+        assert_eq!(registry.counter("agg.exchanges").get(), 5);
+        assert_eq!(registry.counter_value("agg.exchanges"), 5);
+        let g = registry.gauge("epoch.variance_reduction_rho");
+        g.set(0.3033);
+        assert_eq!(
+            registry.gauge_value("epoch.variance_reduction_rho"),
+            Some(0.3033)
+        );
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_summed() {
+        let registry = Registry::new();
+        registry
+            .counter_with("io.recv_calls", &[("backend", "batched")])
+            .add(7);
+        registry
+            .counter_with("io.recv_calls", &[("backend", "portable")])
+            .add(2);
+        assert_eq!(registry.counter_value("io.recv_calls"), 9);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("io_recv_calls{backend=\"batched\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("io_recv_calls{backend=\"portable\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let registry = Registry::disabled();
+        let c = registry.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = registry.histogram("y");
+        h.record(3);
+        assert_eq!(h.count(), 0);
+        assert!(registry.render_prometheus().is_empty());
+        assert!(!registry.is_enabled());
+    }
+
+    #[test]
+    fn kind_collision_yields_disconnected_handle() {
+        let registry = Registry::new();
+        registry.counter("same.name").inc();
+        let g = registry.gauge("same.name");
+        g.set(5.0);
+        assert_eq!(g.get(), 0.0, "collision must not alias the counter cell");
+        assert_eq!(registry.counter_value("same.name"), 1);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let registry = Registry::new();
+        let h = registry.histogram("timer.fire_lag_us");
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 7);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("# TYPE timer_fire_lag_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("timer_fire_lag_us_bucket{le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("timer_fire_lag_us_bucket{le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("timer_fire_lag_us_bucket{le=\"3\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("timer_fire_lag_us_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("timer_fire_lag_us_sum 7"), "{text}");
+        assert!(text.contains("timer_fire_lag_us_count 4"), "{text}");
+    }
+}

@@ -33,8 +33,16 @@
 //! # NEWSCAST membership instead of the static table (vnode 0 introduces)
 //! cargo run --release --example mux_cluster -- --gossip
 //!
+//! # serve live metrics while the cluster runs, and dump the protocol
+//! # event trace as JSONL on exit
+//! cargo run --release --example mux_cluster -- \
+//!     --metrics-addr 127.0.0.1:9184 --trace-out /tmp/mux-trace.jsonl
+//! # ...then, from another terminal:
+//! curl -s http://127.0.0.1:9184/metrics
+//!
 //! # CI smoke: a small 2-shard cluster over loopback in one process
-//! # (combines with --readers / --io to smoke those paths)
+//! # (combines with --readers / --io to smoke those paths); the smoke
+//! # run always self-scrapes /metrics and fails on dead telemetry
 //! cargo run --release --example mux_cluster -- --smoke
 //! ```
 
@@ -43,8 +51,14 @@ use epidemic::net::batch::IoBackend;
 use epidemic::net::cluster::Cluster;
 use epidemic::net::directory::{DirectorySpec, GossipDirectoryConfig};
 use epidemic::net::mux::{MuxCluster, MuxClusterConfig, PeerTable};
+use epidemic::net::{write_jsonl, TraceEvent};
+use std::io::{Read, Write};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Per-vnode event-ring capacity when `--trace-out` asks for a trace.
+const TRACE_CAPACITY: usize = 4_096;
 
 #[derive(Debug)]
 struct Args {
@@ -61,6 +75,8 @@ struct Args {
     smoke: bool,
     hosts: Vec<SocketAddr>,
     shard: Option<(usize, usize)>, // (k, m): this process is shard k of m
+    metrics_addr: Option<SocketAddr>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,6 +94,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         hosts: Vec::new(),
         shard: None,
+        metrics_addr: None,
+        trace_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -137,6 +155,14 @@ fn parse_args() -> Result<Args, String> {
                         .push(host.parse().map_err(|e| format!("--hosts {host}: {e}"))?);
                 }
             }
+            "--metrics-addr" => {
+                args.metrics_addr = Some(
+                    value("--metrics-addr")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-addr: {e}"))?,
+                )
+            }
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--shard" => {
                 let spec = value("--shard")?;
                 let (k, m) = spec
@@ -198,6 +224,72 @@ fn with_io_layout(mut config: MuxClusterConfig, args: &Args) -> MuxClusterConfig
         config = config.with_io(io);
     }
     config
+}
+
+/// Applies the telemetry flags: `--metrics-addr` serves Prometheus text
+/// from the cluster's registry, `--trace-out` turns on the per-vnode
+/// protocol event rings (dumped as JSONL on exit by [`dump_trace`]).
+fn with_telemetry_flags(mut config: MuxClusterConfig, args: &Args) -> MuxClusterConfig {
+    if let Some(addr) = args.metrics_addr {
+        config = config.with_metrics_addr(addr);
+    }
+    if args.trace_out.is_some() {
+        config = config.with_trace(TRACE_CAPACITY);
+    }
+    config
+}
+
+/// Drains every local vnode's event ring and appends the events to
+/// `path` as JSONL (one `TraceEvent` object per line).
+fn dump_trace(
+    cluster: &MuxCluster,
+    path: &std::path::Path,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for i in 0..cluster.len() {
+        events.extend(cluster.take_trace(i));
+    }
+    write_jsonl(path, &events)?;
+    Ok(events.len())
+}
+
+/// One-shot `GET /metrics` against a [`MetricsServer`] over a plain TCP
+/// stream; returns the response body (Prometheus text format).
+fn scrape_metrics(addr: SocketAddr) -> Result<String, Box<dyn std::error::Error>> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed /metrics response")?
+        .1;
+    Ok(body.to_string())
+}
+
+/// Value of a series in Prometheus text output, summed across labeled
+/// instances; `None` when the series is absent entirely.
+fn series_value(body: &str, name: &str) -> Option<f64> {
+    let mut found = false;
+    let mut total = 0.0;
+    for line in body.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let series = line.split(['{', ' ']).next().unwrap_or("");
+        if series != name {
+            continue;
+        }
+        if let Some(v) = line.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()) {
+            found = true;
+            total += v;
+        }
+    }
+    found.then_some(total)
 }
 
 fn directory_spec(gossip: bool) -> DirectorySpec {
@@ -275,8 +367,10 @@ fn report(label: &str, cluster: &MuxCluster, truth_avg: f64, n: usize) -> Option
 /// by CI to keep the cross-socket sharding path from rotting (combined
 /// with `--readers` / `--io` it smokes the multi-reader socket set and
 /// the portable fallback too, and with `--gossip` the cross-shard
-/// join/delta-view/piggyback path). Exits with an error if the shards
-/// fail to converge.
+/// join/delta-view/piggyback path). Shard 0 always serves `/metrics` on
+/// an ephemeral loopback port and the run self-scrapes it at the end,
+/// failing if the load-bearing telemetry series are absent or zero.
+/// Exits with an error if the shards fail to converge.
 fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let smoke_args = Args {
         n: 64,
@@ -292,6 +386,11 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         smoke: true,
         hosts: Vec::new(),
         shard: None,
+        metrics_addr: Some(
+            args.metrics_addr
+                .unwrap_or_else(|| "127.0.0.1:0".parse().unwrap()),
+        ),
+        trace_out: args.trace_out.clone(),
     };
     let n = smoke_args.n;
     let truth = (n as f64 + 1.0) / 2.0; // values 1..=n
@@ -304,9 +403,12 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     let shards = [
         MuxCluster::spawn(
-            with_io_layout(
-                MuxClusterConfig::sharded(table.clone(), 0, config.clone())
-                    .with_directory(directory_spec(smoke_args.gossip)),
+            with_telemetry_flags(
+                with_io_layout(
+                    MuxClusterConfig::sharded(table.clone(), 0, config.clone())
+                        .with_directory(directory_spec(smoke_args.gossip)),
+                    &smoke_args,
+                ),
                 &smoke_args,
             ),
             |i| (i + 1) as f64,
@@ -345,6 +447,36 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ok = false;
         }
     }
+
+    // Telemetry self-scrape: the registry must expose live protocol
+    // signal, not just serve an empty page. ρ is fed from the epoch
+    // reports the `report()` calls above just drained.
+    let metrics_addr = shards[0]
+        .metrics_addr()
+        .ok_or("smoke: /metrics not bound")?;
+    let body = scrape_metrics(metrics_addr)?;
+    let mut required = vec!["agg_exchanges", "epoch_variance_reduction_rho"];
+    if smoke_args.gossip {
+        required.push("membership_delta_bytes");
+    }
+    for name in required {
+        match series_value(&body, name) {
+            Some(v) if v > 0.0 => println!("smoke: /metrics {name} = {v:.4}"),
+            Some(_) => {
+                eprintln!("smoke: /metrics series {name} is zero");
+                ok = false;
+            }
+            None => {
+                eprintln!("smoke: /metrics series {name} is absent");
+                ok = false;
+            }
+        }
+    }
+
+    if let Some(path) = &smoke_args.trace_out {
+        let events = dump_trace(&shards[0], path)?;
+        println!("smoke: wrote {events} trace events to {}", path.display());
+    }
     for shard in shards {
         shard.shutdown();
     }
@@ -372,10 +504,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 args.n
             );
             MuxCluster::spawn(
-                with_io_layout(
-                    MuxClusterConfig::new(args.n, config)
-                        .with_seed(args.seed)
-                        .with_directory(directory),
+                with_telemetry_flags(
+                    with_io_layout(
+                        MuxClusterConfig::new(args.n, config)
+                            .with_seed(args.seed)
+                            .with_directory(directory),
+                        &args,
+                    ),
                     &args,
                 ),
                 |i| (i + 1) as f64,
@@ -389,10 +524,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 table.shard_addr(k)
             );
             MuxCluster::spawn(
-                with_io_layout(
-                    MuxClusterConfig::sharded(table, k, config)
-                        .with_seed(args.seed)
-                        .with_directory(directory),
+                with_telemetry_flags(
+                    with_io_layout(
+                        MuxClusterConfig::sharded(table, k, config)
+                            .with_seed(args.seed)
+                            .with_directory(directory),
+                        &args,
+                    ),
                     &args,
                 ),
                 |i| (i + 1) as f64,
@@ -416,8 +554,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
+    if let Some(addr) = cluster.metrics_addr() {
+        println!("serving Prometheus text on http://{addr}/metrics");
+    }
+
     std::thread::sleep(Duration::from_secs(args.secs.max(1)));
     report("cluster", &cluster, truth, args.n);
+    if let Some(path) = &args.trace_out {
+        let events = dump_trace(&cluster, path)?;
+        println!("wrote {events} trace events to {}", path.display());
+    }
     cluster.shutdown();
     Ok(())
 }

@@ -32,6 +32,7 @@ fn run_event(scenario: Scenario, seed: u64) -> EventOutcome {
         drift: 0.01,
         duration: 45_000,
         membership: MembershipModel::Gossip,
+        ..EventConfig::default()
     }
     .run(seed)
 }
@@ -129,6 +130,7 @@ fn event_engine_is_deterministic_under_crash_schedule() {
         drift: 0.02,
         duration: 40_000,
         membership: MembershipModel::Gossip,
+        ..EventConfig::default()
     };
     let a = config.run(11);
     let b = config.run(11);

@@ -9,12 +9,26 @@
 //!
 //! Set `CRITERION_JSON=<path>` to additionally append one JSON object per
 //! benchmark to `<path>` (used to capture `BENCH_baseline.json`).
+//!
+//! Like the real harness, a positional command-line argument filters by
+//! substring match against `group/id`, so
+//! `cargo bench --bench <target> -- <needle>` runs only the matching
+//! benchmarks (flags are ignored).
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// First positional CLI argument, used as a substring filter.
+fn cli_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
 
 /// Re-export point used by `criterion::black_box` callers.
 pub use std::hint::black_box;
@@ -117,6 +131,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if self.skipped(&id.id) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
         self.report(&id.id, &bencher);
@@ -133,6 +150,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        if self.skipped(&id.id) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher, input);
         self.report(&id.id, &bencher);
@@ -141,6 +161,10 @@ impl BenchmarkGroup<'_> {
 
     /// Ends the group (the stand-in reports eagerly, so this is a no-op).
     pub fn finish(&mut self) {}
+
+    fn skipped(&self, id: &str) -> bool {
+        cli_filter().is_some_and(|needle| !format!("{}/{id}", self.name).contains(needle))
+    }
 
     fn report(&self, id: &str, bencher: &Bencher) {
         let ns = bencher.ns_per_iter();
