@@ -1,0 +1,215 @@
+//! End-to-end throughput of the multi-tenant query plane at n = 256.
+//!
+//! A single mux cluster hosts 8 named AVERAGE queries; demand comes from
+//! the deterministic closed-loop generator in `epidemic_bench::demand`
+//! (Zipf popularity over the tenants, Poisson-sized bursts). Two legs
+//! submit the *same* schedule:
+//!
+//! - `seam`: through the in-process `Cluster::submit_query` operator
+//!   seam, round-robining over the vnodes — the cost of the plane
+//!   itself (admission check, value staging) with no wire in the way.
+//! - `wire`: through the UDP RPC listener as a real client — encode,
+//!   send, block for the response, decode. Closed loop: the next submit
+//!   is not issued until the previous response arrived, so this measures
+//!   request round-trip capacity, not how fast a socket can be flooded.
+//!
+//! Each leg also prints (once) the cluster-wide query-plane wire
+//! overhead: query bytes per aggregation byte and per-tenant query
+//! bytes — the cost the catalog gossip + per-query epochs add to the
+//! baseline protocol.
+//!
+//! Results are recorded in BENCH_trajectory.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidemic_aggregation::{AggregateKind, InstanceSpec, NodeConfig};
+use epidemic_bench::demand::{DemandConfig, DemandGenerator};
+use epidemic_net::cluster::Cluster;
+use epidemic_net::codec::{decode_rpc_response, encode_rpc_request};
+use epidemic_net::mux::{MuxCluster, MuxClusterConfig};
+use epidemic_query::{QueryDescriptor, QueryError, QueryPlaneConfig, RpcRequest, RpcStatus};
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+const N: usize = 256;
+const QUERIES: usize = 8;
+/// Submits measured per criterion iteration.
+const BATCH: usize = 256;
+const CYCLE_MS: u64 = 20;
+
+fn tenant_name(rank: usize) -> String {
+    format!("bench.q{rank}")
+}
+
+/// Spawns the cluster, installs the 8 tenants at vnode 0, and blocks
+/// until catalog gossip has delivered the last-installed tenant to the
+/// farthest vnode (so the measured loop never races the rollout).
+fn spawn_query_cluster(seed: u64) -> MuxCluster {
+    let node_config = NodeConfig::builder()
+        .gamma(8)
+        .cycle_length(CYCLE_MS)
+        .timeout(CYCLE_MS / 2)
+        .instance(InstanceSpec::AVERAGE)
+        .build()
+        .unwrap();
+    let cluster = MuxCluster::spawn(
+        MuxClusterConfig::new(N, node_config)
+            .with_workers(4)
+            .with_seed(seed)
+            .with_query_config(QueryPlaneConfig {
+                gossip_period: CYCLE_MS,
+                ..QueryPlaneConfig::default()
+            })
+            .with_rpc_addr("127.0.0.1:0".parse().unwrap()),
+        |i| i as f64,
+    )
+    .expect("spawn cluster");
+    for rank in 0..QUERIES {
+        cluster
+            .install_query(
+                0,
+                QueryDescriptor::new(tenant_name(rank), AggregateKind::Average)
+                    .with_gamma(8)
+                    .with_cycle_length(CYCLE_MS)
+                    .with_default_value(1.0),
+            )
+            .expect("install tenant");
+    }
+    // The measured loop round-robins over every vnode, so block until
+    // catalog gossip has delivered every tenant everywhere.
+    let names: Vec<String> = (0..QUERIES).map(tenant_name).collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'rollout: loop {
+        let mut missing = 0usize;
+        for node in 0..N {
+            for name in &names {
+                if matches!(
+                    cluster.query_estimate(node, name),
+                    Err(QueryError::UnknownQuery)
+                ) {
+                    missing += 1;
+                }
+            }
+        }
+        if missing == 0 {
+            break 'rollout;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tenant rollout stalled: {missing} (node, tenant) pairs still unknown"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cluster
+}
+
+/// Pulls bursts until `BATCH` submits are scheduled; returns
+/// `(query rank, value)` pairs in arrival order.
+fn next_batch(demand: &mut DemandGenerator) -> Vec<(usize, f64)> {
+    let mut batch = Vec::with_capacity(BATCH + 16);
+    while batch.len() < BATCH {
+        let burst = demand.next_burst();
+        for s in 0..burst.size {
+            batch.push((burst.query, (s + 1) as f64));
+        }
+    }
+    batch.truncate(BATCH);
+    batch
+}
+
+fn print_overhead(label: &str, cluster: &MuxCluster) {
+    let totals = cluster.total_datagram_counts();
+    eprintln!(
+        "{label}/{N}: {} query datagrams / {} bytes vs {} aggregation bytes \
+         | query byte overhead {:.3}, {:.1} query B per tenant \
+         | {} rpc requests, {} rejects",
+        totals.query_sent,
+        totals.query_bytes_sent,
+        totals.aggregation_bytes_sent,
+        totals.query_byte_overhead(),
+        totals.query_bytes_sent as f64 / QUERIES as f64,
+        cluster.registry().counter_value("rpc.requests"),
+        totals.rpc_rejects,
+    );
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Leg 1: the operator seam — plane cost with no wire.
+    {
+        let cluster = spawn_query_cluster(1);
+        let mut demand = DemandGenerator::new(
+            DemandConfig {
+                queries: QUERIES,
+                ..DemandConfig::default()
+            },
+            1,
+        );
+        let mut node = 0usize;
+        group.bench_with_input(BenchmarkId::new("seam", N), &N, |b, _| {
+            b.iter(|| {
+                for (rank, value) in next_batch(&mut demand) {
+                    node = (node + 1) % N;
+                    cluster
+                        .submit_query(node, &tenant_name(rank), value)
+                        .expect("seam submit");
+                }
+            });
+        });
+        print_overhead("seam", &cluster);
+        cluster.shutdown();
+    }
+
+    // Leg 2: over the wire, closed loop — one UDP client round-trip per
+    // submit through whichever vnode the listener's round-robin picks.
+    {
+        let cluster = spawn_query_cluster(2);
+        let rpc_addr = cluster.rpc_addr().expect("rpc listener bound");
+        let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+        client
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .expect("set timeout");
+        let mut demand = DemandGenerator::new(
+            DemandConfig {
+                queries: QUERIES,
+                ..DemandConfig::default()
+            },
+            2,
+        );
+        let mut next_id = 0u64;
+        group.bench_with_input(BenchmarkId::new("wire", N), &N, |b, _| {
+            b.iter(|| {
+                for (rank, value) in next_batch(&mut demand) {
+                    next_id += 1;
+                    let frame = encode_rpc_request(&RpcRequest::Submit {
+                        id: next_id,
+                        name: tenant_name(rank),
+                        value,
+                    });
+                    let mut buf = [0u8; 64];
+                    // Closed loop: block for the matching response
+                    // before the next submit (UDP: retry on timeout).
+                    'submit: for _ in 0..10 {
+                        client.send_to(&frame, rpc_addr).expect("send rpc");
+                        while let Ok((len, _)) = client.recv_from(&mut buf) {
+                            let response =
+                                decode_rpc_response(&buf[..len]).expect("decodable response");
+                            if response.id == next_id {
+                                assert_eq!(response.status, RpcStatus::Ok, "wire submit rejected");
+                                break 'submit;
+                            }
+                        }
+                    }
+                }
+            });
+        });
+        print_overhead("wire", &cluster);
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! Closed-loop demand generation for the multi-tenant query plane.
+//!
+//! The `query_throughput` bench needs realistic multi-tenant load: a few
+//! hot queries taking most of the traffic and a long tail of cold ones
+//! (Zipf popularity), with arrivals clumping into bursts rather than a
+//! steady drip (a Poisson process whose arrivals each carry a
+//! Poisson-sized batch of submits). This module generates that schedule
+//! deterministically — same seed, same demand, so A/B runs compare the
+//! runtime and not the workload.
+//!
+//! The generator is *closed-loop* in the usual benchmarking sense: it
+//! produces the next burst only when asked, so a driver that submits a
+//! burst and waits for the responses before pulling the next one never
+//! builds an unbounded backlog. Open-loop replay is the degenerate case
+//! of pulling without waiting.
+
+use epidemic_common::rng::Xoshiro256;
+
+/// Demand-shape knobs for one generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandConfig {
+    /// Number of named queries (tenants) demand is spread over.
+    pub queries: usize,
+    /// Zipf skew exponent `s`: popularity of the rank-`k` query is
+    /// proportional to `1 / k^s`. `0.0` is uniform; `~1.0` is the
+    /// classic web-like skew.
+    pub zipf_s: f64,
+    /// Mean milliseconds between bursts (exponential inter-arrival, so
+    /// arrivals form a Poisson process).
+    pub mean_interarrival_ms: f64,
+    /// Mean submits per burst (Poisson-distributed, minimum 1).
+    pub mean_burst: f64,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig {
+            queries: 8,
+            zipf_s: 1.0,
+            mean_interarrival_ms: 10.0,
+            mean_burst: 4.0,
+        }
+    }
+}
+
+/// One burst of demand: `size` submits against one query, arriving
+/// `gap_ms` after the previous burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Absolute arrival time in ms (sum of the gaps so far).
+    pub at_ms: f64,
+    /// Milliseconds since the previous burst.
+    pub gap_ms: f64,
+    /// Popularity rank of the targeted query: `0` is the hottest.
+    pub query: usize,
+    /// Number of submits in this burst (≥ 1).
+    pub size: usize,
+}
+
+/// Deterministic Zipf-over-Poisson demand schedule.
+#[derive(Debug, Clone)]
+pub struct DemandGenerator {
+    config: DemandConfig,
+    /// Cumulative Zipf distribution over query ranks; last entry is 1.
+    cdf: Vec<f64>,
+    rng: Xoshiro256,
+    clock_ms: f64,
+}
+
+impl DemandGenerator {
+    /// Creates a generator; the whole schedule is a pure function of
+    /// `(config, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries` is zero or a rate/mean knob is not a
+    /// positive finite number.
+    pub fn new(config: DemandConfig, seed: u64) -> Self {
+        assert!(config.queries > 0, "demand needs at least one query");
+        assert!(
+            config.mean_interarrival_ms > 0.0 && config.mean_interarrival_ms.is_finite(),
+            "mean_interarrival_ms must be positive and finite"
+        );
+        assert!(
+            config.mean_burst > 0.0 && config.mean_burst.is_finite(),
+            "mean_burst must be positive and finite"
+        );
+        assert!(
+            config.zipf_s >= 0.0 && config.zipf_s.is_finite(),
+            "zipf_s must be non-negative and finite"
+        );
+        let mut cdf = Vec::with_capacity(config.queries);
+        let mut total = 0.0;
+        for rank in 1..=config.queries {
+            total += 1.0 / (rank as f64).powf(config.zipf_s);
+            cdf.push(total);
+        }
+        for entry in &mut cdf {
+            *entry /= total;
+        }
+        DemandGenerator {
+            config,
+            cdf,
+            rng: Xoshiro256::seed_from_u64(seed),
+            clock_ms: 0.0,
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> &DemandConfig {
+        &self.config
+    }
+
+    /// Draws the next burst and advances the arrival clock.
+    pub fn next_burst(&mut self) -> Burst {
+        let gap_ms = self.next_exponential(self.config.mean_interarrival_ms);
+        self.clock_ms += gap_ms;
+        let query = self.next_zipf_rank();
+        let size = self.next_poisson(self.config.mean_burst).max(1);
+        Burst {
+            at_ms: self.clock_ms,
+            gap_ms,
+            query,
+            size,
+        }
+    }
+
+    /// Zipf-distributed popularity rank in `0..queries` via inverse CDF.
+    fn next_zipf_rank(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+
+    /// Exponential variate with the given mean (inverse transform;
+    /// `1 - u` keeps `ln` away from zero).
+    fn next_exponential(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.rng.next_f64()).ln()
+    }
+
+    /// Poisson variate via Knuth's product-of-uniforms method — fine for
+    /// the single-digit means bursts use.
+    fn next_poisson(&mut self, mean: f64) -> usize {
+        let floor = (-mean).exp();
+        let mut k = 0usize;
+        let mut product = 1.0;
+        loop {
+            product *= self.rng.next_f64();
+            if product <= floor {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(config: DemandConfig, seed: u64, bursts: usize) -> Vec<Burst> {
+        let mut generator = DemandGenerator::new(config, seed);
+        (0..bursts).map(|_| generator.next_burst()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = schedule(DemandConfig::default(), 7, 500);
+        let b = schedule(DemandConfig::default(), 7, 500);
+        assert_eq!(a, b);
+        let c = schedule(DemandConfig::default(), 8, 500);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn zipf_popularity_is_rank_ordered() {
+        let config = DemandConfig {
+            queries: 6,
+            zipf_s: 1.0,
+            ..DemandConfig::default()
+        };
+        let mut hits = vec![0usize; config.queries];
+        for burst in schedule(config, 42, 20_000) {
+            hits[burst.query] += 1;
+        }
+        // Rank k's share is ∝ 1/k: each rank must be strictly hotter
+        // than the next at 20k draws, and rank 0 near its 1/H_6 ≈ 0.41
+        // share.
+        for pair in hits.windows(2) {
+            assert!(pair[0] > pair[1], "popularity not rank-ordered: {hits:?}");
+        }
+        let share = hits[0] as f64 / 20_000.0;
+        assert!((share - 0.41).abs() < 0.03, "hot-query share {share}");
+    }
+
+    #[test]
+    fn uniform_skew_spreads_demand_evenly() {
+        let config = DemandConfig {
+            queries: 4,
+            zipf_s: 0.0,
+            ..DemandConfig::default()
+        };
+        let mut hits = vec![0usize; config.queries];
+        for burst in schedule(config, 3, 20_000) {
+            hits[burst.query] += 1;
+        }
+        for &h in &hits {
+            let share = h as f64 / 20_000.0;
+            assert!(
+                (share - 0.25).abs() < 0.02,
+                "uneven uniform demand: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interarrival_and_burst_means_match_config() {
+        let config = DemandConfig {
+            mean_interarrival_ms: 25.0,
+            mean_burst: 4.0,
+            ..DemandConfig::default()
+        };
+        let bursts = schedule(config, 11, 20_000);
+        let mean_gap = bursts.iter().map(|b| b.gap_ms).sum::<f64>() / bursts.len() as f64;
+        assert!((mean_gap - 25.0).abs() < 1.0, "mean gap {mean_gap}");
+        let mean_size = bursts.iter().map(|b| b.size as f64).sum::<f64>() / bursts.len() as f64;
+        // E[max(Poisson(4), 1)] is a hair above 4.
+        assert!((mean_size - 4.0).abs() < 0.15, "mean burst {mean_size}");
+        assert!(bursts.iter().all(|b| b.size >= 1));
+        // The arrival clock is the running sum of the gaps.
+        let mut clock = 0.0;
+        for burst in &bursts {
+            clock += burst.gap_ms;
+            assert!((burst.at_ms - clock).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn rejects_zero_queries() {
+        DemandGenerator::new(
+            DemandConfig {
+                queries: 0,
+                ..DemandConfig::default()
+            },
+            0,
+        );
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod demand;
 pub mod figures;
 
 use std::fmt::Write as _;

@@ -11,11 +11,14 @@
 //!
 //! Traffic is accounted per node and per plane in [`TrafficCounts`]:
 //! aggregation datagrams (the paper's push-pull exchanges) separately
-//! from membership datagrams (NEWSCAST views, join/introduce bootstrap),
-//! so the overhead of gossiped membership is directly measurable.
+//! from membership datagrams (NEWSCAST views, join/introduce bootstrap)
+//! and from query-plane datagrams (catalog gossip, named-query
+//! exchanges), so the overhead of gossiped membership and of the
+//! multi-tenant query plane are both directly measurable.
 
 use epidemic_aggregation::EpochReport;
 use epidemic_common::NodeId;
+use epidemic_query::{QueryDescriptor, QueryError, QueryEstimate};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::ops::{Add, AddAssign};
@@ -49,10 +52,17 @@ pub struct TrafficCounts {
     pub membership_sent: u64,
     /// Membership-plane datagrams received.
     pub membership_received: u64,
+    /// Query-plane datagrams sent (catalog gossip, named-query
+    /// exchanges).
+    pub query_sent: u64,
+    /// Query-plane datagrams received.
+    pub query_received: u64,
     /// Wire bytes of the aggregation datagrams sent.
     pub aggregation_bytes_sent: u64,
     /// Wire bytes of the membership datagrams sent.
     pub membership_bytes_sent: u64,
+    /// Wire bytes of the query-plane datagrams sent.
+    pub query_bytes_sent: u64,
     /// Datagrams (either plane) the kernel refused to send — the visible
     /// face of outbound backpressure. A send that fails is NOT counted in
     /// the per-plane `*_sent` fields, so at high load loss shows up here
@@ -62,17 +72,22 @@ pub struct TrafficCounts {
     /// (counted inside `membership_sent`). Non-zero means the introducer
     /// path lost datagrams — visible here instead of as a silent hang.
     pub join_retries: u64,
+    /// Client RPCs this node answered with a non-`Ok` status (unknown
+    /// query, admission rejection, conflict, …). Rejections are counted
+    /// here — and surfaced to the caller in the response — never
+    /// silently swallowed.
+    pub rpc_rejects: u64,
 }
 
 impl TrafficCounts {
-    /// Total datagrams sent across both planes.
+    /// Total datagrams sent across all planes.
     pub fn sent(&self) -> u64 {
-        self.aggregation_sent + self.membership_sent
+        self.aggregation_sent + self.membership_sent + self.query_sent
     }
 
-    /// Total datagrams received across both planes.
+    /// Total datagrams received across all planes.
     pub fn received(&self) -> u64 {
-        self.aggregation_received + self.membership_received
+        self.aggregation_received + self.membership_received + self.query_received
     }
 
     /// Membership bytes sent per aggregation byte sent — the wire
@@ -82,6 +97,16 @@ impl TrafficCounts {
             return 0.0;
         }
         self.membership_bytes_sent as f64 / self.aggregation_bytes_sent as f64
+    }
+
+    /// Query-plane bytes sent per aggregation byte sent — the wire
+    /// overhead of the multi-tenant query plane (0 when no query is
+    /// installed).
+    pub fn query_byte_overhead(&self) -> f64 {
+        if self.aggregation_bytes_sent == 0 {
+            return 0.0;
+        }
+        self.query_bytes_sent as f64 / self.aggregation_bytes_sent as f64
     }
 }
 
@@ -100,10 +125,14 @@ impl AddAssign for TrafficCounts {
         self.aggregation_received += rhs.aggregation_received;
         self.membership_sent += rhs.membership_sent;
         self.membership_received += rhs.membership_received;
+        self.query_sent += rhs.query_sent;
+        self.query_received += rhs.query_received;
         self.aggregation_bytes_sent += rhs.aggregation_bytes_sent;
         self.membership_bytes_sent += rhs.membership_bytes_sent;
+        self.query_bytes_sent += rhs.query_bytes_sent;
         self.send_errors += rhs.send_errors;
         self.join_retries += rhs.join_retries;
+        self.rpc_rejects += rhs.rpc_rejects;
     }
 }
 
@@ -115,10 +144,14 @@ pub(crate) struct TrafficCell {
     aggregation_received: AtomicU64,
     membership_sent: AtomicU64,
     membership_received: AtomicU64,
+    query_sent: AtomicU64,
+    query_received: AtomicU64,
     aggregation_bytes_sent: AtomicU64,
     membership_bytes_sent: AtomicU64,
+    query_bytes_sent: AtomicU64,
     send_errors: AtomicU64,
     join_retries: AtomicU64,
+    rpc_rejects: AtomicU64,
 }
 
 impl TrafficCell {
@@ -160,6 +193,22 @@ impl TrafficCell {
         }
     }
 
+    /// Counts one query-plane datagram sent (catalog gossip or a
+    /// named-query exchange frame).
+    pub(crate) fn count_query_sent(&self, bytes: usize) {
+        self.query_sent.fetch_add(1, Ordering::Relaxed);
+        self.query_bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_query_received(&self) {
+        self.query_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rpc_reject(&self) {
+        self.rpc_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn count_send_error(&self) {
         self.send_errors.fetch_add(1, Ordering::Relaxed);
     }
@@ -170,10 +219,14 @@ impl TrafficCell {
             aggregation_received: self.aggregation_received.load(Ordering::Relaxed),
             membership_sent: self.membership_sent.load(Ordering::Relaxed),
             membership_received: self.membership_received.load(Ordering::Relaxed),
+            query_sent: self.query_sent.load(Ordering::Relaxed),
+            query_received: self.query_received.load(Ordering::Relaxed),
             aggregation_bytes_sent: self.aggregation_bytes_sent.load(Ordering::Relaxed),
             membership_bytes_sent: self.membership_bytes_sent.load(Ordering::Relaxed),
+            query_bytes_sent: self.query_bytes_sent.load(Ordering::Relaxed),
             send_errors: self.send_errors.load(Ordering::Relaxed),
             join_retries: self.join_retries.load(Ordering::Relaxed),
+            rpc_rejects: self.rpc_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,6 +279,44 @@ pub trait Cluster: Sized {
         Vec::new()
     }
 
+    /// Installs a named query at local node `index`; catalog gossip
+    /// spreads it to the rest of the cluster epidemically.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidDescriptor`] on a malformed descriptor,
+    /// [`QueryError::Conflict`] when a live query of the same name has a
+    /// different descriptor.
+    fn install_query(&self, index: usize, descriptor: QueryDescriptor) -> Result<(), QueryError>;
+
+    /// Removes (tombstones) a named query at local node `index`; the
+    /// removal spreads like the install did.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownQuery`] when no live query of that name is
+    /// installed at the node yet.
+    fn remove_query(&self, index: usize, name: &str) -> Result<(), QueryError>;
+
+    /// Submits local node `index`'s contribution to a named query,
+    /// subject to the query's admission limits.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownQuery`] when the query is not installed at
+    /// the node, [`QueryError::AdmissionRejected`] when the node's token
+    /// bucket for the query is empty.
+    fn submit_query(&self, index: usize, name: &str, value: f64) -> Result<(), QueryError>;
+
+    /// Reads the named query's current estimate at local node `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownQuery`] when the query is not installed at
+    /// the node, [`QueryError::NotReady`] before the first readable
+    /// state exists.
+    fn query_estimate(&self, index: usize, name: &str) -> Result<QueryEstimate, QueryError>;
+
     /// Stops every node and waits for the runtime's threads to exit.
     fn shutdown(self);
 
@@ -255,28 +346,39 @@ mod tests {
             aggregation_received: 8,
             membership_sent: 2,
             membership_received: 1,
+            query_sent: 4,
+            query_received: 3,
             aggregation_bytes_sent: 1_000,
             membership_bytes_sent: 250,
+            query_bytes_sent: 110,
             send_errors: 1,
             join_retries: 2,
+            rpc_rejects: 1,
         };
         let b = TrafficCounts {
             aggregation_sent: 1,
             aggregation_received: 2,
             membership_sent: 3,
             membership_received: 4,
+            query_sent: 1,
+            query_received: 2,
             aggregation_bytes_sent: 100,
             membership_bytes_sent: 50,
+            query_bytes_sent: 0,
             send_errors: 2,
             join_retries: 1,
+            rpc_rejects: 2,
         };
         let sum = a + b;
-        assert_eq!(sum.sent(), 16);
-        assert_eq!(sum.received(), 15);
+        assert_eq!(sum.sent(), 21);
+        assert_eq!(sum.received(), 20);
         assert_eq!(sum.send_errors, 3);
         assert_eq!(sum.join_retries, 3);
+        assert_eq!(sum.rpc_rejects, 3);
         assert!((sum.membership_byte_overhead() - 300.0 / 1_100.0).abs() < 1e-12);
+        assert!((sum.query_byte_overhead() - 110.0 / 1_100.0).abs() < 1e-12);
         assert_eq!(TrafficCounts::default().membership_byte_overhead(), 0.0);
+        assert_eq!(TrafficCounts::default().query_byte_overhead(), 0.0);
     }
 
     #[test]
@@ -287,6 +389,9 @@ mod tests {
         cell.count_sent(true, 8);
         cell.count_received(false);
         cell.count_received(true);
+        cell.count_query_sent(24);
+        cell.count_query_received();
+        cell.count_rpc_reject();
         cell.count_send_error();
         cell.count_send_error();
         cell.set_join_retries(4);
@@ -295,6 +400,10 @@ mod tests {
         assert_eq!(snap.aggregation_bytes_sent, 100);
         assert_eq!(snap.membership_sent, 1);
         assert_eq!(snap.membership_bytes_sent, 8);
+        assert_eq!(snap.query_sent, 1);
+        assert_eq!(snap.query_bytes_sent, 24);
+        assert_eq!(snap.query_received, 1);
+        assert_eq!(snap.rpc_rejects, 1);
         assert_eq!(snap.aggregation_received, 1);
         assert_eq!(snap.membership_received, 1);
         assert_eq!(snap.send_errors, 2);

@@ -4,11 +4,13 @@
 //! versioned, and deliberately simple:
 //!
 //! ```text
-//! u8  version (=3; 2 is reserved for the mux routing prefix below)
+//! u8  version (=4; 2 is reserved for the mux routing prefix below)
 //! u8  body tag: 0 request, 1 reply, 2 epoch notice, 3 refuse,
 //!               4 view exchange, 5 view reply, 6 join, 7 introduce,
 //!               8 delta view exchange, 9 delta view reply,
-//!               10 piggybacked aggregation
+//!               10 piggybacked aggregation,
+//!               11 catalog gossip, 12 query aggregation,
+//!               13 rpc request, 14 rpc response
 //! -- aggregation bodies (tags 0-3) --
 //! u64 sender id
 //! u64 epoch
@@ -32,6 +34,24 @@
 //! u8 address count, then per entry:
 //!   u32 node, u8 addr kind (4 IPv4, 6 IPv6), ip bytes, u16 port
 //! ... then one complete aggregation message (version + tag 0-3) ...
+//! -- catalog gossip (tag 11) --
+//! u64 sender id
+//! u16 entry count, then per entry:
+//!   descriptor (u8 name len, name bytes, u8 kind code, u32 gamma,
+//!               u64 cycle length, u64 timeout, u64 ttl,
+//!               f64 default value, u32 admission rate, u32 burst)
+//!   u32 entry version, u8 deleted, u64 installed at, u64 expires at
+//! -- query aggregation (tag 12) --
+//! u8 name len, name bytes
+//! ... then one complete aggregation message (version + tag 0-3) ...
+//! -- rpc request (tag 13) --
+//! u64 request id
+//! u8 op (0 install, 1 remove, 2 submit, 3 read)
+//!   install: descriptor (as in tag 11)
+//!   remove/read: u8 name len, name bytes
+//!   submit: u8 name len, name bytes, f64 value
+//! -- rpc response (tag 14) --
+//! u64 request id, u8 status, f64 estimate, u64 epoch
 //! ```
 //!
 //! Delta view messages (tags 8/9) share the full-view body layout; the
@@ -62,14 +82,17 @@ use epidemic_aggregation::{InstanceState, Message, MessageBody};
 use epidemic_common::NodeId;
 use epidemic_newscast::node::ViewPayload;
 use epidemic_newscast::Descriptor;
+use epidemic_query::descriptor::{kind_code, kind_from_code, AdmissionConfig, MAX_NAME_LEN};
+use epidemic_query::{CatalogEntry, QueryDescriptor, RpcRequest, RpcResponse, RpcStatus};
 use std::error::Error;
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 
 /// Wire format version emitted by [`encode_message`]. Version 1 lacked
-/// the delta view and piggyback tags; version 2 is permanently reserved
-/// for the mux routing prefix so the two framings can never be confused.
-pub const WIRE_VERSION: u8 = 3;
+/// the delta view and piggyback tags, version 3 the query plane
+/// (tags 11–14); version 2 is permanently reserved for the mux routing
+/// prefix so the two framings can never be confused.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Wire version of the virtual-node-routed frames emitted by
 /// [`encode_mux_frame`]. Distinct from [`WIRE_VERSION`] so a mux socket
@@ -85,6 +108,8 @@ pub enum DecodeError {
     BadVersion(u8),
     /// Unknown body or state tag.
     BadTag(u8),
+    /// A carried string (query name) was not valid UTF-8.
+    BadName,
 }
 
 impl fmt::Display for DecodeError {
@@ -93,6 +118,7 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "datagram truncated"),
             DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
+            DecodeError::BadName => write!(f, "query name is not valid UTF-8"),
         }
     }
 }
@@ -647,9 +673,342 @@ pub fn piggyback_trailer_len(piggyback: &Piggyback) -> usize {
     len
 }
 
+// ---------------------------------------------------------------------
+// Query plane (tags 11–14)
+// ---------------------------------------------------------------------
+
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    debug_assert!(name.len() <= MAX_NAME_LEN);
+    buf.put_u8(name.len() as u8);
+    buf.extend_from_slice(name.as_bytes());
+}
+
+fn get_name(data: &mut &[u8]) -> Result<String, DecodeError> {
+    if data.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = data.get_u8() as usize;
+    if data.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let (bytes, rest) = data.split_at(len);
+    let name = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadName)?;
+    *data = rest;
+    Ok(name.to_string())
+}
+
+fn put_descriptor(buf: &mut Vec<u8>, d: &QueryDescriptor) {
+    put_name(buf, &d.name);
+    buf.put_u8(kind_code(d.kind));
+    buf.put_u32_le(d.gamma);
+    buf.put_u64_le(d.cycle_length);
+    buf.put_u64_le(d.timeout);
+    buf.put_u64_le(d.ttl_ms);
+    buf.put_f64_le(d.default_value);
+    buf.put_u32_le(d.admission.rate_per_sec);
+    buf.put_u32_le(d.admission.burst);
+}
+
+fn get_descriptor(data: &mut &[u8]) -> Result<QueryDescriptor, DecodeError> {
+    let name = get_name(data)?;
+    if data.remaining() < 1 + 4 + 8 + 8 + 8 + 8 + 4 + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let kind_byte = data.get_u8();
+    let kind = kind_from_code(kind_byte).ok_or(DecodeError::BadTag(kind_byte))?;
+    let mut descriptor = QueryDescriptor::new(name, kind);
+    descriptor.gamma = data.get_u32_le();
+    descriptor.cycle_length = data.get_u64_le();
+    descriptor.timeout = data.get_u64_le();
+    descriptor.ttl_ms = data.get_u64_le();
+    descriptor.default_value = data.get_f64_le();
+    let rate_per_sec = data.get_u32_le();
+    let burst = data.get_u32_le();
+    descriptor.admission = if rate_per_sec == 0 && burst == 0 {
+        AdmissionConfig::UNLIMITED
+    } else {
+        AdmissionConfig::limited(rate_per_sec, burst)
+    };
+    Ok(descriptor)
+}
+
+fn descriptor_len(d: &QueryDescriptor) -> usize {
+    // name len + name + kind + gamma + cycle + timeout + ttl + default
+    // + rate + burst
+    1 + d.name.len() + 1 + 4 + 8 + 8 + 8 + 8 + 4 + 4
+}
+
+/// Encodes a catalog gossip push (tag 11): the sender's full entry list,
+/// tombstones included.
+pub fn encode_catalog_message(from: NodeId, entries: &[CatalogEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(catalog_message_len(entries));
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(11);
+    buf.put_u64_le(from.as_u64());
+    buf.put_u16_le(entries.len() as u16);
+    for entry in entries {
+        put_descriptor(&mut buf, &entry.descriptor);
+        buf.put_u32_le(entry.version);
+        buf.put_u8(u8::from(entry.deleted));
+        buf.put_u64_le(entry.installed_at);
+        buf.put_u64_le(entry.expires_at);
+    }
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_catalog_message`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version or tag, an
+/// unknown aggregate kind, or a malformed query name.
+pub fn decode_catalog_message(mut data: &[u8]) -> Result<(NodeId, Vec<CatalogEntry>), DecodeError> {
+    if data.remaining() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let tag = data.get_u8();
+    if tag != 11 {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let from = NodeId::new(data.get_u64_le());
+    let count = data.get_u16_le() as usize;
+    let mut entries = Vec::with_capacity(count.min(256));
+    for _ in 0..count {
+        let descriptor = get_descriptor(&mut data)?;
+        if data.remaining() < 4 + 1 + 8 + 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let entry_version = data.get_u32_le();
+        let deleted = data.get_u8() != 0;
+        let installed_at = data.get_u64_le();
+        let expires_at = data.get_u64_le();
+        entries.push(CatalogEntry {
+            descriptor,
+            version: entry_version,
+            deleted,
+            installed_at,
+            expires_at,
+        });
+    }
+    Ok((from, entries))
+}
+
+/// Exact encoded size of [`encode_catalog_message`]'s output.
+pub fn catalog_message_len(entries: &[CatalogEntry]) -> usize {
+    // version + tag + sender + entry count
+    let mut len = 1 + 1 + 8 + 2;
+    for entry in entries {
+        // descriptor + version + deleted + installed_at + expires_at
+        len += descriptor_len(&entry.descriptor) + 4 + 1 + 8 + 8;
+    }
+    len
+}
+
+/// Encodes a query-plane aggregation frame (tag 12): the owning query's
+/// name followed by a complete aggregation message, so concurrent named
+/// queries multiplex over one socket without interfering.
+pub fn encode_query_message(query: &str, msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(query_message_len(query, msg));
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(12);
+    put_name(&mut buf, query);
+    buf.extend_from_slice(&encode_message(msg));
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_query_message`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version or tag, a
+/// malformed query name, or when the carried message fails to decode.
+pub fn decode_query_message(mut data: &[u8]) -> Result<(String, Message), DecodeError> {
+    if data.remaining() < 3 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let tag = data.get_u8();
+    if tag != 12 {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let query = get_name(&mut data)?;
+    let message = decode_message(data)?;
+    Ok((query, message))
+}
+
+/// Exact encoded size of [`encode_query_message`]'s output.
+pub fn query_message_len(query: &str, msg: &Message) -> usize {
+    // version + tag + name len + name + carried message
+    1 + 1 + 1 + query.len() + encoded_len(msg)
+}
+
+/// Encodes a client RPC request (tag 13).
+pub fn encode_rpc_request(request: &RpcRequest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(rpc_request_len(request));
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(13);
+    buf.put_u64_le(request.id());
+    buf.put_u8(request.op_code());
+    match request {
+        RpcRequest::Install { descriptor, .. } => put_descriptor(&mut buf, descriptor),
+        RpcRequest::Remove { name, .. } | RpcRequest::Read { name, .. } => put_name(&mut buf, name),
+        RpcRequest::Submit { name, value, .. } => {
+            put_name(&mut buf, name);
+            buf.put_f64_le(*value);
+        }
+    }
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_rpc_request`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version, tag, op,
+/// or aggregate kind, or a malformed query name.
+pub fn decode_rpc_request(mut data: &[u8]) -> Result<RpcRequest, DecodeError> {
+    if data.remaining() < 11 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let tag = data.get_u8();
+    if tag != 13 {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let id = data.get_u64_le();
+    match data.get_u8() {
+        0 => Ok(RpcRequest::Install {
+            id,
+            descriptor: get_descriptor(&mut data)?,
+        }),
+        1 => Ok(RpcRequest::Remove {
+            id,
+            name: get_name(&mut data)?,
+        }),
+        2 => {
+            let name = get_name(&mut data)?;
+            if data.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(RpcRequest::Submit {
+                id,
+                name,
+                value: data.get_f64_le(),
+            })
+        }
+        3 => Ok(RpcRequest::Read {
+            id,
+            name: get_name(&mut data)?,
+        }),
+        op => Err(DecodeError::BadTag(op)),
+    }
+}
+
+/// Exact encoded size of [`encode_rpc_request`]'s output.
+pub fn rpc_request_len(request: &RpcRequest) -> usize {
+    // version + tag + request id + op
+    let header = 1 + 1 + 8 + 1;
+    header
+        + match request {
+            RpcRequest::Install { descriptor, .. } => descriptor_len(descriptor),
+            RpcRequest::Remove { name, .. } | RpcRequest::Read { name, .. } => 1 + name.len(),
+            RpcRequest::Submit { name, .. } => 1 + name.len() + 8,
+        }
+}
+
+/// Encodes a client RPC response (tag 14).
+pub fn encode_rpc_response(response: &RpcResponse) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(rpc_response_len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(14);
+    buf.put_u64_le(response.id);
+    buf.put_u8(response.status as u8);
+    buf.put_f64_le(response.estimate);
+    buf.put_u64_le(response.epoch);
+    buf
+}
+
+/// Decodes a datagram produced by [`encode_rpc_response`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, an unknown version or tag, or
+/// an unknown status code.
+pub fn decode_rpc_response(mut data: &[u8]) -> Result<RpcResponse, DecodeError> {
+    if data.remaining() < rpc_response_len() {
+        return Err(DecodeError::Truncated);
+    }
+    let version = data.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let tag = data.get_u8();
+    if tag != 14 {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let id = data.get_u64_le();
+    let status_byte = data.get_u8();
+    let status = RpcStatus::from_code(status_byte).ok_or(DecodeError::BadTag(status_byte))?;
+    let estimate = data.get_f64_le();
+    let epoch = data.get_u64_le();
+    Ok(RpcResponse {
+        id,
+        status,
+        estimate,
+        epoch,
+    })
+}
+
+/// Exact encoded size of [`encode_rpc_response`]'s output (responses are
+/// fixed-size).
+pub const fn rpc_response_len() -> usize {
+    1 + 1 + 8 + 1 + 8 + 8 // version + tag + id + status + estimate + epoch
+}
+
+/// Wraps an encoded catalog gossip push in a mux routing frame addressed
+/// to the virtual node `to`.
+pub fn encode_mux_catalog_frame(to: NodeId, from: NodeId, entries: &[CatalogEntry]) -> Vec<u8> {
+    mux_wrap(
+        to,
+        &encode_catalog_message(from, entries),
+        mux_catalog_frame_len(entries),
+    )
+}
+
+/// Exact encoded size of [`encode_mux_catalog_frame`]'s output.
+pub fn mux_catalog_frame_len(entries: &[CatalogEntry]) -> usize {
+    1 + 8 + catalog_message_len(entries)
+}
+
+/// Wraps an encoded query aggregation frame in a mux routing frame
+/// addressed to the virtual node `to`.
+pub fn encode_mux_query_frame(to: NodeId, query: &str, msg: &Message) -> Vec<u8> {
+    mux_wrap(
+        to,
+        &encode_query_message(query, msg),
+        mux_query_frame_len(query, msg),
+    )
+}
+
+/// Exact encoded size of [`encode_mux_query_frame`]'s output.
+pub fn mux_query_frame_len(query: &str, msg: &Message) -> usize {
+    1 + 8 + query_message_len(query, msg)
+}
+
 /// Any decodable datagram body: an aggregation-plane [`Message`]
-/// (tags 0–3), a membership-plane [`DirectoryPayload`] (tags 4–9), or an
-/// aggregation message with a piggybacked membership trailer (tag 10).
+/// (tags 0–3), a membership-plane [`DirectoryPayload`] (tags 4–9), an
+/// aggregation message with a piggybacked membership trailer (tag 10), or
+/// query-plane traffic (tags 11–14).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WirePayload {
     /// Aggregation protocol traffic.
@@ -658,9 +1017,28 @@ pub enum WirePayload {
     Directory(DirectoryPayload),
     /// Aggregation traffic with a membership trailer riding along.
     Piggybacked(Message, Piggyback),
+    /// Query catalog gossip (tag 11).
+    Catalog {
+        /// Sending node.
+        from: NodeId,
+        /// The sender's full entry list, tombstones included.
+        entries: Vec<CatalogEntry>,
+    },
+    /// A named query's aggregation frame (tag 12).
+    Query {
+        /// Owning query.
+        query: String,
+        /// The carried aggregation message.
+        message: Message,
+    },
+    /// A client RPC request (tag 13).
+    Rpc(RpcRequest),
+    /// A client RPC response (tag 14).
+    RpcReply(RpcResponse),
 }
 
-/// Decodes any datagram, routing by plane (tags 0–3 vs 4–9 vs 10).
+/// Decodes any datagram, routing by plane (tags 0–3 vs 4–9 vs 10 vs
+/// 11–14).
 ///
 /// # Errors
 ///
@@ -680,6 +1058,16 @@ pub fn decode_datagram(data: &[u8]) -> Result<WirePayload, DecodeError> {
             let (message, piggyback) = decode_piggyback_message(data)?;
             Ok(WirePayload::Piggybacked(message, piggyback))
         }
+        11 => {
+            let (from, entries) = decode_catalog_message(data)?;
+            Ok(WirePayload::Catalog { from, entries })
+        }
+        12 => {
+            let (query, message) = decode_query_message(data)?;
+            Ok(WirePayload::Query { query, message })
+        }
+        13 => Ok(WirePayload::Rpc(decode_rpc_request(data)?)),
+        14 => Ok(WirePayload::RpcReply(decode_rpc_response(data)?)),
         t => Err(DecodeError::BadTag(t)),
     }
 }
@@ -1107,13 +1495,222 @@ mod tests {
             Ok(WirePayload::Piggybacked(inner, pb))
         );
         assert_eq!(
-            decode_datagram(&[WIRE_VERSION, 11, 0, 0]),
-            Err(DecodeError::BadTag(11))
+            decode_datagram(&[WIRE_VERSION, 99, 0, 0]),
+            Err(DecodeError::BadTag(99))
         );
         assert_eq!(
             decode_datagram(&[77, 0, 0, 0]),
             Err(DecodeError::BadVersion(77))
         );
+    }
+
+    fn sample_descriptor(name: &str) -> QueryDescriptor {
+        use epidemic_aggregation::AggregateKind;
+        QueryDescriptor::new(name, AggregateKind::Variance)
+            .with_gamma(12)
+            .with_cycle_length(750)
+            .with_ttl_ms(90_000)
+            .with_default_value(-2.5)
+            .with_admission(AdmissionConfig::limited(100, 25))
+    }
+
+    fn sample_entries() -> Vec<CatalogEntry> {
+        use epidemic_aggregation::AggregateKind;
+        vec![
+            CatalogEntry {
+                descriptor: sample_descriptor("load.p99"),
+                version: 3,
+                deleted: false,
+                installed_at: 12_345,
+                expires_at: 102_345,
+            },
+            CatalogEntry {
+                descriptor: QueryDescriptor::new("gone", AggregateKind::Count),
+                version: 9,
+                deleted: true,
+                installed_at: 0,
+                expires_at: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_catalog_messages() {
+        for entries in [vec![], sample_entries()] {
+            let encoded = encode_catalog_message(NodeId::new(42), &entries);
+            assert_eq!(encoded.len(), catalog_message_len(&entries));
+            let (from, decoded) = decode_catalog_message(&encoded).expect("decode");
+            assert_eq!(from, NodeId::new(42));
+            assert_eq!(decoded, entries);
+            assert_eq!(
+                decode_datagram(&encoded),
+                Ok(WirePayload::Catalog {
+                    from: NodeId::new(42),
+                    entries,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_decode_rejects_corruption() {
+        let entries = sample_entries();
+        let encoded = encode_catalog_message(NodeId::new(1), &entries);
+        for len in 0..encoded.len() {
+            assert_eq!(
+                decode_catalog_message(&encoded[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {len}"
+            );
+        }
+        // An unknown aggregate kind code must not decode. The kind byte
+        // sits right after the first name (header 12 + name len byte).
+        let mut bad_kind = encoded.clone();
+        bad_kind[12 + 1 + entries[0].descriptor.name.len()] = 250;
+        assert_eq!(
+            decode_catalog_message(&bad_kind),
+            Err(DecodeError::BadTag(250))
+        );
+        // Invalid UTF-8 in the name is rejected, not lossily accepted.
+        let mut bad_name = encoded;
+        bad_name[13] = 0xFF;
+        assert_eq!(decode_catalog_message(&bad_name), Err(DecodeError::BadName));
+        // Foreign tags bounce.
+        let agg = encode_message(&Message::refuse(NodeId::new(1), 0));
+        assert_eq!(decode_catalog_message(&agg), Err(DecodeError::BadTag(3)));
+    }
+
+    #[test]
+    fn round_trip_query_messages() {
+        let msg = Message::request(
+            NodeId::new(9),
+            4,
+            vec![InstanceState::Scalar(1.5), InstanceState::Scalar(0.25)],
+        );
+        let encoded = encode_query_message("load.p99", &msg);
+        assert_eq!(encoded.len(), query_message_len("load.p99", &msg));
+        let (query, decoded) = decode_query_message(&encoded).expect("decode");
+        assert_eq!(query, "load.p99");
+        assert_eq!(decoded, msg);
+        assert_eq!(
+            decode_datagram(&encoded),
+            Ok(WirePayload::Query {
+                query,
+                message: msg.clone(),
+            })
+        );
+        for len in 0..encoded.len() {
+            assert_eq!(
+                decode_query_message(&encoded[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {len}"
+            );
+        }
+        // The mux framing routes to the right virtual node.
+        let frame = encode_mux_query_frame(NodeId::new(77), "load.p99", &msg);
+        assert_eq!(frame.len(), mux_query_frame_len("load.p99", &msg));
+        let (to, payload) = decode_mux_datagram(&frame).expect("decode");
+        assert_eq!(to, NodeId::new(77));
+        assert_eq!(
+            payload,
+            WirePayload::Query {
+                query: "load.p99".to_string(),
+                message: msg,
+            }
+        );
+    }
+
+    #[test]
+    fn mux_catalog_frames_round_trip() {
+        let entries = sample_entries();
+        let frame = encode_mux_catalog_frame(NodeId::new(5), NodeId::new(2), &entries);
+        assert_eq!(frame.len(), mux_catalog_frame_len(&entries));
+        let (to, payload) = decode_mux_datagram(&frame).expect("decode");
+        assert_eq!(to, NodeId::new(5));
+        assert_eq!(
+            payload,
+            WirePayload::Catalog {
+                from: NodeId::new(2),
+                entries,
+            }
+        );
+    }
+
+    #[test]
+    fn round_trip_rpc_requests() {
+        let requests = [
+            RpcRequest::Install {
+                id: 1,
+                descriptor: sample_descriptor("q"),
+            },
+            RpcRequest::Remove {
+                id: u64::MAX,
+                name: "q".to_string(),
+            },
+            RpcRequest::Submit {
+                id: 3,
+                name: "q".to_string(),
+                value: -0.125,
+            },
+            RpcRequest::Read {
+                id: 4,
+                name: String::new(),
+            },
+        ];
+        for request in requests {
+            let encoded = encode_rpc_request(&request);
+            assert_eq!(encoded.len(), rpc_request_len(&request), "{request:?}");
+            assert_eq!(decode_rpc_request(&encoded), Ok(request.clone()));
+            assert_eq!(decode_datagram(&encoded), Ok(WirePayload::Rpc(request)));
+            for len in 0..encoded.len() {
+                assert_eq!(
+                    decode_rpc_request(&encoded[..len]),
+                    Err(DecodeError::Truncated),
+                    "prefix of length {len}"
+                );
+            }
+        }
+        // Unknown op codes bounce.
+        let mut bad_op = encode_rpc_request(&RpcRequest::Read {
+            id: 1,
+            name: "q".to_string(),
+        });
+        bad_op[10] = 9;
+        assert_eq!(decode_rpc_request(&bad_op), Err(DecodeError::BadTag(9)));
+    }
+
+    #[test]
+    fn round_trip_rpc_responses() {
+        let responses = [
+            RpcResponse::ack(7),
+            RpcResponse::reject(8, RpcStatus::AdmissionRejected),
+            RpcResponse {
+                id: 9,
+                status: RpcStatus::Ok,
+                estimate: 1024.5,
+                epoch: 31,
+            },
+        ];
+        for response in responses {
+            let encoded = encode_rpc_response(&response);
+            assert_eq!(encoded.len(), rpc_response_len());
+            assert_eq!(decode_rpc_response(&encoded), Ok(response.clone()));
+            assert_eq!(
+                decode_datagram(&encoded),
+                Ok(WirePayload::RpcReply(response))
+            );
+            for len in 0..encoded.len() {
+                assert_eq!(
+                    decode_rpc_response(&encoded[..len]),
+                    Err(DecodeError::Truncated),
+                    "prefix of length {len}"
+                );
+            }
+        }
+        // Unknown status codes bounce.
+        let mut bad = encode_rpc_response(&RpcResponse::ack(1));
+        bad[10] = 200;
+        assert_eq!(decode_rpc_response(&bad), Err(DecodeError::BadTag(200)));
     }
 
     #[test]

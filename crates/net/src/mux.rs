@@ -91,7 +91,8 @@
 use crate::batch::{IoBackend, RecvBatch, SendBatch, BATCH};
 use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
 use crate::codec::{
-    decode_mux_datagram, encode_mux_directory_frame, encode_mux_frame, encode_mux_piggyback_frame,
+    decode_datagram, decode_mux_datagram, encode_mux_catalog_frame, encode_mux_directory_frame,
+    encode_mux_frame, encode_mux_piggyback_frame, encode_mux_query_frame, encode_rpc_response,
     piggyback_trailer_len, WirePayload,
 };
 use crate::directory::{
@@ -103,8 +104,11 @@ use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, NodeConfig};
 use epidemic_common::stats::OnlineStats;
 use epidemic_common::NodeId;
+use epidemic_query::{
+    QueryDescriptor, QueryError, QueryEstimate, QueryOutbound, QueryPlane, QueryPlaneConfig,
+};
 use epidemic_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry, TraceEvent};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::ops::Range;
@@ -305,6 +309,12 @@ pub struct MuxClusterConfig {
     /// `false` stubs the whole metrics registry out (disconnected
     /// handles) — the A/B switch for measuring instrumentation overhead.
     telemetry: bool,
+    /// Query-plane parameters shared by every vnode (catalog gossip
+    /// cadence, rumor boost, COUNT leader concurrency).
+    query: QueryPlaneConfig,
+    /// Address to serve client query RPCs on (wire tags 13/14); `None`
+    /// disables the listener.
+    rpc_addr: Option<SocketAddr>,
 }
 
 impl MuxClusterConfig {
@@ -332,6 +342,8 @@ impl MuxClusterConfig {
             trace_capacity: 0,
             metrics_addr: None,
             telemetry: true,
+            query: QueryPlaneConfig::default(),
+            rpc_addr: None,
         }
     }
 
@@ -426,6 +438,23 @@ impl MuxClusterConfig {
         self
     }
 
+    /// Overrides the query-plane parameters every vnode runs (default:
+    /// [`QueryPlaneConfig::default`]).
+    pub fn with_query_config(mut self, query: QueryPlaneConfig) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Serves client query RPCs (install/remove/submit/read, wire tags
+    /// 13/14) on a dedicated UDP listener at `addr` (port 0 picks an
+    /// ephemeral port; read it back via [`MuxCluster::rpc_addr`]).
+    /// Requests are routed round-robin over the shard's vnodes — every
+    /// node holds the aggregate, so any node is a valid endpoint.
+    pub fn with_rpc_addr(mut self, addr: SocketAddr) -> Self {
+        self.rpc_addr = Some(addr);
+        self
+    }
+
     /// Cluster-wide number of virtual nodes.
     pub fn len(&self) -> usize {
         self.n
@@ -449,6 +478,8 @@ enum FrameKind {
     Piggybacked {
         trailer: u32,
     },
+    /// A query-plane frame: catalog gossip or a named-query exchange.
+    Query,
 }
 
 /// One unit of protocol work, executed by whichever worker claims it.
@@ -513,6 +544,9 @@ impl WorkQueue {
 struct VNode {
     gossip: GossipNode,
     directory: Box<dyn PeerDirectory>,
+    /// The node's multi-tenant query plane: catalog replica plus one
+    /// gossip instance per live named query.
+    plane: QueryPlane,
     /// Earliest deadline with a live wheel entry for this node, or
     /// `u64::MAX` when none is known — lets workers skip redundant
     /// schedule requests (stale extra wake-ups are harmless but cost
@@ -521,11 +555,12 @@ struct VNode {
 }
 
 impl VNode {
-    /// The earliest tick either plane needs a wake-up at.
+    /// The earliest tick any plane needs a wake-up at.
     fn deadline(&self) -> u64 {
         self.gossip
             .next_deadline()
             .min(self.directory.next_deadline())
+            .min(self.plane.next_deadline())
     }
 }
 
@@ -593,6 +628,13 @@ struct Shared {
     /// Derives `epoch.variance_reduction_rho` / `epoch.estimate_drift`
     /// from the epoch reports passing through [`MuxCluster::take_reports`].
     rho: Mutex<RhoTracker>,
+    /// `rpc.requests` — client RPC datagrams the listener served.
+    rpc_requests: Counter,
+    /// `rpc.rejects` — the subset answered with a non-`Ok` status.
+    rpc_rejects: Counter,
+    /// Derives `epoch.estimate_drift{query=…}` per named query from the
+    /// completed query epochs the workers drain.
+    query_drift: Mutex<QueryDriftTracker>,
     /// Per-reader-socket datagram arrivals (total, from-remote-shard) —
     /// the observable proof that cross-shard senders fan across the whole
     /// published socket set.
@@ -648,6 +690,47 @@ impl RhoTracker {
         if let Some(newest) = self.epochs.iter().map(|(e, _)| *e).max() {
             self.epochs
                 .retain(|(e, _)| *e + RhoTracker::WINDOW > newest);
+        }
+    }
+}
+
+/// The per-query twin of [`RhoTracker`]'s drift gauge: for every named
+/// query, publishes `epoch.estimate_drift{query=…}` — the spread of the
+/// newest completed epoch's estimates across local vnodes.
+#[derive(Debug)]
+struct QueryDriftTracker {
+    registry: Registry,
+    queries: BTreeMap<String, (Vec<(u64, OnlineStats)>, Gauge)>,
+}
+
+impl QueryDriftTracker {
+    fn observe(&mut self, query: &str, epoch: u64, estimate: f64) {
+        let registry = &self.registry;
+        let (epochs, gauge) = self.queries.entry(query.to_string()).or_insert_with(|| {
+            (
+                Vec::new(),
+                registry.gauge_with("epoch.estimate_drift", &[("query", query)]),
+            )
+        });
+        let stats = match epochs.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, s)) => s,
+            None => {
+                epochs.push((epoch, OnlineStats::new()));
+                &mut epochs.last_mut().unwrap().1
+            }
+        };
+        stats.push(estimate);
+        // Publish from the newest epoch with at least two estimates —
+        // a single report has no spread to speak of.
+        if let Some((_, s)) = epochs
+            .iter()
+            .filter(|(_, s)| s.count() >= 2)
+            .max_by_key(|(e, _)| *e)
+        {
+            gauge.set(s.spread());
+        }
+        if let Some(newest) = epochs.iter().map(|(e, _)| *e).max() {
+            epochs.retain(|(e, _)| *e + RhoTracker::WINDOW > newest);
         }
     }
 }
@@ -710,6 +793,8 @@ pub struct MuxCluster {
     /// The `/metrics` HTTP endpoint, when configured; shut down (and its
     /// thread joined) when the cluster handle drops.
     metrics: Option<MetricsServer>,
+    /// Bound address of the client RPC listener, when configured.
+    rpc_addr: Option<SocketAddr>,
 }
 
 impl MuxCluster {
@@ -736,6 +821,8 @@ impl MuxCluster {
             trace_capacity,
             metrics_addr,
             telemetry,
+            query,
+            rpc_addr,
         } = config;
         // Mux membership is id-routed: a join aimed at an address (or at
         // a vnode outside the cluster) could never be framed, and with no
@@ -841,6 +928,7 @@ impl MuxCluster {
                 Mutex::new(VNode {
                     gossip,
                     directory: dir,
+                    plane: QueryPlane::new(id, query, seed, registry.clone()),
                     next_wake: u64::MAX,
                 })
             })
@@ -881,6 +969,12 @@ impl MuxCluster {
                 rho: registry.gauge("epoch.variance_reduction_rho"),
                 drift: registry.gauge("epoch.estimate_drift"),
             }),
+            rpc_requests: registry.counter("rpc.requests"),
+            rpc_rejects: registry.counter("rpc.rejects"),
+            query_drift: Mutex::new(QueryDriftTracker {
+                registry: registry.clone(),
+                queries: BTreeMap::new(),
+            }),
             registry,
             socket_recvs: (0..readers).map(|_| SocketRecvCell::default()).collect(),
             start: Instant::now(),
@@ -891,7 +985,23 @@ impl MuxCluster {
             shared.work.push(Work::Wake(i as u32));
         }
 
-        let mut threads = Vec::with_capacity(workers + readers + 1);
+        // Bind the client RPC listener (if any) before the protocol
+        // threads start, so a bind failure leaks nothing.
+        let rpc_socket = match rpc_addr {
+            Some(addr) => {
+                let socket = UdpSocket::bind(addr)?;
+                socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+                Some(socket)
+            }
+            None => None,
+        };
+        let rpc_addr = match &rpc_socket {
+            Some(socket) => Some(socket.local_addr()?),
+            None => None,
+        };
+
+        let mut threads =
+            Vec::with_capacity(workers + readers + 1 + usize::from(rpc_socket.is_some()));
         let cycle = node_config.cycle_length();
         let spawned = (|| -> io::Result<()> {
             for k in 0..readers {
@@ -916,6 +1026,14 @@ impl MuxCluster {
                         .spawn(move || worker_loop(&worker_shared))?,
                 );
             }
+            if let Some(socket) = rpc_socket {
+                let rpc_shared = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("mux-rpc".into())
+                        .spawn(move || rpc_loop(&rpc_shared, &socket))?,
+                );
+            }
             Ok(())
         })();
         if let Err(e) = spawned {
@@ -933,7 +1051,16 @@ impl MuxCluster {
             shared,
             threads,
             metrics,
+            rpc_addr,
         })
+    }
+
+    /// The bound address of the client RPC listener, if one was
+    /// configured with [`MuxClusterConfig::with_rpc_addr`]. Clients send
+    /// encoded [`epidemic_query::RpcRequest`] datagrams (wire tag 13)
+    /// here and receive tag-14 responses from the same socket.
+    pub fn rpc_addr(&self) -> Option<SocketAddr> {
+        self.rpc_addr
     }
 
     /// The shard's advertised socket address (socket 0 of the reader set
@@ -1021,7 +1148,8 @@ impl MuxCluster {
     }
 
     /// OS threads the cluster runs on: `workers + readers + 1` (the
-    /// reader set plus one timer thread).
+    /// reader set plus one timer thread), plus one more when the client
+    /// RPC listener is enabled.
     pub fn thread_count(&self) -> usize {
         self.threads.len()
     }
@@ -1126,6 +1254,47 @@ impl Cluster for MuxCluster {
         MuxCluster::take_trace(self, index)
     }
 
+    fn install_query(&self, index: usize, descriptor: QueryDescriptor) -> Result<(), QueryError> {
+        let now = self.shared.now_ms();
+        let result = self.shared.nodes[index]
+            .lock()
+            .unwrap()
+            .plane
+            .install(descriptor, now);
+        // A fresh install must start gossiping before the node's next
+        // parked deadline; a wake recomputes and re-parks it.
+        self.shared.work.push(Work::Wake(index as u32));
+        result
+    }
+
+    fn remove_query(&self, index: usize, name: &str) -> Result<(), QueryError> {
+        let now = self.shared.now_ms();
+        let result = self.shared.nodes[index]
+            .lock()
+            .unwrap()
+            .plane
+            .remove(name, now);
+        self.shared.work.push(Work::Wake(index as u32));
+        result
+    }
+
+    fn submit_query(&self, index: usize, name: &str, value: f64) -> Result<(), QueryError> {
+        let now = self.shared.now_ms();
+        self.shared.nodes[index]
+            .lock()
+            .unwrap()
+            .plane
+            .submit(name, value, now)
+    }
+
+    fn query_estimate(&self, index: usize, name: &str) -> Result<QueryEstimate, QueryError> {
+        self.shared.nodes[index]
+            .lock()
+            .unwrap()
+            .plane
+            .estimate(name)
+    }
+
     fn shutdown(self) {
         MuxCluster::shutdown(self);
     }
@@ -1176,8 +1345,15 @@ fn reader_loop(shared: &Shared, reader: usize) {
                         // A piggybacked frame is an aggregation datagram
                         // (its membership trailer is charged in bytes on
                         // the send side, not as a datagram).
-                        let membership = matches!(payload, WirePayload::Directory(_));
-                        shared.traffic[local].count_received(membership);
+                        match &payload {
+                            WirePayload::Directory(_) => {
+                                shared.traffic[local].count_received(true);
+                            }
+                            WirePayload::Catalog { .. } | WirePayload::Query { .. } => {
+                                shared.traffic[local].count_query_received();
+                            }
+                            _ => shared.traffic[local].count_received(false),
+                        }
                         shared.work.push(Work::Deliver(local as u32, payload));
                     }
                 }
@@ -1304,14 +1480,19 @@ fn step_vnode(
     };
     let mut vnode = shared.nodes[index].lock().unwrap();
     let now = shared.now_ms();
+    let mut query_out: Vec<QueryOutbound> = Vec::new();
     let outbound = match work {
         Work::Wake(_) => {
             // This wake consumed whatever wheel entry was parked.
             vnode.next_wake = u64::MAX;
             let VNode {
-                gossip, directory, ..
+                gossip,
+                directory,
+                plane,
+                ..
             } = &mut *vnode;
             let out = gossip.poll_sampler(now, directory);
+            query_out = plane.poll(now, directory);
             directory.poll(now, dir_out);
             out
         }
@@ -1327,7 +1508,25 @@ fn step_vnode(
             vnode.directory.handle(&payload, None, now, dir_out);
             None
         }
+        Work::Deliver(_, WirePayload::Catalog { entries, .. }) => {
+            // Merging may install/remove queries, which moves the plane
+            // deadline; the parking below picks that up.
+            vnode.plane.handle_catalog(&entries, now);
+            None
+        }
+        Work::Deliver(_, WirePayload::Query { query, message }) => {
+            if let Some(reply) = vnode.plane.handle_aggregation(&query, &message, now) {
+                query_out.push(reply);
+            }
+            None
+        }
+        // Client RPC rides the dedicated listener socket (`rpc_loop`);
+        // one arriving as a mux frame is misrouted and dropped.
+        Work::Deliver(_, WirePayload::Rpc(_) | WirePayload::RpcReply(_)) => None,
     };
+    // Completed query epochs feed the per-query drift gauges (drained
+    // unconditionally so a disabled registry never accumulates them).
+    let query_epochs = vnode.plane.take_epochs();
     // An outbound aggregation frame is a free ride for membership news:
     // ask the directory for a trailer worth attaching (None in steady
     // state, and always None for a static directory).
@@ -1345,6 +1544,14 @@ fn step_vnode(
     drop(vnode);
     if is_wake && outbound.is_some() {
         shared.agg_exchanges.inc();
+    }
+    if shared.registry.is_enabled() && !query_epochs.is_empty() {
+        let mut drift = shared.query_drift.lock().unwrap();
+        for e in &query_epochs {
+            if let Some(est) = e.estimate {
+                drift.observe(&e.query, e.epoch, est);
+            }
+        }
     }
     let batch = &mut pending[shared.socket_of(index)];
     let before = batch.len();
@@ -1382,6 +1589,21 @@ fn step_vnode(
         }
         batch.push(frame, target, (index as u32, FrameKind::Membership));
     }
+    let from = NodeId::new((shared.base + index) as u64);
+    for out in query_out {
+        let (to, frame) = match out {
+            QueryOutbound::Aggregation { to, query, message } => {
+                (to, encode_mux_query_frame(to, &query, &message))
+            }
+            QueryOutbound::Catalog { to, entries } => {
+                (to, encode_mux_catalog_frame(to, from, &entries))
+            }
+        };
+        let Some(target) = shared.dest_addr(to.index()) else {
+            continue;
+        };
+        batch.push(frame, target, (index as u32, FrameKind::Query));
+    }
     batch.len() - before
 }
 
@@ -1404,9 +1626,54 @@ fn flush_pending(shared: &Shared, pending: &mut [SendBatch<(u32, FrameKind)>]) {
                 FrameKind::Piggybacked { trailer } => {
                     cell.count_piggybacked_sent(len, trailer as usize)
                 }
+                FrameKind::Query => cell.count_query_sent(len),
             }
         });
         shared.send_calls.add(syscalls);
+    }
+}
+
+/// Serves client query RPCs on the dedicated listener socket. Every node
+/// holds the aggregate — any of them is a valid endpoint — so requests
+/// are routed round-robin over the shard's vnodes and each response goes
+/// straight back to the client's source address. Rejections surface both
+/// in the response status and in the serving vnode's
+/// [`TrafficCounts::rpc_rejects`] — never silently swallowed.
+fn rpc_loop(shared: &Shared, socket: &UdpSocket) {
+    let mut buf = [0u8; 64 * 1024];
+    let mut next = 0usize;
+    while !shared.stop.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, src)) => {
+                let Ok(WirePayload::Rpc(request)) = decode_datagram(&buf[..len]) else {
+                    continue; // not a client request: drop, stay alive
+                };
+                let index = next % shared.nodes.len();
+                next = next.wrapping_add(1);
+                let now = shared.now_ms();
+                let response = shared.nodes[index]
+                    .lock()
+                    .unwrap()
+                    .plane
+                    .handle_rpc(&request, now);
+                shared.rpc_requests.inc();
+                if response.status.is_reject() {
+                    shared.traffic[index].count_rpc_reject();
+                    shared.rpc_rejects.inc();
+                }
+                // An install/remove moves the plane's gossip deadline;
+                // a wake recomputes and re-parks it immediately.
+                shared.work.push(Work::Wake(index as u32));
+                let _ = socket.send_to(&encode_rpc_response(&response), src);
+            }
+            // Read timeout (or spurious wake): re-check the stop flag.
+            Err(ref e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => continue,
+        }
     }
 }
 

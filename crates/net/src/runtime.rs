@@ -19,8 +19,9 @@
 
 use crate::cluster::{Cluster, TrafficCell, TrafficCounts};
 use crate::codec::{
-    decode_datagram, encode_directory_message, encode_message, encode_piggyback_message,
-    piggyback_trailer_len, WirePayload,
+    decode_datagram, encode_catalog_message, encode_directory_message, encode_message,
+    encode_piggyback_message, encode_query_message, encode_rpc_response, piggyback_trailer_len,
+    WirePayload,
 };
 use crate::directory::{
     Destination, DirectoryMessage, DirectorySpec, GossipDirectory, GossipDirectoryConfig,
@@ -29,7 +30,10 @@ use crate::directory::{
 use epidemic_aggregation::node::GossipNode;
 use epidemic_aggregation::{EpochReport, Message, NodeConfig};
 use epidemic_common::NodeId;
-use epidemic_telemetry::{TraceEvent, ViewHealth};
+use epidemic_query::{
+    QueryDescriptor, QueryError, QueryEstimate, QueryOutbound, QueryPlane, QueryPlaneConfig,
+};
+use epidemic_telemetry::{Registry, TraceEvent, ViewHealth};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,6 +51,7 @@ pub struct ClusterConfig {
     seed: u64,
     directory: DirectorySpec,
     trace_capacity: usize,
+    query: QueryPlaneConfig,
 }
 
 impl ClusterConfig {
@@ -71,7 +76,15 @@ impl ClusterConfig {
             seed: 0xC0FFEE,
             directory: DirectorySpec::Static,
             trace_capacity: 0,
+            query: QueryPlaneConfig::default(),
         }
+    }
+
+    /// Overrides the query-plane parameters every node runs (default:
+    /// [`QueryPlaneConfig::default`]).
+    pub fn with_query_config(mut self, query: QueryPlaneConfig) -> Self {
+        self.query = query;
+        self
     }
 
     /// Overrides the randomness seed shared by the cluster.
@@ -210,6 +223,30 @@ struct Shared {
     /// Latest membership view-health snapshot (`None` for directories
     /// without a membership plane).
     view_health: Mutex<Option<ViewHealth>>,
+    /// In-process query commands bound for the node's thread, with
+    /// their ticketed replies — the thread-per-node twin of the mux
+    /// runtime's RPC listener (wire-level RPC datagrams are answered
+    /// directly in the node's recv loop).
+    query_mailbox: Mutex<QueryMailbox>,
+}
+
+/// One in-process query command and its reply slot (see
+/// [`UdpNode::install_query`] and friends).
+#[derive(Debug)]
+enum QueryCommand {
+    Install(QueryDescriptor),
+    Remove(String),
+    Submit(String, f64),
+    Estimate(String),
+}
+
+/// Ticketed request/reply queues between the application's thread and
+/// the node's event loop.
+#[derive(Debug, Default)]
+struct QueryMailbox {
+    next_ticket: u64,
+    requests: Vec<(u64, QueryCommand)>,
+    replies: Vec<(u64, Result<Option<QueryEstimate>, QueryError>)>,
 }
 
 impl UdpNode {
@@ -238,6 +275,7 @@ impl UdpNode {
             traffic: TrafficCell::default(),
             traces: Mutex::new(Vec::new()),
             view_health: Mutex::new(None),
+            query_mailbox: Mutex::new(QueryMailbox::default()),
         });
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -289,6 +327,75 @@ impl UdpNode {
     /// node runs a static directory.
     pub fn view_health(&self) -> Option<ViewHealth> {
         *self.shared.view_health.lock().unwrap()
+    }
+
+    /// Installs a named query at this node; catalog gossip spreads it to
+    /// the rest of the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryPlane::install`] failures.
+    pub fn install_query(&self, descriptor: QueryDescriptor) -> Result<(), QueryError> {
+        self.query_command(QueryCommand::Install(descriptor))
+            .map(|_| ())
+    }
+
+    /// Removes (tombstones) a named query at this node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryPlane::remove`] failures.
+    pub fn remove_query(&self, name: &str) -> Result<(), QueryError> {
+        self.query_command(QueryCommand::Remove(name.to_string()))
+            .map(|_| ())
+    }
+
+    /// Submits this node's contribution to a named query, subject to the
+    /// query's admission limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryPlane::submit`] failures.
+    pub fn submit_query(&self, name: &str, value: f64) -> Result<(), QueryError> {
+        self.query_command(QueryCommand::Submit(name.to_string(), value))
+            .map(|_| ())
+    }
+
+    /// Reads the named query's current estimate at this node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryPlane::estimate`] failures.
+    pub fn query_estimate(&self, name: &str) -> Result<QueryEstimate, QueryError> {
+        self.query_command(QueryCommand::Estimate(name.to_string()))?
+            .ok_or(QueryError::NotReady)
+    }
+
+    /// Posts one command to the node thread's mailbox and waits for its
+    /// ticketed reply. The thread pumps the mailbox every poll interval
+    /// (~1 ms), so a simple sleep-poll wait keeps the hot loop free of
+    /// condvars.
+    fn query_command(&self, command: QueryCommand) -> Result<Option<QueryEstimate>, QueryError> {
+        let ticket = {
+            let mut mailbox = self.shared.query_mailbox.lock().unwrap();
+            mailbox.next_ticket += 1;
+            let ticket = mailbox.next_ticket;
+            mailbox.requests.push((ticket, command));
+            ticket
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(1));
+            let mut mailbox = self.shared.query_mailbox.lock().unwrap();
+            if let Some(pos) = mailbox.replies.iter().position(|(t, _)| *t == ticket) {
+                return mailbox.replies.remove(pos).1;
+            }
+            drop(mailbox);
+            // The node thread stopped (or wedged) before answering.
+            if self.shared.stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                return Err(QueryError::NotReady);
+            }
+        }
     }
 
     /// Stops the gossip thread and waits for it to exit.
@@ -357,6 +464,31 @@ fn transmit_aggregation(
     }
 }
 
+/// Transmits one query-plane frame (a named-query exchange or catalog
+/// gossip push), charging the query traffic ledger.
+fn transmit_query_outbound(
+    socket: &UdpSocket,
+    shared: &Shared,
+    directory: &dyn PeerDirectory,
+    from: NodeId,
+    out: QueryOutbound,
+) {
+    let (to, bytes) = match out {
+        QueryOutbound::Aggregation { to, query, message } => {
+            (to, encode_query_message(&query, &message))
+        }
+        QueryOutbound::Catalog { to, entries } => (to, encode_catalog_message(from, &entries)),
+    };
+    let Some(target) = directory.addr_of(to) else {
+        return;
+    };
+    if socket.send_to(&bytes, target).is_ok() {
+        shared.traffic.count_query_sent(bytes.len());
+    } else {
+        shared.traffic.count_send_error();
+    }
+}
+
 /// Resolves and transmits the directory's pending messages.
 fn flush_directory(
     socket: &UdpSocket,
@@ -385,6 +517,10 @@ fn run_loop(
     shared: Arc<Shared>,
 ) {
     let mut node = GossipNode::founder(id, cluster.node_config.clone(), local_value, cluster.seed);
+    // Per-query metrics are the mux runtime's surface (one registry per
+    // cluster); a thread-per-node cluster runs the identical plane
+    // logic with disconnected handles.
+    let mut plane = QueryPlane::new(id, cluster.query, cluster.seed, Registry::disabled());
     let tracing = cluster.trace_capacity > 0;
     if tracing {
         node.set_trace_capacity(cluster.trace_capacity);
@@ -399,6 +535,26 @@ fn run_loop(
         // Application-side local value updates.
         if let Some(v) = shared.local_value.lock().unwrap().take() {
             node.set_local_value(v);
+        }
+
+        // Application-side query commands (the Cluster seam).
+        let commands: Vec<(u64, QueryCommand)> =
+            std::mem::take(&mut shared.query_mailbox.lock().unwrap().requests);
+        for (ticket, command) in commands {
+            let reply = match command {
+                QueryCommand::Install(d) => plane.install(d, now_ms).map(|()| None),
+                QueryCommand::Remove(name) => plane.remove(&name, now_ms).map(|()| None),
+                QueryCommand::Submit(name, value) => {
+                    plane.submit(&name, value, now_ms).map(|()| None)
+                }
+                QueryCommand::Estimate(name) => plane.estimate(&name).map(Some),
+            };
+            shared
+                .query_mailbox
+                .lock()
+                .unwrap()
+                .replies
+                .push((ticket, reply));
         }
 
         // Active behavior: tick the protocol; initiate when a cycle
@@ -420,6 +576,12 @@ fn run_loop(
         directory.poll(now_ms, &mut dir_out);
         flush_directory(&socket, &shared, directory.as_ref(), &mut dir_out);
         shared.traffic.set_join_retries(directory.join_retries());
+
+        // Query plane: per-query exchanges and catalog gossip share the
+        // socket, drawing peers from the same directory.
+        for out in plane.poll(now_ms, &mut directory) {
+            transmit_query_outbound(&socket, &shared, directory.as_ref(), id, out);
+        }
 
         // Passive behavior: drain the socket.
         loop {
@@ -463,6 +625,36 @@ fn run_loop(
                             directory.handle(&payload, Some(src), now_ms, &mut dir_out);
                             flush_directory(&socket, &shared, directory.as_ref(), &mut dir_out);
                         }
+                        Ok(WirePayload::Catalog { from, entries }) => {
+                            shared.traffic.count_query_received();
+                            directory.observe(from, src);
+                            plane.handle_catalog(&entries, now_ms);
+                        }
+                        Ok(WirePayload::Query { query, message }) => {
+                            shared.traffic.count_query_received();
+                            directory.observe(message.from, src);
+                            if let Some(reply) = plane.handle_aggregation(&query, &message, now_ms)
+                            {
+                                transmit_query_outbound(
+                                    &socket,
+                                    &shared,
+                                    directory.as_ref(),
+                                    id,
+                                    reply,
+                                );
+                            }
+                        }
+                        Ok(WirePayload::Rpc(request)) => {
+                            // A client datagram: every node is a valid
+                            // RPC endpoint; reply to the source address.
+                            let response = plane.handle_rpc(&request, now_ms);
+                            if response.status.is_reject() {
+                                shared.traffic.count_rpc_reject();
+                            }
+                            let _ = socket.send_to(&encode_rpc_response(&response), src);
+                        }
+                        // A response frame addresses a client, not us.
+                        Ok(WirePayload::RpcReply(_)) => {}
                         Err(_) => continue, // corrupt datagram: drop, stay alive
                     }
                 }
@@ -471,11 +663,13 @@ fn run_loop(
             }
         }
 
-        // Publish finished epochs.
+        // Publish finished epochs. Query epochs feed telemetry only in
+        // the mux runtime; drain them here to bound memory.
         let reports = node.take_reports();
         if !reports.is_empty() {
             shared.reports.lock().unwrap().extend(reports);
         }
+        let _ = plane.take_epochs();
 
         // Publish trace events and the membership health snapshot.
         if tracing {
@@ -556,6 +750,22 @@ impl Cluster for ThreadCluster {
 
     fn take_trace(&self, index: usize) -> Vec<TraceEvent> {
         self.nodes[index].take_trace()
+    }
+
+    fn install_query(&self, index: usize, descriptor: QueryDescriptor) -> Result<(), QueryError> {
+        self.nodes[index].install_query(descriptor)
+    }
+
+    fn remove_query(&self, index: usize, name: &str) -> Result<(), QueryError> {
+        self.nodes[index].remove_query(name)
+    }
+
+    fn submit_query(&self, index: usize, name: &str, value: f64) -> Result<(), QueryError> {
+        self.nodes[index].submit_query(name, value)
+    }
+
+    fn query_estimate(&self, index: usize, name: &str) -> Result<QueryEstimate, QueryError> {
+        self.nodes[index].query_estimate(name)
     }
 
     fn shutdown(self) {

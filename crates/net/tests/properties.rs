@@ -20,8 +20,62 @@ use epidemic_net::codec::{
 use epidemic_net::directory::{DirectoryPayload, IntroduceEntry, Piggyback};
 use epidemic_newscast::node::ViewPayload;
 use epidemic_newscast::Descriptor;
+use epidemic_query::{
+    kind_from_code, AdmissionConfig, CatalogEntry, QueryDescriptor, RpcRequest, RpcResponse,
+    RpcStatus,
+};
 use proptest::prelude::*;
 use std::net::{IpAddr, SocketAddr};
+
+/// Raw generated material for one query descriptor: `(name, kind code,
+/// gamma, cycle length, timeout fraction, ttl, default, rate, burst)`.
+type DescriptorRaw = (String, u8, u32, u64, f64, u64, f64, u32, u32);
+
+/// Builds a wire-valid descriptor from generated raw material.
+fn query_descriptor(raw: DescriptorRaw) -> QueryDescriptor {
+    let (name, kind_code, gamma, cycle, timeout_frac, ttl, default, rate, burst) = raw;
+    let kind = kind_from_code(kind_code % 8).expect("kind code in range");
+    let timeout = 1 + (timeout_frac * (cycle - 2) as f64) as u64;
+    QueryDescriptor {
+        name,
+        kind,
+        gamma,
+        cycle_length: cycle,
+        timeout,
+        ttl_ms: ttl,
+        default_value: default,
+        admission: AdmissionConfig {
+            rate_per_sec: rate,
+            burst,
+        },
+    }
+}
+
+/// Query names: 1–19 chars from a wire-safe alphabet (stays well under
+/// the u8 length prefix).
+fn query_name() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.";
+    prop::collection::vec(0u8..ALPHABET.len() as u8, 1..20).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| ALPHABET[i as usize] as char)
+            .collect()
+    })
+}
+
+/// Strategy for one descriptor's raw material (floats stay finite and
+/// bounded so decoded equality is exact).
+fn descriptor_raw() -> impl Strategy<Value = DescriptorRaw> {
+    (
+        (query_name(), any::<u8>(), 1u32..1_000),
+        (2u64..100_000, 0.0f64..1.0, 0u64..10_000_000),
+        (-1e9f64..1e9, any::<u32>(), any::<u32>()),
+    )
+        .prop_map(
+            |((name, kind, gamma), (cycle, frac, ttl), (default, rate, burst))| {
+                (name, kind, gamma, cycle, frac, ttl, default, rate, burst)
+            },
+        )
+}
 
 /// Raw generated material for one instance state: `(is_map, scalar,
 /// map_entries)`.
@@ -237,6 +291,160 @@ proptest! {
     }
 
     #[test]
+    fn catalog_message_len_matches_and_round_trips(
+        from in any::<u64>(),
+        mux_to in any::<u64>(),
+        raw in prop::collection::vec(
+            (descriptor_raw(), any::<u32>(), any::<bool>(), any::<u64>(), any::<u64>()),
+            0..6,
+        ),
+    ) {
+        let entries: Vec<CatalogEntry> = raw
+            .into_iter()
+            .map(|(d, version, deleted, installed_at, expires_at)| CatalogEntry {
+                descriptor: query_descriptor(d),
+                version,
+                deleted,
+                installed_at,
+                expires_at,
+            })
+            .collect();
+        let from = NodeId::new(from);
+        let encoded = epidemic_net::codec::encode_catalog_message(from, &entries);
+        prop_assert_eq!(epidemic_net::codec::catalog_message_len(&entries), encoded.len());
+        let (dfrom, dentries) =
+            epidemic_net::codec::decode_catalog_message(&encoded).expect("round trip");
+        prop_assert_eq!(dfrom, from);
+        prop_assert_eq!(&dentries, &entries);
+        // The plane router agrees with the dedicated decoder.
+        prop_assert_eq!(
+            decode_datagram(&encoded).expect("datagram"),
+            epidemic_net::codec::WirePayload::Catalog { from, entries: entries.clone() }
+        );
+        // The mux framing routes it by destination vnode.
+        let frame =
+            epidemic_net::codec::encode_mux_catalog_frame(NodeId::new(mux_to), from, &entries);
+        prop_assert_eq!(epidemic_net::codec::mux_catalog_frame_len(&entries), frame.len());
+        let (dst, decoded) = decode_mux_datagram(&frame).expect("mux round trip");
+        prop_assert_eq!(dst, NodeId::new(mux_to));
+        prop_assert_eq!(
+            decoded,
+            epidemic_net::codec::WirePayload::Catalog { from, entries }
+        );
+    }
+
+    #[test]
+    fn query_frame_len_matches_and_routes(
+        name in query_name(),
+        from in any::<u64>(),
+        epoch in any::<u64>(),
+        tag in 0u8..4,
+        mux_to in any::<u64>(),
+        states_raw in prop::collection::vec(
+            (any::<bool>(), -1e6f64..1e6, prop::collection::vec((any::<u64>(), 0.0f64..1.0), 0..4)),
+            0..3,
+        ),
+    ) {
+        let msg = message(from, epoch, tag, states_raw);
+        let encoded = epidemic_net::codec::encode_query_message(&name, &msg);
+        prop_assert_eq!(epidemic_net::codec::query_message_len(&name, &msg), encoded.len());
+        let (dname, dmsg) =
+            epidemic_net::codec::decode_query_message(&encoded).expect("round trip");
+        prop_assert_eq!(&dname, &name);
+        prop_assert_eq!(&dmsg, &msg);
+        prop_assert_eq!(
+            decode_datagram(&encoded).expect("datagram"),
+            epidemic_net::codec::WirePayload::Query { query: name.clone(), message: msg.clone() }
+        );
+        let frame =
+            epidemic_net::codec::encode_mux_query_frame(NodeId::new(mux_to), &name, &msg);
+        prop_assert_eq!(epidemic_net::codec::mux_query_frame_len(&name, &msg), frame.len());
+        let (dst, decoded) = decode_mux_datagram(&frame).expect("mux round trip");
+        prop_assert_eq!(dst, NodeId::new(mux_to));
+        prop_assert_eq!(
+            decoded,
+            epidemic_net::codec::WirePayload::Query { query: name, message: msg }
+        );
+    }
+
+    #[test]
+    fn rpc_frames_round_trip_and_size(
+        id in any::<u64>(),
+        op in 0u8..4,
+        name in query_name(),
+        value in -1e9f64..1e9,
+        descriptor in descriptor_raw(),
+        status_code in 0u8..6,
+        epoch in any::<u64>(),
+    ) {
+        let request = match op {
+            0 => RpcRequest::Install { id, descriptor: query_descriptor(descriptor) },
+            1 => RpcRequest::Remove { id, name },
+            2 => RpcRequest::Submit { id, name, value },
+            _ => RpcRequest::Read { id, name },
+        };
+        let encoded = epidemic_net::codec::encode_rpc_request(&request);
+        prop_assert_eq!(epidemic_net::codec::rpc_request_len(&request), encoded.len());
+        let decoded = epidemic_net::codec::decode_rpc_request(&encoded).expect("round trip");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(
+            decode_datagram(&encoded).expect("datagram"),
+            epidemic_net::codec::WirePayload::Rpc(request)
+        );
+        // Responses are fixed-size frames.
+        let response = RpcResponse {
+            id,
+            status: RpcStatus::from_code(status_code).expect("status code in range"),
+            estimate: value,
+            epoch,
+        };
+        let encoded = epidemic_net::codec::encode_rpc_response(&response);
+        prop_assert_eq!(epidemic_net::codec::rpc_response_len(), encoded.len());
+        let decoded = epidemic_net::codec::decode_rpc_response(&encoded).expect("round trip");
+        prop_assert_eq!(&decoded, &response);
+        prop_assert_eq!(
+            decode_datagram(&encoded).expect("datagram"),
+            epidemic_net::codec::WirePayload::RpcReply(response)
+        );
+    }
+
+    #[test]
+    fn query_plane_frames_reject_foreign_versions_and_tags(
+        from in any::<u64>(),
+        bump in 1u8..200,
+        raw in prop::collection::vec(
+            (descriptor_raw(), any::<u32>(), any::<bool>(), any::<u64>(), any::<u64>()),
+            0..3,
+        ),
+    ) {
+        let entries: Vec<CatalogEntry> = raw
+            .into_iter()
+            .map(|(d, version, deleted, installed_at, expires_at)| CatalogEntry {
+                descriptor: query_descriptor(d),
+                version,
+                deleted,
+                installed_at,
+                expires_at,
+            })
+            .collect();
+        let mut encoded = epidemic_net::codec::encode_catalog_message(NodeId::new(from), &entries);
+        // A foreign wire version is rejected before any payload parsing…
+        let foreign = encoded[0].wrapping_add(bump);
+        encoded[0] = foreign;
+        prop_assert_eq!(
+            epidemic_net::codec::decode_catalog_message(&encoded),
+            Err(epidemic_net::codec::DecodeError::BadVersion(foreign))
+        );
+        encoded[0] = epidemic_net::codec::WIRE_VERSION;
+        // …and a wrong tag is rejected by the dedicated decoders.
+        encoded[1] = 12;
+        prop_assert_eq!(
+            epidemic_net::codec::decode_catalog_message(&encoded),
+            Err(epidemic_net::codec::DecodeError::BadTag(12))
+        );
+    }
+
+    #[test]
     fn truncated_frames_never_panic(
         raw in prop::collection::vec(any::<u8>(), 0..64),
     ) {
@@ -248,5 +456,9 @@ proptest! {
         let _ = decode_piggyback_message(&raw);
         let _ = decode_datagram(&raw);
         let _ = decode_mux_datagram(&raw);
+        let _ = epidemic_net::codec::decode_catalog_message(&raw);
+        let _ = epidemic_net::codec::decode_query_message(&raw);
+        let _ = epidemic_net::codec::decode_rpc_request(&raw);
+        let _ = epidemic_net::codec::decode_rpc_response(&raw);
     }
 }

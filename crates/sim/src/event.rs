@@ -40,13 +40,16 @@
 use crate::scenario::{OverlaySpec, Scenario};
 use epidemic_aggregation::message::MessageBody;
 use epidemic_aggregation::node::GossipNode;
-use epidemic_aggregation::{EpochReport, InstanceSpec, Message, NodeConfig};
+use epidemic_aggregation::{EpochReport, InstanceSpec, Message, NodeConfig, PeerSampler};
 use epidemic_common::rng::Xoshiro256;
 use epidemic_common::sample::NeighborSampling;
 use epidemic_common::stats::OnlineStats;
 use epidemic_common::NodeId;
 use epidemic_newscast::node::{MembershipConfig, MembershipNode, ViewPayload};
 use epidemic_newscast::Descriptor;
+use epidemic_query::{
+    QueryEstimate, QueryOutbound, QueryPlane, QueryPlaneConfig, RpcRequest, RpcResponse, RpcStatus,
+};
 use epidemic_telemetry::{write_snapshot, Counter, Gauge, Registry, TraceEvent};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -100,6 +103,29 @@ pub struct EventConfig {
     /// (the cycle-driven twin of the wire runtimes' `/metrics`
     /// endpoint); `None` still populates [`EventOutcome::registry`].
     pub snapshot: Option<SnapshotSpec>,
+    /// Query-plane tuning shared by every node (catalog gossip cadence,
+    /// rumor boost, COUNT concurrency).
+    pub query: QueryPlaneConfig,
+    /// Scripted client RPCs against the query plane, the sim twin of a
+    /// client datagram arriving at one node's RPC endpoint. An empty
+    /// script (the default) leaves the run event-for-event identical to
+    /// a build without the query plane: query traffic draws from its own
+    /// RNG stream and schedules no events until a query exists.
+    pub query_script: Vec<QueryAction>,
+}
+
+/// One scripted query-plane RPC: `request` hits `node`'s endpoint at
+/// global tick `at`, exactly as if a client datagram had arrived there.
+/// Responses come back in script order in [`EventOutcome::query_responses`].
+#[derive(Debug, Clone)]
+pub struct QueryAction {
+    /// Global tick the request arrives.
+    pub at: u64,
+    /// Node whose RPC endpoint serves the request (any node is valid —
+    /// that is the point of the paper).
+    pub node: u32,
+    /// The client request.
+    pub request: RpcRequest,
 }
 
 /// Where and how often [`EventConfig::snapshot`] writes the registry.
@@ -129,6 +155,8 @@ impl Default for EventConfig {
             membership: MembershipModel::Gossip,
             trace_capacity: 0,
             snapshot: None,
+            query: QueryPlaneConfig::default(),
+            query_script: Vec::new(),
         }
     }
 }
@@ -191,6 +219,23 @@ pub struct EventOutcome {
     /// `epoch.rho_theory` bound 1/(2√e), `epoch.estimate_drift`) — the
     /// same namespace the wire runtimes expose over `/metrics`.
     pub registry: Registry,
+    /// Responses to the scripted query RPCs, in script order. A request
+    /// aimed at a crashed node is answered `NotReady`, the sim stand-in
+    /// for a client timeout.
+    pub query_responses: Vec<RpcResponse>,
+    /// Final per-node readout of every query still installed when the
+    /// run ended: `(query name, node, estimate)`, nodes in ascending
+    /// order.
+    pub query_estimates: Vec<(String, u32, QueryEstimate)>,
+    /// Query-plane messages transmitted (catalog gossip + per-query
+    /// aggregation exchanges).
+    pub query_messages_sent: usize,
+    /// Query-plane messages dropped by the loss model.
+    pub query_messages_lost: usize,
+    /// Wire bytes of the transmitted query-plane messages, priced by the
+    /// real codec ([`epidemic_net::codec::catalog_message_len`] /
+    /// [`epidemic_net::codec::query_message_len`]).
+    pub query_bytes_sent: usize,
 }
 
 impl EventOutcome {
@@ -223,6 +268,15 @@ impl EventOutcome {
         } else {
             Some(epidemic_common::stats::mean(&estimates))
         }
+    }
+
+    /// Final per-node values of the named query, in ascending node order.
+    pub fn query_values(&self, name: &str) -> Vec<f64> {
+        self.query_estimates
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, _, est)| est.value)
+            .collect()
     }
 }
 
@@ -257,6 +311,29 @@ enum EventKind {
         full: bool,
         payload: ViewPayload,
     },
+    /// Poll node `i`'s query plane (catalog gossip + per-query schedules).
+    QueryWake(u32),
+    /// Deliver a query-plane frame (destination is inside the payload).
+    QueryDeliver(QueryOutbound),
+    /// Apply entry `i` of [`EventConfig::query_script`].
+    QueryScript(u32),
+}
+
+/// `GETNEIGHBOR()` for the query plane: uniform over the live population,
+/// excluding the polled node, drawing from the dedicated query stream so
+/// the aggregation and membership planes see the same draw sequence with
+/// or without queries running.
+struct QuerySampler<'a> {
+    rng: &'a mut Xoshiro256,
+    live: &'a [u32],
+    me: Option<usize>,
+}
+
+impl PeerSampler for QuerySampler<'_> {
+    fn draw_peer(&mut self) -> Option<NodeId> {
+        let idx = epidemic_common::sample::index_excluding(self.rng, self.live.len(), self.me)?;
+        Some(NodeId::new(u64::from(self.live[idx])))
+    }
 }
 
 impl PartialEq for Event {
@@ -323,6 +400,10 @@ pub struct EventSim {
     /// the main `rng` sees the same draw sequence whether membership is
     /// gossiped or idealized, keeping the two models seed-comparable.
     view_rng: Xoshiro256,
+    /// Dedicated stream for query-plane peer draws and traffic: a run
+    /// with an empty query script is event-for-event identical to one
+    /// without the query plane at all.
+    query_rng: Xoshiro256,
     nodes: Vec<GossipNode>,
     drifts: Vec<f64>,
     /// Live node ids, unordered; `live_pos[i]` is `i`'s index in `live`
@@ -341,6 +422,27 @@ pub struct EventSim {
     view_messages_lost: usize,
     epoch_seen: Vec<u64>,
     entries: HashMap<u64, (u64, u64)>,
+
+    /// One query plane per node slot (dead slots keep their state, same
+    /// as membership); joiners get an empty plane and catch up through
+    /// catalog gossip.
+    planes: Vec<QueryPlane>,
+    query_config: QueryPlaneConfig,
+    /// Seed shared by every plane's per-query gossip nodes.
+    query_seed: u64,
+    query_script: Vec<QueryAction>,
+    /// Earliest scheduled-and-unpopped `QueryWake` per node (`u64::MAX`
+    /// when none): wakes are only pushed when they move this earlier, so
+    /// stale timers die instead of chaining to the end of the run.
+    query_wake_at: Vec<u64>,
+    query_messages_sent: usize,
+    query_messages_lost: usize,
+    query_bytes_sent: usize,
+    query_responses: Vec<RpcResponse>,
+    /// Per-query estimate accumulators behind the labeled
+    /// `epoch.estimate_drift{query=…}` gauges — the sim twin of the mux
+    /// runtime's per-query drift tracker.
+    query_drift: HashMap<String, (Vec<(u64, OnlineStats)>, Gauge)>,
 
     trace_capacity: usize,
     snapshot: Option<SnapshotSpec>,
@@ -448,6 +550,20 @@ impl EventSim {
         }
         let spawn_stats: OnlineStats = values.iter().copied().collect();
         let registry = Registry::new();
+        // The query plane's own streams, decorrelated like membership's:
+        // an empty script leaves every other stream untouched.
+        let query_seed = seed ^ 0x5152_594E;
+        let query_rng = Xoshiro256::seed_from_u64(seed ^ 0x0051_4752);
+        let planes: Vec<QueryPlane> = (0..n)
+            .map(|i| {
+                QueryPlane::new(
+                    NodeId::new(i as u64),
+                    config.query,
+                    query_seed,
+                    registry.clone(),
+                )
+            })
+            .collect();
         registry
             .gauge("epoch.rho_theory")
             .set(0.5 / std::f64::consts::E.sqrt());
@@ -473,6 +589,7 @@ impl EventSim {
             membership_seed,
             rng,
             view_rng,
+            query_rng,
             nodes,
             drifts,
             live: (0..n as u32).collect(),
@@ -487,6 +604,16 @@ impl EventSim {
             view_messages_lost: 0,
             epoch_seen,
             entries,
+            planes,
+            query_config: config.query,
+            query_seed,
+            query_script: config.query_script.clone(),
+            query_wake_at: vec![u64::MAX; n],
+            query_messages_sent: 0,
+            query_messages_lost: 0,
+            query_bytes_sent: 0,
+            query_responses: Vec::new(),
+            query_drift: HashMap::new(),
             trace_capacity: config.trace_capacity,
             next_snapshot: config
                 .snapshot
@@ -531,6 +658,12 @@ impl EventSim {
             for (i, at) in wakes.into_iter().enumerate() {
                 sim.push(at, EventKind::WakeView(i as u32));
             }
+        }
+        // Scripted client RPCs against the query plane. Nothing else is
+        // scheduled up front: planes wake only once a query exists.
+        let script_times: Vec<u64> = sim.query_script.iter().map(|a| a.at).collect();
+        for (i, at) in script_times.into_iter().enumerate() {
+            sim.push(at, EventKind::QueryScript(i as u32));
         }
         sim
     }
@@ -656,6 +789,15 @@ impl EventSim {
         self.epoch_seen.push(node.epoch());
         self.nodes.push(node);
         self.collected.push(Vec::new());
+        // The joiner's query plane starts empty and catches up through
+        // catalog gossip; its first wake is scheduled by that delivery.
+        self.planes.push(QueryPlane::new(
+            NodeId::new(idx as u64),
+            self.query_config,
+            self.query_seed,
+            self.registry.clone(),
+        ));
+        self.query_wake_at.push(u64::MAX);
         self.live_pos.push(self.live.len());
         self.live.push(idx as u32);
         self.push(wake_at.max(at + 1), EventKind::Wake(idx as u32));
@@ -738,6 +880,117 @@ impl EventSim {
                 payload,
             },
         );
+    }
+
+    /// Sends a query-plane frame (catalog gossip or per-query
+    /// aggregation) through the same loss and delay model as the other
+    /// planes, priced in real codec bytes, drawing from the query stream.
+    fn transmit_query(&mut self, at: u64, frame: QueryOutbound) {
+        self.query_messages_sent += 1;
+        let wire_len = match &frame {
+            QueryOutbound::Aggregation { query, message, .. } => {
+                epidemic_net::codec::query_message_len(query, message)
+            }
+            QueryOutbound::Catalog { entries, .. } => {
+                epidemic_net::codec::catalog_message_len(entries)
+            }
+        };
+        self.query_bytes_sent += wire_len;
+        // Link failure drops the whole push-pull exchange, i.e. the
+        // request; catalog pushes are one-way and only see message loss.
+        let is_request = matches!(
+            &frame,
+            QueryOutbound::Aggregation { message, .. }
+                if matches!(message.body, MessageBody::Request(_))
+        );
+        if is_request && self.link_failure > 0.0 && self.query_rng.next_bool(self.link_failure) {
+            self.query_messages_lost += 1;
+            return;
+        }
+        if self.message_loss > 0.0 && self.query_rng.next_bool(self.message_loss) {
+            self.query_messages_lost += 1;
+            return;
+        }
+        let delay = self.query_rng.range_u64(self.delay.0, self.delay.1);
+        self.push(at + delay, EventKind::QueryDeliver(frame));
+    }
+
+    /// Polls node `i`'s query plane and transmits whatever comes out.
+    fn poll_query_plane(&mut self, i: usize, at: u64) {
+        let local_now = self.to_local(at, i);
+        let out = {
+            let me = match self.live_pos[i] {
+                usize::MAX => None,
+                pos => Some(pos),
+            };
+            let mut sampler = QuerySampler {
+                rng: &mut self.query_rng,
+                live: &self.live,
+                me,
+            };
+            self.planes[i].poll(local_now, &mut sampler)
+        };
+        for frame in out {
+            self.transmit_query(at, frame);
+        }
+        self.harvest_query_epochs(i);
+        self.schedule_query_wake(i, at);
+    }
+
+    /// Schedules node `i`'s next query wake if the plane's deadline moved
+    /// earlier than whatever is already queued (installs do exactly that).
+    fn schedule_query_wake(&mut self, i: usize, at: u64) {
+        let deadline = self.planes[i].next_deadline();
+        if deadline == u64::MAX {
+            return; // empty plane: nothing to wake for
+        }
+        let target = self.to_global(deadline, i).max(at + 1);
+        if target < self.query_wake_at[i] {
+            self.query_wake_at[i] = target;
+            self.push(target, EventKind::QueryWake(i as u32));
+        }
+    }
+
+    /// Feeds node `i`'s freshly completed query epochs into the labeled
+    /// per-query drift gauges.
+    fn harvest_query_epochs(&mut self, i: usize) {
+        for epoch in self.planes[i].take_epochs() {
+            if let Some(estimate) = epoch.estimate {
+                self.observe_query_estimate(&epoch.query, epoch.epoch, estimate);
+            }
+        }
+    }
+
+    /// The per-query twin of [`EventSim::observe_estimate`]: publishes
+    /// `epoch.estimate_drift{query=…}` from the newest epoch with at
+    /// least two estimates, keeping a bounded epoch window.
+    fn observe_query_estimate(&mut self, query: &str, epoch: u64, estimate: f64) {
+        let registry = &self.registry;
+        let (epochs, gauge) = self
+            .query_drift
+            .entry(query.to_string())
+            .or_insert_with(|| {
+                let gauge = registry.gauge_with("epoch.estimate_drift", &[("query", query)]);
+                (Vec::new(), gauge)
+            });
+        let stats = match epochs.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, s)) => s,
+            None => {
+                epochs.push((epoch, OnlineStats::new()));
+                &mut epochs.last_mut().unwrap().1
+            }
+        };
+        stats.push(estimate);
+        if let Some((_, s)) = epochs
+            .iter()
+            .filter(|(_, s)| s.count() >= 2)
+            .max_by_key(|(e, _)| *e)
+        {
+            gauge.set(s.spread());
+        }
+        if let Some(newest) = epochs.iter().map(|(e, _)| *e).max() {
+            epochs.retain(|(e, _)| *e + 4 > newest);
+        }
     }
 
     /// Drains `node`'s freshly completed epoch reports into `collected`,
@@ -854,6 +1107,59 @@ impl EventSim {
                     }
                     continue; // in-flight view exchange to a crashed node
                 }
+                EventKind::QueryWake(i) => {
+                    let i = i as usize;
+                    if at != self.query_wake_at[i] {
+                        continue; // superseded by an earlier reschedule
+                    }
+                    self.query_wake_at[i] = u64::MAX;
+                    if self.is_alive(i) {
+                        self.poll_query_plane(i, at);
+                    }
+                    continue; // stale timer of a crashed node: chain ends
+                }
+                EventKind::QueryDeliver(frame) => {
+                    let to = match &frame {
+                        QueryOutbound::Aggregation { to, .. }
+                        | QueryOutbound::Catalog { to, .. } => to.index(),
+                    };
+                    if self.is_alive(to) {
+                        let local_now = self.to_local(at, to);
+                        match frame {
+                            QueryOutbound::Catalog { entries, .. } => {
+                                self.planes[to].handle_catalog(&entries, local_now);
+                            }
+                            QueryOutbound::Aggregation { query, message, .. } => {
+                                if let Some(reply) =
+                                    self.planes[to].handle_aggregation(&query, &message, local_now)
+                                {
+                                    self.transmit_query(at, reply);
+                                }
+                            }
+                        }
+                        self.harvest_query_epochs(to);
+                        self.schedule_query_wake(to, at);
+                    }
+                    continue; // in-flight query frame to a crashed node
+                }
+                EventKind::QueryScript(idx) => {
+                    let action = self.query_script[idx as usize].clone();
+                    let i = action.node as usize;
+                    if self.is_alive(i) {
+                        let local_now = self.to_local(at, i);
+                        let response = self.planes[i].handle_rpc(&action.request, local_now);
+                        self.query_responses.push(response);
+                        self.schedule_query_wake(i, at);
+                    } else {
+                        // Client hit a crashed node: the sim stand-in
+                        // for a request that times out.
+                        self.query_responses.push(RpcResponse::reject(
+                            action.request.id(),
+                            RpcStatus::NotReady,
+                        ));
+                    }
+                    continue;
+                }
                 EventKind::Wake(i) => {
                     let i = i as usize;
                     if !self.is_alive(i) {
@@ -912,6 +1218,19 @@ impl EventSim {
         // plus everything after the last observed transition.
         for i in 0..self.nodes.len() {
             self.harvest_reports(i);
+            self.harvest_query_epochs(i);
+        }
+        // Final readout of every installed query at every live node.
+        let mut live_sorted = self.live.clone();
+        live_sorted.sort_unstable();
+        let mut query_estimates = Vec::new();
+        for &i in &live_sorted {
+            let i = i as usize;
+            for name in self.planes[i].installed() {
+                if let Ok(est) = self.planes[i].estimate(&name) {
+                    query_estimates.push((name, i as u32, est));
+                }
+            }
         }
         self.live_gauge.set(self.live.len() as f64);
         let traces: Vec<Vec<TraceEvent>> = (0..self.nodes.len())
@@ -946,6 +1265,11 @@ impl EventSim {
             final_alive: self.live.len(),
             traces,
             registry: self.registry,
+            query_responses: self.query_responses,
+            query_estimates,
+            query_messages_sent: self.query_messages_sent,
+            query_messages_lost: self.query_messages_lost,
+            query_bytes_sent: self.query_bytes_sent,
         }
     }
 }
@@ -979,8 +1303,7 @@ mod tests {
             drift: 0.0,
             duration: 40_000,
             membership: MembershipModel::Gossip,
-            trace_capacity: 0,
-            snapshot: None,
+            ..EventConfig::default()
         }
     }
 
@@ -1332,6 +1655,174 @@ mod tests {
             .collect();
         assert!(kinds.contains("exchange_complete"), "kinds: {kinds:?}");
         assert!(kinds.contains("view_merge"), "kinds: {kinds:?}");
+    }
+
+    fn average_query(name: &str, default: f64) -> epidemic_query::QueryDescriptor {
+        epidemic_query::QueryDescriptor::new(name, epidemic_aggregation::AggregateKind::Average)
+            .with_gamma(5)
+            .with_cycle_length(500)
+            .with_default_value(default)
+    }
+
+    fn install_action(
+        at: u64,
+        node: u32,
+        id: u64,
+        descriptor: epidemic_query::QueryDescriptor,
+    ) -> QueryAction {
+        QueryAction {
+            at,
+            node,
+            request: RpcRequest::Install { id, descriptor },
+        }
+    }
+
+    #[test]
+    fn catalog_gossip_installs_query_cluster_wide() {
+        let mut cfg = base_config();
+        cfg.query_script = vec![install_action(2_000, 0, 1, average_query("temp", 3.0))];
+        let out = cfg.run(1);
+        assert_eq!(out.query_responses.len(), 1);
+        assert_eq!(out.query_responses[0].status, RpcStatus::Ok);
+        // One install at one node; the catalog gossip must carry it to
+        // every other node, and all 64 replicas settle on the default
+        // contribution (an exact fixed point of the averaging).
+        let values = out.query_values("temp");
+        assert_eq!(values.len(), 64, "query did not reach every node");
+        for v in values {
+            assert!((v - 3.0).abs() < 1e-6, "estimate {v}");
+        }
+        assert!(out.query_messages_sent > 0, "no query traffic");
+        assert!(out.query_bytes_sent > 0);
+        // Per-query telemetry landed in the shared namespace.
+        assert_eq!(out.registry.gauge_value("query.installed"), Some(1.0));
+        assert!(out
+            .registry
+            .render_prometheus()
+            .contains("epoch_estimate_drift{query=\"temp\"}"));
+    }
+
+    #[test]
+    fn query_script_leaves_baseline_run_untouched() {
+        // Zero perturbation: the query plane draws from its own stream,
+        // so running a query changes nothing in the aggregation or
+        // membership planes of the same seed.
+        let plain = base_config().run(1);
+        let mut cfg = base_config();
+        cfg.query_script = vec![install_action(1_000, 5, 9, average_query("side", 1.0))];
+        let queried = cfg.run(1);
+        assert_eq!(plain.messages_sent, queried.messages_sent);
+        assert_eq!(plain.view_messages_sent, queried.view_messages_sent);
+        assert_eq!(plain.epoch_entries, queried.epoch_entries);
+        assert_eq!(plain.epoch_estimates(0), queried.epoch_estimates(0));
+        assert_eq!(plain.query_messages_sent, 0);
+        assert!(queried.query_messages_sent > 0);
+    }
+
+    #[test]
+    fn admission_limit_rejects_excess_submits() {
+        let mut cfg = base_config();
+        let descriptor = average_query("load", 1.0)
+            .with_admission(epidemic_query::AdmissionConfig::limited(1, 2));
+        let mut script = vec![install_action(1_000, 0, 0, descriptor)];
+        for k in 0..6u64 {
+            script.push(QueryAction {
+                at: 1_100 + k,
+                node: 0,
+                request: RpcRequest::Submit {
+                    id: 1 + k,
+                    name: "load".into(),
+                    value: 9.0,
+                },
+            });
+        }
+        cfg.query_script = script;
+        let out = cfg.run(2);
+        let ok = out
+            .query_responses
+            .iter()
+            .filter(|r| r.status == RpcStatus::Ok)
+            .count();
+        let rejected = out
+            .query_responses
+            .iter()
+            .filter(|r| r.status == RpcStatus::AdmissionRejected)
+            .count();
+        // Burst of 2 grants two back-to-back submits (plus the install);
+        // the rest are rejected — and surfaced, never swallowed.
+        assert_eq!(ok, 3, "responses: {:?}", out.query_responses);
+        assert_eq!(rejected, 4);
+        assert!(out
+            .registry
+            .render_prometheus()
+            .contains("query_admission_rejects{query=\"load\"} 4"));
+    }
+
+    #[test]
+    fn removed_query_vanishes_cluster_wide() {
+        let mut cfg = base_config();
+        cfg.query_script = vec![
+            install_action(2_000, 0, 1, average_query("tmp", 2.0)),
+            // Removal via a *different* node: any replica may serve it
+            // once the catalog has spread.
+            QueryAction {
+                at: 12_000,
+                node: 42,
+                request: RpcRequest::Remove {
+                    id: 2,
+                    name: "tmp".into(),
+                },
+            },
+        ];
+        let out = cfg.run(3);
+        assert!(out
+            .query_responses
+            .iter()
+            .all(|r| r.status == RpcStatus::Ok));
+        assert!(
+            out.query_values("tmp").is_empty(),
+            "tombstone failed to spread"
+        );
+        assert_eq!(out.registry.gauge_value("query.installed"), Some(0.0));
+    }
+
+    #[test]
+    fn query_plane_is_deterministic_under_loss() {
+        let mut cfg = base_config();
+        cfg.scenario.comm = CommFailure::messages(0.1);
+        cfg.query_script = vec![
+            install_action(2_000, 0, 1, average_query("det", 4.0)),
+            QueryAction {
+                at: 8_000,
+                node: 7,
+                request: RpcRequest::Submit {
+                    id: 2,
+                    name: "det".into(),
+                    value: 10.0,
+                },
+            },
+            QueryAction {
+                at: 30_000,
+                node: 33,
+                request: RpcRequest::Read {
+                    id: 3,
+                    name: "det".into(),
+                },
+            },
+        ];
+        let a = cfg.run(5);
+        let b = cfg.run(5);
+        assert_eq!(a.query_messages_sent, b.query_messages_sent);
+        assert_eq!(a.query_messages_lost, b.query_messages_lost);
+        assert_eq!(a.query_bytes_sent, b.query_bytes_sent);
+        assert_eq!(a.query_responses, b.query_responses);
+        assert_eq!(a.query_estimates, b.query_estimates);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert!(a.query_messages_lost > 0, "loss never hit query traffic");
+        // The mid-run read answered from node 33 with a real estimate.
+        let read = &a.query_responses[2];
+        assert_eq!(read.status, RpcStatus::Ok);
+        assert!(read.estimate > 4.0 - 1.0, "read estimate {}", read.estimate);
     }
 
     #[test]

@@ -44,16 +44,25 @@
 //! # (combines with --readers / --io to smoke those paths); the smoke
 //! # run always self-scrapes /metrics and fails on dead telemetry
 //! cargo run --release --example mux_cluster -- --smoke
+//!
+//! # multi-tenant query plane: serve client RPC on a UDP port; with
+//! # --smoke this runs the full wire leg — a second named query is
+//! # installed over the wire mid-run, submitted to, and read back until
+//! # the estimate converges (failing the run if it never does)
+//! cargo run --release --example mux_cluster -- --query
+//! cargo run --release --example mux_cluster -- --smoke --query
 //! ```
 
-use epidemic::aggregation::{InstanceSpec, LeaderPolicy, NodeConfig};
+use epidemic::aggregation::{AggregateKind, InstanceSpec, LeaderPolicy, NodeConfig};
 use epidemic::net::batch::IoBackend;
 use epidemic::net::cluster::Cluster;
+use epidemic::net::codec::{decode_rpc_response, encode_rpc_request};
 use epidemic::net::directory::{DirectorySpec, GossipDirectoryConfig};
 use epidemic::net::mux::{MuxCluster, MuxClusterConfig, PeerTable};
 use epidemic::net::{write_jsonl, TraceEvent};
+use epidemic::query::{QueryDescriptor, QueryPlaneConfig, RpcRequest, RpcStatus};
 use std::io::{Read, Write};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, UdpSocket};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -73,6 +82,7 @@ struct Args {
     secs: u64,
     gossip: bool,
     smoke: bool,
+    query: bool,
     hosts: Vec<SocketAddr>,
     shard: Option<(usize, usize)>, // (k, m): this process is shard k of m
     metrics_addr: Option<SocketAddr>,
@@ -92,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         secs: 3,
         gossip: false,
         smoke: false,
+        query: false,
         hosts: Vec::new(),
         shard: None,
         metrics_addr: None,
@@ -149,6 +160,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--gossip" => args.gossip = true,
             "--smoke" => args.smoke = true,
+            "--query" => args.query = true,
             "--hosts" => {
                 for host in value("--hosts")?.split(',') {
                     args.hosts
@@ -226,6 +238,22 @@ fn with_io_layout(mut config: MuxClusterConfig, args: &Args) -> MuxClusterConfig
     config
 }
 
+/// Applies the `--query` flag: enables the query plane with a
+/// smoke-friendly catalog gossip period, and (when `rpc` asks for it)
+/// binds the client RPC listener on an ephemeral loopback port.
+fn with_query_flags(mut config: MuxClusterConfig, args: &Args, rpc: bool) -> MuxClusterConfig {
+    if args.query {
+        config = config.with_query_config(QueryPlaneConfig {
+            gossip_period: args.cycle_ms,
+            ..QueryPlaneConfig::default()
+        });
+        if rpc {
+            config = config.with_rpc_addr("127.0.0.1:0".parse().unwrap());
+        }
+    }
+    config
+}
+
 /// Applies the telemetry flags: `--metrics-addr` serves Prometheus text
 /// from the cluster's registry, `--trace-out` turns on the per-vnode
 /// protocol event rings (dumped as JSONL on exit by [`dump_trace`]).
@@ -290,6 +318,104 @@ fn series_value(body: &str, name: &str) -> Option<f64> {
         }
     }
     found.then_some(total)
+}
+
+/// `--smoke --query`: the wire leg. With the cluster already running —
+/// no restart — a plain UDP client installs a *second* named query
+/// through shard 0's RPC listener, submits one sample through whichever
+/// node the round-robin picks next, and reads the estimate back until it
+/// converges on the cluster-wide truth. Returns `false` (after
+/// explaining why) if any step fails or the estimate never settles.
+fn run_query_leg(shards: &[MuxCluster], n: usize) -> Result<bool, Box<dyn std::error::Error>> {
+    let rpc_addr = shards[0]
+        .rpc_addr()
+        .ok_or("query: rpc listener not bound")?;
+    let client = UdpSocket::bind("127.0.0.1:0")?;
+    client.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let rpc = |request: RpcRequest| -> Result<_, Box<dyn std::error::Error>> {
+        let frame = encode_rpc_request(&request);
+        let mut buf = [0u8; 64];
+        for _ in 0..10 {
+            client.send_to(&frame, rpc_addr)?;
+            match client.recv_from(&mut buf) {
+                Ok((len, _)) => {
+                    let response = decode_rpc_response(&buf[..len])?;
+                    if response.id == request.id() {
+                        return Ok(response);
+                    }
+                    // A late reply to an earlier retry: keep draining.
+                    continue;
+                }
+                Err(_) => continue, // UDP timeout: retry
+            }
+        }
+        Err(format!("query: rpc to {rpc_addr} got no response").into())
+    };
+    let mut next_id = 100u64;
+    let mut id = || {
+        next_id += 1;
+        next_id
+    };
+
+    // Tenant #2 arrives over the wire mid-run ("wire.temp"; tenant #1,
+    // "shard.load", was installed through the operator seam at spawn).
+    let descriptor = QueryDescriptor::new("wire.temp", AggregateKind::Average)
+        .with_gamma(8)
+        .with_cycle_length(40)
+        .with_default_value(2.0);
+    let install = rpc(RpcRequest::Install {
+        id: id(),
+        descriptor,
+    })?;
+    if install.status != RpcStatus::Ok {
+        eprintln!("query: wire install rejected: {install:?}");
+        return Ok(false);
+    }
+
+    // Submit through a different node (the listener round-robins): this
+    // succeeds only once catalog gossip delivered the query there.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let response = rpc(RpcRequest::Submit {
+            id: id(),
+            name: "wire.temp".into(),
+            value: 66.0,
+        })?;
+        match response.status {
+            RpcStatus::Ok => break,
+            RpcStatus::UnknownQuery if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            other => {
+                eprintln!("query: wire submit failed with {other:?}");
+                return Ok(false);
+            }
+        }
+    }
+
+    // Read back until the estimate converges on the cluster-wide truth:
+    // n−1 nodes hold the 2.0 default, one client submitted 66.0 — far
+    // enough from the all-defaults mean (2.0) that a read can only pass
+    // once the submitted sample has actually mixed in.
+    let truth = ((n - 1) as f64 * 2.0 + 66.0) / n as f64;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut last = f64::NAN;
+    while Instant::now() < deadline {
+        let response = rpc(RpcRequest::Read {
+            id: id(),
+            name: "wire.temp".into(),
+        })?;
+        if response.status == RpcStatus::Ok {
+            last = response.estimate;
+            if (last - truth).abs() < 0.2 {
+                println!("query: wire.temp converged to {last:.3} (truth {truth:.3})");
+                return Ok(true);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    eprintln!("query: wire.temp never converged: last {last} vs truth {truth:.3}");
+    Ok(false)
 }
 
 fn directory_spec(gossip: bool) -> DirectorySpec {
@@ -384,6 +510,7 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         secs: args.secs,
         gossip: args.gossip,
         smoke: true,
+        query: args.query,
         hosts: Vec::new(),
         shard: None,
         metrics_addr: Some(
@@ -403,21 +530,29 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     let shards = [
         MuxCluster::spawn(
-            with_telemetry_flags(
-                with_io_layout(
-                    MuxClusterConfig::sharded(table.clone(), 0, config.clone())
-                        .with_directory(directory_spec(smoke_args.gossip)),
+            with_query_flags(
+                with_telemetry_flags(
+                    with_io_layout(
+                        MuxClusterConfig::sharded(table.clone(), 0, config.clone())
+                            .with_directory(directory_spec(smoke_args.gossip)),
+                        &smoke_args,
+                    ),
                     &smoke_args,
                 ),
                 &smoke_args,
+                true,
             ),
             |i| (i + 1) as f64,
         )?,
         MuxCluster::spawn(
-            with_io_layout(
-                MuxClusterConfig::sharded(table, 1, config)
-                    .with_directory(directory_spec(smoke_args.gossip)),
+            with_query_flags(
+                with_io_layout(
+                    MuxClusterConfig::sharded(table, 1, config)
+                        .with_directory(directory_spec(smoke_args.gossip)),
+                    &smoke_args,
+                ),
                 &smoke_args,
+                false,
             ),
             |i| (i + 1) as f64,
         )?,
@@ -427,6 +562,17 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         shards[0].reader_count(),
         shards[0].io_backend()
     );
+    if smoke_args.query {
+        // Tenant #1 goes in through the operator seam while the cluster
+        // is still settling; the wire leg below adds tenant #2 mid-run.
+        shards[0].install_query(
+            0,
+            QueryDescriptor::new("shard.load", AggregateKind::Average)
+                .with_gamma(8)
+                .with_cycle_length(40)
+                .with_default_value(1.0),
+        )?;
+    }
     std::thread::sleep(Duration::from_millis(2_000));
     let mut ok = true;
     for (s, shard) in shards.iter().enumerate() {
@@ -448,6 +594,12 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // The wire leg runs against the still-live cluster: install tenant
+    // #2 over UDP, submit, and read back until it converges.
+    if smoke_args.query && !run_query_leg(&shards, n)? {
+        ok = false;
+    }
+
     // Telemetry self-scrape: the registry must expose live protocol
     // signal, not just serve an empty page. ρ is fed from the epoch
     // reports the `report()` calls above just drained.
@@ -458,6 +610,11 @@ fn run_smoke(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut required = vec!["agg_exchanges", "epoch_variance_reduction_rho"];
     if smoke_args.gossip {
         required.push("membership_delta_bytes");
+    }
+    if smoke_args.query {
+        // Both tenants live → installed gauge ≥ 2; the wire leg's
+        // install/submit/read all ran through shard 0's RPC listener.
+        required.extend(["query_installed", "query_submits", "rpc_requests"]);
     }
     for name in required {
         match series_value(&body, name) {
@@ -504,14 +661,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 args.n
             );
             MuxCluster::spawn(
-                with_telemetry_flags(
-                    with_io_layout(
-                        MuxClusterConfig::new(args.n, config)
-                            .with_seed(args.seed)
-                            .with_directory(directory),
+                with_query_flags(
+                    with_telemetry_flags(
+                        with_io_layout(
+                            MuxClusterConfig::new(args.n, config)
+                                .with_seed(args.seed)
+                                .with_directory(directory),
+                            &args,
+                        ),
                         &args,
                     ),
                     &args,
+                    true,
                 ),
                 |i| (i + 1) as f64,
             )?
@@ -524,14 +685,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 table.shard_addr(k)
             );
             MuxCluster::spawn(
-                with_telemetry_flags(
-                    with_io_layout(
-                        MuxClusterConfig::sharded(table, k, config)
-                            .with_seed(args.seed)
-                            .with_directory(directory),
+                with_query_flags(
+                    with_telemetry_flags(
+                        with_io_layout(
+                            MuxClusterConfig::sharded(table, k, config)
+                                .with_seed(args.seed)
+                                .with_directory(directory),
+                            &args,
+                        ),
                         &args,
                     ),
                     &args,
+                    k == 0,
                 ),
                 |i| (i + 1) as f64,
             )?
@@ -556,6 +721,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(addr) = cluster.metrics_addr() {
         println!("serving Prometheus text on http://{addr}/metrics");
+    }
+    if let Some(addr) = cluster.rpc_addr() {
+        println!("serving query-plane client RPC on udp://{addr}");
     }
 
     std::thread::sleep(Duration::from_secs(args.secs.max(1)));

@@ -8,6 +8,7 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`aggregation`] | `epidemic-aggregation` | the paper's contribution: push-pull averaging, COUNT/SUM/PRODUCT/VARIANCE, epochs, epoch synchronization, crash/link-failure theory |
+//! | [`query`] | `epidemic-query` | multi-tenant query plane: named query catalog, per-query epoch schedules, client RPC vocabulary, token-bucket admission |
 //! | [`newscast`] | `epidemic-newscast` | the NEWSCAST gossip membership protocol |
 //! | [`topology`] | `epidemic-topology` | static overlay generators and graph analysis |
 //! | [`sim`] | `epidemic-sim` | cycle-driven and event-driven simulators with failure injection |
@@ -54,5 +55,6 @@ pub use epidemic_aggregation as aggregation;
 pub use epidemic_common as common;
 pub use epidemic_net as net;
 pub use epidemic_newscast as newscast;
+pub use epidemic_query as query;
 pub use epidemic_sim as sim;
 pub use epidemic_topology as topology;
